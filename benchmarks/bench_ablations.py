@@ -1,0 +1,21 @@
+"""Ablation bench: what each PGOS design choice contributes."""
+
+from repro.harness.figures import ablations
+
+
+def test_ablations(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    # Statistical prediction is the load-bearing choice: on the deceptive
+    # path pair, mean prediction routes the critical stream to the
+    # higher-mean (but heavy-tailed) path and breaks its guarantee.
+    assert m["pgos_crit_attainment_p95"] >= 0.99
+    assert m["meanpred_crit_attainment_p95"] < m["pgos_crit_attainment_p95"]
+    # Single-path-first placement keeps the critical stream at least as
+    # steady as a forced even split across the noisy path.
+    assert m["single_first_bond1_std"] <= m["even_split_bond1_std"] + 1e-9
+    # A twitchier remap trigger causes at least as many remaps.
+    assert m["remaps_at_ks_0.05"] >= m["remaps_at_ks_0.5"]

@@ -1,0 +1,16 @@
+"""Figure 10 bench: throughput CDFs of the four algorithms."""
+
+from repro.harness.figures import fig10
+
+
+def test_fig10_cdf(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    # Paper: PGOS >= 99.5 % of required bandwidth 95 % of the time;
+    # MSFQ only ~87 %.
+    assert m["pgos_bond1_attainment_p95"] >= 0.97
+    assert m["msfq_bond1_attainment_p95"] < 0.95
+    assert m["msfq_bond1_p95_time_mbps"] < m["pgos_bond1_p95_time_mbps"]

@@ -1,0 +1,16 @@
+"""Figure 11 bench: per-stream summary (target/mean/95%/99%/std) + jitter."""
+
+from repro.harness.figures import fig11
+
+
+def test_fig11_summary(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig11.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    assert m["pgos_atom_p95_time"] >= 3.249 * 0.99
+    assert m["pgos_bond1_p95_time"] >= 22.148 * 0.99
+    assert m["msfq_bond1_p95_time"] < 22.148 * 0.95
+    # Jitter ordering: paper reports 1.4 ms (PGOS) vs 2.0 ms (MSFQ).
+    assert m["pgos_jitter_ms"] < m["msfq_jitter_ms"]

@@ -1,0 +1,15 @@
+"""Figure 13 bench: GridFTP vs IQPG-GridFTP throughput CDFs."""
+
+from repro.harness.figures import fig13
+
+
+def test_fig13_gridftp_cdf(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig13.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    # IQPG's DT1 CDF is a near-vertical step at the requirement.
+    assert m["iqpg_dt1_attainment_p95"] >= 0.99
+    # GridFTP's is smeared below it.
+    assert m["gridftp_dt1_attainment_p95"] < m["iqpg_dt1_attainment_p95"]

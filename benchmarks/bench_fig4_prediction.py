@@ -1,0 +1,23 @@
+"""Figure 4 bench: mean prediction error vs percentile failure rate.
+
+Regenerates the prediction-error sweep over measurement windows 0.1-1.0 s
+and checks the paper's headline gap: average predictors err ~20 % while
+the percentile prediction fails only a few percent of the time.
+"""
+
+from repro.harness.figures import fig4
+
+
+def test_fig4_prediction(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig4.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    measured = result.measured
+    # The figure's shape: percentile prediction fails far less often than
+    # mean prediction errs.
+    assert (
+        measured["percentile_failure_rate_avg"]
+        < measured["mean_prediction_error_avg"] / 2
+    )
+    assert measured["percentile_failure_rate_max"] < 0.08

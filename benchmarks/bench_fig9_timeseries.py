@@ -1,0 +1,18 @@
+"""Figure 9 bench: SmartPointer throughput time series, four algorithms."""
+
+from repro.harness.figures import fig9
+
+
+def test_fig9_timeseries(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig9.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    # PGOS pins the critical streams at their targets...
+    assert abs(m["pgos_atom_mean"] - 3.249) / 3.249 < 0.02
+    assert abs(m["pgos_bond1_mean"] - 22.148) / 22.148 < 0.02
+    # ...far more stably than MSFQ...
+    assert m["pgos_bond1_std"] < m["msfq_bond1_std"] / 2
+    # ...without compromising the best-effort stream.
+    assert abs(m["bond2_mean_ratio_pgos_over_msfq"] - 1.0) < 0.05

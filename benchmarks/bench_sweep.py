@@ -1,0 +1,44 @@
+"""Cross-traffic intensity sweep: the guarantee envelope.
+
+Not a paper figure — maps where the SmartPointer workload's guarantees
+live as the shared network's load grows, including the admission
+crossover (the point where IQ-Paths' upcall tells the application to
+lower its requirements).
+"""
+
+from pathlib import Path
+
+from repro.harness.sweep import (
+    admission_crossover,
+    render_sweep,
+    sweep_cross_traffic,
+)
+
+SCALES = (0.6, 1.0, 1.4, 1.8)
+
+
+def test_cross_traffic_sweep(benchmark, results_dir: Path):
+    points = benchmark.pedantic(
+        sweep_cross_traffic,
+        kwargs={"scales": SCALES, "duration": 60.0, "warmup_intervals": 150},
+        rounds=1,
+        iterations=1,
+    )
+    (results_dir / "sweep.txt").write_text(
+        render_sweep(points)
+        + f"\nadmission crossover at scale: {admission_crossover(points)}\n",
+        encoding="utf-8",
+    )
+    by_scale = {p.scale: p for p in points}
+    # Light load: everything admitted, PGOS attains its guarantee.
+    assert by_scale[0.6].admitted
+    assert by_scale[0.6].attainment["PGOS"] >= 0.95
+    assert by_scale[1.0].attainment["PGOS"] >= 0.95
+    # PGOS never attains less than MSFQ anywhere on the sweep.
+    for point in points:
+        assert (
+            point.attainment["PGOS"] >= point.attainment["MSFQ"] - 0.02
+        ), point.scale
+    # Heavy load: the workload is no longer admittable at 95 %.
+    crossover = admission_crossover(points)
+    assert crossover is not None and crossover <= SCALES[-1]

@@ -1,0 +1,14 @@
+"""Layered-video bench (the tech-report extension experiment)."""
+
+from repro.harness.figures import video_ext
+
+
+def test_video_layers(benchmark, save_report):
+    result = benchmark.pedantic(
+        video_ext.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    m = result.measured
+    # PGOS protects the base layer at least as well as MSFQ.
+    assert m["pgos_stall_fraction"] <= m["msfq_stall_fraction"] + 1e-9
+    assert m["pgos_stall_fraction"] <= 0.05

@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers.
+
+Every figure bench runs its experiment once under pytest-benchmark (the
+timing is the cost of regenerating the figure) and writes the rendered
+paper-vs-measured report to ``benchmarks/results/<figure>.txt`` so the
+numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Write a FigureResult's rendering next to the benchmark data."""
+
+    def _save(result) -> None:
+        path = results_dir / f"{result.figure_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""IQPG-GridFTP parallel transfer scenario (paper Section 6.2).
+
+Streams climate-database records (numeric data + low/high-resolution
+images) over two overlay paths.  Standard GridFTP's blocked layout lets
+all components compete; IQPG-GridFTP (GridFTP with PGOS interposed)
+guarantees DT1/DT2 their 25 records/second while DT3 fills the leftover.
+
+Run:  python examples/gridftp_transfer.py [seed]
+"""
+
+import sys
+
+from repro.apps.gridftp import (
+    DT1_MBPS,
+    DT2_MBPS,
+    records_per_second,
+    run_gridftp,
+)
+from repro.harness.metrics import summarize_stream
+from repro.harness.report import format_table, series_block
+
+
+def main(seed: int = 11) -> None:
+    rows = []
+    for transport in ("GridFTP", "IQPG"):
+        res = run_gridftp(transport, seed=seed, duration=150.0)
+        print(f"{res.scheduler_name}:")
+        for stream in ("DT1", "DT2", "DT3"):
+            print(" ", series_block(stream, res.stream_series(stream)))
+        print()
+        for stream, target in (
+            ("DT1", DT1_MBPS),
+            ("DT2", DT2_MBPS),
+            ("DT3", None),
+        ):
+            s = summarize_stream(
+                res.stream_series(stream), stream, res.scheduler_name, target
+            )
+            rows.append(
+                (
+                    res.scheduler_name,
+                    stream,
+                    target,
+                    s.mean_mbps,
+                    s.std_mbps,
+                    records_per_second(res, stream),
+                )
+            )
+    print(
+        format_table(
+            ["transport", "component", "target Mbps", "mean", "std", "records/s"],
+            rows,
+        )
+    )
+    print(
+        "\nThe real-time requirement is 25 records/s for DT1 and DT2; "
+        "IQPG-GridFTP holds it with near-zero variance while DT3 absorbs "
+        "the bandwidth fluctuation."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 11)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multi-hop overlay relaying: why statistical pacing matters end to end.
+
+A stream crosses two overlay hops (server -> router daemon -> client).
+The first hop is fat; the second is the bottleneck.  A source that pushes
+as fast as its first hop accepts floods the router's buffers; a source
+paced at the rate the *end-to-end* distribution sustains 95 % of the time
+(what PGOS's Lemma-1 machinery prescribes) delivers its full rate with a
+tiny router footprint.
+
+Run:  python examples/overlay_relay.py
+"""
+
+from repro.core.guarantees import guaranteed_rate_at
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.overlay.forwarding import RelayStream, run_relay_session
+from repro.overlay.mesh import OverlayMesh
+
+
+def main() -> None:
+    mesh = OverlayMesh()
+    mesh.add_link("server", "router", "calm")              # fat hop
+    mesh.add_link("router", "client", "abilene-moderate")  # bottleneck
+    realization = mesh.realize(seed=12, duration=120.0, dt=0.1)
+
+    route = ["server", "router", "client"]
+    e2e = EmpiricalCDF(realization.route_bottleneck_series(route))
+    paced_rate = guaranteed_rate_at(e2e, 0.95)
+    print(
+        f"end-to-end distribution: mean {e2e.mean():.1f} Mbps, "
+        f"sustains {paced_rate:.1f} Mbps 95% of the time\n"
+    )
+
+    for label, stream in (
+        (f"paced at {paced_rate:.1f} Mbps", RelayStream("s", paced_rate)),
+        ("greedy (fill first hop)", RelayStream("s", None)),
+    ):
+        result = run_relay_session(realization, route, [stream])
+        print(f"{label}:")
+        print(f"  delivered mean : {result.delivered_mean('s'):7.2f} Mbps")
+        print(
+            f"  router queue   : peak "
+            f"{result.peak_queue_bytes['router'] / 1e6:7.2f} MB, mean "
+            f"{result.mean_queue_bytes['router'] / 1e6:7.2f} MB"
+        )
+        print(f"  dropped        : {result.dropped_bytes['s'] / 1e6:7.2f} MB\n")
+
+
+if __name__ == "__main__":
+    main()

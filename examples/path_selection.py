@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Choosing paths with statistical guarantees (paper Section 4 / 5.1).
+
+Demonstrates the core IQ-Paths primitive without any scheduler: given two
+paths — one with higher *average* bandwidth but noisy, one lower but
+stable — which should carry a control stream that needs 8 Mbps 99% of
+the time?  Mean prediction picks the wrong path; percentile prediction
+picks the right one.
+
+Run:  python examples/path_selection.py
+"""
+
+import numpy as np
+
+from repro.core.guarantees import (
+    guaranteed_rate_at,
+    probabilistic_guarantee,
+    violation_bound,
+)
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.monitoring.predictors import EWMAPredictor, PercentilePredictor
+from repro.sim.random import RandomStreams
+from repro.traces.synthetic import CompositeProcess, HeavyTailNoise, IIDProcess
+
+
+def main() -> None:
+    streams = RandomStreams(2006)
+    # Path "fast-noisy": mean 30 Mbps but heavy dips (bursty cross traffic).
+    fast_noisy = CompositeProcess(
+        [
+            IIDProcess(mean=34.0, std=4.0),
+            HeavyTailNoise(burst_prob=0.12, burst_scale=-12.0, sigma=0.6),
+        ],
+        floor=0.0,
+    )
+    # Path "slow-stable": mean 12 Mbps, tight distribution.
+    slow_stable = IIDProcess(mean=12.0, std=0.8)
+
+    samples = {
+        "fast-noisy": fast_noisy.sample(2000, streams.get("fast")),
+        "slow-stable": np.clip(
+            slow_stable.sample(2000, streams.get("slow")), 0.0, None
+        ),
+    }
+
+    required, probability = 8.0, 0.99
+    print(f"control stream needs {required} Mbps {probability:.0%} of the time\n")
+    for name, series in samples.items():
+        cdf = EmpiricalCDF(series)
+        ewma = EWMAPredictor(alpha=0.25)
+        for x in series:
+            ewma.update(x)
+        pct = PercentilePredictor(q=(1 - probability) * 100, window=1000)
+        for x in series[-1000:]:
+            pct.update(x)
+        p_ok = probabilistic_guarantee(cdf, required)
+        ez = violation_bound(cdf, x_packets=667, packet_size=1500, tw=1.0)
+        print(f"path {name}:")
+        print(f"  mean prediction (EWMA):        {ewma.predict():6.2f} Mbps")
+        print(f"  sustains at P={probability}:        {guaranteed_rate_at(cdf, probability):6.2f} Mbps")
+        print(f"  P(bw >= {required} Mbps):          {p_ok:6.3f}")
+        print(f"  Lemma-2 E[Z] bound (667 pkt/s): {ez:6.1f} pkts/window\n")
+
+    fast_ok = probabilistic_guarantee(EmpiricalCDF(samples["fast-noisy"]), required)
+    slow_ok = probabilistic_guarantee(EmpiricalCDF(samples["slow-stable"]), required)
+    print(
+        "mean prediction would choose the fast-noisy path "
+        f"(34 vs 12 Mbps average), but only the slow-stable path meets the "
+        f"99% requirement: P = {slow_ok:.3f} vs {fast_ok:.3f}."
+    )
+    assert slow_ok >= probability > fast_ok
+
+
+if __name__ == "__main__":
+    main()

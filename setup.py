@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml; this exists only so
+``pip install -e . --no-use-pep517`` (setup.py develop) is possible in
+environments without network access to fetch build backends.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,3 @@
+"""Package version, kept separate so modules can import it cheaply."""
+
+__version__ = "1.0.0"

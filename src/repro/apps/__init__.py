@@ -1,0 +1,46 @@
+"""The paper's evaluation applications.
+
+* :mod:`repro.apps.smartpointer` — the SmartPointer distributed
+  collaboration / molecular-dynamics visualization workload (Section 6.1).
+* :mod:`repro.apps.gridftp` — parallel climate-record transfer: standard
+  GridFTP layouts vs IQPG-GridFTP (Section 6.2).
+* :mod:`repro.apps.video` — layered MPEG-4-FGS-like video streaming, the
+  third application referenced from the companion technical report.
+"""
+
+from repro.apps.smartpointer import (
+    ATOM_MBPS,
+    BOND1_MBPS,
+    FRAME_RATE,
+    make_scheduler,
+    run_smartpointer,
+    smartpointer_streams,
+)
+from repro.apps.gridftp import (
+    DT1_BYTES,
+    DT2_BYTES,
+    DT3_BYTES,
+    GridFTPScheduler,
+    RECORDS_PER_SECOND,
+    gridftp_streams,
+    run_gridftp,
+)
+from repro.apps.video import layered_video_streams, run_video
+
+__all__ = [
+    "ATOM_MBPS",
+    "BOND1_MBPS",
+    "FRAME_RATE",
+    "smartpointer_streams",
+    "run_smartpointer",
+    "make_scheduler",
+    "DT1_BYTES",
+    "DT2_BYTES",
+    "DT3_BYTES",
+    "RECORDS_PER_SECOND",
+    "gridftp_streams",
+    "run_gridftp",
+    "GridFTPScheduler",
+    "layered_video_streams",
+    "run_video",
+]

@@ -1,0 +1,144 @@
+"""The SmartPointer workload (Section 6.1).
+
+A molecular-dynamics visualization server issues three streams to remote
+collaborators at 25 frames/second:
+
+* **Atom** — all atom positions in the viewer's volume; critical.
+  Utility: 3.249 Mbps with a 95 % predictive guarantee.
+* **Bond1** — bonds inside the current view volume; critical.
+  Utility: 22.148 Mbps with a 95 % predictive guarantee.
+* **Bond2** — bonds outside the current view; best-effort (useful when
+  the viewer pans quickly, so it should still flow when bandwidth allows).
+
+The experiment compares WFQ (single path), MSFQ, PGOS, and the offline
+OptSched oracle over the Figure-8 testbed's two overlay paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.errors import ConfigurationError
+from repro.baselines import (
+    MeanPredictionScheduler,
+    MSFQScheduler,
+    OptSchedScheduler,
+    WFQScheduler,
+)
+from repro.core.pgos import PGOSScheduler
+from repro.core.scheduler import SchedulerBase
+from repro.core.spec import StreamSpec
+from repro.harness.experiment import ExperimentResult, run_schedule_experiment
+from repro.network.emulab import make_figure8_testbed
+from repro.units import mbps_to_bytes_per_s
+
+#: The paper's utility requirements (Section 6.1).
+ATOM_MBPS = 3.249
+BOND1_MBPS = 22.148
+GUARANTEE_PROBABILITY = 0.95
+
+#: Display rate for effective collaboration.
+FRAME_RATE = 25.0
+
+#: Nominal demand of the best-effort Bond2 stream (its fair-queuing
+#: weight); the Bond2 source can always fill this much.
+BOND2_NOMINAL_MBPS = 40.0
+
+
+def frame_bytes(mbps: float, frame_rate: float = FRAME_RATE) -> float:
+    """Per-frame payload of a CBR stream at the given frame rate."""
+    if frame_rate <= 0:
+        raise ConfigurationError(f"frame_rate must be > 0, got {frame_rate}")
+    return mbps_to_bytes_per_s(mbps) / frame_rate
+
+
+def smartpointer_streams(
+    bond2_nominal: float = BOND2_NOMINAL_MBPS,
+    probability: float = GUARANTEE_PROBABILITY,
+) -> list[StreamSpec]:
+    """The three SmartPointer stream specifications."""
+    return [
+        StreamSpec(
+            name="Atom",
+            required_mbps=ATOM_MBPS,
+            probability=probability,
+        ),
+        StreamSpec(
+            name="Bond1",
+            required_mbps=BOND1_MBPS,
+            probability=probability,
+        ),
+        StreamSpec(
+            name="Bond2",
+            elastic=True,
+            nominal_mbps=bond2_nominal,
+        ),
+    ]
+
+
+#: Scheduler factories by the names used throughout the evaluation.
+SCHEDULER_FACTORIES: dict[str, Callable[[], SchedulerBase]] = {
+    "WFQ": WFQScheduler,
+    "MSFQ": MSFQScheduler,
+    "PGOS": PGOSScheduler,
+    "OptSched": OptSchedScheduler,
+    "MeanPred": MeanPredictionScheduler,
+}
+
+
+def make_scheduler(name: str) -> SchedulerBase:
+    """Instantiate one of the evaluation's schedulers by name."""
+    try:
+        return SCHEDULER_FACTORIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: "
+            f"{sorted(SCHEDULER_FACTORIES)}"
+        ) from None
+
+
+def run_smartpointer(
+    algorithm: Union[str, SchedulerBase],
+    seed: int = 7,
+    duration: float = 180.0,
+    dt: float = 0.1,
+    warmup_intervals: int = 300,
+    profile_a: str = "abilene-moderate",
+    profile_b: str = "abilene-noisy",
+    bond2_nominal: float = BOND2_NOMINAL_MBPS,
+) -> ExperimentResult:
+    """Run the SmartPointer experiment under one algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Scheduler name (``"WFQ"``, ``"MSFQ"``, ``"PGOS"``, ``"OptSched"``,
+        ``"MeanPred"``) or a pre-built scheduler instance.
+    seed, duration, dt:
+        Realization seed, experiment length (seconds) and measurement
+        interval.  ``duration`` *includes* the warmup probe phase.
+    warmup_intervals:
+        Probe intervals before application traffic starts (monitors and
+        predictors fill up; nothing is recorded).
+    profile_a, profile_b:
+        Cross-traffic profiles of the two bottlenecks.
+    """
+    scheduler = (
+        make_scheduler(algorithm) if isinstance(algorithm, str) else algorithm
+    )
+    testbed = make_figure8_testbed(profile_a=profile_a, profile_b=profile_b)
+    realization = testbed.realize(seed=seed, duration=duration, dt=dt)
+    if isinstance(scheduler, OptSchedScheduler):
+        scheduler.set_oracle(
+            {
+                p: realization.available[p].available_mbps
+                for p in realization.path_names()
+            }
+        )
+    streams = smartpointer_streams(bond2_nominal=bond2_nominal)
+    return run_schedule_experiment(
+        scheduler,
+        realization,
+        streams,
+        warmup_intervals=warmup_intervals,
+    )

@@ -1,0 +1,135 @@
+"""OptSched: the near-optimal offline scheduler (Figure 9d).
+
+"We also compare these results with a near-optimal off-line algorithm,
+termed OptSched, which assumes that we know available bandwidth a priori.
+Although this off-line algorithm cannot be used in practice, it can be
+used to gauge the absolute performance of PGOS."
+
+OptSched is handed the realized availability series before the run.  Each
+interval it places the guaranteed streams first — on a single path when
+one fits (avoiding split/reordering overheads), exact split otherwise —
+then lets elastic streams fill every remaining bit of capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.scheduler import PathShareRequest, SchedulerBase
+from repro.core.spec import StreamSpec
+
+
+class OptSchedScheduler(SchedulerBase):
+    """Oracle scheduler: exact per-interval available bandwidth known."""
+
+    name = "OptSched"
+
+    def __init__(self) -> None:
+        self._oracle: dict[str, np.ndarray] = {}
+        # Sticky placement: keep a guaranteed stream on its previous path
+        # while that path still fits it (avoids gratuitous reordering).
+        self._last_path: dict[str, str] = {}
+
+    def set_oracle(self, available_mbps: Mapping[str, np.ndarray]) -> None:
+        """Provide the realized per-path availability series (Mbps)."""
+        self._oracle = {
+            p: np.asarray(series, dtype=float)
+            for p, series in available_mbps.items()
+        }
+
+    def setup(
+        self,
+        streams: Sequence[StreamSpec],
+        path_names: Sequence[str],
+        dt: float,
+        tw: float,
+    ) -> None:
+        super().setup(streams, path_names, dt, tw)
+        missing = [p for p in path_names if p not in self._oracle]
+        if missing:
+            raise ConfigurationError(
+                f"OptSched needs oracle series for paths {missing}; call "
+                "set_oracle() first"
+            )
+
+    def _available(self, interval: int) -> dict[str, float]:
+        out = {}
+        for path in self.path_names:
+            series = self._oracle[path]
+            idx = min(interval, len(series) - 1)
+            out[path] = float(series[idx])
+        return out
+
+    def allocate(
+        self, interval: int, backlog_mbps: Mapping[str, Optional[float]]
+    ) -> dict[str, list[PathShareRequest]]:
+        avail = self._available(interval)
+        remaining = dict(avail)
+        requests: dict[str, list[PathShareRequest]] = {
+            p: [] for p in self.path_names
+        }
+        # Guaranteed streams, most demanding probability first.
+        guaranteed = sorted(
+            (s for s in self.streams if s.guaranteed),
+            key=lambda s: (-(s.probability or 0.0), -(s.required_mbps or 0.0)),
+        )
+        for spec in guaranteed:
+            backlog = backlog_mbps.get(spec.name)
+            # Drain the whole backlog (catch-up after any dip); an elastic
+            # guaranteed stream reserves exactly its required rate here and
+            # fills the rest via its elastic request below.
+            need = spec.required_mbps
+            if backlog is not None and not spec.elastic:
+                need = backlog
+            if need is None or need <= 0:
+                continue
+            # Single-path placement when it fits; sticky, then the path
+            # with the most remaining capacity.
+            fitting = [p for p in self.path_names if remaining[p] >= need]
+            if fitting:
+                previous = self._last_path.get(spec.name)
+                if previous in fitting:
+                    best = previous
+                else:
+                    best = max(fitting, key=lambda p: remaining[p])
+                self._last_path[spec.name] = best
+                shares = {best: need}
+            else:
+                shares = {}
+                todo = need
+                for p in sorted(
+                    self.path_names, key=lambda p: remaining[p], reverse=True
+                ):
+                    take = min(remaining[p], todo)
+                    if take > 1e-12:
+                        shares[p] = take
+                        todo -= take
+                    if todo <= 1e-12:
+                        break
+            for p, r in shares.items():
+                remaining[p] -= r
+                requests[p].append(
+                    PathShareRequest(
+                        stream=spec.name,
+                        demand_mbps=r,
+                        weight=r,
+                        level=0,
+                    )
+                )
+        # Elastic streams absorb everything left, split by weight.
+        elastic = [s for s in self.streams if s.elastic]
+        for spec in elastic:
+            backlog = backlog_mbps.get(spec.name)
+            for p in self.path_names:
+                requests[p].append(
+                    PathShareRequest(
+                        stream=spec.name,
+                        demand_mbps=backlog,
+                        weight=spec.weight,
+                        level=1,
+                    )
+                )
+        return requests

@@ -1,0 +1,72 @@
+"""Non-overlay weighted fair queuing (Figure 9a).
+
+The paper's first comparison point: all streams share a *single* overlay
+path under classic WFQ.  Streams receive bandwidth in proportion to their
+weights (their target rates), so when the one path's available bandwidth
+drops below the aggregate demand, every stream — critical or not — loses
+its proportional share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.scheduler import PathShareRequest, SchedulerBase
+from repro.core.spec import StreamSpec
+
+
+class WFQScheduler(SchedulerBase):
+    """Weighted fair queuing on one path.
+
+    Parameters
+    ----------
+    path:
+        The path to use; defaults to the first configured path (the
+        evaluation uses path A, the higher-bandwidth one — the choice a
+        static deployment would make).
+    """
+
+    name = "WFQ"
+
+    def __init__(self, path: Optional[str] = None):
+        self._preferred_path = path
+        self._path: Optional[str] = None
+
+    def setup(
+        self,
+        streams: Sequence[StreamSpec],
+        path_names: Sequence[str],
+        dt: float,
+        tw: float,
+    ) -> None:
+        super().setup(streams, path_names, dt, tw)
+        if self._preferred_path is not None:
+            if self._preferred_path not in path_names:
+                raise ConfigurationError(
+                    f"path {self._preferred_path!r} not in {list(path_names)}"
+                )
+            self._path = self._preferred_path
+        else:
+            self._path = path_names[0]
+
+    @property
+    def path(self) -> str:
+        """The single path all traffic uses."""
+        if self._path is None:
+            raise ConfigurationError("setup() has not been called")
+        return self._path
+
+    def allocate(
+        self, interval: int, backlog_mbps: Mapping[str, Optional[float]]
+    ) -> dict[str, list[PathShareRequest]]:
+        requests = [
+            PathShareRequest(
+                stream=spec.name,
+                demand_mbps=backlog_mbps.get(spec.name),
+                weight=spec.weight,
+                level=0,
+            )
+            for spec in self.streams
+        ]
+        return {self.path: requests}

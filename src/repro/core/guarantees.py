@@ -1,0 +1,120 @@
+"""The statistical guarantees of Section 5.1.
+
+Given a path's available-bandwidth distribution ``F`` (an empirical CDF
+maintained by monitoring), PGOS makes two kinds of promises about a stream
+that must service ``x`` packets of size ``s`` per scheduling window ``tw``
+(equivalently: sustain ``b0 = x*s/tw``):
+
+**Lemma 1 (probabilistic guarantee).**  With probability
+``P = 1 - F(b0)`` the ``x`` packets are served within the window — i.e.
+the probability of insufficient throughput is bounded by ``F(b0)``.
+
+**Lemma 2 (violation bound).**  The expected number of packets missing
+their deadline in one window is bounded by::
+
+    E[Z] <= x * F(b0) - (tw / s) * M[b0]
+
+where ``M[b0] = E[b * 1{b <= b0}]`` is the partial mean of available
+bandwidth below the requirement.  (Intuitively: when bandwidth falls short,
+the shortfall in packets is ``x - b*tw/s``; averaging over the shortfall
+region gives the bound.)
+
+All bandwidths are Mbps at the API; conversions to byte rates happen here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.units import mbps_to_bytes_per_s
+
+
+def required_bandwidth_mbps(x_packets: int, packet_size: int, tw: float) -> float:
+    """The ``b0`` of the lemmas: rate needed to serve ``x`` packets per window."""
+    if x_packets < 0:
+        raise ConfigurationError(f"x_packets must be >= 0, got {x_packets}")
+    if packet_size <= 0 or tw <= 0:
+        raise ConfigurationError(
+            f"packet_size and tw must be positive, got {packet_size}, {tw}"
+        )
+    return x_packets * packet_size * 8.0 / (tw * 1e6)
+
+
+def probabilistic_guarantee(cdf: EmpiricalCDF, required_mbps: float) -> float:
+    """Lemma 1: probability the path sustains ``required_mbps``.
+
+    Returns ``P = 1 - F(b0)`` — the fraction of time the path's available
+    bandwidth is at least the requirement.
+    """
+    if required_mbps < 0:
+        raise ConfigurationError(
+            f"required_mbps must be >= 0, got {required_mbps}"
+        )
+    # Strictly below b0 counts as failure; a sample exactly equal to b0
+    # still satisfies the requirement, so use F(b0-) = P{b < b0}.
+    return float(1.0 - cdf.evaluate_strict(required_mbps))
+
+
+def packet_guarantee(
+    cdf: EmpiricalCDF, x_packets: int, packet_size: int, tw: float
+) -> float:
+    """Lemma 1 stated in packets: P that ``x`` packets are served in ``tw``."""
+    b0 = required_bandwidth_mbps(x_packets, packet_size, tw)
+    return probabilistic_guarantee(cdf, b0)
+
+
+def violation_bound(
+    cdf: EmpiricalCDF, x_packets: int, packet_size: int, tw: float
+) -> float:
+    """Lemma 2: bound on E[Z], expected deadline misses per window.
+
+    ``E[Z] <= x * F(b0) - (tw / s) * M[b0]`` with the partial mean
+    ``M[b0]`` computed from the same empirical distribution.  The bound is
+    clipped at 0 (it cannot be negative) and at ``x`` (cannot miss more
+    packets than exist).
+    """
+    if x_packets == 0:
+        return 0.0
+    b0 = required_bandwidth_mbps(x_packets, packet_size, tw)
+    f_b0 = cdf.evaluate(b0)
+    partial_mean_mbps = cdf.partial_mean_below(b0)
+    # Convert the partial mean to packets per window: (bytes/s) * tw / s.
+    partial_mean_packets = (
+        mbps_to_bytes_per_s(partial_mean_mbps) * tw / packet_size
+    )
+    bound = x_packets * f_b0 - partial_mean_packets
+    return float(min(max(bound, 0.0), x_packets))
+
+
+def expected_violation_rate(
+    cdf: EmpiricalCDF, x_packets: int, packet_size: int, tw: float
+) -> float:
+    """Lemma 2 normalized: bound on the *fraction* of packets missing."""
+    if x_packets == 0:
+        return 0.0
+    return violation_bound(cdf, x_packets, packet_size, tw) / x_packets
+
+
+def feasible_with_probability(
+    cdf: EmpiricalCDF, required_mbps: float, probability: float
+) -> bool:
+    """Whether the path guarantees ``required_mbps`` with at least ``probability``."""
+    if not 0.0 < probability < 1.0:
+        raise ConfigurationError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    return probabilistic_guarantee(cdf, required_mbps) >= probability
+
+
+def guaranteed_rate_at(cdf: EmpiricalCDF, probability: float) -> float:
+    """Largest rate the path sustains with the given probability.
+
+    The inverse of Lemma 1: the ``(1 - P)``-quantile of the bandwidth
+    distribution.  A stream requiring no more than this rate at probability
+    ``P`` fits on the path by itself.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ConfigurationError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    return cdf.percentile((1.0 - probability) * 100.0)

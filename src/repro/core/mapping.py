@@ -1,0 +1,574 @@
+"""Utility-based resource mapping (Section 5.2.2).
+
+Finds ``Tp_i^j`` — how many packets of stream *i* to deliver via path *j*
+per scheduling window — such that each stream's guarantee is met:
+
+1. Guaranteed streams are mapped in precedence order (highest required
+   probability first).  Each first tries a *single* path (streams with
+   tight requirements suffer from reordering when split); only when no
+   single path suffices is the stream divided across paths.
+2. Splitting uses a union bound: a stream split into *k* parts, each met
+   with probability ``P_part = 1 - (1 - P) / k``, is met overall with
+   probability at least ``P``.
+3. Violation-bound streams (``max_violation_rate``) are mapped by Lemma 2:
+   single path if its expected violation rate is within bound, otherwise a
+   greedy packet-chunk split minimizing the combined expected violations.
+4. Elastic streams divide the *remaining* mean bandwidth of all paths
+   proportionally to their weights (they ride at lower dispatch priority,
+   so they never endanger the guarantees above).
+5. If a guaranteed stream fits nowhere, :class:`repro.errors.AdmissionError`
+   is raised — the paper's upcall to the application.
+
+Path capacity already promised to earlier (more important) streams is
+accounted for by *shifting* the path's bandwidth distribution: if ``r``
+Mbps are already allocated, the residual distribution is
+``max(b - r, 0)`` sample-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.guarantees import (
+    expected_violation_rate,
+    guaranteed_rate_at,
+    probabilistic_guarantee,
+)
+from repro.core.spec import StreamSpec
+from repro.core.vectors import Schedule, build_schedule
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.units import packets_per_window
+
+
+@dataclass(frozen=True)
+class PathQoSEstimate:
+    """Monitored RTT / loss levels used for path eligibility.
+
+    The values are the levels the path stays *under* with the monitoring
+    probability (e.g. the 95th percentile of observed RTT), matching the
+    paper's per-metric probabilistic guarantees.  ``None`` means the
+    metric is not being monitored on this path and does not constrain
+    placement.
+    """
+
+    rtt_ms: float | None = None
+    loss_rate: float | None = None
+
+
+def eligible_paths(
+    spec: StreamSpec,
+    path_order: Sequence[str],
+    qos: Mapping[str, PathQoSEstimate] | None,
+) -> list[str]:
+    """Paths whose monitored RTT/loss satisfy the stream's ceilings."""
+    if qos is None or (spec.max_rtt_ms is None and spec.max_loss_rate is None):
+        return list(path_order)
+    out = []
+    for p in path_order:
+        estimate = qos.get(p)
+        if estimate is None:
+            out.append(p)
+            continue
+        if (
+            spec.max_rtt_ms is not None
+            and estimate.rtt_ms is not None
+            and estimate.rtt_ms > spec.max_rtt_ms
+        ):
+            continue
+        if (
+            spec.max_loss_rate is not None
+            and estimate.loss_rate is not None
+            and estimate.loss_rate > spec.max_loss_rate
+        ):
+            continue
+        out.append(p)
+    return out
+
+
+def shifted_cdf(cdf: EmpiricalCDF, allocated_mbps: float) -> EmpiricalCDF:
+    """Residual bandwidth distribution after ``allocated_mbps`` is promised."""
+    if allocated_mbps < 0:
+        raise ConfigurationError(
+            f"allocated must be >= 0, got {allocated_mbps}"
+        )
+    if allocated_mbps == 0:
+        return cdf
+    return EmpiricalCDF(np.clip(cdf.samples - allocated_mbps, 0.0, None))
+
+
+def largest_remainder_split(total: int, fractions: Sequence[float]) -> list[int]:
+    """Split ``total`` items into integer parts proportional to ``fractions``.
+
+    Largest-remainder (Hamilton) apportionment: parts sum exactly to
+    ``total`` and differ from exact proportionality by < 1.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    weights = np.asarray(fractions, dtype=float)
+    if weights.size == 0:
+        raise ConfigurationError("fractions must be non-empty")
+    if np.any(weights < 0):
+        raise ConfigurationError(f"fractions must be >= 0: {fractions}")
+    s = weights.sum()
+    if s == 0:
+        # Degenerate: all weight on the first part.
+        parts = [0] * weights.size
+        parts[0] = total
+        return parts
+    exact = weights / s * total
+    floors = np.floor(exact).astype(int)
+    shortfall = total - int(floors.sum())
+    remainders = exact - floors
+    order = np.argsort(-remainders, kind="stable")
+    for i in order[:shortfall]:
+        floors[i] += 1
+    return floors.tolist()
+
+
+@dataclass(frozen=True)
+class ResourceMapping:
+    """The output of the mapping step.
+
+    Attributes
+    ----------
+    packets:
+        ``Tp_i^j``: stream name -> path name -> packets per window.
+    rates_mbps:
+        The same shares expressed as rates.
+    achieved_probability:
+        Per guaranteed stream, the probability with which the mapping
+        meets its requirement (Lemma 1, union-bounded when split).
+    achieved_violation_rate:
+        Per violation-bound stream, the bound on the expected fraction of
+        packets missing deadlines (Lemma 2).
+    tw:
+        Scheduling-window length used for packet conversion.
+    """
+
+    packets: dict[str, dict[str, int]]
+    rates_mbps: dict[str, dict[str, float]]
+    achieved_probability: dict[str, float] = field(default_factory=dict)
+    achieved_violation_rate: dict[str, float] = field(default_factory=dict)
+    tw: float = 1.0
+
+    def paths_of(self, stream: str) -> list[str]:
+        """Paths carrying a non-null sub-stream of ``stream``."""
+        return [p for p, c in self.packets.get(stream, {}).items() if c > 0]
+
+    def is_split(self, stream: str) -> bool:
+        """Whether the stream was divided across multiple paths."""
+        return len(self.paths_of(stream)) > 1
+
+    def rate(self, stream: str, path: str) -> float:
+        """Mbps of ``stream`` mapped onto ``path``."""
+        return self.rates_mbps.get(stream, {}).get(path, 0.0)
+
+    def total_rate(self, stream: str) -> float:
+        """Total mapped rate of ``stream`` across all paths."""
+        return sum(self.rates_mbps.get(stream, {}).values())
+
+    @property
+    def guaranteed_streams(self) -> set[str]:
+        """Streams carrying a probabilistic or violation-bound guarantee."""
+        return set(self.achieved_probability) | set(self.achieved_violation_rate)
+
+    def compile(
+        self,
+        stream_order: Sequence[str] | None = None,
+        path_order: Sequence[str] | None = None,
+        include_best_effort: bool = False,
+    ) -> Schedule:
+        """Compile into V_P / V_S scheduling vectors.
+
+        By default only *guaranteed* streams become scheduled packets —
+        best-effort (purely elastic) traffic is Table 1's "pkts not
+        scheduled" and is dispatched by rule 3, so it never appears in
+        V_S.  Pass ``include_best_effort=True`` to compile everything
+        (used by analyses that want the full fluid plan as vectors).
+        """
+        packets = self.packets
+        if not include_best_effort:
+            keep = self.guaranteed_streams
+            packets = {s: p for s, p in packets.items() if s in keep}
+        return build_schedule(
+            packets, self.tw, stream_order=stream_order, path_order=path_order
+        )
+
+
+def _map_probabilistic(
+    spec: StreamSpec,
+    cdfs: Mapping[str, EmpiricalCDF],
+    allocated: dict[str, float],
+    path_order: Sequence[str],
+) -> tuple[dict[str, float], float]:
+    """Map one guaranteed stream; returns (rate per path, achieved P)."""
+    required = spec.required_mbps
+    target_p = spec.probability
+    residuals = {
+        p: shifted_cdf(cdfs[p], allocated[p]) for p in path_order
+    }
+    # --- single-path attempt -------------------------------------------
+    feasible: list[tuple[float, str]] = []
+    for p in path_order:
+        achieved = probabilistic_guarantee(residuals[p], required)
+        if achieved >= target_p:
+            feasible.append((achieved, p))
+    if feasible:
+        # Strongest guarantee wins; path_order breaks exact ties.
+        best_achieved, best_path = max(
+            feasible, key=lambda t: (t[0], -path_order.index(t[1]))
+        )
+        return {best_path: required}, best_achieved
+    # --- split across k paths (union bound) ----------------------------
+    k = len(path_order)
+    if k > 1:
+        p_part = 1.0 - (1.0 - target_p) / k
+        capacities = {
+            p: max(guaranteed_rate_at(residuals[p], p_part), 0.0)
+            for p in path_order
+        }
+        if sum(capacities.values()) >= required:
+            shares: dict[str, float] = {}
+            remaining = required
+            # Greedy: drain the strongest residual first so the number of
+            # non-null sub-streams stays minimal (less reordering).
+            for p in sorted(
+                path_order, key=lambda p: capacities[p], reverse=True
+            ):
+                if remaining <= 1e-12:
+                    break
+                take = min(capacities[p], remaining)
+                if take > 1e-12:
+                    shares[p] = take
+                    remaining -= take
+            misses = 0.0
+            for p, share in shares.items():
+                misses += 1.0 - probabilistic_guarantee(residuals[p], share)
+            achieved = max(0.0, 1.0 - misses)
+            if achieved >= target_p:
+                return shares, achieved
+    raise AdmissionError(
+        spec.name,
+        f"no single path or split meets {required:.3f} Mbps at "
+        f"P={target_p:.2f}",
+    )
+
+
+def _map_violation_bound(
+    spec: StreamSpec,
+    cdfs: Mapping[str, EmpiricalCDF],
+    allocated: dict[str, float],
+    path_order: Sequence[str],
+    tw: float,
+    chunks: int = 10,
+) -> tuple[dict[str, float], float]:
+    """Map one violation-bound stream; returns (rate per path, achieved bound)."""
+    x_total = spec.packets_in_window(tw)
+    bound = spec.max_violation_rate
+    residuals = {p: shifted_cdf(cdfs[p], allocated[p]) for p in path_order}
+
+    def rate_of(pkts: int) -> float:
+        return spec.rate_from_packets(pkts, tw)
+
+    # Single-path attempt: lowest expected violation rate wins if in bound.
+    singles = [
+        (
+            expected_violation_rate(
+                residuals[p], x_total, spec.packet_size, tw
+            ),
+            p,
+        )
+        for p in path_order
+    ]
+    best_rate, best_path = min(singles, key=lambda t: (t[0], path_order.index(t[1])))
+    if best_rate <= bound:
+        return {best_path: rate_of(x_total)}, best_rate
+
+    # Greedy chunk split: place each chunk of packets on the path whose
+    # expected violations grow least.
+    chunk = max(1, x_total // chunks)
+    placed = {p: 0 for p in path_order}
+    remaining = x_total
+    while remaining > 0:
+        take = min(chunk, remaining)
+        best_p, best_cost = None, None
+        for p in path_order:
+            new_x = placed[p] + take
+            cost = expected_violation_rate(
+                residuals[p], new_x, spec.packet_size, tw
+            ) * new_x - expected_violation_rate(
+                residuals[p], placed[p], spec.packet_size, tw
+            ) * placed[p]
+            if best_cost is None or cost < best_cost:
+                best_p, best_cost = p, cost
+        placed[best_p] += take
+        remaining -= take
+    total_violations = sum(
+        expected_violation_rate(residuals[p], placed[p], spec.packet_size, tw)
+        * placed[p]
+        for p in path_order
+        if placed[p] > 0
+    )
+    achieved = total_violations / x_total
+    if achieved > bound:
+        raise AdmissionError(
+            spec.name,
+            f"expected violation rate {achieved:.4f} exceeds bound "
+            f"{bound:.4f} on every split",
+        )
+    return {p: rate_of(c) for p, c in placed.items() if c > 0}, achieved
+
+
+def even_split_mapping(
+    specs: Sequence[StreamSpec],
+    cdfs: Mapping[str, EmpiricalCDF],
+    tw: float,
+) -> ResourceMapping:
+    """Ablation mapping: split every stream evenly across all paths.
+
+    Ignores the single-path-first preference and the CDF-driven placement;
+    used to quantify what those decisions contribute (guaranteed streams
+    get exposed to every path's noise).  Guarantees are reported via the
+    union bound over the even shares.
+    """
+    if tw <= 0:
+        raise ConfigurationError(f"tw must be positive, got {tw}")
+    path_order = list(cdfs)
+    n = len(path_order)
+    rates: dict[str, dict[str, float]] = {}
+    achieved_p: dict[str, float] = {}
+    packets: dict[str, dict[str, int]] = {}
+    for spec in specs:
+        if spec.elastic and spec.required_mbps is None:
+            total = spec.weight
+        else:
+            total = spec.required_mbps or spec.weight
+        shares = {p: total / n for p in path_order}
+        rates[spec.name] = shares
+        if spec.guaranteed:
+            misses = sum(
+                1.0 - probabilistic_guarantee(cdfs[p], shares[p])
+                for p in path_order
+            )
+            achieved_p[spec.name] = max(0.0, 1.0 - misses)
+        x_total = packets_per_window(total, spec.packet_size, tw)
+        counts = largest_remainder_split(x_total, [1.0] * n)
+        packets[spec.name] = {
+            p: c for p, c in zip(path_order, counts) if c > 0
+        }
+    return ResourceMapping(
+        packets=packets,
+        rates_mbps=rates,
+        achieved_probability=achieved_p,
+        tw=tw,
+    )
+
+
+def best_effort_mapping(
+    specs: Sequence[StreamSpec],
+    cdfs: Mapping[str, EmpiricalCDF],
+    tw: float,
+    qos: Mapping[str, PathQoSEstimate] | None = None,
+) -> ResourceMapping:
+    """Degraded mapping for workloads that failed admission.
+
+    Every guaranteed stream is placed on the single eligible path that
+    offers it the *highest achievable* probability — its target is
+    ignored, so ``achieved_probability`` reports what the overlay can
+    actually deliver (the number the admission upcall hands back to the
+    application).  Elastic streams split the leftover as usual.  Never
+    raises :class:`AdmissionError`.
+    """
+    if tw <= 0:
+        raise ConfigurationError(f"tw must be positive, got {tw}")
+    if not cdfs:
+        raise ConfigurationError("at least one path CDF is required")
+    path_order = list(cdfs)
+    allocated = {p: 0.0 for p in path_order}
+    rates: dict[str, dict[str, float]] = {}
+    achieved_p: dict[str, float] = {}
+    ordered = sorted(
+        (s for s in specs if s.guaranteed or s.max_violation_rate is not None),
+        key=lambda s: (-(s.probability or 1.0), -(s.required_mbps or 0.0)),
+    )
+    for spec in ordered:
+        candidates = eligible_paths(spec, path_order, qos) or list(path_order)
+        best_path, best_achieved = None, -1.0
+        for p in candidates:
+            residual = shifted_cdf(cdfs[p], allocated[p])
+            achieved = probabilistic_guarantee(residual, spec.required_mbps)
+            if achieved > best_achieved:
+                best_path, best_achieved = p, achieved
+        rates[spec.name] = {best_path: spec.required_mbps}
+        achieved_p[spec.name] = best_achieved
+        allocated[best_path] += spec.required_mbps
+    # Elastic leftover, as in compute_mapping.
+    elastic = [s for s in specs if s.elastic]
+    leftover = {
+        p: max(shifted_cdf(cdfs[p], allocated[p]).mean(), 0.0)
+        for p in path_order
+    }
+    total_leftover = sum(leftover.values())
+    total_weight = sum(s.weight for s in elastic) if elastic else 0.0
+    for spec in elastic:
+        share_total = (
+            total_leftover * spec.weight / total_weight if total_weight else 0.0
+        )
+        shares = {}
+        for p in path_order:
+            frac = leftover[p] / total_leftover if total_leftover else 0.0
+            if share_total * frac > 1e-9:
+                shares[p] = share_total * frac
+        prior = rates.get(spec.name, {})
+        for p, r in shares.items():
+            prior[p] = prior.get(p, 0.0) + r
+        rates[spec.name] = prior
+    packets: dict[str, dict[str, int]] = {}
+    by_name = {s.name: s for s in specs}
+    for name, shares in rates.items():
+        spec = by_name[name]
+        total_rate = sum(shares.values())
+        if total_rate <= 0:
+            packets[name] = {}
+            continue
+        x_total = packets_per_window(total_rate, spec.packet_size, tw)
+        paths = list(shares)
+        counts = largest_remainder_split(x_total, [shares[p] for p in paths])
+        packets[name] = {p: c for p, c in zip(paths, counts) if c > 0}
+    return ResourceMapping(
+        packets=packets,
+        rates_mbps=rates,
+        achieved_probability=achieved_p,
+        tw=tw,
+    )
+
+
+def compute_mapping(
+    specs: Sequence[StreamSpec],
+    cdfs: Mapping[str, EmpiricalCDF],
+    tw: float,
+    qos: Mapping[str, PathQoSEstimate] | None = None,
+) -> ResourceMapping:
+    """Run the full utility-based resource-mapping step.
+
+    Parameters
+    ----------
+    specs:
+        All streams to map (guaranteed, violation-bound, and elastic).
+    cdfs:
+        Per-path available-bandwidth CDFs from monitoring.
+    tw:
+        Scheduling-window length in seconds.
+    qos:
+        Optional monitored RTT/loss levels per path; streams with
+        ``max_rtt_ms`` / ``max_loss_rate`` ceilings are only placed on
+        paths meeting them.
+
+    Raises
+    ------
+    AdmissionError
+        When some guaranteed stream fits neither on a single path nor split
+        across all of them (or no path meets its RTT/loss ceilings).
+    """
+    if tw <= 0:
+        raise ConfigurationError(f"tw must be positive, got {tw}")
+    if not cdfs:
+        raise ConfigurationError("at least one path CDF is required")
+    path_order = list(cdfs)
+    allocated = {p: 0.0 for p in path_order}
+    rates: dict[str, dict[str, float]] = {}
+    achieved_p: dict[str, float] = {}
+    achieved_v: dict[str, float] = {}
+
+    # Precedence: probabilistic guarantees by P descending, then
+    # violation-bound streams by tightest bound first; required rate breaks
+    # ties (bigger first, it is harder to place).
+    prob_streams = sorted(
+        (s for s in specs if s.guaranteed and s.max_violation_rate is None),
+        key=lambda s: (-s.probability, -(s.required_mbps or 0.0)),
+    )
+    viol_streams = sorted(
+        (s for s in specs if s.max_violation_rate is not None),
+        key=lambda s: (s.max_violation_rate, -(s.required_mbps or 0.0)),
+    )
+    def _candidates(spec: StreamSpec) -> list[str]:
+        candidates = eligible_paths(spec, path_order, qos)
+        if not candidates:
+            raise AdmissionError(
+                spec.name, "no path meets its RTT/loss ceilings"
+            )
+        return candidates
+
+    for spec in prob_streams:
+        shares, achieved = _map_probabilistic(
+            spec, cdfs, allocated, _candidates(spec)
+        )
+        rates[spec.name] = shares
+        achieved_p[spec.name] = achieved
+        for p, r in shares.items():
+            allocated[p] += r
+    for spec in viol_streams:
+        shares, achieved = _map_violation_bound(
+            spec, cdfs, allocated, _candidates(spec), tw
+        )
+        rates[spec.name] = shares
+        achieved_v[spec.name] = achieved
+        for p, r in shares.items():
+            allocated[p] += r
+
+    # Elastic streams: divide leftover mean bandwidth by weight.  A stream
+    # may be both guaranteed and elastic (video base + fill); its elastic
+    # share is added on top of the guaranteed mapping above.
+    elastic = [s for s in specs if s.elastic]
+    leftover = {
+        p: max(shifted_cdf(cdfs[p], allocated[p]).mean(), 0.0)
+        for p in path_order
+    }
+    total_leftover = sum(leftover.values())
+    total_weight = sum(s.weight for s in elastic) if elastic else 0.0
+    for spec in elastic:
+        share_total = (
+            total_leftover * spec.weight / total_weight if total_weight else 0.0
+        )
+        candidates = eligible_paths(spec, path_order, qos)
+        eligible_leftover = sum(leftover[p] for p in candidates)
+        shares = {}
+        for p in candidates:
+            frac = leftover[p] / eligible_leftover if eligible_leftover else 0.0
+            r = share_total * frac
+            if r > 1e-9:
+                shares[p] = r
+        prior = rates.get(spec.name, {})
+        for p, r in shares.items():
+            prior[p] = prior.get(p, 0.0) + r
+        rates[spec.name] = prior
+
+    # Convert rates to integer packets per window (largest remainder).
+    packets: dict[str, dict[str, int]] = {}
+    by_name = {s.name: s for s in specs}
+    for name, shares in rates.items():
+        spec = by_name[name]
+        total_rate = sum(shares.values())
+        if total_rate <= 0:
+            packets[name] = {}
+            continue
+        x_total = packets_per_window(total_rate, spec.packet_size, tw)
+        paths = list(shares)
+        counts = largest_remainder_split(
+            x_total, [shares[p] for p in paths]
+        )
+        packets[name] = {
+            p: c for p, c in zip(paths, counts) if c > 0
+        }
+
+    return ResourceMapping(
+        packets=packets,
+        rates_mbps=rates,
+        achieved_probability=achieved_p,
+        achieved_violation_rate=achieved_v,
+        tw=tw,
+    )

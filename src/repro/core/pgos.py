@@ -1,0 +1,559 @@
+"""The Predictive Guarantee Overlay Scheduling (PGOS) algorithm.
+
+Two faces of the same algorithm live here:
+
+* :meth:`PGOSScheduler.allocate` — the window/interval-level interface used
+  by the experiment driver: consults the per-path monitors, remaps when the
+  stream set or a path CDF changed (Figure 7, lines 1–11), and emits
+  priority-levelled bandwidth requests implementing the Table 1 precedence
+  (scheduled-on-this-path first, scheduled-on-other-path second,
+  unscheduled last).
+
+* :func:`dispatch_window` — the packet-accurate fast path (Figure 7, lines
+  12–17): walks the path lookup vector V_P, selects streams via the
+  per-path scheduling vectors V_S, falls back through the precedence rules
+  when a queue is empty, and switches paths immediately on blocking.
+
+The interval-level requests are the *fluid* rendering of exactly what the
+packet fast path does; ``tests/integration/test_pgos_consistency.py``
+checks the two agree to within a packet quantum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Mapping, Optional, Sequence
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.mapping import (
+    PathQoSEstimate,
+    ResourceMapping,
+    best_effort_mapping,
+    compute_mapping,
+    even_split_mapping,
+)
+from repro.core.scheduler import PathShareRequest, SchedulerBase
+from repro.core.spec import StreamSpec
+from repro.core.vectors import Schedule
+from repro.monitoring.monitor import PathMonitor
+from repro.transport.packet import Packet
+from repro.transport.service import PathService
+
+#: Table 1 precedence levels used in interval-mode requests.
+LEVEL_SCHEDULED_HERE = 0
+LEVEL_SCHEDULED_ELSEWHERE = 1
+LEVEL_UNSCHEDULED = 2
+
+
+class PGOSScheduler(SchedulerBase):
+    """Self-regulating overlay packet scheduler with statistical guarantees.
+
+    Parameters
+    ----------
+    history_window:
+        Bandwidth samples of history per path monitor (the paper uses
+        500–1000).
+    ks_threshold:
+        Kolmogorov–Smirnov distance that counts as "the CDF changed
+        dramatically" and triggers a remap.
+    min_history:
+        Minimum samples per path before the statistical mapping is
+        trusted; with less history PGOS falls back to an even weighted
+        split (it has nothing better to go on).
+    split_strategy:
+        ``"single-first"`` (the paper's policy: one path per guaranteed
+        stream whenever possible) or ``"even"`` (ablation: split every
+        stream evenly across paths).
+    """
+
+    name = "PGOS"
+
+    def __init__(
+        self,
+        history_window: int = 500,
+        ks_threshold: float = 0.2,
+        min_history: int = 30,
+        split_strategy: str = "single-first",
+    ):
+        if min_history < 2:
+            raise ConfigurationError(
+                f"min_history must be >= 2, got {min_history}"
+            )
+        if split_strategy not in ("single-first", "even"):
+            raise ConfigurationError(
+                f"split_strategy must be 'single-first' or 'even', got "
+                f"{split_strategy!r}"
+            )
+        self.history_window = history_window
+        self.ks_threshold = ks_threshold
+        self.min_history = min_history
+        self.split_strategy = split_strategy
+        self.monitors: dict[str, PathMonitor] = {}
+        self.mapping: Optional[ResourceMapping] = None
+        self.schedule: Optional[Schedule] = None
+        self.remap_count = 0
+        #: True while serving with a stale or best-effort mapping because
+        #: the workload is not admittable at its requested guarantees.
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    # SchedulerBase lifecycle
+    # ------------------------------------------------------------------
+    def setup(
+        self,
+        streams: Sequence[StreamSpec],
+        path_names: Sequence[str],
+        dt: float,
+        tw: float,
+    ) -> None:
+        super().setup(streams, path_names, dt, tw)
+        self.monitors = {
+            p: PathMonitor(
+                p, window=self.history_window, ks_threshold=self.ks_threshold
+            )
+            for p in self.path_names
+        }
+        self.mapping = None
+        self.schedule = None
+        self.remap_count = 0
+
+    def observe(
+        self,
+        interval: int,
+        available_mbps: Mapping[str, float],
+        rtt_ms: Optional[Mapping[str, float]] = None,
+        loss_rate: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        for path, mbps in available_mbps.items():
+            monitor = self.monitors.get(path)
+            if monitor is not None:
+                monitor.observe_bandwidth(mbps)
+        for series, method in ((rtt_ms, "observe_rtt"), (loss_rate, "observe_loss")):
+            if series is None:
+                continue
+            for path, value in series.items():
+                monitor = self.monitors.get(path)
+                if monitor is not None:
+                    getattr(monitor, method)(value)
+
+    def seed_history(self, samples: Mapping[str, Sequence[float]]) -> None:
+        """Pre-load monitors with probe-phase bandwidth samples."""
+        for path, series in samples.items():
+            self.monitors[path].observe_bandwidth_many(series)
+
+    # ------------------------------------------------------------------
+    # dynamic stream membership
+    # ------------------------------------------------------------------
+    def add_stream(self, spec: StreamSpec) -> None:
+        """Admit a new stream mid-run (forces a remap, Figure 7 line 2)."""
+        if any(s.name == spec.name for s in self.streams):
+            raise ConfigurationError(
+                f"stream {spec.name!r} already scheduled"
+            )
+        self.streams.append(spec)
+        self.mapping = None  # "previous scheduling vectors" are void
+
+    def remove_stream(self, name: str) -> StreamSpec:
+        """Terminate a stream mid-run (forces a remap)."""
+        for i, spec in enumerate(self.streams):
+            if spec.name == name:
+                del self.streams[i]
+                self.mapping = None
+                return spec
+        raise ConfigurationError(f"unknown stream {name!r}")
+
+    # ------------------------------------------------------------------
+    # mapping maintenance (Figure 7, lines 1-11)
+    # ------------------------------------------------------------------
+    @property
+    def has_history(self) -> bool:
+        """Whether every path has enough samples for statistical mapping."""
+        return all(
+            len(m.bandwidth) >= self.min_history for m in self.monitors.values()
+        )
+
+    def _needs_remap(self) -> bool:
+        if self.mapping is None:
+            return True
+        return any(m.cdf_changed_significantly() for m in self.monitors.values())
+
+    def maybe_remap(self) -> Schedule:
+        """Remap if the trigger fires; return the current schedule.
+
+        The packet-level session calls this at each window boundary
+        (Figure 7, lines 1-11).
+        """
+        if self._needs_remap():
+            self.remap()
+        if self.schedule is None:
+            raise ConfigurationError(
+                "no schedule available (mapping kept a stale state?)"
+            )
+        return self.schedule
+
+    def remap(self) -> ResourceMapping:
+        """Recompute the resource mapping from current CDFs.
+
+        Raises :class:`AdmissionError` if no feasible mapping exists *and*
+        no previous mapping can be kept.
+        """
+        cdfs = {p: self.monitors[p].cdf() for p in self.path_names}
+        qos = {}
+        for p in self.path_names:
+            monitor = self.monitors[p]
+            qos[p] = PathQoSEstimate(
+                rtt_ms=monitor.rtt_ms.predict() if monitor.rtt_ms.ready else None,
+                loss_rate=(
+                    monitor.loss_rate.predict()
+                    if monitor.loss_rate.ready
+                    else None
+                ),
+            )
+        self.degraded = False
+        try:
+            if self.split_strategy == "even":
+                mapping = even_split_mapping(self.streams, cdfs, self.tw)
+            else:
+                mapping = compute_mapping(self.streams, cdfs, self.tw, qos=qos)
+        except AdmissionError:
+            if self.mapping is not None:
+                # Keep serving with the stale mapping rather than dropping
+                # streams mid-flight; the upcall semantics apply at
+                # admission time (see AdmissionController).
+                self.degraded = True
+                return self.mapping
+            # No prior mapping to fall back on: serve best-effort — every
+            # guaranteed stream gets the strongest placement available,
+            # and `mapping.achieved_probability` reports the shortfall
+            # (what the admission upcall would hand the application).
+            self.degraded = True
+            mapping = best_effort_mapping(self.streams, cdfs, self.tw, qos=qos)
+        self.mapping = mapping
+        self.schedule = mapping.compile(
+            stream_order=self.stream_precedence(), path_order=self.path_names
+        )
+        for monitor in self.monitors.values():
+            monitor.mark_remapped()
+        self.remap_count += 1
+        return mapping
+
+    def stream_precedence(self) -> list[str]:
+        """Streams ordered most-important-first (for deadline tie-breaks)."""
+        def key(s: StreamSpec):
+            p = s.probability if s.probability is not None else -1.0
+            return (-p, -(s.required_mbps or 0.0), s.name)
+
+        return [s.name for s in sorted(self.streams, key=key)]
+
+    # ------------------------------------------------------------------
+    # interval-mode allocation (fluid rendering of the fast path)
+    # ------------------------------------------------------------------
+    def allocate(
+        self, interval: int, backlog_mbps: Mapping[str, Optional[float]]
+    ) -> dict[str, list[PathShareRequest]]:
+        if not self.has_history:
+            return self._fallback_requests(backlog_mbps)
+        if self._needs_remap():
+            self.remap()
+        mapping = self.mapping
+        requests: dict[str, list[PathShareRequest]] = {
+            p: [] for p in self.path_names
+        }
+        for spec in self.streams:
+            rates = mapping.rates_mbps.get(spec.name, {})
+            mapped_total = sum(rates.values())
+            backlog = backlog_mbps.get(spec.name)
+            guaranteed = spec.guaranteed or spec.max_violation_rate is not None
+            for path in self.path_names:
+                mapped_here = rates.get(path, 0.0)
+                if guaranteed and mapped_here > 0:
+                    # Rule 1: packets scheduled on this path.
+                    demand = (
+                        None
+                        if backlog is None
+                        else min(backlog, mapped_here)
+                    )
+                    requests[path].append(
+                        PathShareRequest(
+                            stream=spec.name,
+                            demand_mbps=demand,
+                            weight=mapped_here,
+                            level=LEVEL_SCHEDULED_HERE,
+                        )
+                    )
+                elif guaranteed and mapped_total > 0:
+                    # Rule 2: overflow of a stream scheduled elsewhere —
+                    # only the excess beyond its reservation spills here.
+                    excess = (
+                        None
+                        if backlog is None
+                        else max(backlog - mapped_total, 0.0)
+                    )
+                    if excess is None or excess > 1e-9:
+                        requests[path].append(
+                            PathShareRequest(
+                                stream=spec.name,
+                                demand_mbps=excess,
+                                weight=max(mapped_total, 1e-6),
+                                level=LEVEL_SCHEDULED_ELSEWHERE,
+                            )
+                        )
+            if spec.elastic:
+                # Rule 3: unscheduled (best-effort) packets fill leftovers.
+                for path in self.path_names:
+                    weight = max(rates.get(path, 0.0), 0.0)
+                    if weight <= 0:
+                        weight = spec.weight / len(self.path_names)
+                    requests[path].append(
+                        PathShareRequest(
+                            stream=spec.name,
+                            demand_mbps=backlog_mbps.get(spec.name),
+                            weight=weight,
+                            level=LEVEL_UNSCHEDULED,
+                        )
+                    )
+        return requests
+
+    def _fallback_requests(
+        self, backlog_mbps: Mapping[str, Optional[float]]
+    ) -> dict[str, list[PathShareRequest]]:
+        """Even weighted split before monitoring history exists."""
+        requests: dict[str, list[PathShareRequest]] = {
+            p: [] for p in self.path_names
+        }
+        n = len(self.path_names)
+        for spec in self.streams:
+            for path in self.path_names:
+                backlog = backlog_mbps.get(spec.name)
+                requests[path].append(
+                    PathShareRequest(
+                        stream=spec.name,
+                        demand_mbps=None if backlog is None else backlog / n,
+                        weight=spec.weight,
+                        level=LEVEL_UNSCHEDULED if spec.elastic else 0,
+                    )
+                )
+        return requests
+
+
+# ----------------------------------------------------------------------
+# packet-accurate fast path (Figure 7, lines 12-17)
+# ----------------------------------------------------------------------
+class _VSCursor:
+    """Round-robin cursor over one path's stream scheduling vector."""
+
+    __slots__ = ("vector", "pos")
+
+    def __init__(self, vector: Sequence[str]):
+        self.vector = list(vector)
+        self.pos = 0
+
+    def next_stream(self) -> Optional[str]:
+        if not self.vector:
+            return None
+        stream = self.vector[self.pos]
+        self.pos = (self.pos + 1) % len(self.vector)
+        return stream
+
+
+class DispatchResult:
+    """Statistics from one window of packet dispatch."""
+
+    def __init__(self) -> None:
+        self.sent: dict[str, dict[str, int]] = {}
+        self.blocked_events = 0
+        self.unsent = 0
+
+    def record(self, stream: str, path: str) -> None:
+        per_path = self.sent.setdefault(stream, {})
+        per_path[path] = per_path.get(path, 0) + 1
+
+    def sent_total(self, stream: str) -> int:
+        return sum(self.sent.get(stream, {}).values())
+
+
+def dispatch_window(
+    schedule: Schedule,
+    services: Mapping[str, PathService],
+    scheduled_queues: Mapping[str, Deque[Packet]],
+    unscheduled_queues: Mapping[str, Deque[Packet]] | None = None,
+    stream_precedence: Sequence[str] | None = None,
+) -> DispatchResult:
+    """Dispatch one scheduling window of packets per Figure 7 and Table 1.
+
+    Parameters
+    ----------
+    schedule:
+        Compiled V_P / V_S vectors with per-(stream, path) quotas.
+    services:
+        Path services keyed by path name; their interval budgets must have
+        been set by the caller (``begin_interval``).
+    scheduled_queues:
+        FIFO queues of the streams appearing in the schedule (packets in
+        deadline order).
+    unscheduled_queues:
+        Queues of best-effort streams outside the mapping (Table 1 rule 3).
+    stream_precedence:
+        Tie-break order among equal deadlines (highest window-constraint
+        first); defaults to schedule order.
+
+    Returns
+    -------
+    DispatchResult
+        Per-(stream, path) packet counts plus blocking statistics.
+    """
+    unscheduled_queues = unscheduled_queues or {}
+    precedence = list(
+        stream_precedence
+        if stream_precedence is not None
+        else schedule.stream_path_packets
+    )
+    rank = {s: i for i, s in enumerate(precedence)}
+    for s in list(scheduled_queues) + list(unscheduled_queues):
+        if s not in rank:
+            rank[s] = len(rank)
+
+    result = DispatchResult()
+    cursors = {p: _VSCursor(vs) for p, vs in schedule.vs.items()}
+    # Remaining per-window quota of each (stream, path) sub-stream.
+    quota = {
+        s: dict(paths) for s, paths in schedule.stream_path_packets.items()
+    }
+    blocked: set[str] = set()
+    # Fast-path bookkeeping: once every scheduled queue is drained, rules
+    # 1 and 2 can be skipped outright (otherwise each best-effort packet
+    # would rescan the whole V_S vector).
+    scheduled_pending = sum(len(q) for q in scheduled_queues.values())
+    quota_pending = schedule.total_packets
+
+    def pop_next(path: str):
+        """Next packet for ``path`` per Table 1; returns provenance too.
+
+        Returns ``(packet, quota_path, from_unscheduled)`` where
+        ``quota_path`` names the sub-stream quota that was decremented
+        (``None`` for unscheduled packets), so a blocked requeue can undo
+        the bookkeeping exactly.
+        """
+        nonlocal scheduled_pending, quota_pending
+        if scheduled_pending > 0 and quota_pending > 0:
+            # Rule 1: packets scheduled on the current path, via V_S.
+            cursor = cursors.get(path)
+            if cursor is not None:
+                for _ in range(len(cursor.vector)):
+                    stream = cursor.next_stream()
+                    q = scheduled_queues.get(stream)
+                    if q and quota.get(stream, {}).get(path, 0) > 0:
+                        quota[stream][path] -= 1
+                        scheduled_pending -= 1
+                        quota_pending -= 1
+                        return q.popleft(), path, False
+            # Rule 2: earliest-deadline packet scheduled on some other
+            # path (ties: highest window constraint first, via `rank`).
+            best_stream, best_other, best_key = None, None, None
+            for stream, paths in quota.items():
+                q = scheduled_queues.get(stream)
+                if not q:
+                    continue
+                for other, remaining in paths.items():
+                    if other == path or remaining <= 0:
+                        continue
+                    key = (q[0].deadline, rank.get(stream, 1 << 30))
+                    if best_key is None or key < best_key:
+                        best_key, best_stream, best_other = key, stream, other
+                    break
+            if best_stream is not None:
+                quota[best_stream][best_other] -= 1
+                scheduled_pending -= 1
+                quota_pending -= 1
+                return (
+                    scheduled_queues[best_stream].popleft(),
+                    best_other,
+                    False,
+                )
+        # Rule 3: earliest-deadline unscheduled (best-effort) packet.
+        best_stream, best_key = None, None
+        for stream, q in unscheduled_queues.items():
+            if not q:
+                continue
+            key = (q[0].deadline, rank.get(stream, 1 << 30))
+            if best_key is None or key < best_key:
+                best_key, best_stream = key, stream
+        if best_stream is not None:
+            return unscheduled_queues[best_stream].popleft(), None, True
+        return None, None, False
+
+    def requeue(packet: Packet, quota_path, from_unscheduled: bool) -> None:
+        """Undo a pop after the target path refused the packet."""
+        nonlocal scheduled_pending, quota_pending
+        if from_unscheduled:
+            unscheduled_queues[packet.stream].appendleft(packet)
+        else:
+            scheduled_queues[packet.stream].appendleft(packet)
+            scheduled_pending += 1
+            if quota_path is not None:
+                quota[packet.stream][quota_path] += 1
+                quota_pending += 1
+
+    def try_send(path: str, service: PathService) -> bool:
+        """One dispatch attempt on ``path``; False when nothing sendable."""
+        packet, quota_path, from_unscheduled = pop_next(path)
+        if packet is None:
+            return False
+        if service.offer(packet):
+            result.record(packet.stream, path)
+            return True
+        # Blocked path: requeue at the head and switch immediately
+        # (Figure 7's GetNextFreePath; backoff lives in the service).
+        result.blocked_events += 1
+        blocked.add(path)
+        requeue(packet, quota_path, from_unscheduled)
+        return False
+
+    for path in schedule.vp:
+        if path in blocked:
+            continue
+        service = services.get(path)
+        if service is None or service.blocked:
+            blocked.add(path)
+            continue
+        try_send(path, service)
+
+    # After walking V_P, use any still-unblocked capacity for leftovers
+    # (work conservation: rules 2/3 continue while free paths exist).
+    progress = True
+    while progress:
+        progress = False
+        for path, service in services.items():
+            if path in blocked or service.blocked:
+                continue
+            if try_send(path, service):
+                progress = True
+
+    result.unsent = sum(len(q) for q in scheduled_queues.values()) + sum(
+        len(q) for q in unscheduled_queues.values()
+    )
+    return result
+
+
+def make_packet_queue(
+    stream: str,
+    count: int,
+    tw: float,
+    packet_size: int,
+    start_seq: int = 0,
+    created_at: float = 0.0,
+) -> Deque[Packet]:
+    """Build one window's FIFO packet queue with spread virtual deadlines."""
+    from repro.core.vectors import virtual_deadlines
+
+    deadlines = virtual_deadlines(count, tw)
+    return deque(
+        Packet(
+            deadline=created_at + float(d),
+            stream=stream,
+            seq=start_seq + i,
+            size=packet_size,
+            created_at=created_at,
+        )
+        for i, d in enumerate(deadlines)
+    )

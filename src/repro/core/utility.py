@@ -1,0 +1,105 @@
+"""Utility-based stream selection under overload.
+
+The paper motivates IQ-Paths partly with enterprise applications that
+"couple data transport and manipulation with application-level
+expressions of utility or cost".  When the full stream set is not
+admittable, *something* must give; this module chooses what: it selects
+the subset of guaranteed streams that maximizes total utility subject to
+the overlay's statistical capacity, leaving the rest to run best-effort
+(or be renegotiated via the admission upcall).
+
+The selection is a greedy utility-density heuristic (utility per Mbps of
+guaranteed demand, admitted in decreasing order, skipping streams that no
+longer fit).  For the small stream counts of the paper's workloads the
+greedy answer matches the optimal knapsack one; the exact solver is a
+deliberate non-goal (the paper itself rejects the MILP formulation of
+split selection as impractical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.mapping import PathQoSEstimate, ResourceMapping, compute_mapping
+from repro.core.spec import StreamSpec
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class UtilitySelection:
+    """Outcome of utility-based selection.
+
+    ``admitted`` streams carry guarantees under ``mapping``; ``demoted``
+    streams did not fit and should run best-effort or renegotiate.
+    """
+
+    admitted: tuple[str, ...]
+    demoted: tuple[str, ...]
+    total_utility: float
+    mapping: ResourceMapping | None = None
+    utilities: dict[str, float] = field(default_factory=dict)
+
+
+def select_streams_by_utility(
+    specs: Sequence[StreamSpec],
+    utilities: Mapping[str, float],
+    cdfs: Mapping[str, EmpiricalCDF],
+    tw: float = 1.0,
+    qos: Mapping[str, PathQoSEstimate] | None = None,
+) -> UtilitySelection:
+    """Admit the utility-maximizing subset of guaranteed streams.
+
+    Parameters
+    ----------
+    specs:
+        All streams.  Elastic/best-effort streams are always carried (they
+        consume no guaranteed capacity) and excluded from selection.
+    utilities:
+        Application-level utility per guaranteed stream (higher = more
+        valuable).  Every guaranteed stream must have an entry.
+    cdfs, tw, qos:
+        As for :func:`repro.core.mapping.compute_mapping`.
+    """
+    guaranteed = [
+        s for s in specs if s.guaranteed or s.max_violation_rate is not None
+    ]
+    elastic = [s for s in specs if s not in guaranteed]
+    missing = [s.name for s in guaranteed if s.name not in utilities]
+    if missing:
+        raise ConfigurationError(
+            f"missing utilities for guaranteed streams: {missing}"
+        )
+    for name, value in utilities.items():
+        if value < 0:
+            raise ConfigurationError(
+                f"utility must be >= 0, got {value} for {name!r}"
+            )
+
+    def density(spec: StreamSpec) -> float:
+        demand = spec.required_mbps or spec.weight
+        return utilities[spec.name] / max(demand, 1e-9)
+
+    ordered = sorted(guaranteed, key=density, reverse=True)
+    admitted: list[StreamSpec] = []
+    demoted: list[str] = []
+    for spec in ordered:
+        trial = admitted + [spec]
+        try:
+            compute_mapping(trial + elastic, cdfs, tw, qos=qos)
+        except AdmissionError:
+            demoted.append(spec.name)
+            continue
+        admitted.append(spec)
+
+    mapping = None
+    if admitted or elastic:
+        mapping = compute_mapping(admitted + elastic, cdfs, tw, qos=qos)
+    return UtilitySelection(
+        admitted=tuple(s.name for s in admitted),
+        demoted=tuple(demoted),
+        total_utility=sum(utilities[name] for name in (s.name for s in admitted)),
+        mapping=mapping,
+        utilities=dict(utilities),
+    )

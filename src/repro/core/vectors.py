@@ -1,0 +1,194 @@
+"""Scheduling vectors: virtual deadlines, V_P, and V_S (Section 5.2.2).
+
+The resource-mapping step assigns ``Tp_i^j`` packets of stream *i* to path
+*j* per scheduling window.  The fast path then needs two lookup structures:
+
+* ``V_P`` — the *path lookup vector*: the order in which the scheduler
+  visits paths, built by merging each path's virtual deadlines
+  ``D_p[k] = tw / x_j * (k - 1)`` (path *j* carries ``x_j`` packets per
+  window).  Visiting paths in merged-deadline order maintains the mapped
+  proportions: a path with 9 of 15 packets is visited 3/5 of the time.
+
+* ``V_S[j]`` — the per-path *stream scheduling vector*: for each visit to
+  path *j*, which stream's packet to send, built the same way from the
+  per-stream deadlines of the packets mapped to that path.
+
+The paper's worked example — stream S1 with 5 packets on path 1, stream S2
+with 4 packets on path 1 and 6 on path 2 — yields exactly
+``V_P = [1,2,1,2,1,1,2,1,2,1,1,2,1,2,1]`` and
+``V_S^1 = [1,2,1,2,1,2,1,2,1]``; the tests lock this in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def virtual_deadlines(count: int, tw: float) -> np.ndarray:
+    """Deadlines ``tw / count * (k - 1)`` for ``k = 1..count``.
+
+    The *k*-th packet's virtual deadline spreads the ``count`` packets
+    evenly over the window, which is what keeps dispatch smooth rather
+    than bursty.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if tw <= 0:
+        raise ConfigurationError(f"tw must be positive, got {tw}")
+    if count == 0:
+        return np.empty(0)
+    return tw / count * np.arange(count, dtype=float)
+
+
+def _merge_by_deadline(
+    counts: Mapping[Hashable, int], tw: float, order: Sequence[Hashable]
+) -> list[Hashable]:
+    """Merge per-key virtual deadlines into one visiting sequence.
+
+    Ties are broken by the position of the key in ``order`` (the paper
+    breaks equal deadlines by window constraint, then arbitrarily; callers
+    pass keys ordered by precedence).
+    """
+    entries: list[tuple[float, int, Hashable]] = []
+    rank = {key: i for i, key in enumerate(order)}
+    for key, count in counts.items():
+        if count < 0:
+            raise ConfigurationError(
+                f"negative packet count {count} for {key!r}"
+            )
+        if key not in rank:
+            raise ConfigurationError(f"key {key!r} missing from order")
+        for deadline in virtual_deadlines(count, tw):
+            entries.append((float(deadline), rank[key], key))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return [key for _, _, key in entries]
+
+
+def path_lookup_vector(
+    path_packets: Mapping[Hashable, int],
+    tw: float,
+    order: Sequence[Hashable] | None = None,
+) -> list[Hashable]:
+    """Build ``V_P`` from per-path packet counts.
+
+    ``order`` fixes the tie-break among equal deadlines; defaults to the
+    mapping's iteration order.
+    """
+    order = list(order) if order is not None else list(path_packets)
+    return _merge_by_deadline(path_packets, tw, order)
+
+
+def stream_schedule_vector(
+    stream_packets: Mapping[str, int],
+    tw: float,
+    order: Sequence[str] | None = None,
+) -> list[str]:
+    """Build one path's ``V_S`` from per-stream packet counts.
+
+    Equal deadlines are broken by ``order`` — highest window-constraint
+    (x/y) first per Table 1; callers pass streams pre-sorted accordingly.
+    """
+    order = list(order) if order is not None else list(stream_packets)
+    return _merge_by_deadline(stream_packets, tw, order)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The compiled fast-path lookup state for one resource mapping.
+
+    Attributes
+    ----------
+    vp:
+        Path visiting order for one scheduling window.
+    vs:
+        Per-path stream visiting order.
+    path_packets:
+        ``x_j``: packets per window assigned to each path.
+    stream_path_packets:
+        ``Tp_i^j``: packets of stream *i* on path *j*.
+    tw:
+        Scheduling-window length (seconds).
+    """
+
+    vp: tuple[Hashable, ...]
+    vs: dict[Hashable, tuple[str, ...]]
+    path_packets: dict[Hashable, int]
+    stream_path_packets: dict[str, dict[Hashable, int]]
+    tw: float
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self.path_packets.values())
+
+    def packets_for(self, stream: str) -> int:
+        """Total packets per window scheduled for ``stream``."""
+        shares = self.stream_path_packets.get(stream)
+        return sum(shares.values()) if shares else 0
+
+
+def build_schedule(
+    stream_path_packets: Mapping[str, Mapping[Hashable, int]],
+    tw: float,
+    stream_order: Sequence[str] | None = None,
+    path_order: Sequence[Hashable] | None = None,
+) -> Schedule:
+    """Compile a resource mapping into V_P and per-path V_S vectors.
+
+    Parameters
+    ----------
+    stream_path_packets:
+        ``Tp_i^j`` — packets of stream ``i`` to send on path ``j`` per
+        window.  Zero entries are allowed (null sub-streams).
+    tw:
+        Scheduling-window length.
+    stream_order:
+        Tie-break precedence among streams (most important first); defaults
+        to mapping order.
+    path_order:
+        Tie-break precedence among paths; defaults to first-seen order.
+    """
+    if tw <= 0:
+        raise ConfigurationError(f"tw must be positive, got {tw}")
+    streams = list(stream_order) if stream_order else list(stream_path_packets)
+
+    path_packets: dict[Hashable, int] = {}
+    per_path_streams: dict[Hashable, dict[str, int]] = {}
+    for stream in streams:
+        shares = stream_path_packets.get(stream, {})
+        for path, count in shares.items():
+            if count < 0:
+                raise ConfigurationError(
+                    f"negative packet count for {stream!r} on {path!r}"
+                )
+            if count == 0:
+                continue
+            path_packets[path] = path_packets.get(path, 0) + count
+            per_path_streams.setdefault(path, {})[stream] = count
+
+    paths = list(path_order) if path_order else list(path_packets)
+    for path in path_packets:
+        if path not in paths:
+            raise ConfigurationError(f"path {path!r} missing from path_order")
+
+    vp = tuple(path_lookup_vector(path_packets, tw, order=paths))
+    vs = {
+        path: tuple(
+            stream_schedule_vector(per_path_streams[path], tw, order=streams)
+        )
+        for path in path_packets
+    }
+    return Schedule(
+        vp=vp,
+        vs=vs,
+        path_packets=dict(path_packets),
+        stream_path_packets={
+            s: {p: c for p, c in shares.items() if c > 0}
+            for s, shares in stream_path_packets.items()
+        },
+        tw=tw,
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the IQ-Paths reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class AdmissionError(ReproError):
+    """Raised when a stream cannot be admitted with its requested guarantee.
+
+    Mirrors the paper's *upcall* made to the application when no single path
+    nor any split across paths can satisfy the stream's utility requirement
+    (Section 5.2.2).  The application may catch this and retry with a lower
+    probability requirement or bandwidth.
+    """
+
+    def __init__(self, stream_name: str, message: str = ""):
+        self.stream_name = stream_name
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"stream {stream_name!r} cannot be scheduled with the requested "
+            f"guarantee{detail}"
+        )
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topologies or unknown nodes/links/paths."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed or unreadable trace data."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine is misused."""

@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` — see :mod:`repro.harness.cli`."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

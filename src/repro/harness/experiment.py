@@ -1,0 +1,236 @@
+"""The interval-driven experiment runner.
+
+One loop shared by every throughput figure in the paper:
+
+1. Non-elastic streams accrue CBR arrivals into bounded backlogs.
+2. The scheduler (PGOS or a baseline) emits per-path bandwidth requests —
+   using only information from past intervals.
+3. Each path resolves contention with :func:`repro.core.scheduler.water_fill`
+   against its *realized* available bandwidth for the interval.
+4. Deliveries drain backlogs; overflowing backlogs drop bytes (bounded
+   receiver/sender buffers); the scheduler gets the interval's measured
+   availability as feedback.
+
+The result records per-(stream, path) throughput series — exactly the
+curves plotted in Figures 9, 10, 12, and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.scheduler import SchedulerBase, water_fill
+from repro.core.spec import StreamSpec
+from repro.monitoring.probe import ProbingEstimator
+from repro.network.emulab import TestbedRealization
+from repro.units import bytes_in_interval, mbps_from_bytes
+
+
+@dataclass
+class ExperimentResult:
+    """Recorded throughput of one scheduler run.
+
+    Attributes
+    ----------
+    scheduler_name:
+        Display name of the algorithm.
+    dt:
+        Measurement interval (seconds).
+    stream_names, path_names:
+        Dimension labels.
+    delivered_mbps:
+        ``delivered_mbps[stream][path]`` is the per-interval throughput
+        series of that sub-stream (Mbps).
+    available_mbps:
+        The realized availability series per path over the same intervals.
+    dropped_bytes:
+        Bytes dropped per stream due to bounded buffers.
+    """
+
+    scheduler_name: str
+    dt: float
+    stream_names: list[str]
+    path_names: list[str]
+    delivered_mbps: dict[str, dict[str, np.ndarray]]
+    available_mbps: dict[str, np.ndarray]
+    dropped_bytes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_intervals(self) -> int:
+        first = next(iter(self.available_mbps.values()))
+        return len(first)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Interval start times, seconds from the experiment start."""
+        return np.arange(self.n_intervals) * self.dt
+
+    def stream_series(self, stream: str) -> np.ndarray:
+        """Total per-interval throughput of ``stream`` across paths."""
+        shares = self.delivered_mbps.get(stream)
+        if not shares:
+            raise ConfigurationError(f"unknown stream {stream!r}")
+        total = np.zeros(self.n_intervals)
+        for series in shares.values():
+            total += series
+        return total
+
+    def substream_series(self, stream: str, path: str) -> np.ndarray:
+        """Per-interval throughput of ``stream`` on ``path``."""
+        shares = self.delivered_mbps.get(stream)
+        if not shares or path not in shares:
+            raise ConfigurationError(f"no sub-stream {stream!r} on {path!r}")
+        return shares[path]
+
+    def paths_used(self, stream: str, min_mbps: float = 0.1) -> list[str]:
+        """Paths that ever carried a meaningful share of ``stream``."""
+        shares = self.delivered_mbps.get(stream, {})
+        return [
+            p for p, series in shares.items() if float(series.max()) >= min_mbps
+        ]
+
+    def total_series(self) -> np.ndarray:
+        """Aggregate throughput across all streams."""
+        total = np.zeros(self.n_intervals)
+        for stream in self.stream_names:
+            total += self.stream_series(stream)
+        return total
+
+
+def run_schedule_experiment(
+    scheduler: SchedulerBase,
+    realization: TestbedRealization,
+    streams: Sequence[StreamSpec],
+    warmup_intervals: int = 100,
+    buffer_seconds: float = 2.0,
+    tw: Optional[float] = None,
+    probe: Optional["ProbingEstimator"] = None,
+) -> ExperimentResult:
+    """Run one scheduler over one testbed realization.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`SchedulerBase`; OptSched must have its oracle set.
+    realization:
+        Per-path availability from :meth:`EmulabTestbed.realize`.
+    streams:
+        The stream specifications.
+    warmup_intervals:
+        Probe-phase length: the scheduler observes these intervals (filling
+        monitors/predictors) but no application traffic is recorded.
+    buffer_seconds:
+        Per-stream sender-buffer bound, in seconds of the stream's required
+        rate; overflow is dropped and counted.
+    tw:
+        Scheduling-window length; defaults to ``10 * dt`` (1 s at the
+        default 0.1 s interval, the paper's operating point).
+    probe:
+        Optional :class:`repro.monitoring.probe.ProbingEstimator`: the
+        scheduler then *observes* probe estimates of availability instead
+        of the truth (delivery still uses the true series) — the realistic
+        monitoring regime.
+    """
+    dt = realization.dt
+    tw = tw if tw is not None else 10 * dt
+    path_names = realization.path_names()
+    avail = {
+        p: realization.available[p].available_mbps for p in path_names
+    }
+    n_total = realization.n_intervals
+    if warmup_intervals < 0 or warmup_intervals >= n_total:
+        raise ConfigurationError(
+            f"warmup_intervals {warmup_intervals} out of range for "
+            f"{n_total} intervals"
+        )
+
+    qos = realization.qos
+    observed = avail
+    if probe is not None:
+        observed = probe.perturb_realization(
+            {p: avail[p] for p in path_names}, seed=realization.seed
+        )
+
+    def feed(k: int) -> None:
+        scheduler.observe(
+            k,
+            {p: float(observed[p][k]) for p in path_names},
+            rtt_ms={p: float(qos[p].rtt_ms[k]) for p in path_names},
+            loss_rate={p: float(qos[p].loss_rate[k]) for p in path_names},
+        )
+
+    scheduler.setup(streams, path_names, dt, tw)
+    for k in range(warmup_intervals):
+        feed(k)
+
+    n = n_total - warmup_intervals
+    delivered = {
+        s.name: {p: np.zeros(n) for p in path_names} for s in streams
+    }
+    backlog_bytes: dict[str, float] = {s.name: 0.0 for s in streams}
+    dropped: dict[str, float] = {s.name: 0.0 for s in streams}
+    buffer_limit: dict[str, float] = {}
+    for s in streams:
+        if s.demand_mbps is not None:
+            buffer_limit[s.name] = bytes_in_interval(
+                s.demand_mbps, buffer_seconds
+            )
+
+    by_name = {s.name: s for s in streams}
+    for k in range(warmup_intervals, n_total):
+        idx = k - warmup_intervals
+        # 1. arrivals
+        backlog_mbps: dict[str, Optional[float]] = {}
+        for s in streams:
+            if s.demand_mbps is None:
+                backlog_mbps[s.name] = None
+                continue
+            backlog_bytes[s.name] += bytes_in_interval(s.demand_mbps, dt)
+            limit = buffer_limit[s.name]
+            if backlog_bytes[s.name] > limit:
+                dropped[s.name] += backlog_bytes[s.name] - limit
+                backlog_bytes[s.name] = limit
+            backlog_mbps[s.name] = mbps_from_bytes(backlog_bytes[s.name], dt)
+
+        # 2. scheduler decision (uses only past observations)
+        requests = scheduler.allocate(k, backlog_mbps)
+
+        # 3. per-path contention against realized availability
+        for p in path_names:
+            path_requests = requests.get(p, [])
+            if not path_requests:
+                continue
+            granted = water_fill(path_requests, float(avail[p][k]))
+            for stream_name, mbps in granted.items():
+                if mbps <= 0:
+                    continue
+                spec = by_name.get(stream_name)
+                if spec is None:
+                    raise ConfigurationError(
+                        f"scheduler requested unknown stream {stream_name!r}"
+                    )
+                nbytes = bytes_in_interval(mbps, dt)
+                if spec.demand_mbps is not None:
+                    # Cannot deliver more than is queued.
+                    nbytes = min(nbytes, backlog_bytes[stream_name])
+                    backlog_bytes[stream_name] -= nbytes
+                delivered[stream_name][p][idx] += mbps_from_bytes(nbytes, dt)
+
+        # 4. feedback
+        feed(k)
+
+    return ExperimentResult(
+        scheduler_name=scheduler.name,
+        dt=dt,
+        stream_names=[s.name for s in streams],
+        path_names=list(path_names),
+        delivered_mbps=delivered,
+        available_mbps={
+            p: avail[p][warmup_intervals:].copy() for p in path_names
+        },
+        dropped_bytes=dropped,
+    )

@@ -1,0 +1,34 @@
+"""One module per paper figure.
+
+Each exposes ``run(seed=..., fast=False) -> FigureResult``; the registry
+maps CLI/bench names to those entry points.  ``fast=True`` shrinks
+durations for CI-speed runs without changing the experiment's structure.
+"""
+
+from repro.harness.figures.base import FigureResult
+from repro.harness.figures import (
+    ablations,
+    fig4,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sweep_fig,
+    video_ext,
+)
+
+#: Registry used by the CLI and the benchmark harness.
+FIGURES = {
+    "fig4": fig4.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "ablations": ablations.run,
+    "video": video_ext.run,
+    "sweep": sweep_fig.run,
+}
+
+__all__ = ["FigureResult", "FIGURES"]

@@ -1,0 +1,69 @@
+"""Common result container for figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: rendered tables plus key scalar comparisons.
+
+    Attributes
+    ----------
+    figure_id:
+        ``"fig9"`` etc., matching the paper's numbering.
+    title:
+        The figure's caption (abbreviated).
+    sections:
+        Ordered ``(caption, rendered_text)`` blocks.
+    measured:
+        Key measured scalars, by name.
+    paper:
+        The paper-reported value for each key where the paper gives one
+        (``None`` where the paper only shows a curve).
+    notes:
+        Free-form caveats (substitutions, calibration remarks).
+    """
+
+    figure_id: str
+    title: str
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    measured: dict[str, float] = field(default_factory=dict)
+    paper: dict[str, Optional[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_section(self, caption: str, text: str) -> None:
+        self.sections.append((caption, text))
+
+    def comparison_rows(self) -> list[tuple[str, Optional[float], float]]:
+        """(key, paper value, measured value) for every measured scalar."""
+        return [
+            (key, self.paper.get(key), value)
+            for key, value in self.measured.items()
+        ]
+
+    def render(self) -> str:
+        """Full human-readable report for this figure."""
+        lines = [f"== {self.figure_id}: {self.title} ==", ""]
+        for caption, text in self.sections:
+            lines.append(f"-- {caption} --")
+            lines.append(text)
+            lines.append("")
+        if self.measured:
+            lines.append("-- paper vs measured --")
+            from repro.harness.report import paper_vs_measured_table
+
+            lines.append(
+                paper_vs_measured_table(
+                    [
+                        (k, p if p is not None else "-", m)
+                        for k, p, m in self.comparison_rows()
+                    ]
+                )
+            )
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Figure 4: bandwidth prediction — mean predictors vs percentile prediction.
+
+The paper analyzes >8 GB of NLANR header traces and reports that common
+average-bandwidth predictors (MA, EWMA, SMA) show roughly 20 % mean
+relative error while its percentile prediction method fails less than 4 %
+of the time, across bandwidth measurement windows from 0.1 s to 1.0 s.
+
+We sweep the same measurement windows over synthetic NLANR-like
+available-bandwidth traces (both bottleneck profiles of the Figure-8
+testbed), score the same predictor lineup, and report both curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.figures.base import FigureResult
+from repro.harness.report import format_table
+from repro.monitoring.errors import (
+    error_exceedance_fraction,
+    mean_relative_error,
+    percentile_prediction_failure_rate,
+)
+from repro.monitoring.predictors import default_average_predictors
+from repro.network.emulab import make_figure8_testbed
+from repro.traces.io import Trace
+from repro.traces.stats import fraction_steady, mean_steady_period
+
+#: Measurement windows swept on the figure's x axis (seconds).
+WINDOWS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def _trace_pool(seed: int, duration: float, dt: float) -> list[Trace]:
+    """Availability traces of both testbed paths for several seeds."""
+    traces = []
+    for offset in range(2):
+        testbed = make_figure8_testbed()
+        realization = testbed.realize(
+            seed=seed + offset, duration=duration, dt=dt
+        )
+        for p in realization.path_names():
+            traces.append(
+                Trace(
+                    realization.available[p].available_mbps,
+                    dt,
+                    name=f"{p}/seed{seed + offset}",
+                )
+            )
+    return traces
+
+
+def run(seed: int = 3, fast: bool = False) -> FigureResult:
+    """Reproduce Figure 4 (and the Section-4 in-text error claims)."""
+    duration = 600.0 if fast else 2400.0
+    dt = 0.1
+    traces = _trace_pool(seed, duration, dt)
+
+    rows = []
+    mean_curve = []
+    fail_curve = []
+    for window in WINDOWS:
+        window = round(window, 1)
+        errors = []
+        failures = []
+        for trace in traces:
+            resampled = trace.resample(window)
+            series = resampled.rates
+            history = min(500, max(10, series.size // 3))
+            horizon = 5
+            if series.size < history + horizon + 10:
+                continue
+            errors.extend(
+                mean_relative_error(pred, series)
+                for pred in default_average_predictors()
+            )
+            failures.append(
+                percentile_prediction_failure_rate(
+                    series, q=10.0, history=history, horizon=horizon
+                )
+            )
+        mean_err = float(np.mean(errors))
+        fail = float(np.mean(failures))
+        mean_curve.append(mean_err)
+        fail_curve.append(fail)
+        rows.append((f"{window:.1f}", mean_err, fail))
+
+    # The in-text [34] comparison: fraction of mean predictions off by >20 %.
+    exceed20 = float(
+        np.mean(
+            [
+                error_exceedance_fraction(pred, trace.rates, 0.2)
+                for trace in traces
+                for pred in default_average_predictors()
+            ]
+        )
+    )
+
+    # Zhang et al.'s steadiness framing, which the paper adopts: how long
+    # does bandwidth stay within a max/min factor of rho?
+    steadiness_rows = []
+    for rho in (1.2, 1.5, 2.0):
+        fractions = [
+            fraction_steady(trace.rates, rho=rho, horizon=10)
+            for trace in traces
+        ]
+        periods = [
+            mean_steady_period(trace.rates, rho=rho) for trace in traces
+        ]
+        steadiness_rows.append(
+            (f"{rho:.1f}", float(np.mean(fractions)), float(np.mean(periods)))
+        )
+
+    result = FigureResult(
+        figure_id="fig4",
+        title="Bandwidth Prediction (mean error vs percentile failure rate)",
+    )
+    result.add_section(
+        "prediction error vs measurement window",
+        format_table(
+            ["BW window (s)", "mean predict error", "percentile failure rate"],
+            rows,
+        ),
+    )
+    result.add_section(
+        "bandwidth steadiness (Zhang et al. framing, 0.1 s samples)",
+        format_table(
+            [
+                "rho (max/min)",
+                "frac of 1s windows steady",
+                "mean steady period (samples)",
+            ],
+            steadiness_rows,
+        ),
+    )
+    result.measured = {
+        "mean_prediction_error_avg": float(np.mean(mean_curve)),
+        "percentile_failure_rate_max": float(np.max(fail_curve)),
+        "percentile_failure_rate_avg": float(np.mean(fail_curve)),
+        "fraction_mean_errors_above_20pct": exceed20,
+    }
+    result.paper = {
+        "mean_prediction_error_avg": 0.20,
+        "percentile_failure_rate_max": 0.04,
+        "percentile_failure_rate_avg": None,
+        "fraction_mean_errors_above_20pct": 0.40,
+    }
+    result.notes = [
+        "traces are synthetic NLANR-like profiles (see DESIGN.md): the "
+        "claim under test is the gap between mean prediction error and "
+        "percentile-prediction failure, not absolute trace statistics",
+        "percentile failures score the Lemma-1 guarantee semantics: the "
+        "aggregate bandwidth over the prediction horizon vs the historic "
+        "10th percentile",
+    ]
+    return result

@@ -1,0 +1,33 @@
+"""Shared GridFTP runs for Figures 12 and 13 (memoized)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps.gridftp import run_gridftp
+from repro.harness.experiment import ExperimentResult
+
+#: Transport lineup of Figures 12/13.
+TRANSPORTS = ("GridFTP", "IQPG")
+
+
+@lru_cache(maxsize=8)
+def gridftp_results(
+    seed: int, duration: float, dt: float = 0.1, warmup_intervals: int = 300
+) -> dict[str, ExperimentResult]:
+    """Run both transports on the same realization (memoized)."""
+    return {
+        name: run_gridftp(
+            name,
+            seed=seed,
+            duration=duration,
+            dt=dt,
+            warmup_intervals=warmup_intervals,
+        )
+        for name in TRANSPORTS
+    }
+
+
+def params_for(fast: bool) -> tuple[float, int]:
+    """(duration, warmup_intervals) for normal vs fast mode."""
+    return (90.0, 200) if fast else (210.0, 300)

@@ -1,0 +1,38 @@
+"""Shared SmartPointer runs for Figures 9, 10, and 11.
+
+The three figures are three views of the same experiment (time series,
+CDFs, and summary bars), so the four algorithm runs are computed once and
+memoized on their parameters.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps.smartpointer import run_smartpointer
+from repro.harness.experiment import ExperimentResult
+
+#: The algorithm lineup of Figures 9-11, in the paper's panel order.
+ALGORITHMS = ("WFQ", "MSFQ", "PGOS", "OptSched")
+
+
+@lru_cache(maxsize=8)
+def smartpointer_results(
+    seed: int, duration: float, dt: float = 0.1, warmup_intervals: int = 300
+) -> dict[str, ExperimentResult]:
+    """Run all four algorithms on the same realization (memoized)."""
+    return {
+        alg: run_smartpointer(
+            alg,
+            seed=seed,
+            duration=duration,
+            dt=dt,
+            warmup_intervals=warmup_intervals,
+        )
+        for alg in ALGORITHMS
+    }
+
+
+def params_for(fast: bool) -> tuple[float, int]:
+    """(duration, warmup_intervals) for normal vs fast mode."""
+    return (90.0, 200) if fast else (210.0, 300)

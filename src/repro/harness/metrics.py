@@ -1,0 +1,271 @@
+"""Evaluation metrics used by the paper's figures.
+
+Figure 11 reports, per stream and algorithm: the target bandwidth, the
+mean achieved, the bandwidth achieved 95 % and 99 % of the time, and the
+standard deviation.  Section 6.1 additionally reports application frame
+jitter (2.0 ms under MSFQ vs 1.4 ms under PGOS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import bytes_in_interval
+
+
+def bandwidth_at_time_fraction(series: np.ndarray, fraction: float) -> float:
+    """Bandwidth achieved at least ``fraction`` of the time.
+
+    ``bandwidth_at_time_fraction(x, 0.95)`` is the level the stream met or
+    exceeded 95 % of the time — the ``(1 - fraction)`` quantile.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+    x = np.asarray(series, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    return float(np.percentile(x, (1.0 - fraction) * 100.0))
+
+
+def fraction_of_time_at_least(series: np.ndarray, target: float) -> float:
+    """Fraction of intervals in which throughput was >= ``target``."""
+    x = np.asarray(series, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    return float(np.mean(x >= target))
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """The Figure-11 row for one stream under one algorithm."""
+
+    stream: str
+    algorithm: str
+    target_mbps: Optional[float]
+    mean_mbps: float
+    std_mbps: float
+    p95_time_mbps: float
+    p99_time_mbps: float
+    fraction_meeting_target: Optional[float]
+
+    def target_attainment_at(self, fraction_label: str = "p95") -> Optional[float]:
+        """Achieved / target ratio at the 95 %- or 99 %-of-time level."""
+        if self.target_mbps is None or self.target_mbps <= 0:
+            return None
+        value = (
+            self.p95_time_mbps if fraction_label == "p95" else self.p99_time_mbps
+        )
+        return value / self.target_mbps
+
+
+def summarize_stream(
+    series: np.ndarray,
+    stream: str,
+    algorithm: str,
+    target_mbps: Optional[float] = None,
+) -> StreamSummary:
+    """Compute the Figure-11 metrics for one throughput series."""
+    x = np.asarray(series, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    return StreamSummary(
+        stream=stream,
+        algorithm=algorithm,
+        target_mbps=target_mbps,
+        mean_mbps=float(x.mean()),
+        std_mbps=float(x.std()),
+        p95_time_mbps=bandwidth_at_time_fraction(x, 0.95),
+        p99_time_mbps=bandwidth_at_time_fraction(x, 0.99),
+        fraction_meeting_target=(
+            fraction_of_time_at_least(x, target_mbps)
+            if target_mbps is not None
+            else None
+        ),
+    )
+
+
+def frame_delivery_times(
+    series_mbps: np.ndarray, dt: float, frame_bytes: float
+) -> np.ndarray:
+    """Completion time of each frame given a throughput series.
+
+    The stream's delivered bytes accumulate piecewise-linearly within each
+    interval; frame *i* completes when cumulative delivery reaches
+    ``(i + 1) * frame_bytes``.  Frames not fully delivered by the end of
+    the series are dropped from the result.
+    """
+    if frame_bytes <= 0:
+        raise ConfigurationError(f"frame_bytes must be > 0, got {frame_bytes}")
+    x = np.asarray(series_mbps, dtype=float)
+    per_interval = np.array([bytes_in_interval(m, dt) for m in x])
+    cumulative = np.concatenate([[0.0], np.cumsum(per_interval)])
+    total = cumulative[-1]
+    n_frames = int(total // frame_bytes)
+    if n_frames == 0:
+        return np.empty(0)
+    targets = frame_bytes * np.arange(1, n_frames + 1)
+    # Invert the piecewise-linear cumulative curve.
+    idx = np.searchsorted(cumulative, targets, side="left")
+    idx = np.clip(idx, 1, len(cumulative) - 1)
+    prev = cumulative[idx - 1]
+    gained = cumulative[idx] - prev
+    frac = np.where(gained > 0, (targets - prev) / gained, 1.0)
+    return (idx - 1 + frac) * dt
+
+
+def frame_jitter_ms(
+    series_mbps: np.ndarray,
+    dt: float,
+    frame_bytes: float,
+    frame_rate: float,
+) -> float:
+    """Application frame jitter (ms): deviation of inter-delivery spacing.
+
+    Mean absolute deviation of consecutive frame-completion gaps from the
+    nominal ``1 / frame_rate`` period — the quantity the paper reports as
+    2.0 ms (MSFQ) vs 1.4 ms (PGOS) for SmartPointer.
+    """
+    if frame_rate <= 0:
+        raise ConfigurationError(f"frame_rate must be > 0, got {frame_rate}")
+    times = frame_delivery_times(series_mbps, dt, frame_bytes)
+    if times.size < 2:
+        return 0.0
+    gaps = np.diff(times)
+    nominal = 1.0 / frame_rate
+    return float(np.mean(np.abs(gaps - nominal)) * 1000.0)
+
+
+def required_playout_buffer_bytes(
+    series_mbps: np.ndarray, dt: float, playout_mbps: float
+) -> float:
+    """Receiver buffer needed to play out at a constant rate without stalls.
+
+    The companion tech report's buffer analysis: with a pre-buffered start,
+    the client needs enough buffered bytes to ride out every deficit
+    period where delivery lags the playout rate.  Given the delivered
+    series, that is the maximum cumulative shortfall
+    ``max_t (playout*t - delivered[0..t])`` (clipped at 0).
+
+    A smoother delivery (PGOS) has smaller deficits than a bursty one
+    (MSFQ) at the same mean — the "reduces the server/client buffer size
+    requirement" claim.
+    """
+    if playout_mbps <= 0:
+        raise ConfigurationError(
+            f"playout_mbps must be > 0, got {playout_mbps}"
+        )
+    x = np.asarray(series_mbps, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    delivered = np.cumsum([bytes_in_interval(m, dt) for m in x])
+    playout = bytes_in_interval(playout_mbps, dt) * np.arange(1, x.size + 1)
+    deficit = playout - delivered
+    return float(max(np.max(deficit), 0.0))
+
+
+def downside_deviation(series_mbps: np.ndarray, target_mbps: float) -> float:
+    """Root-mean-square shortfall below ``target_mbps``.
+
+    The guarantee-centric stability metric: intervals *above* target
+    (e.g. backlog catch-up spikes after a dip) do not hurt the
+    application, so only the downside counts.  Zero when the target is
+    always met.
+    """
+    if target_mbps <= 0:
+        raise ConfigurationError(
+            f"target_mbps must be > 0, got {target_mbps}"
+        )
+    x = np.asarray(series_mbps, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    shortfall = np.clip(target_mbps - x, 0.0, None)
+    return float(np.sqrt(np.mean(shortfall**2)))
+
+
+def burstiness(series_mbps: np.ndarray) -> float:
+    """Coefficient of variation of per-interval delivery.
+
+    The tech report's companion claim: statistical prediction makes the
+    transfer "less bursty".  Zero for perfectly smooth delivery.
+    """
+    x = np.asarray(series_mbps, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    mean = float(x.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(x.std() / mean)
+
+
+def empirical_cdf_points(series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) points of a series' empirical CDF — the Figure 10/13 axes."""
+    x = np.sort(np.asarray(series, dtype=float))
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    f = np.arange(1, x.size + 1) / x.size
+    return x, f
+
+
+def window_constraint_satisfaction(
+    series_mbps: np.ndarray,
+    dt: float,
+    tw: float,
+    x_packets: int,
+    packet_size: int,
+) -> float:
+    """Fraction of scheduling windows meeting a DWCS window constraint.
+
+    A window constraint (x, y) demands that at least ``x`` of the window's
+    packets be serviced (Section 5.1).  Given a delivered-throughput
+    series at interval ``dt``, this aggregates it into windows of ``tw``
+    and checks how many delivered at least ``x`` packets of
+    ``packet_size`` — the quantity the Theorem-1 guarantee ("the window
+    constraint will be met with probability P_i") is stated over.
+    """
+    if x_packets < 0:
+        raise ConfigurationError(f"x_packets must be >= 0, got {x_packets}")
+    if packet_size <= 0:
+        raise ConfigurationError(
+            f"packet_size must be positive, got {packet_size}"
+        )
+    k = int(round(tw / dt))
+    if k < 1 or abs(tw / dt - k) > 1e-9:
+        raise ConfigurationError(
+            f"tw {tw} must be an integer multiple of dt {dt}"
+        )
+    x = np.asarray(series_mbps, dtype=float)
+    n = (x.size // k) * k
+    if n == 0:
+        raise ConfigurationError("series shorter than one window")
+    per_window_bytes = (
+        np.array([bytes_in_interval(m, dt) for m in x[:n]])
+        .reshape(-1, k)
+        .sum(axis=1)
+    )
+    packets = per_window_bytes / packet_size
+    # Half-packet tolerance absorbs fluid-model rounding at the boundary.
+    return float(np.mean(packets >= x_packets - 0.5))
+
+
+def deadline_miss_rate(
+    series_mbps: np.ndarray, dt: float, required_mbps: float
+) -> float:
+    """Fraction of intervals delivering less than the required rate.
+
+    The interval-level rendering of the paper's deadline miss rate: an
+    interval below the required rate means some packets missed their
+    virtual deadlines in that window.
+    """
+    if required_mbps <= 0:
+        raise ConfigurationError(
+            f"required_mbps must be > 0, got {required_mbps}"
+        )
+    x = np.asarray(series_mbps, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("empty series")
+    # Tolerate float rounding at the boundary.
+    return float(np.mean(x < required_mbps * (1 - 1e-9)))

@@ -1,0 +1,102 @@
+"""ASCII rendering of experiment results.
+
+The paper's figures are plots; a terminal harness reports the same content
+as tables (summary rows), CDF tables (value at fixed probability points),
+and coarse sparkline series so a reader can eyeball stability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a left-aligned ASCII table with a header rule."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(series: np.ndarray, width: int = 60) -> str:
+    """Coarse unicode sparkline of a series (downsampled to ``width``)."""
+    x = np.asarray(series, dtype=float)
+    if x.size == 0:
+        return ""
+    if x.size > width:
+        # Average within equal chunks.
+        edges = np.linspace(0, x.size, width + 1).astype(int)
+        x = np.array(
+            [x[a:b].mean() if b > a else x[min(a, x.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(x.min()), float(x.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[4] * x.size
+    scaled = (x - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def series_block(
+    label: str, series: np.ndarray, width: int = 60
+) -> str:
+    """A labelled sparkline with min/mean/max annotations."""
+    x = np.asarray(series, dtype=float)
+    if x.size == 0:
+        return f"{label}: (empty)"
+    return (
+        f"{label:<18} {sparkline(x, width)}  "
+        f"min={x.min():6.2f} mean={x.mean():6.2f} max={x.max():6.2f}"
+    )
+
+
+def cdf_table(
+    series_by_label: dict[str, np.ndarray],
+    probabilities: Sequence[float] = (0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.95),
+) -> str:
+    """Throughput quantiles per labelled series — a tabular Figure 10/13.
+
+    Each row gives, for probability ``p``, the throughput level below which
+    the series falls a fraction ``p`` of the time (the CDF read off at
+    fixed heights).
+    """
+    headers = ["P(thpt<=x)"] + list(series_by_label)
+    rows = []
+    for p in probabilities:
+        row: list[object] = [f"{p:.2f}"]
+        for series in series_by_label.values():
+            row.append(float(np.percentile(np.asarray(series), p * 100.0)))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def paper_vs_measured_table(
+    rows: Iterable[tuple[str, object, object]],
+) -> str:
+    """Three-column comparison: quantity, paper-reported, measured."""
+    return format_table(
+        ["quantity", "paper", "measured"],
+        [(name, paper, measured) for name, paper, measured in rows],
+    )

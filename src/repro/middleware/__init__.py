@@ -1,0 +1,16 @@
+"""The middleware facade: IQ-Paths as a downstream user consumes it.
+
+:class:`repro.middleware.service.IQPathsService` packages the whole stack
+(testbed realization, probe-phase monitoring, admission control with
+upcalls, the PGOS scheduler, and the per-interval delivery loop) behind
+one object with the lifecycle the paper's applications see:
+
+* open streams with utility requirements (admission-checked);
+* streams may join and terminate mid-run — each membership change voids
+  the scheduling vectors and triggers a remap (Figure 7, line 2);
+* per-stream throughput and guarantee attainment come back in a report.
+"""
+
+from repro.middleware.service import IQPathsService, StreamHandle, StreamReport
+
+__all__ = ["IQPathsService", "StreamHandle", "StreamReport"]

@@ -1,0 +1,167 @@
+"""Empirical CDFs of available bandwidth.
+
+The paper's key data structure: ``F(b) = P{avail_bw in (0, b)}`` tracked
+per path over a sliding history window.  The PGOS guarantees (Lemmas 1 and
+2) are direct reads of this object: ``1 - F(b0)`` for the probabilistic
+guarantee and the partial mean ``M[b0]`` for the violation bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EmpiricalCDF:
+    """Immutable empirical CDF built from a sample array.
+
+    Evaluation uses right-continuous step convention:
+    ``F(b) = (# samples <= b) / n``.
+    """
+
+    def __init__(self, samples: Iterable[float]):
+        arr = np.sort(np.asarray(list(samples), dtype=float))
+        if arr.size == 0:
+            raise ConfigurationError("EmpiricalCDF needs at least one sample")
+        if np.any(~np.isfinite(arr)):
+            raise ConfigurationError("EmpiricalCDF samples must be finite")
+        self._sorted = arr
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return self._sorted.size
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Sorted sample array (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def evaluate(self, b: float | np.ndarray) -> float | np.ndarray:
+        """``F(b)``: fraction of samples ``<= b``."""
+        result = np.searchsorted(self._sorted, b, side="right") / self.n
+        if np.isscalar(b):
+            return float(result)
+        return result
+
+    __call__ = evaluate
+
+    def evaluate_strict(self, b: float | np.ndarray) -> float | np.ndarray:
+        """``F(b-)``: fraction of samples strictly below ``b``.
+
+        This is the failure probability of Lemma 1 — a sample exactly equal
+        to the required bandwidth still satisfies the requirement.
+        """
+        result = np.searchsorted(self._sorted, b, side="left") / self.n
+        if np.isscalar(b):
+            return float(result)
+        return result
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sample distribution, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"q must be in [0, 100], got {q}")
+        return float(np.percentile(self._sorted, q))
+
+    def quantile(self, p: float) -> float:
+        """Inverse CDF at probability ``p`` in [0, 1]."""
+        return self.percentile(p * 100.0)
+
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self._sorted.mean())
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(self._sorted.std())
+
+    def partial_mean_below(self, b0: float) -> float:
+        """``M[b0]``: mean of the samples ``<= b0``, weighted by ``F(b0)``.
+
+        Specifically returns ``E[b * 1{b <= b0}]`` — the unconditional
+        partial expectation — which is the quantity Lemma 2's bound uses
+        (``F(b0) * E[b | b <= b0]``).  Returns 0 when no sample is below
+        ``b0``.
+        """
+        idx = int(np.searchsorted(self._sorted, b0, side="right"))
+        if idx == 0:
+            return 0.0
+        return float(self._sorted[:idx].sum()) / self.n
+
+    def min(self) -> float:
+        return float(self._sorted[0])
+
+    def max(self) -> float:
+        return float(self._sorted[-1])
+
+
+class SlidingWindowCDF:
+    """Bounded-history CDF updated online, one bandwidth sample at a time.
+
+    This is the monitoring module's live view of a path: the last
+    ``window`` samples (the paper uses 500–1000 samples of 0.1–1 s each,
+    i.e. minutes of history).  ``snapshot()`` freezes the current window as
+    an :class:`EmpiricalCDF` for the mapping step; the sorted array is
+    cached and invalidated on update, so repeated guarantee evaluations
+    within a scheduling window cost one sort at most.
+    """
+
+    def __init__(self, window: int = 500):
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self.window = window
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._cached: EmpiricalCDF | None = None
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """Whether the history window has filled up."""
+        return len(self._buffer) == self.window
+
+    def update(self, sample: float) -> None:
+        """Append one bandwidth measurement (Mbps)."""
+        if not np.isfinite(sample):
+            raise ConfigurationError(f"sample must be finite, got {sample}")
+        self._buffer.append(float(sample))
+        self._cached = None
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Append many measurements."""
+        for s in samples:
+            self.update(s)
+
+    def snapshot(self) -> EmpiricalCDF:
+        """Freeze the current window as an immutable CDF."""
+        if not self._buffer:
+            raise ConfigurationError("no samples observed yet")
+        if self._cached is None:
+            self._cached = EmpiricalCDF(self._buffer)
+        return self._cached
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the current window."""
+        return self.snapshot().percentile(q)
+
+    def evaluate(self, b: float) -> float:
+        """``F(b)`` over the current window."""
+        return self.snapshot().evaluate(b)
+
+
+def ks_distance(a: EmpiricalCDF, b: EmpiricalCDF) -> float:
+    """Kolmogorov–Smirnov distance ``sup_x |F_a(x) - F_b(x)|``.
+
+    Used as the remap trigger: the paper rebuilds scheduling vectors "when
+    the CDF of some path changes dramatically"; we quantify *dramatically*
+    as a KS distance above a threshold.
+    """
+    grid = np.union1d(a.samples, b.samples)
+    return float(np.max(np.abs(a.evaluate(grid) - b.evaluate(grid))))

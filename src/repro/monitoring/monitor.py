@@ -1,0 +1,108 @@
+"""Per-path monitor: the live state PGOS consults every window.
+
+Combines a sliding-window bandwidth CDF with RTT/loss tracking and
+CDF-change detection.  The paper rebuilds its scheduling vectors "when a
+new stream joins or the CDF changes dramatically" (Figure 7, line 2);
+:meth:`PathMonitor.cdf_changed_significantly` quantifies *dramatically* as
+a Kolmogorov–Smirnov distance between the current window's CDF and the CDF
+snapshot taken at the last remap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitoring.cdf import EmpiricalCDF, SlidingWindowCDF, ks_distance
+from repro.monitoring.predictors import EWMAPredictor
+
+
+class PathMonitor:
+    """Online statistics for one overlay path.
+
+    Parameters
+    ----------
+    name:
+        Path label (``"A"``, ``"B"``, ...).
+    window:
+        Bandwidth-history window in samples.
+    ks_threshold:
+        KS distance above which the path's distribution is considered to
+        have changed dramatically (triggering a PGOS remap).
+    """
+
+    def __init__(
+        self, name: str, window: int = 500, ks_threshold: float = 0.2
+    ):
+        if not 0.0 < ks_threshold <= 1.0:
+            raise ConfigurationError(
+                f"ks_threshold must be in (0, 1], got {ks_threshold}"
+            )
+        self.name = name
+        self.ks_threshold = ks_threshold
+        self.bandwidth = SlidingWindowCDF(window=window)
+        self.rtt_ms = EWMAPredictor(alpha=0.2)
+        self.loss_rate = EWMAPredictor(alpha=0.2)
+        self._reference_cdf: Optional[EmpiricalCDF] = None
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def observe_bandwidth(self, mbps: float) -> None:
+        """Record one available-bandwidth sample."""
+        self.bandwidth.update(mbps)
+
+    def observe_bandwidth_many(self, samples: Iterable[float]) -> None:
+        """Record a batch of bandwidth samples."""
+        self.bandwidth.extend(samples)
+
+    def observe_rtt(self, rtt_ms: float) -> None:
+        """Record one RTT measurement (ms)."""
+        if rtt_ms < 0:
+            raise ConfigurationError(f"rtt must be >= 0, got {rtt_ms}")
+        self.rtt_ms.update(rtt_ms)
+
+    def observe_loss(self, loss_rate: float) -> None:
+        """Record one loss-rate measurement in [0, 1]."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1], got {loss_rate}"
+            )
+        self.loss_rate.update(loss_rate)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether any bandwidth history exists yet."""
+        return len(self.bandwidth) > 0
+
+    def cdf(self) -> EmpiricalCDF:
+        """Current bandwidth CDF snapshot."""
+        return self.bandwidth.snapshot()
+
+    def guaranteed_bandwidth(self, probability: float) -> float:
+        """Bandwidth the path sustains with the given probability.
+
+        ``guaranteed_bandwidth(0.95)`` is the level exceeded 95 % of the
+        time — the 5th percentile of the observed distribution.
+        """
+        if not 0.0 < probability < 1.0:
+            raise ConfigurationError(
+                f"probability must be in (0, 1), got {probability}"
+            )
+        return self.cdf().percentile((1.0 - probability) * 100.0)
+
+    # ------------------------------------------------------------------
+    # remap trigger
+    # ------------------------------------------------------------------
+    def mark_remapped(self) -> None:
+        """Snapshot the current CDF as the reference for change detection."""
+        self._reference_cdf = self.cdf()
+
+    def cdf_changed_significantly(self) -> bool:
+        """Whether the distribution drifted beyond ``ks_threshold``."""
+        if self._reference_cdf is None:
+            return True  # never mapped against this path yet
+        return ks_distance(self.cdf(), self._reference_cdf) > self.ks_threshold

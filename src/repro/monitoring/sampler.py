@@ -1,0 +1,61 @@
+"""Throughput sampling: bytes delivered -> bandwidth samples.
+
+The monitoring module measures each path's achieved/available bandwidth in
+fixed intervals (0.1–1 s in the paper).  :class:`ThroughputSampler`
+accumulates byte deliveries stamped with virtual time and emits one Mbps
+sample per elapsed interval, inserting zero samples for idle intervals so
+the CDF sees the path's silence too.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.units import mbps_from_bytes
+
+
+class ThroughputSampler:
+    """Aggregates deliveries into fixed-interval bandwidth samples."""
+
+    def __init__(self, dt: float = 0.1, start_time: float = 0.0):
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.dt = dt
+        self._interval_start = start_time
+        self._bytes = 0.0
+        self._samples: list[float] = []
+
+    @property
+    def samples(self) -> list[float]:
+        """Completed interval samples (Mbps), oldest first."""
+        return list(self._samples)
+
+    def record(self, now: float, nbytes: float) -> list[float]:
+        """Record ``nbytes`` delivered at virtual time ``now``.
+
+        Returns the list of interval samples *completed* by this record
+        (possibly empty), so a caller can forward them to a CDF as they
+        close.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if now < self._interval_start:
+            raise ConfigurationError(
+                f"time went backwards: {now} < {self._interval_start}"
+            )
+        closed: list[float] = []
+        # Close any intervals that fully elapsed before `now`.
+        while now >= self._interval_start + self.dt:
+            closed.append(mbps_from_bytes(self._bytes, self.dt))
+            self._bytes = 0.0
+            self._interval_start += self.dt
+        self._bytes += nbytes
+        self._samples.extend(closed)
+        return closed
+
+    def flush(self, now: float) -> list[float]:
+        """Close intervals up to ``now`` without recording new bytes."""
+        if math.isclose(now, self._interval_start):
+            return []
+        return self.record(now, 0.0)

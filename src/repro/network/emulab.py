@@ -1,0 +1,180 @@
+"""The paper's Figure-8 Emulab testbed, reproduced in simulation.
+
+Topology (all links fast ethernet, 100 Mbps):
+
+* ``N-1`` — overlay server (data source)
+* ``N-6`` — overlay client (data sink)
+* ``N-4``, ``N-5`` — overlay router daemons
+* ``N-2``, ``N-3`` — underlay routers on the two server-side branches
+* ``N-9`` .. ``N-14`` — cross-traffic hosts
+
+The two overlay paths are node-disjoint::
+
+    path A:  N-1 -> N-2 -> N-4 -> N-6
+    path B:  N-1 -> N-3 -> N-5 -> N-6
+
+Cross traffic shares the ``N-2 -> N-4`` bottleneck with path A and the
+``N-3 -> N-5`` bottleneck with path B, exactly as in the paper ("overlay
+paths and cross traffic paths share the same bottleneck").  Cross-traffic
+rates come from the NLANR-like profiles in :mod:`repro.traces.nlanr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.network.crosstraffic import CrossTrafficSource
+from repro.network.link import Link
+from repro.network.node import Node, NodeKind
+from repro.network.path import OverlayPath, PathBandwidth
+from repro.network.qos import PathQoS, realize_qos
+from repro.network.topology import Topology
+from repro.sim.random import RandomStreams
+
+#: Fast-ethernet capacity, "the current up-limit of Emulab" per the paper.
+LINK_CAPACITY_MBPS = 100.0
+
+#: Per-link one-way delay used for the emulated WAN (ms).
+LINK_DELAY_MS = 5.0
+
+
+@dataclass(frozen=True)
+class TestbedRealization:
+    """Sampled per-path series for one experiment.
+
+    ``available["A"]`` / ``available["B"]`` are :class:`PathBandwidth`
+    instances covering the whole experiment at interval ``dt``; ``qos``
+    carries the matching RTT / loss-rate series.
+    """
+
+    testbed: "EmulabTestbed"
+    seed: int
+    dt: float
+    available: dict[str, PathBandwidth]
+    qos: dict[str, PathQoS]
+
+    @property
+    def n_intervals(self) -> int:
+        first = next(iter(self.available.values()))
+        return first.n_intervals
+
+    def path_names(self) -> list[str]:
+        return sorted(self.available)
+
+
+@dataclass(frozen=True)
+class EmulabTestbed:
+    """The simulated testbed: topology plus the two named overlay paths."""
+
+    topology: Topology
+    server: Node
+    client: Node
+    paths: dict[str, OverlayPath]
+
+    def realize(self, seed: int, duration: float, dt: float) -> TestbedRealization:
+        """Sample cross traffic and produce per-path availability series."""
+        if duration <= 0 or dt <= 0:
+            raise ConfigurationError(
+                f"duration and dt must be positive, got {duration}, {dt}"
+            )
+        n = int(round(duration / dt))
+        if n == 0:
+            raise ConfigurationError("duration shorter than one interval")
+        streams = RandomStreams(seed)
+        available = {
+            name: path.realize_bandwidth(n, dt, streams)
+            for name, path in sorted(self.paths.items())
+        }
+        qos = {
+            name: realize_qos(bw, streams.fresh(f"qos/{name}"))
+            for name, bw in available.items()
+        }
+        return TestbedRealization(
+            testbed=self, seed=seed, dt=dt, available=available, qos=qos
+        )
+
+
+def make_figure8_testbed(
+    profile_a: str = "abilene-moderate",
+    profile_b: str = "abilene-noisy",
+    xtraffic_scale: float = 1.0,
+) -> EmulabTestbed:
+    """Build the Figure-8 testbed.
+
+    Parameters
+    ----------
+    profile_a, profile_b:
+        Cross-traffic profile names for the path-A and path-B bottlenecks.
+        The defaults give path A the higher, more stable residual bandwidth
+        and path B the lower, noisier one, matching Section 6.1.
+    xtraffic_scale:
+        Multiplier on the cross-traffic rates of both bottlenecks; used by
+        the sweeps/ablations to move the operating point.
+    """
+    topo = Topology()
+
+    server = topo.add_node(Node("N-1", NodeKind.SERVER))
+    client = topo.add_node(Node("N-6", NodeKind.CLIENT))
+    n2 = topo.add_node(Node("N-2", NodeKind.ROUTER))
+    n3 = topo.add_node(Node("N-3", NodeKind.ROUTER))
+    n4 = topo.add_node(Node("N-4", NodeKind.ROUTER))  # overlay router
+    n5 = topo.add_node(Node("N-5", NodeKind.ROUTER))  # overlay router
+
+    cross_nodes = {
+        name: topo.add_node(Node(name, NodeKind.CROSS_TRAFFIC))
+        for name in ("N-7", "N-8", "N-9", "N-10", "N-11", "N-12", "N-13", "N-14")
+    }
+
+    def link(a: Node, b: Node, **kwargs) -> Link:
+        lk = Link(
+            a=a,
+            b=b,
+            capacity_mbps=LINK_CAPACITY_MBPS,
+            delay_ms=LINK_DELAY_MS,
+            **kwargs,
+        )
+        topo.add_link(lk)
+        return lk
+
+    # Overlay path A: N-1 -> N-2 -> N-4 -> N-6 (bottleneck N-2 -> N-4).
+    link(server, n2)
+    bottleneck_a = link(n2, n4)
+    link(n4, client)
+
+    # Overlay path B: N-1 -> N-3 -> N-5 -> N-6 (bottleneck N-3 -> N-5).
+    link(server, n3)
+    bottleneck_b = link(n3, n5)
+    link(n5, client)
+
+    # Cross-traffic hosts hang off the branch routers so their flows
+    # traverse exactly the bottleneck links (Figure 8's arrows).
+    link(cross_nodes["N-9"], n2)
+    link(cross_nodes["N-7"], n2)
+    link(n4, cross_nodes["N-11"])
+    link(n4, cross_nodes["N-13"])
+    link(cross_nodes["N-10"], n3)
+    link(cross_nodes["N-8"], n3)
+    link(n5, cross_nodes["N-12"])
+    link(n5, cross_nodes["N-14"])
+
+    bottleneck_a.add_cross_traffic(
+        CrossTrafficSource.from_profile_name(
+            "N-9->N-11", profile_a, scale=xtraffic_scale
+        )
+    )
+    bottleneck_b.add_cross_traffic(
+        CrossTrafficSource.from_profile_name(
+            "N-10->N-12", profile_b, scale=xtraffic_scale
+        )
+    )
+
+    paths = {
+        "A": topo.path(["N-1", "N-2", "N-4", "N-6"]),
+        "B": topo.path(["N-1", "N-3", "N-5", "N-6"]),
+    }
+    shared = topo.shared_links(paths.values())
+    if shared:  # pragma: no cover - construction invariant
+        raise ConfigurationError(f"overlay paths share links: {shared}")
+
+    return EmulabTestbed(topology=topo, server=server, client=client, paths=paths)

@@ -1,0 +1,100 @@
+"""Path fault injection.
+
+The paper's future work is runtime fault tolerance — isolating recovery
+traffic, re-routing around failures.  The substrate for studying that is
+the ability to inject faults into a realization: outages (availability
+drops to zero) and degradations (availability scaled down) on chosen
+paths over chosen intervals.  PGOS's monitoring sees the change, the KS
+trigger fires, and the mapping moves guaranteed streams away — verified
+in ``tests/integration/test_failure_recovery.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.emulab import TestbedRealization
+from repro.network.path import PathBandwidth
+from repro.network.qos import PathQoS
+
+
+@dataclass(frozen=True)
+class PathFault:
+    """One fault episode on one path.
+
+    Attributes
+    ----------
+    path:
+        Path name (``"A"``, ``"B"``, ...).
+    start, end:
+        Fault window in seconds of experiment time (end exclusive).
+    severity:
+        Fraction of availability removed: ``1.0`` is a full outage,
+        ``0.5`` halves the path's bandwidth.
+    extra_loss:
+        Additional packet loss rate during the fault (clipped to 1).
+    """
+
+    path: str
+    start: float
+    end: float
+    severity: float = 1.0
+    extra_loss: float = 0.0
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"fault end {self.end} must exceed start {self.start}"
+            )
+        if not 0.0 < self.severity <= 1.0:
+            raise ConfigurationError(
+                f"severity must be in (0, 1], got {self.severity}"
+            )
+        if not 0.0 <= self.extra_loss <= 1.0:
+            raise ConfigurationError(
+                f"extra_loss must be in [0, 1], got {self.extra_loss}"
+            )
+
+
+def inject_faults(
+    realization: TestbedRealization, faults: Sequence[PathFault]
+) -> TestbedRealization:
+    """Return a copy of ``realization`` with the faults applied.
+
+    The original realization is left untouched (its arrays are copied for
+    every faulted path).
+    """
+    dt = realization.dt
+    n = realization.n_intervals
+    available = dict(realization.available)
+    qos = dict(realization.qos)
+    for fault in faults:
+        if fault.path not in available:
+            raise ConfigurationError(
+                f"unknown path {fault.path!r}; have "
+                f"{sorted(available)}"
+            )
+        lo = max(int(fault.start / dt), 0)
+        hi = min(int(round(fault.end / dt)), n)
+        if lo >= n or hi <= lo:
+            raise ConfigurationError(
+                f"fault window [{fault.start}, {fault.end}) is outside the "
+                f"realization ({n * dt:.1f} s)"
+            )
+        bw = available[fault.path]
+        series = bw.available_mbps.copy()
+        series[lo:hi] *= 1.0 - fault.severity
+        available[fault.path] = PathBandwidth(
+            path=bw.path, dt=bw.dt, available_mbps=series
+        )
+        q = qos[fault.path]
+        loss = q.loss_rate.copy()
+        loss[lo:hi] = np.clip(loss[lo:hi] + fault.extra_loss, 0.0, 1.0)
+        qos[fault.path] = PathQoS(
+            path=q.path, dt=q.dt, rtt_ms=q.rtt_ms.copy(), loss_rate=loss
+        )
+    return replace(realization, available=available, qos=qos)

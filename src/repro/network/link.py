@@ -1,0 +1,80 @@
+"""Capacity links with time-varying residual bandwidth.
+
+A link has a fixed physical capacity (100 Mbps fast ethernet on the paper's
+testbed), a propagation delay, and zero or more cross-traffic sources.  Its
+*residual* bandwidth per measurement interval — capacity minus realized
+cross traffic — is what overlay paths see as available bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.crosstraffic import CrossTrafficSource
+from repro.network.node import Node
+from repro.sim.random import RandomStreams
+
+
+@dataclass
+class Link:
+    """A directed capacity link between two nodes.
+
+    Attributes
+    ----------
+    a, b:
+        Endpoints.  Links are directed (``a`` to ``b``); the topology adds
+        the reverse direction explicitly where needed.
+    capacity_mbps:
+        Physical capacity.
+    delay_ms:
+        One-way propagation delay in milliseconds.
+    loss_rate:
+        Base (congestion-independent) packet loss probability.
+    cross_traffic:
+        Sources whose realized rate is subtracted from capacity.
+    """
+
+    a: Node
+    b: Node
+    capacity_mbps: float
+    delay_ms: float = 1.0
+    loss_rate: float = 0.0
+    cross_traffic: list[CrossTrafficSource] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.capacity_mbps <= 0:
+            raise ConfigurationError(
+                f"link capacity must be positive, got {self.capacity_mbps}"
+            )
+        if self.delay_ms < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {self.delay_ms}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical ``a->b`` link name."""
+        return f"{self.a.name}->{self.b.name}"
+
+    def add_cross_traffic(self, source: CrossTrafficSource) -> None:
+        """Attach another cross-traffic source to this link."""
+        self.cross_traffic.append(source)
+
+    def residual_series(
+        self, n: int, dt: float, streams: RandomStreams
+    ) -> np.ndarray:
+        """Residual bandwidth (Mbps) per interval after cross traffic.
+
+        Cross-traffic sources are realized independently (each has its own
+        RNG stream keyed by source name) and summed; the residual is clipped
+        to ``[0, capacity]``.
+        """
+        total = np.zeros(n)
+        for source in self.cross_traffic:
+            total += source.realize(n, dt, streams)
+        return np.clip(self.capacity_mbps - total, 0.0, self.capacity_mbps)

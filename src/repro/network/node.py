@@ -1,0 +1,41 @@
+"""Overlay and underlay node model.
+
+Mirrors the paper's node roles (Figure 1): servers (data sources), clients
+(data sinks), router daemons (overlay forwarding), and the cross-traffic
+generator hosts of the Emulab testbed (Figure 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeKind(enum.Enum):
+    """Role a node plays in the overlay."""
+
+    SERVER = "server"
+    CLIENT = "client"
+    ROUTER = "router"
+    HOST = "host"
+    CROSS_TRAFFIC = "cross-traffic"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A named node with a role.
+
+    Nodes are identified by name; equality and hashing use the name only so
+    a node can be looked up in a topology by a fresh instance with the same
+    name.
+    """
+
+    name: str
+    kind: NodeKind = field(default=NodeKind.HOST, compare=False)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name

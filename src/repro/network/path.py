@@ -1,0 +1,126 @@
+"""Overlay paths and their realized bandwidth.
+
+An :class:`OverlayPath` is an ordered chain of links from a source to a
+sink, possibly through router daemons.  Its available bandwidth in each
+measurement interval is the minimum residual over its links (the bottleneck
+composition rule), its RTT is twice the summed one-way delays, and its loss
+rate composes multiplicatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.sim.random import RandomStreams
+
+
+@dataclass(frozen=True)
+class OverlayPath:
+    """An ordered sequence of nodes connected by links."""
+
+    nodes: tuple[Node, ...]
+    links: tuple[Link, ...]
+
+    def __post_init__(self):
+        if len(self.nodes) < 2:
+            raise TopologyError("a path needs at least two nodes")
+        if len(self.links) != len(self.nodes) - 1:
+            raise TopologyError(
+                f"path with {len(self.nodes)} nodes needs {len(self.nodes) - 1} "
+                f"links, got {len(self.links)}"
+            )
+        for i, link in enumerate(self.links):
+            if link.a != self.nodes[i] or link.b != self.nodes[i + 1]:
+                raise TopologyError(
+                    f"link {link.name} does not connect "
+                    f"{self.nodes[i]}->{self.nodes[i + 1]}"
+                )
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"path visits a node twice: {names}")
+
+    @property
+    def name(self) -> str:
+        """Human-readable ``src->..->dst`` label."""
+        return "->".join(n.name for n in self.nodes)
+
+    @property
+    def source(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def sink(self) -> Node:
+        return self.nodes[-1]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    @property
+    def rtt_ms(self) -> float:
+        """Round-trip propagation time in milliseconds."""
+        return 2.0 * sum(link.delay_ms for link in self.links)
+
+    @property
+    def loss_rate(self) -> float:
+        """End-to-end base loss probability (independent per link)."""
+        survive = 1.0
+        for link in self.links:
+            survive *= 1.0 - link.loss_rate
+        return 1.0 - survive
+
+    @property
+    def capacity_mbps(self) -> float:
+        """Physical bottleneck capacity."""
+        return min(link.capacity_mbps for link in self.links)
+
+    def realize_bandwidth(
+        self, n: int, dt: float, streams: RandomStreams
+    ) -> "PathBandwidth":
+        """Realize the path's available bandwidth over ``n`` intervals.
+
+        Each link's cross traffic is sampled; the path's available bandwidth
+        per interval is the minimum residual across its links.
+        """
+        available = np.full(n, np.inf)
+        for link in self.links:
+            available = np.minimum(available, link.residual_series(n, dt, streams))
+        return PathBandwidth(path=self, dt=dt, available_mbps=available)
+
+
+@dataclass(frozen=True)
+class PathBandwidth:
+    """A realized available-bandwidth series for one path.
+
+    This is the quantity the paper's monitoring component estimates online
+    and the oracle baseline (OptSched) is allowed to read directly.
+    """
+
+    path: OverlayPath
+    dt: float
+    available_mbps: np.ndarray
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.available_mbps)
+
+    @property
+    def duration(self) -> float:
+        return self.n_intervals * self.dt
+
+    def window(self, start: int, length: int) -> np.ndarray:
+        """Slice of the availability series (clamped to the trace end)."""
+        if start < 0 or length <= 0:
+            raise ValueError(f"invalid window start={start} length={length}")
+        return self.available_mbps[start : start + length]
+
+    def mean(self) -> float:
+        return float(self.available_mbps.mean())
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.available_mbps, q))

@@ -1,0 +1,131 @@
+"""Per-path RTT and loss-rate realization.
+
+The paper's monitoring tracks three path metrics: available bandwidth,
+RTT, and packet loss rate (Section 1), and its future work names
+loss-rate service guarantees.  This module realizes the two non-bandwidth
+metrics per measurement interval:
+
+* **RTT** — propagation RTT plus a queueing term: linear in utilization
+  at moderate load, blowing up (capped) only near saturation.  The paper
+  (citing Rao [24]) observes RTT is the *easy* metric to predict; the
+  realization reflects that: the RTT series' relative variation stays
+  well below the bandwidth series' except when the path saturates.
+* **Loss** — the path's base loss rate plus a congestion component that
+  kicks in as residual bandwidth vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.path import OverlayPath, PathBandwidth
+
+#: Queueing delay at full utilization is capped at this multiple of the
+#: propagation RTT (buffers are finite).
+MAX_QUEUE_FACTOR = 3.0
+
+#: Linear queueing sensitivity at moderate load: queue delay is
+#: ``base_rtt * LINEAR_QUEUE_FACTOR * utilization`` below the knee.
+LINEAR_QUEUE_FACTOR = 0.3
+
+#: Utilization above which queueing delay blows up toward the cap.
+SATURATION_KNEE = 0.92
+
+#: Congestion loss when the path is fully saturated.
+SATURATION_LOSS = 0.05
+
+
+@dataclass(frozen=True)
+class PathQoS:
+    """One path's realized QoS series (plus its bandwidth, for context)."""
+
+    path: OverlayPath
+    dt: float
+    rtt_ms: np.ndarray
+    loss_rate: np.ndarray
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.rtt_ms)
+
+    def mean_rtt(self) -> float:
+        return float(self.rtt_ms.mean())
+
+    def rtt_percentile(self, q: float) -> float:
+        return float(np.percentile(self.rtt_ms, q))
+
+    def mean_loss(self) -> float:
+        return float(self.loss_rate.mean())
+
+
+def realize_qos(
+    bandwidth: PathBandwidth,
+    rng: np.random.Generator,
+    jitter_ms: float = 0.5,
+) -> PathQoS:
+    """Derive RTT/loss series from a realized bandwidth series.
+
+    Parameters
+    ----------
+    bandwidth:
+        The path's availability realization; utilization is inferred as
+        ``1 - available / capacity``.
+    rng:
+        Noise source for the RTT jitter.
+    jitter_ms:
+        Standard deviation of the baseline RTT jitter.
+    """
+    if jitter_ms < 0:
+        raise ConfigurationError(f"jitter_ms must be >= 0, got {jitter_ms}")
+    path = bandwidth.path
+    capacity = path.capacity_mbps
+    utilization = np.clip(
+        1.0 - bandwidth.available_mbps / capacity, 0.0, 0.999
+    )
+    base_rtt = path.rtt_ms
+    # Queueing term: gentle and linear at moderate load (router buffers on
+    # an uncongested path add little delay), blowing up toward the finite-
+    # buffer cap only past the saturation knee.
+    linear = base_rtt * LINEAR_QUEUE_FACTOR * utilization
+    over_knee = np.clip(
+        (utilization - SATURATION_KNEE) / (1.0 - SATURATION_KNEE), 0.0, 1.0
+    )
+    queue_ms = np.minimum(
+        linear + base_rtt * MAX_QUEUE_FACTOR * over_knee**2,
+        base_rtt * MAX_QUEUE_FACTOR,
+    )
+    noise = jitter_ms * np.abs(rng.standard_normal(bandwidth.n_intervals))
+    rtt = base_rtt + queue_ms + noise
+
+    # Loss: base path loss plus a saturation component above 90 % load.
+    overload = np.clip((utilization - 0.9) / 0.1, 0.0, 1.0)
+    loss = np.clip(
+        path.loss_rate + SATURATION_LOSS * overload**2, 0.0, 1.0
+    )
+    return PathQoS(path=path, dt=bandwidth.dt, rtt_ms=rtt, loss_rate=loss)
+
+
+def rtt_guarantee(rtt_ms: np.ndarray, probability: float) -> float:
+    """RTT the path stays *under* with the given probability.
+
+    The dual of the bandwidth guarantee: the ``probability``-quantile of
+    the RTT distribution.  A stream demanding RTT <= this value at that
+    probability fits on the path.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ConfigurationError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    return float(np.percentile(np.asarray(rtt_ms), probability * 100.0))
+
+
+def loss_guarantee(loss_rate: np.ndarray, probability: float) -> float:
+    """Loss rate the path stays under with the given probability."""
+    if not 0.0 < probability < 1.0:
+        raise ConfigurationError(
+            f"probability must be in (0, 1), got {probability}"
+        )
+    return float(np.percentile(np.asarray(loss_rate), probability * 100.0))

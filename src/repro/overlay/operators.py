@@ -1,0 +1,203 @@
+"""In-transit stream operators.
+
+IQ-Paths routes messages through overlay nodes that can "process them
+'in-flight' on their paths from sources to sinks" (Section 3, after
+IQ-ECho's derived channels).  The canonical in-flight operation is data
+reduction: when the downstream link cannot sustain the stream, a router
+transcodes/downsamples instead of queueing — trading fidelity for
+timeliness.
+
+:class:`ReductionOperator` models any such transformation by its byte
+ratio and fidelity cost; :func:`run_processed_relay` is the relay session
+of :mod:`repro.overlay.forwarding` extended with adaptive per-router
+operators: a router applies its operator to the bytes it forwards only
+while its queue exceeds a pressure threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.overlay.mesh import MeshRealization
+from repro.units import bytes_in_interval, mbps_from_bytes
+
+
+@dataclass(frozen=True)
+class ReductionOperator:
+    """An in-flight data reduction (downsampling, re-compression, ...).
+
+    Attributes
+    ----------
+    name:
+        Label ("downsample-2x", "jpeg-q50", ...).
+    ratio:
+        Output bytes per input byte, in (0, 1].
+    fidelity:
+        Fraction of application-level fidelity retained, in (0, 1].
+    """
+
+    name: str
+    ratio: float
+    fidelity: float
+
+    def __post_init__(self):
+        if not 0.0 < self.ratio <= 1.0:
+            raise ConfigurationError(
+                f"ratio must be in (0, 1], got {self.ratio}"
+            )
+        if not 0.0 < self.fidelity <= 1.0:
+            raise ConfigurationError(
+                f"fidelity must be in (0, 1], got {self.fidelity}"
+            )
+
+
+@dataclass
+class ProcessedRelayResult:
+    """Delivery record of one relay session with in-transit processing."""
+
+    delivered_mbps: np.ndarray
+    #: fraction of delivered bytes that passed through the operator
+    reduced_fraction: float
+    #: mean fidelity of delivered data (1.0 = never reduced)
+    mean_fidelity: float
+    peak_queue_bytes: dict[str, float]
+    stall_fraction: float
+
+
+def run_processed_relay(
+    realization: MeshRealization,
+    route: list[str],
+    injection_mbps: float,
+    operators: dict[str, ReductionOperator] | None = None,
+    pressure_seconds: float = 0.5,
+    router_buffer_bytes: float = 64 * 1024 * 1024,
+) -> ProcessedRelayResult:
+    """Relay a CBR stream with adaptive in-transit reduction.
+
+    Parameters
+    ----------
+    realization, route:
+        As for :func:`repro.overlay.forwarding.run_relay_session`.
+    injection_mbps:
+        Source rate (the full-fidelity stream).
+    operators:
+        Per-router operators (keyed by node name).  A router applies its
+        operator to the bytes it forwards whenever its queue exceeds
+        ``pressure_seconds`` worth of the injection rate — the adaptive
+        "degrade instead of drown" policy.
+    """
+    if injection_mbps <= 0:
+        raise ConfigurationError(
+            f"injection rate must be positive, got {injection_mbps}"
+        )
+    route = list(route)
+    if len(route) < 2:
+        raise ConfigurationError("route needs at least two nodes")
+    operators = operators or {}
+    for node in operators:
+        if node not in route[1:-1]:
+            raise ConfigurationError(
+                f"operator node {node!r} is not an intermediate hop of "
+                f"{route}"
+            )
+    hops = list(zip(route[:-1], route[1:]))
+    for src, dst in hops:
+        realization.link_series(src, dst)
+
+    dt = realization.dt
+    n = realization.n_intervals
+    pressure_bytes = bytes_in_interval(injection_mbps, pressure_seconds)
+    # Queues carry full-fidelity bytes separately from reduced bytes; the
+    # reduced bytes also carry their fidelity-weighted total so multi-hop
+    # queueing preserves per-operator fidelity accounting.
+    queue_full = {node: 0.0 for node in route[:-1]}
+    queue_reduced = {node: 0.0 for node in route[:-1]}
+    queue_rweight = {node: 0.0 for node in route[:-1]}
+    delivered = np.zeros(n)
+    delivered_full = 0.0
+    delivered_reduced = 0.0
+    fidelity_weight = 0.0
+    peaks = {node: 0.0 for node in route[1:-1]}
+
+    for k in range(n):
+        queue_full[route[0]] += bytes_in_interval(injection_mbps, dt)
+        for src, dst in hops:
+            budget = bytes_in_interval(
+                float(realization.link_series(src, dst)[k]), dt
+            )
+            total = queue_full[src] + queue_reduced[src]
+            if total <= 0:
+                continue
+            operator = operators.get(src)
+            under_pressure = operator is not None and total > pressure_bytes
+            # Already-reduced bytes transmit 1:1 against the link budget.
+            send_reduced = min(queue_reduced[src], budget)
+            rweight = (
+                queue_rweight[src] * send_reduced / queue_reduced[src]
+                if queue_reduced[src] > 0
+                else 0.0
+            )
+            queue_reduced[src] -= send_reduced
+            queue_rweight[src] -= rweight
+            budget_left = budget - send_reduced
+            share_reduced = send_reduced
+            if under_pressure:
+                # The link carries post-reduction bytes, so the queue
+                # drains 1/ratio bytes per budget byte — reduction buys
+                # drain rate at fidelity cost.
+                drain_full = min(queue_full[src], budget_left / operator.ratio)
+                out_bytes = drain_full * operator.ratio
+                share_reduced += out_bytes
+                rweight += out_bytes * operator.fidelity
+                share_full = 0.0
+            else:
+                drain_full = min(queue_full[src], budget_left)
+                share_full = drain_full
+            queue_full[src] -= drain_full
+            if dst == route[-1]:
+                arrived = share_full + share_reduced
+                delivered[k] += mbps_from_bytes(arrived, dt)
+                delivered_full += share_full
+                delivered_reduced += share_reduced
+                fidelity_weight += share_full + rweight
+            else:
+                room = max(
+                    router_buffer_bytes
+                    - (queue_full[dst] + queue_reduced[dst]),
+                    0.0,
+                )
+                accept_full = min(share_full, room)
+                room -= accept_full
+                accept_reduced = min(share_reduced, room)
+                frac = (
+                    accept_reduced / share_reduced if share_reduced > 0 else 0.0
+                )
+                queue_full[dst] += accept_full
+                queue_reduced[dst] += accept_reduced
+                queue_rweight[dst] += rweight * frac
+        for node in route[1:-1]:
+            peaks[node] = max(
+                peaks[node], queue_full[node] + queue_reduced[node]
+            )
+
+    total_delivered = delivered_full + delivered_reduced
+    # A stalled interval delivers under half the (possibly reduced)
+    # minimum useful rate.
+    min_ratio = min(
+        (op.ratio for op in operators.values()), default=1.0
+    )
+    stall_threshold = injection_mbps * min_ratio * 0.5
+    return ProcessedRelayResult(
+        delivered_mbps=delivered,
+        reduced_fraction=(
+            delivered_reduced / total_delivered if total_delivered else 0.0
+        ),
+        mean_fidelity=(
+            fidelity_weight / total_delivered if total_delivered else 1.0
+        ),
+        peak_queue_bytes=peaks,
+        stall_fraction=float(np.mean(delivered < stall_threshold)),
+    )

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation substrate.
+
+The IQ-Paths evaluation runs on an emulated testbed; this package provides
+the virtual-time machinery that replaces it: an event-driven engine
+(:mod:`repro.sim.engine`), generator-based processes
+(:mod:`repro.sim.process`), and reproducible per-component random streams
+(:mod:`repro.sim.random`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import Process, Timeout
+from repro.sim.random import RandomStreams
+
+__all__ = ["Event", "Simulator", "Process", "Timeout", "RandomStreams"]

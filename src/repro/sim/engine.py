@@ -1,0 +1,136 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+Events are ordered by ``(time, priority, sequence)``; the sequence number
+makes simultaneous events fire in scheduling order, so runs are exactly
+reproducible.  The engine underpins the packet-level transport and the
+window-level experiment drivers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    priority:
+        Tie-breaker among simultaneous events (lower fires first).
+    seq:
+        Monotone sequence number; final tie-breaker for determinism.
+    fn:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when its time arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue with a virtual clock.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(
+        self, delay: float, fn: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, priority)
+
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``fn`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` even
+        if no event fires there, so back-to-back ``run`` calls compose.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock keeps its value)."""
+        self._queue.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,85 @@
+"""Generator-based processes on top of the event engine.
+
+A process is a generator that yields :class:`Timeout` objects; the engine
+resumes it when the timeout elapses.  This is the style in which the
+transport layer's send services and the applications' frame producers are
+written — sequential code instead of callback chains.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay})"
+
+
+ProcessGenerator = Generator[Timeout, None, None]
+
+
+class Process:
+    """Drives a generator through the simulator's event queue.
+
+    The generator runs until it returns or :meth:`interrupt` is called.
+    ``done`` reports completion; an exception raised inside the generator
+    propagates out of :meth:`Simulator.run` at the event that resumed it.
+    """
+
+    def __init__(self, sim: Simulator, gen: ProcessGenerator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._done = False
+        self._interrupted = False
+        self._pending = None
+        # Kick off at the current time so construction order is preserved.
+        self._pending = sim.schedule(0.0, self._resume)
+
+    @property
+    def done(self) -> bool:
+        """True once the generator has finished or been interrupted."""
+        return self._done
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending wake-up (if any) is cancelled."""
+        self._interrupted = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if not self._done:
+            self._gen.close()
+            self._done = True
+
+    def _resume(self) -> None:
+        if self._done or self._interrupted:
+            return
+        self._pending = None
+        try:
+            timeout = next(self._gen)
+        except StopIteration:
+            self._done = True
+            return
+        if not isinstance(timeout, Timeout):
+            raise SimulationError(
+                f"process {self.name!r} yielded {timeout!r}; expected Timeout"
+            )
+        self._pending = self.sim.schedule(timeout.delay, self._resume)
+
+
+def start(sim: Simulator, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
+    """Convenience wrapper: attach ``gen`` to ``sim`` as a named process."""
+    return Process(sim, gen, name or "")

@@ -1,0 +1,61 @@
+"""Synthetic bandwidth and cross-traffic traces.
+
+The paper replays 8 GB of NLANR IP-header traces (Abilene/Auckland) as cross
+traffic on its Emulab testbed.  Those traces are not available here, so this
+package synthesizes traffic with the statistical properties the paper's
+results depend on:
+
+* **short-timescale IID noise** — the paper (citing Zhang et al. [34])
+  observes that available bandwidth at sub-second timescales is close to
+  IID, which is why percentile prediction works and mean prediction fails;
+* **long-range dependence** — wide-area traffic is self-similar (Hurst
+  parameter around 0.75–0.85); modelled by fractional Gaussian noise;
+* **regime shifts** — slow load changes, modelled by a Markov-modulated
+  mean level.
+
+See :mod:`repro.traces.nlanr` for the calibrated "Abilene-like" and
+"Auckland-like" profiles used by the figure experiments.
+"""
+
+from repro.traces.fgn import fractional_gaussian_noise
+from repro.traces.synthetic import (
+    BandwidthProcess,
+    CompositeProcess,
+    ConstantProcess,
+    HeavyTailNoise,
+    IIDProcess,
+    MarkovModulatedProcess,
+    OrnsteinUhlenbeckProcess,
+    SelfSimilarProcess,
+)
+from repro.traces.nlanr import CrossTrafficProfile, PROFILES, synthesize_cross_traffic
+from repro.traces.io import load_trace, save_trace
+from repro.traces.stats import (
+    TraceStats,
+    autocorrelation,
+    fraction_steady,
+    hurst_exponent,
+    mean_steady_period,
+)
+
+__all__ = [
+    "fractional_gaussian_noise",
+    "BandwidthProcess",
+    "ConstantProcess",
+    "IIDProcess",
+    "HeavyTailNoise",
+    "MarkovModulatedProcess",
+    "OrnsteinUhlenbeckProcess",
+    "SelfSimilarProcess",
+    "CompositeProcess",
+    "CrossTrafficProfile",
+    "PROFILES",
+    "synthesize_cross_traffic",
+    "load_trace",
+    "save_trace",
+    "TraceStats",
+    "autocorrelation",
+    "hurst_exponent",
+    "fraction_steady",
+    "mean_steady_period",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.traces`` — see :mod:`repro.traces.cli`."""
+
+import sys
+
+from repro.traces.cli import main
+
+sys.exit(main())

@@ -1,0 +1,92 @@
+"""Trace persistence.
+
+Traces are stored as ``.npz`` archives carrying the rate series plus the
+metadata needed to interpret it (interval length, units, profile name).
+This is the moral equivalent of the paper's trace files: generate once,
+replay many times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A rate series with its sampling metadata.
+
+    Attributes
+    ----------
+    rates:
+        Rate per interval, in Mbps.
+    dt:
+        Interval length in seconds.
+    name:
+        Free-form origin label (profile name, link name, ...).
+    """
+
+    rates: np.ndarray
+    dt: float
+    name: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Total trace length in seconds."""
+        return len(self.rates) * self.dt
+
+    def resample(self, new_dt: float) -> "Trace":
+        """Aggregate to a coarser interval by averaging whole groups.
+
+        ``new_dt`` must be an integer multiple of ``dt``; trailing samples
+        that do not fill a group are dropped.  This is how the Figure 4
+        experiment sweeps the measurement window from 0.1 s to 1.0 s.
+        """
+        ratio = new_dt / self.dt
+        k = int(round(ratio))
+        if k < 1 or abs(ratio - k) > 1e-9:
+            raise TraceError(
+                f"new_dt {new_dt} is not an integer multiple of dt {self.dt}"
+            )
+        if k == 1:
+            return self
+        n = (len(self.rates) // k) * k
+        if n == 0:
+            raise TraceError("trace too short to resample at that interval")
+        grouped = self.rates[:n].reshape(-1, k).mean(axis=1)
+        return Trace(rates=grouped, dt=new_dt, name=self.name)
+
+
+def save_trace(path: str | Path, trace: Trace) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
+    meta = json.dumps(
+        {"version": _FORMAT_VERSION, "dt": trace.dt, "name": trace.name}
+    )
+    np.savez_compressed(
+        Path(path), rates=np.asarray(trace.rates, dtype=np.float64), meta=meta
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            rates = archive["rates"]
+            meta = json.loads(str(archive["meta"]))
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise TraceError(f"malformed trace file {path}: {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {meta.get('version')} in {path}"
+        )
+    return Trace(rates=rates, dt=float(meta["dt"]), name=str(meta.get("name", "")))

@@ -1,0 +1,165 @@
+"""Statistical characterization of rate traces.
+
+Used (a) in tests, to verify the synthetic traces actually have the
+properties the paper's argument rests on (near-IID short-timescale noise,
+long-range dependence), and (b) by the monitoring stack's documentation of
+what "noisy" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def autocorrelation(series: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation at lags ``0..max_lag`` (biased estimator)."""
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if n < 2:
+        raise TraceError(f"need >= 2 samples for autocorrelation, got {n}")
+    if max_lag >= n:
+        raise TraceError(f"max_lag {max_lag} must be < series length {n}")
+    x = x - x.mean()
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        # Constant series: define acf as 1 at lag 0, 0 elsewhere.
+        acf = np.zeros(max_lag + 1)
+        acf[0] = 1.0
+        return acf
+    acf = np.empty(max_lag + 1)
+    acf[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        acf[lag] = float(np.dot(x[:-lag], x[lag:])) / denom
+    return acf
+
+
+def hurst_exponent(series: np.ndarray, min_block: int = 8) -> float:
+    """Estimate the Hurst parameter by the aggregated-variance method.
+
+    The series is averaged over blocks of size ``m``; for a self-similar
+    process ``Var(mean over m) ~ m^{2H-2}``, so the slope of
+    ``log Var`` vs ``log m`` gives ``2H - 2``.
+    """
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if n < 4 * min_block:
+        raise TraceError(
+            f"series too short ({n}) to estimate Hurst with min_block {min_block}"
+        )
+    sizes = []
+    variances = []
+    m = min_block
+    # Require >= 16 blocks per size: the variance of block means is itself
+    # estimated, and with only a handful of blocks the log-log fit is noise.
+    while n // m >= 16:
+        k = n // m
+        means = x[: k * m].reshape(k, m).mean(axis=1)
+        var = float(means.var())
+        if var > 0:
+            sizes.append(m)
+            variances.append(var)
+        m *= 2
+    if len(sizes) < 2:
+        raise TraceError("not enough block sizes with positive variance")
+    slope = np.polyfit(np.log(sizes), np.log(variances), 1)[0]
+    hurst = 1.0 + slope / 2.0
+    # Estimator can stray slightly outside (0, 1) on short series.
+    return float(np.clip(hurst, 0.01, 0.99))
+
+
+def fraction_steady(
+    series: np.ndarray, rho: float, horizon: int
+) -> float:
+    """Fraction of positions whose next ``horizon`` samples stay within ρ.
+
+    Zhang et al. [34] (which the paper adopts) measure the likelihood of
+    bandwidth remaining in a region where ``max/min < rho``.  A position
+    is *steady* when the window of the next ``horizon`` samples satisfies
+    that ratio (windows touching zero are unsteady by definition).
+    """
+    if rho <= 1.0:
+        raise TraceError(f"rho must be > 1, got {rho}")
+    if horizon < 2:
+        raise TraceError(f"horizon must be >= 2, got {horizon}")
+    x = np.asarray(series, dtype=float)
+    if x.size < horizon:
+        raise TraceError(
+            f"series of {x.size} samples shorter than horizon {horizon}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, horizon)
+    mins = windows.min(axis=1)
+    maxs = windows.max(axis=1)
+    steady = (mins > 0) & (maxs <= rho * mins)
+    return float(np.mean(steady))
+
+
+def mean_steady_period(series: np.ndarray, rho: float) -> float:
+    """Average length (in samples) of maximal steady regions.
+
+    A steady region is a maximal run over which ``max/min <= rho``;
+    longer steady periods mean predictions stay valid longer.  Greedy
+    scan: extend the current region while the ratio constraint holds.
+    """
+    if rho <= 1.0:
+        raise TraceError(f"rho must be > 1, got {rho}")
+    x = np.asarray(series, dtype=float)
+    if x.size < 1:
+        raise TraceError("empty series")
+    lengths = []
+    start = 0
+    lo = hi = x[0]
+    for i in range(1, x.size):
+        v = x[i]
+        new_lo, new_hi = min(lo, v), max(hi, v)
+        if new_lo <= 0 or new_hi > rho * max(new_lo, 1e-12):
+            lengths.append(i - start)
+            start = i
+            lo = hi = v
+        else:
+            lo, hi = new_lo, new_hi
+    lengths.append(x.size - start)
+    return float(np.mean(lengths))
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a rate trace."""
+
+    mean: float
+    std: float
+    p05: float
+    p10: float
+    p50: float
+    p90: float
+    p95: float
+    lag1_acf: float
+
+    @classmethod
+    def from_series(cls, series: np.ndarray) -> "TraceStats":
+        """Compute summary statistics for ``series``."""
+        x = np.asarray(series, dtype=float)
+        if x.size < 2:
+            raise TraceError(f"need >= 2 samples, got {x.size}")
+        p05, p10, p50, p90, p95 = np.percentile(x, [5, 10, 50, 90, 95])
+        return cls(
+            mean=float(x.mean()),
+            std=float(x.std()),
+            p05=float(p05),
+            p10=float(p10),
+            p50=float(p50),
+            p90=float(p90),
+            p95=float(p95),
+            lag1_acf=float(autocorrelation(x, 1)[1]),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"mean={self.mean:.2f} std={self.std:.2f} "
+            f"p05={self.p05:.2f} p10={self.p10:.2f} p50={self.p50:.2f} "
+            f"p90={self.p90:.2f} p95={self.p95:.2f} acf1={self.lag1_acf:.3f}"
+        )

@@ -1,0 +1,217 @@
+"""Composable synthetic bandwidth/rate processes.
+
+Every process produces a rate series (Mbps per measurement interval) via
+``sample(n, rng)``.  Processes are *descriptions*: they hold parameters, not
+random state, so a single description can be sampled repeatedly and
+reproducibly with different generators.
+
+The experiments compose these into cross-traffic models; see
+:mod:`repro.traces.nlanr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.fgn import fractional_gaussian_noise
+
+
+class BandwidthProcess:
+    """Base class: a description of a stochastic rate process in Mbps."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` consecutive rate samples (Mbps, may be negative for
+        zero-mean noise components; composites clip at the end)."""
+        raise NotImplementedError
+
+    def __add__(self, other: "BandwidthProcess") -> "CompositeProcess":
+        return CompositeProcess([self, other])
+
+
+@dataclass(frozen=True)
+class ConstantProcess(BandwidthProcess):
+    """A constant rate — the degenerate baseline (and useful in tests)."""
+
+    rate: float
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, float(self.rate))
+
+
+@dataclass(frozen=True)
+class IIDProcess(BandwidthProcess):
+    """IID Gaussian rate samples: ``Normal(mean, std)``.
+
+    Models the short-timescale noise that Zhang et al. [34] found dominates
+    available-bandwidth series — the property that defeats mean predictors.
+    """
+
+    mean: float
+    std: float
+
+    def __post_init__(self):
+        if self.std < 0:
+            raise ConfigurationError(f"std must be >= 0, got {self.std}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.mean + self.std * rng.standard_normal(n)
+
+
+@dataclass(frozen=True)
+class HeavyTailNoise(BandwidthProcess):
+    """Zero-median burst noise with lognormal upper tail.
+
+    With probability ``burst_prob`` an interval carries an extra burst drawn
+    from ``Lognormal(mu, sigma)`` scaled to ``burst_scale`` Mbps; otherwise
+    zero.  Captures the occasional large flows in packet-header traces that
+    create outliers in mean-prediction series.
+    """
+
+    burst_prob: float
+    burst_scale: float
+    sigma: float = 0.75
+
+    def __post_init__(self):
+        if not 0.0 <= self.burst_prob <= 1.0:
+            raise ConfigurationError(
+                f"burst_prob must be in [0, 1], got {self.burst_prob}"
+            )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        bursts = rng.lognormal(mean=0.0, sigma=self.sigma, size=n) * self.burst_scale
+        mask = rng.random(n) < self.burst_prob
+        return np.where(mask, bursts, 0.0)
+
+
+@dataclass(frozen=True)
+class MarkovModulatedProcess(BandwidthProcess):
+    """Rate level that jumps between states of a Markov chain.
+
+    ``levels[i]`` is the rate while in state ``i``; ``stay_prob`` is the
+    per-interval probability of remaining in the current state, with the
+    remainder split uniformly over other states.  Models regime shifts
+    (diurnal load changes, route changes) that make *long-horizon* mean
+    prediction unreliable while leaving the *short-horizon distribution*
+    stable.
+    """
+
+    levels: tuple[float, ...]
+    stay_prob: float = 0.995
+    initial_state: int = 0
+
+    def __post_init__(self):
+        if len(self.levels) < 1:
+            raise ConfigurationError("levels must be non-empty")
+        if not 0.0 < self.stay_prob <= 1.0:
+            raise ConfigurationError(
+                f"stay_prob must be in (0, 1], got {self.stay_prob}"
+            )
+        if not 0 <= self.initial_state < len(self.levels):
+            raise ConfigurationError(
+                f"initial_state {self.initial_state} out of range for "
+                f"{len(self.levels)} levels"
+            )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        k = len(self.levels)
+        if k == 1:
+            return np.full(n, self.levels[0])
+        # Vectorized chain: draw switch flags, then pick next states only at
+        # switches (rare), scanning those few positions in Python.
+        switches = rng.random(n) > self.stay_prob
+        states = np.empty(n, dtype=np.int64)
+        state = self.initial_state
+        switch_positions = np.flatnonzero(switches)
+        prev = 0
+        others_cache = {
+            s: [t for t in range(k) if t != s] for s in range(k)
+        }
+        for pos in switch_positions:
+            states[prev:pos] = state
+            state = int(rng.choice(others_cache[state]))
+            prev = pos
+        states[prev:] = state
+        return np.asarray(self.levels, dtype=float)[states]
+
+
+@dataclass(frozen=True)
+class OrnsteinUhlenbeckProcess(BandwidthProcess):
+    """Mean-reverting Gaussian rate: discretized OU process.
+
+    ``theta`` controls how fast the rate reverts to ``mean``; ``std`` is the
+    stationary standard deviation.  A smoother alternative to fGn for slow
+    load drift.
+    """
+
+    mean: float
+    std: float
+    theta: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 < self.theta < 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1), got {self.theta}")
+        if self.std < 0:
+            raise ConfigurationError(f"std must be >= 0, got {self.std}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # x_{t+1} = x_t + theta (mean - x_t) + sigma_step eps
+        # stationary variance std^2  =>  sigma_step = std sqrt(1-(1-theta)^2)
+        a = 1.0 - self.theta
+        sigma_step = self.std * np.sqrt(1.0 - a * a)
+        eps = rng.standard_normal(n)
+        x = np.empty(n)
+        # Start at stationarity so there is no warm-up transient.
+        current = self.mean + self.std * rng.standard_normal()
+        for i in range(n):
+            current = a * current + self.theta * self.mean + sigma_step * eps[i]
+            x[i] = current
+        return x
+
+
+@dataclass(frozen=True)
+class SelfSimilarProcess(BandwidthProcess):
+    """Long-range-dependent rate: ``mean + std * fGn(hurst)``."""
+
+    mean: float
+    std: float
+    hurst: float = 0.8
+
+    def __post_init__(self):
+        if not 0.0 < self.hurst < 1.0:
+            raise ConfigurationError(f"hurst must be in (0, 1), got {self.hurst}")
+        if self.std < 0:
+            raise ConfigurationError(f"std must be >= 0, got {self.std}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.mean + self.std * fractional_gaussian_noise(n, self.hurst, rng)
+
+
+@dataclass(frozen=True)
+class CompositeProcess(BandwidthProcess):
+    """Sum of component processes, clipped to ``[floor, ceiling]``.
+
+    The natural model for cross traffic: a base level plus LRD drift plus
+    heavy-tail bursts, clipped to the physical link capacity.
+    """
+
+    components: Sequence[BandwidthProcess]
+    floor: float = 0.0
+    ceiling: float = field(default=float("inf"))
+
+    def __post_init__(self):
+        if not self.components:
+            raise ConfigurationError("CompositeProcess needs >= 1 component")
+        if self.floor > self.ceiling:
+            raise ConfigurationError(
+                f"floor {self.floor} exceeds ceiling {self.ceiling}"
+            )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros(n)
+        for component in self.components:
+            total += component.sample(n, rng)
+        return np.clip(total, self.floor, self.ceiling)

@@ -1,0 +1,55 @@
+"""Exponential backoff for blocked paths.
+
+"Because of the high cost of blocking, timeouts and exponential backoff
+are used to avoid sending multiple packets to a blocked path."
+(Section 5.2.2.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ExponentialBackoff:
+    """Doubling backoff with a ceiling.
+
+    ``next_delay()`` returns the delay to wait before retrying a blocked
+    path, doubling on each consecutive failure; ``reset()`` is called when
+    the path accepts traffic again.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.01,
+        factor: float = 2.0,
+        max_delay: float = 1.0,
+    ):
+        if base_delay <= 0:
+            raise ConfigurationError(f"base_delay must be > 0, got {base_delay}")
+        if factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {factor}")
+        if max_delay < base_delay:
+            raise ConfigurationError(
+                f"max_delay {max_delay} must be >= base_delay {base_delay}"
+            )
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self._failures = 0
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last reset."""
+        return self._failures
+
+    def next_delay(self) -> float:
+        """Record a failure and return the delay before the next retry."""
+        delay = min(
+            self.base_delay * (self.factor**self._failures), self.max_delay
+        )
+        self._failures += 1
+        return delay
+
+    def reset(self) -> None:
+        """Clear the failure count after a successful send."""
+        self._failures = 0

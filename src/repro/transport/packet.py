@@ -1,0 +1,44 @@
+"""Application-level packets.
+
+IQ-Paths manipulates arbitrary application-level messages; the scheduler
+works on fixed-size packets carved out of them.  A packet carries its
+stream identity, a sequence number, and the virtual deadline assigned by
+the scheduling-vector machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import DEFAULT_PACKET_SIZE
+
+
+@dataclass(order=True)
+class Packet:
+    """One schedulable unit of a stream.
+
+    Ordering is by ``(deadline, stream, seq)`` so packet heaps pop the
+    earliest deadline first, with deterministic tie-breaking.
+    """
+
+    deadline: float
+    stream: str = field(compare=True)
+    seq: int = field(compare=True)
+    size: int = field(default=DEFAULT_PACKET_SIZE, compare=False)
+    created_at: float = field(default=0.0, compare=False)
+    delivered_at: float = field(default=-1.0, compare=False)
+    path: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet has been handed to a path service."""
+        return self.delivered_at >= 0.0
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Delivered (or still pending) past its virtual deadline."""
+        return self.delivered and self.delivered_at > self.deadline

@@ -1,0 +1,130 @@
+"""Per-path send services.
+
+Each overlay path has one *path service* (Figure 6): it accepts packets
+from the scheduler and delivers them at the path's currently available
+rate.  Within one measurement interval the service has a byte budget
+(available bandwidth times interval length); offering a packet beyond the
+budget *blocks*, which the scheduler observes and reacts to by switching
+paths and backing off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.transport.backoff import ExponentialBackoff
+from repro.transport.packet import Packet
+
+
+@dataclass
+class DeliveryLog:
+    """Per-stream accounting of what a service delivered.
+
+    ``bytes_by_stream`` accumulates across the service's lifetime;
+    ``interval_bytes`` is reset by :meth:`PathService.begin_interval` so the
+    experiment driver can read per-interval throughput.
+    """
+
+    bytes_by_stream: dict[str, float] = field(default_factory=dict)
+    interval_bytes: dict[str, float] = field(default_factory=dict)
+    packets_by_stream: dict[str, int] = field(default_factory=dict)
+    deadline_misses: dict[str, int] = field(default_factory=dict)
+
+    def record(self, packet: Packet) -> None:
+        s = packet.stream
+        self.bytes_by_stream[s] = self.bytes_by_stream.get(s, 0.0) + packet.size
+        self.interval_bytes[s] = self.interval_bytes.get(s, 0.0) + packet.size
+        self.packets_by_stream[s] = self.packets_by_stream.get(s, 0) + 1
+        if packet.missed_deadline:
+            self.deadline_misses[s] = self.deadline_misses.get(s, 0) + 1
+
+    def reset_interval(self) -> None:
+        self.interval_bytes.clear()
+
+
+class PathService:
+    """Delivers packets over one overlay path at its available rate.
+
+    The experiment driver calls :meth:`begin_interval` with the interval's
+    available bandwidth; the scheduler then calls :meth:`offer` per packet.
+    ``offer`` returns ``False`` when the path is blocked (budget exhausted
+    or still inside a backoff window), in which case the scheduler should
+    try another path.
+    """
+
+    def __init__(self, name: str, backoff: ExponentialBackoff | None = None):
+        if not name:
+            raise ConfigurationError("path service needs a non-empty name")
+        self.name = name
+        self.backoff = backoff or ExponentialBackoff()
+        self.log = DeliveryLog()
+        self._budget_bytes = 0.0
+        self._now = 0.0
+        self._blocked_until = 0.0
+
+    # ------------------------------------------------------------------
+    # interval lifecycle
+    # ------------------------------------------------------------------
+    def begin_interval(self, now: float, budget_bytes: float) -> None:
+        """Start a measurement interval with the given byte budget."""
+        if budget_bytes < 0:
+            raise ConfigurationError(
+                f"budget must be >= 0, got {budget_bytes}"
+            )
+        self._now = now
+        self._budget_bytes = budget_bytes
+        self.log.reset_interval()
+
+    @property
+    def remaining_budget(self) -> float:
+        """Bytes this service can still deliver in the current interval."""
+        return self._budget_bytes
+
+    @property
+    def blocked(self) -> bool:
+        """True when the service cannot accept a packet right now."""
+        return self._budget_bytes <= 0 or self._now < self._blocked_until
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def offer(self, packet: Packet) -> bool:
+        """Try to send ``packet``.  Returns ``False`` if the path blocked.
+
+        A refusal charges the backoff policy: the service will keep
+        refusing until the backoff delay elapses, preventing the scheduler
+        from burning its fast path on a congested link.
+        """
+        if self._now < self._blocked_until:
+            return False
+        if packet.size > self._budget_bytes:
+            self._blocked_until = self._now + self.backoff.next_delay()
+            return False
+        self._budget_bytes -= packet.size
+        self.backoff.reset()
+        self._blocked_until = 0.0
+        packet.delivered_at = self._now
+        packet.path = self.name
+        self.log.record(packet)
+        return True
+
+    def deliver_bytes(self, stream: str, nbytes: float) -> float:
+        """Fluid-mode delivery: send up to ``nbytes`` of ``stream``.
+
+        Returns the bytes actually delivered (budget-limited).  Used by the
+        vectorized experiment driver, which moves fractional packet volumes
+        per interval instead of walking individual packets.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        sent = min(nbytes, self._budget_bytes)
+        if sent > 0:
+            self._budget_bytes -= sent
+            self.log.bytes_by_stream[stream] = (
+                self.log.bytes_by_stream.get(stream, 0.0) + sent
+            )
+            self.log.interval_bytes[stream] = (
+                self.log.interval_bytes.get(stream, 0.0) + sent
+            )
+        return sent

@@ -1,0 +1,74 @@
+"""Unit conversions used throughout the reproduction.
+
+The paper mixes units freely (Mbps link rates, KB message sizes, packets per
+scheduling window, records per second).  Centralizing the conversions keeps
+every module honest about *bits vs bytes* and avoids scattering ``1e6`` and
+``8`` literals through the code.
+
+Conventions
+-----------
+* Bandwidth is expressed in **Mbps** (``1 Mbps = 1e6 bits/s``) at API
+  boundaries, matching the paper's figures.
+* Data sizes are expressed in **bytes**; ``KB`` means ``1024`` bytes, as used
+  by the paper's record sizes (e.g. the 172.8 KB climate record component).
+* Time is expressed in **seconds** (floats of virtual time).
+"""
+
+from __future__ import annotations
+
+#: Bits per megabit.
+BITS_PER_MEGABIT = 1_000_000
+
+#: Bytes per kilobyte (the paper's data sizes use binary KB).
+BYTES_PER_KB = 1024
+
+#: Bytes per megabyte.
+BYTES_PER_MB = 1024 * 1024
+
+#: Default packet payload size in bytes (Ethernet-MTU sized, as on the
+#: paper's fast-ethernet testbed).
+DEFAULT_PACKET_SIZE = 1500
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert a rate in Mbps to bytes per second."""
+    return mbps * BITS_PER_MEGABIT / 8.0
+
+
+def bytes_per_s_to_mbps(bps: float) -> float:
+    """Convert a rate in bytes per second to Mbps."""
+    return bps * 8.0 / BITS_PER_MEGABIT
+
+
+def bytes_in_interval(mbps: float, dt: float) -> float:
+    """Number of bytes a rate of ``mbps`` delivers in ``dt`` seconds."""
+    return mbps_to_bytes_per_s(mbps) * dt
+
+
+def mbps_from_bytes(nbytes: float, dt: float) -> float:
+    """Rate in Mbps that delivers ``nbytes`` bytes in ``dt`` seconds."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    return bytes_per_s_to_mbps(nbytes / dt)
+
+
+def packets_per_window(mbps: float, packet_size: int, tw: float) -> int:
+    """Packets of ``packet_size`` bytes needed per window to sustain ``mbps``.
+
+    This is the paper's ``x_i`` for a stream whose utility specification is a
+    minimum bandwidth: the number of packets that must be serviced per
+    scheduling window ``tw`` (Section 5.1).  Rounded up so the guarantee is
+    conservative.
+    """
+    if packet_size <= 0:
+        raise ValueError(f"packet_size must be positive, got {packet_size}")
+    if tw <= 0:
+        raise ValueError(f"tw must be positive, got {tw}")
+    nbytes = bytes_in_interval(mbps, tw)
+    whole, frac = divmod(nbytes, packet_size)
+    return int(whole) + (1 if frac > 1e-9 else 0)
+
+
+def rate_of_packets(num_packets: float, packet_size: int, tw: float) -> float:
+    """Mbps sustained by ``num_packets`` packets per window of ``tw`` seconds."""
+    return mbps_from_bytes(num_packets * packet_size, tw)

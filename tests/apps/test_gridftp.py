@@ -1,0 +1,98 @@
+"""GridFTP application model (Section 6.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.apps.gridftp import (
+    DT1_MBPS,
+    DT2_MBPS,
+    DT3_MBPS,
+    DataLayout,
+    GridFTPScheduler,
+    gridftp_streams,
+    records_per_second,
+    run_gridftp,
+)
+from repro.core.scheduler import water_fill
+
+
+class TestWorkload:
+    def test_component_rates(self):
+        assert DT1_MBPS == pytest.approx(34.56)
+        assert DT2_MBPS == pytest.approx(25.60)
+        assert DT3_MBPS == pytest.approx(76.80)
+
+    def test_stream_specs(self):
+        specs = {s.name: s for s in gridftp_streams()}
+        assert specs["DT1"].probability == 0.95
+        assert specs["DT2"].probability == 0.95
+        assert specs["DT3"].elastic
+
+
+class TestGridFTPScheduler:
+    def test_even_split_across_connections(self):
+        scheduler = GridFTPScheduler()
+        scheduler.setup(gridftp_streams(), ["A", "B"], 0.1, 1.0)
+        requests = scheduler.allocate(
+            0, {"DT1": DT1_MBPS, "DT2": DT2_MBPS, "DT3": None}
+        )
+        dt1_a = next(r for r in requests["A"] if r.stream == "DT1")
+        assert dt1_a.demand_mbps == pytest.approx(DT1_MBPS / 2)
+
+    def test_no_differentiation(self):
+        scheduler = GridFTPScheduler()
+        scheduler.setup(gridftp_streams(), ["A", "B"], 0.1, 1.0)
+        requests = scheduler.allocate(
+            0, {"DT1": DT1_MBPS, "DT2": DT2_MBPS, "DT3": None}
+        )
+        assert {r.level for r in requests["A"]} == {0}
+
+    def test_dip_hits_all_components(self):
+        # The paper's point: at 80 % capacity everyone loses ~20 %.
+        scheduler = GridFTPScheduler()
+        scheduler.setup(gridftp_streams(), ["A", "B"], 0.1, 1.0)
+        requests = scheduler.allocate(
+            0, {"DT1": DT1_MBPS, "DT2": DT2_MBPS, "DT3": None}
+        )
+        per_path_demand = (DT1_MBPS + DT2_MBPS + DT3_MBPS) / 2
+        granted = water_fill(requests["A"], per_path_demand * 0.8)
+        assert granted["DT1"] < DT1_MBPS / 2
+        assert granted["DT2"] < DT2_MBPS / 2
+
+    def test_pgos_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridFTPScheduler(DataLayout.PGOS)
+
+
+class TestRun:
+    def test_iqpg_meets_record_rate(self):
+        res = run_gridftp("IQPG", seed=3, duration=60.0, warmup_intervals=200)
+        assert records_per_second(res, "DT1") == pytest.approx(25.0, rel=0.01)
+        assert records_per_second(res, "DT2") == pytest.approx(25.0, rel=0.01)
+
+    def test_iqpg_stabler_than_gridftp(self):
+        kwargs = dict(seed=3, duration=60.0, warmup_intervals=200)
+        iqpg = run_gridftp("IQPG", **kwargs)
+        gftp = run_gridftp("GridFTP", **kwargs)
+        assert (
+            iqpg.stream_series("DT1").std() < gftp.stream_series("DT1").std()
+        )
+
+    def test_partitioned_layout_runs(self):
+        res = run_gridftp(
+            "Partitioned", seed=3, duration=40.0, warmup_intervals=100
+        )
+        assert res.scheduler_name == "GridFTP-Partitioned"
+
+    def test_optsched_runs(self):
+        res = run_gridftp("OptSched", seed=3, duration=40.0, warmup_intervals=100)
+        assert records_per_second(res, "DT1") == pytest.approx(25.0, rel=0.02)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            run_gridftp("FancyFTP", duration=10.0, warmup_intervals=10)
+
+    def test_records_per_second_unknown_component(self):
+        res = run_gridftp("GridFTP", seed=3, duration=20.0, warmup_intervals=50)
+        with pytest.raises(ConfigurationError):
+            records_per_second(res, "DT9")

@@ -1,0 +1,76 @@
+"""SmartPointer application model (Section 6.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.apps.smartpointer import (
+    ATOM_MBPS,
+    BOND1_MBPS,
+    frame_bytes,
+    make_scheduler,
+    run_smartpointer,
+    smartpointer_streams,
+)
+
+
+class TestStreams:
+    def test_paper_requirements(self):
+        streams = {s.name: s for s in smartpointer_streams()}
+        assert streams["Atom"].required_mbps == pytest.approx(3.249)
+        assert streams["Atom"].probability == 0.95
+        assert streams["Bond1"].required_mbps == pytest.approx(22.148)
+        assert streams["Bond1"].probability == 0.95
+        assert streams["Bond2"].elastic
+        assert not streams["Bond2"].guaranteed
+
+    def test_frame_bytes_at_25fps(self):
+        # 3.249 Mbps at 25 fps = 16245 bytes per frame.
+        assert frame_bytes(ATOM_MBPS) == pytest.approx(16_245.0)
+
+    def test_frame_bytes_validation(self):
+        with pytest.raises(ConfigurationError):
+            frame_bytes(1.0, frame_rate=0.0)
+
+
+class TestSchedulerFactory:
+    @pytest.mark.parametrize(
+        "name", ["WFQ", "MSFQ", "PGOS", "OptSched", "MeanPred"]
+    )
+    def test_all_algorithms_available(self, name):
+        assert make_scheduler(name).name in (name, "PGOS")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            make_scheduler("FancyQ")
+
+
+class TestRun:
+    def test_pgos_meets_guarantees(self):
+        res = run_smartpointer("PGOS", seed=3, duration=60.0, warmup_intervals=200)
+        atom = res.stream_series("Atom")
+        bond1 = res.stream_series("Bond1")
+        assert (atom >= ATOM_MBPS * 0.999).mean() >= 0.95
+        assert (bond1 >= BOND1_MBPS * 0.999).mean() >= 0.95
+
+    def test_result_dimensions(self):
+        res = run_smartpointer("WFQ", seed=3, duration=40.0, warmup_intervals=100)
+        assert res.stream_names == ["Atom", "Bond1", "Bond2"]
+        assert res.path_names == ["A", "B"]
+        assert res.n_intervals == 300  # 400 total - 100 warmup
+
+    def test_accepts_prebuilt_scheduler(self):
+        from repro.core.pgos import PGOSScheduler
+
+        res = run_smartpointer(
+            PGOSScheduler(), seed=3, duration=40.0, warmup_intervals=100
+        )
+        assert res.scheduler_name == "PGOS"
+
+    def test_deterministic(self):
+        import numpy as np
+
+        r1 = run_smartpointer("MSFQ", seed=9, duration=40.0, warmup_intervals=100)
+        r2 = run_smartpointer("MSFQ", seed=9, duration=40.0, warmup_intervals=100)
+        assert np.array_equal(
+            r1.stream_series("Bond1"), r2.stream_series("Bond1")
+        )

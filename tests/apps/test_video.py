@@ -1,0 +1,156 @@
+"""Layered video application model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video import (
+    BASE_LAYER_MBPS,
+    VideoQuality,
+    layered_video_streams,
+    playback_quality,
+    run_video,
+)
+
+
+class TestStreams:
+    def test_base_is_guaranteed(self):
+        specs = {s.name: s for s in layered_video_streams()}
+        assert specs["base"].guaranteed
+        assert specs["base"].probability == 0.97
+        assert specs["enhancement"].elastic
+
+    def test_custom_rates(self):
+        specs = layered_video_streams(base_mbps=1.0, enhancement_nominal=4.0)
+        assert specs[0].required_mbps == 1.0
+        assert specs[1].nominal_mbps == 4.0
+
+
+class TestQualityModel:
+    def _result(self, base, enh):
+        from repro.harness.experiment import ExperimentResult
+
+        n = len(base)
+        return ExperimentResult(
+            scheduler_name="X",
+            dt=0.1,
+            stream_names=["base", "enhancement"],
+            path_names=["A"],
+            delivered_mbps={
+                "base": {"A": np.asarray(base, dtype=float)},
+                "enhancement": {"A": np.asarray(enh, dtype=float)},
+            },
+            available_mbps={"A": np.full(n, 100.0)},
+        )
+
+    def test_full_quality(self):
+        res = self._result([2.0] * 10, [12.0] * 10)
+        q = playback_quality(res)
+        assert q.stall_fraction == 0.0
+        assert q.mean_quality == pytest.approx(1.0)
+
+    def test_stall_when_base_short(self):
+        res = self._result([2.0] * 5 + [1.0] * 5, [12.0] * 10)
+        q = playback_quality(res)
+        assert q.stall_fraction == pytest.approx(0.5)
+        assert q.mean_quality == pytest.approx(0.5)
+
+    def test_partial_enhancement(self):
+        res = self._result([2.0] * 10, [6.0] * 10)
+        q = playback_quality(res)
+        assert q.mean_quality == pytest.approx(0.5)
+
+    def test_describe(self):
+        q = VideoQuality(stall_fraction=0.01, mean_quality=0.8, quality_std=0.1)
+        assert "stalls=1.00%" in q.describe()
+
+
+class TestVBRModel:
+    def test_mean_rate_normalized(self, rng):
+        from repro.apps.video import vbr_frame_sizes
+
+        sizes = vbr_frame_sizes(
+            duration=120.0, frame_rate=25.0, mean_mbps=4.0, rng=rng
+        )
+        rate = sizes.sum() * 8 / 120.0 / 1e6
+        assert rate == pytest.approx(4.0, rel=1e-6)
+
+    def test_variability_present(self, rng):
+        from repro.apps.video import vbr_frame_sizes
+
+        sizes = vbr_frame_sizes(
+            duration=60.0, frame_rate=25.0, mean_mbps=4.0, rng=rng
+        )
+        assert sizes.std() / sizes.mean() > 0.2
+
+    def test_scene_structure(self, rng):
+        from repro.apps.video import vbr_frame_sizes
+
+        # With certain scene changes off, block means over a scene length
+        # vary much less than with scene changes on.
+        calm = vbr_frame_sizes(
+            60.0, 25.0, 4.0, np.random.default_rng(1), scene_change_prob=0.0
+        )
+        sceney = vbr_frame_sizes(
+            60.0, 25.0, 4.0, np.random.default_rng(1), scene_change_prob=0.02
+        )
+        blocks = lambda x: x[: (len(x) // 50) * 50].reshape(-1, 50).mean(axis=1)
+        assert blocks(sceney).std() > blocks(calm).std()
+
+    def test_validation(self, rng):
+        from repro.errors import ConfigurationError
+        from repro.apps.video import vbr_frame_sizes
+
+        with pytest.raises(ConfigurationError):
+            vbr_frame_sizes(0.0, 25.0, 4.0, rng)
+        with pytest.raises(ConfigurationError):
+            vbr_frame_sizes(10.0, 25.0, 4.0, rng, scene_factor_range=(0, 2))
+
+
+class TestStartupDelay:
+    def test_zero_for_smooth_overprovisioned_delivery(self):
+        from repro.apps.video import startup_delay_seconds
+
+        x = np.full(100, 10.0)
+        assert startup_delay_seconds(x, 0.1, 9.0) == 0.0
+
+    def test_pgos_shorter_startup_than_msfq(self):
+        from repro.apps.video import startup_delay_seconds
+        from repro.apps.smartpointer import BOND1_MBPS, run_smartpointer
+
+        kwargs = dict(seed=7, duration=90.0, warmup_intervals=250)
+        pgos = run_smartpointer("PGOS", **kwargs).stream_series("Bond1")
+        msfq = run_smartpointer("MSFQ", **kwargs).stream_series("Bond1")
+        playout = BOND1_MBPS * 0.98
+        assert startup_delay_seconds(pgos, 0.1, playout) < (
+            startup_delay_seconds(msfq, 0.1, playout)
+        )
+
+    def test_empty_delivery_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.apps.video import startup_delay_seconds
+
+        with pytest.raises(ConfigurationError):
+            startup_delay_seconds(np.zeros(10), 0.1, 1.0)
+
+
+class TestRun:
+    def test_pgos_protects_base_layer(self):
+        res = run_video("PGOS", seed=5, duration=60.0, warmup_intervals=200)
+        q = playback_quality(res)
+        assert q.stall_fraction <= 0.05
+        base = res.stream_series("base")
+        assert (base >= BASE_LAYER_MBPS * 0.999).mean() >= 0.95
+
+    def test_pgos_smoother_than_wfq(self):
+        kwargs = dict(seed=5, duration=60.0, warmup_intervals=200)
+        pgos_q = playback_quality(run_video("PGOS", **kwargs))
+        wfq_q = playback_quality(run_video("WFQ", **kwargs))
+        assert pgos_q.stall_fraction <= wfq_q.stall_fraction
+
+    def test_warmup_validation(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            run_video("PGOS", duration=10.0, warmup_intervals=200)

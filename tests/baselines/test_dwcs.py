@@ -1,0 +1,119 @@
+"""DWCS: the window-constrained scheduler PGOS descends from."""
+
+import pytest
+
+from repro.baselines.dwcs import DWCSScheduler, utilization
+from repro.core.spec import WindowConstraint
+from repro.errors import ConfigurationError
+
+
+def wc(x, y):
+    return WindowConstraint(x=x, y=y)
+
+
+class TestFeasibleSchedules:
+    def test_single_stream_fully_served(self):
+        sched = DWCSScheduler({"a": (wc(3, 10), 10)})
+        sched.run(100)
+        assert sched.violations("a") == 0
+        assert sched.serviced("a") == 100  # work-conserving
+
+    def test_two_streams_share_without_violations(self):
+        # Requirements: 5/10 + 5/10 = full utilization, still feasible.
+        sched = DWCSScheduler(
+            {"a": (wc(5, 10), 10), "b": (wc(5, 10), 10)}
+        )
+        sched.run(200)
+        assert sched.violations("a") == 0
+        assert sched.violations("b") == 0
+
+    def test_mixed_windows_feasible(self):
+        sched = DWCSScheduler(
+            {
+                "tight": (wc(2, 4), 4),  # 50 % of slots
+                "loose": (wc(2, 10), 10),  # 20 % of slots
+            }
+        )
+        sched.run(400)
+        assert sched.violations("tight") == 0
+        assert sched.violations("loose") == 0
+
+    def test_utilization_helper(self):
+        constraints = {"a": (wc(5, 10), 10), "b": (wc(3, 10), 10)}
+        assert utilization(constraints) == pytest.approx(0.8)
+
+
+class TestOverload:
+    def test_overload_forces_violations(self):
+        # 8/10 + 8/10 = 160 % of slots: someone must miss.
+        sched = DWCSScheduler(
+            {"a": (wc(8, 10), 10), "b": (wc(8, 10), 10)}
+        )
+        sched.run(300)
+        assert sched.violations("a") + sched.violations("b") > 0
+
+    def test_overload_shared_roughly_fairly(self):
+        sched = DWCSScheduler(
+            {"a": (wc(8, 10), 10), "b": (wc(8, 10), 10)}
+        )
+        sched.run(1000)
+        va, vb = sched.violations("a"), sched.violations("b")
+        assert va > 0 and vb > 0
+        assert abs(va - vb) <= 0.2 * max(va, vb)
+
+    def test_tight_constraint_preferred_at_tie(self):
+        # Same windows; "hungry" needs 9/10, "light" needs 1/10 — the
+        # precedence (highest x'/y' first) must not starve hungry.
+        sched = DWCSScheduler(
+            {"hungry": (wc(9, 10), 10), "light": (wc(1, 10), 10)}
+        )
+        sched.run(500)
+        assert sched.violations("hungry") == 0
+        assert sched.violations("light") == 0
+
+    def test_violation_rate(self):
+        sched = DWCSScheduler({"a": (wc(10, 10), 10), "b": (wc(10, 10), 10)})
+        sched.run(200)
+        # Each stream can get at most half the slots but needs all.
+        assert sched.violation_rate("a") == pytest.approx(0.5, abs=0.1)
+
+
+class TestQueueMetering:
+    def test_idle_stream_yields_slots(self):
+        sched = DWCSScheduler(
+            {"a": (wc(5, 10), 10), "b": (wc(5, 10), 10)}
+        )
+        sched.arrive("a", 100)
+        # b never has arrivals: a gets every slot.
+        sched.run(50, always_backlogged=False)
+        assert sched.serviced("a") == 50
+        assert sched.serviced("b") == 0
+
+    def test_no_arrivals_no_service(self):
+        sched = DWCSScheduler({"a": (wc(1, 10), 10)})
+        sched.run(20, always_backlogged=False)
+        assert sched.serviced("a") == 0
+
+
+class TestValidation:
+    def test_empty_constraints(self):
+        with pytest.raises(ConfigurationError):
+            DWCSScheduler({})
+
+    def test_x_exceeding_window(self):
+        with pytest.raises(ConfigurationError):
+            DWCSScheduler({"a": (wc(5, 10), 3)})
+
+    def test_bad_window_slots(self):
+        with pytest.raises(ConfigurationError):
+            DWCSScheduler({"a": (wc(1, 2), 0)})
+
+    def test_unknown_stream(self):
+        sched = DWCSScheduler({"a": (wc(1, 2), 4)})
+        with pytest.raises(ConfigurationError):
+            sched.violations("ghost")
+
+    def test_negative_slots(self):
+        sched = DWCSScheduler({"a": (wc(1, 2), 4)})
+        with pytest.raises(ConfigurationError):
+            sched.run(-1)

@@ -1,0 +1,76 @@
+"""Admission control: the upcall protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.spec import StreamSpec
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+@pytest.fixture
+def paths(rng):
+    return {
+        "A": EmpiricalCDF(np.clip(50 + 4 * rng.standard_normal(3000), 0, None)),
+        "B": EmpiricalCDF(np.clip(30 + 10 * rng.standard_normal(3000), 0, None)),
+    }
+
+
+class TestAdmit:
+    def test_feasible_set_admitted(self, paths):
+        specs = [
+            StreamSpec(name="ctl", required_mbps=3.0, probability=0.99),
+            StreamSpec(name="data", required_mbps=22.0, probability=0.95),
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=40.0),
+        ]
+        decision = AdmissionController(tw=1.0).try_admit(specs, paths)
+        assert decision.admitted
+        assert decision.mapping is not None
+        assert decision.admitted_streams == ("ctl", "data", "bulk")
+        assert decision.rejected_stream is None
+
+    def test_infeasible_stream_named(self, paths):
+        specs = [
+            StreamSpec(name="ok", required_mbps=10.0, probability=0.95),
+            StreamSpec(name="greedy", required_mbps=90.0, probability=0.95),
+        ]
+        decision = AdmissionController(tw=1.0).try_admit(specs, paths)
+        assert not decision.admitted
+        assert decision.rejected_stream == "greedy"
+        assert "greedy" in decision.reason
+
+    def test_rejection_keeps_other_streams(self, paths):
+        specs = [
+            StreamSpec(name="ok", required_mbps=10.0, probability=0.95),
+            StreamSpec(name="greedy", required_mbps=90.0, probability=0.95),
+        ]
+        decision = AdmissionController(tw=1.0).try_admit(specs, paths)
+        assert decision.mapping is not None
+        assert decision.admitted_streams == ("ok",)
+
+    def test_suggested_probability_is_renegotiation_hint(self, paths):
+        # 45 Mbps can't be had at 99 % on these paths, but can at some
+        # lower probability; the hint should be that lower value.
+        specs = [StreamSpec(name="want", required_mbps=49.0, probability=0.99)]
+        decision = AdmissionController(tw=1.0).try_admit(specs, paths)
+        assert not decision.admitted
+        hint = decision.suggested_probability
+        assert hint is not None
+        assert 0.0 < hint < 0.99
+
+    def test_retry_with_hint_succeeds(self, paths):
+        controller = AdmissionController(tw=1.0)
+        spec = StreamSpec(name="want", required_mbps=49.0, probability=0.99)
+        decision = controller.try_admit([spec], paths)
+        assert not decision.admitted
+        # The application reduces its requirement per the upcall.
+        retry_p = decision.suggested_probability * 0.95
+        retry = controller.try_admit(
+            [StreamSpec(name="want", required_mbps=49.0, probability=retry_p)],
+            paths,
+        )
+        assert retry.admitted
+
+    def test_invalid_tw(self):
+        with pytest.raises(ValueError):
+            AdmissionController(tw=0.0)

@@ -1,0 +1,86 @@
+"""Best-effort degradation when a workload is not admittable."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import best_effort_mapping, compute_mapping
+from repro.core.pgos import PGOSScheduler
+from repro.core.spec import StreamSpec
+from repro.errors import AdmissionError
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+@pytest.fixture
+def weak_paths(rng):
+    """Two paths that cannot guarantee 60 Mbps at 95 %."""
+    return {
+        "A": EmpiricalCDF(np.clip(30 + 5 * rng.standard_normal(2000), 0, None)),
+        "B": EmpiricalCDF(np.clip(20 + 8 * rng.standard_normal(2000), 0, None)),
+    }
+
+
+GREEDY = [StreamSpec(name="big", required_mbps=60.0, probability=0.95)]
+
+
+class TestBestEffortMapping:
+    def test_never_raises(self, weak_paths):
+        with pytest.raises(AdmissionError):
+            compute_mapping(GREEDY, weak_paths, tw=1.0)
+        mapping = best_effort_mapping(GREEDY, weak_paths, tw=1.0)
+        assert mapping.total_rate("big") == pytest.approx(60.0)
+
+    def test_reports_achievable_probability(self, weak_paths):
+        mapping = best_effort_mapping(GREEDY, weak_paths, tw=1.0)
+        achieved = mapping.achieved_probability["big"]
+        assert 0.0 <= achieved < 0.95  # honestly below the request
+
+    def test_picks_strongest_path(self, weak_paths):
+        mapping = best_effort_mapping(GREEDY, weak_paths, tw=1.0)
+        # Path A (30±5) beats B (20±8) for a 60 Mbps demand.
+        assert mapping.paths_of("big") == ["A"]
+
+    def test_feasible_workload_fully_served(self, weak_paths):
+        specs = [StreamSpec(name="small", required_mbps=5.0, probability=0.95)]
+        mapping = best_effort_mapping(specs, weak_paths, tw=1.0)
+        assert mapping.achieved_probability["small"] >= 0.95
+
+    def test_elastic_still_gets_leftover(self, weak_paths):
+        specs = GREEDY + [
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=10.0)
+        ]
+        mapping = best_effort_mapping(specs, weak_paths, tw=1.0)
+        assert mapping.total_rate("bulk") > 0.0
+
+
+class TestPGOSDegradedMode:
+    def test_degraded_flag_set_and_serving_continues(self, rng):
+        scheduler = PGOSScheduler(min_history=30)
+        scheduler.setup(GREEDY, ["A", "B"], dt=0.1, tw=1.0)
+        scheduler.seed_history(
+            {
+                "A": 30 + 5 * rng.standard_normal(100),
+                "B": 20 + 8 * rng.standard_normal(100),
+            }
+        )
+        requests = scheduler.allocate(0, {"big": 60.0})
+        assert scheduler.degraded
+        total_demand = sum(
+            r.demand_mbps
+            for reqs in requests.values()
+            for r in reqs
+            if r.demand_mbps is not None
+        )
+        assert total_demand > 0  # still pushing traffic
+
+    def test_not_degraded_for_feasible_workload(self, rng):
+        scheduler = PGOSScheduler(min_history=30)
+        specs = [StreamSpec(name="ok", required_mbps=10.0, probability=0.95)]
+        scheduler.setup(specs, ["A", "B"], dt=0.1, tw=1.0)
+        scheduler.seed_history(
+            {
+                "A": 30 + 5 * rng.standard_normal(100),
+                "B": 20 + 8 * rng.standard_normal(100),
+            }
+        )
+        scheduler.allocate(0, {"ok": 10.0})
+        assert not scheduler.degraded

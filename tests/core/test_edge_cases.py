@@ -1,0 +1,163 @@
+"""Edge cases across the core: many paths, tight fits, odd specs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError
+from repro.core.mapping import compute_mapping
+from repro.core.pgos import PGOSScheduler
+from repro.core.scheduler import water_fill
+from repro.core.spec import StreamSpec, WindowConstraint
+from repro.core.vectors import build_schedule, path_lookup_vector
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+def cdf(mean, std, rng, n=1500):
+    return EmpiricalCDF(np.clip(mean + std * rng.standard_normal(n), 0, None))
+
+
+class TestManyPaths:
+    def test_mapping_over_four_paths(self, rng):
+        paths = {
+            "P0": cdf(15, 2, rng),
+            "P1": cdf(15, 2, rng),
+            "P2": cdf(15, 2, rng),
+            "P3": cdf(15, 2, rng),
+        }
+        # 40 Mbps fits nowhere alone: must split across >= 3 paths.
+        specs = [StreamSpec(name="wide", required_mbps=40.0, probability=0.9)]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert len(mapping.paths_of("wide")) >= 3
+        assert mapping.total_rate("wide") == pytest.approx(40.0)
+
+    def test_vp_over_four_paths_preserves_shares(self):
+        counts = {"P0": 10, "P1": 20, "P2": 30, "P3": 40}
+        vp = path_lookup_vector(counts, tw=1.0)
+        assert len(vp) == 100
+        for path, count in counts.items():
+            assert vp.count(path) == count
+
+    def test_pgos_with_four_paths(self, rng):
+        scheduler = PGOSScheduler(min_history=20)
+        specs = [
+            StreamSpec(name="a", required_mbps=10.0, probability=0.95),
+            StreamSpec(name="e", elastic=True, nominal_mbps=20.0),
+        ]
+        names = ["P0", "P1", "P2", "P3"]
+        scheduler.setup(specs, names, dt=0.1, tw=1.0)
+        scheduler.seed_history(
+            {p: 15 + 2 * rng.standard_normal(50) for p in names}
+        )
+        requests = scheduler.allocate(0, {"a": 10.0, "e": None})
+        assert set(requests) == set(names)
+
+
+class TestSinglePathTopology:
+    def test_everything_on_the_only_path(self, rng):
+        paths = {"solo": cdf(50, 3, rng)}
+        specs = [
+            StreamSpec(name="a", required_mbps=20.0, probability=0.95),
+            StreamSpec(name="e", elastic=True, nominal_mbps=10.0),
+        ]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert mapping.paths_of("a") == ["solo"]
+        assert mapping.paths_of("e") == ["solo"]
+
+    def test_single_path_infeasible_split_impossible(self, rng):
+        paths = {"solo": cdf(10, 1, rng)}
+        specs = [StreamSpec(name="big", required_mbps=50.0, probability=0.9)]
+        with pytest.raises(AdmissionError):
+            compute_mapping(specs, paths, tw=1.0)
+
+
+class TestTightFits:
+    def test_requirement_exactly_at_quantile(self, rng):
+        samples = np.concatenate([np.full(95, 30.0), np.full(5, 10.0)])
+        paths = {"edge": EmpiricalCDF(samples)}
+        # P(bw >= 30) = 0.95 exactly: must be admitted at P = 0.95.
+        specs = [StreamSpec(name="s", required_mbps=30.0, probability=0.95)]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert mapping.achieved_probability["s"] >= 0.95
+
+    def test_epsilon_above_quantile_rejected(self, rng):
+        samples = np.concatenate([np.full(95, 30.0), np.full(5, 10.0)])
+        paths = {"edge": EmpiricalCDF(samples)}
+        specs = [
+            StreamSpec(name="s", required_mbps=30.0001, probability=0.951)
+        ]
+        with pytest.raises(AdmissionError):
+            compute_mapping(specs, paths, tw=1.0)
+
+    def test_zero_capacity_path_handled(self, rng):
+        paths = {
+            "dead": EmpiricalCDF(np.zeros(100)),
+            "live": cdf(40, 3, rng),
+        }
+        specs = [StreamSpec(name="s", required_mbps=20.0, probability=0.95)]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert mapping.paths_of("s") == ["live"]
+
+
+class TestWindowConstraintSpecs:
+    def test_constraint_only_stream_mapped(self, rng):
+        paths = {"A": cdf(50, 3, rng)}
+        spec = StreamSpec(
+            name="wc",
+            elastic=True,
+            nominal_mbps=5.0,
+            window_constraint=WindowConstraint(x=100, y=200),
+        )
+        assert spec.packets_in_window(1.0) == 100
+        mapping = compute_mapping([spec], paths, tw=1.0)
+        assert mapping.total_rate("wc") > 0
+
+    def test_constraint_with_rate_uses_rate(self):
+        spec = StreamSpec(
+            name="wc",
+            required_mbps=12.0,
+            window_constraint=WindowConstraint(x=5, y=10),
+        )
+        # required_mbps wins over the raw x when both are present.
+        assert spec.packets_in_window(1.0) == 1000
+
+
+class TestWaterFillEdges:
+    def test_empty_requests(self):
+        assert water_fill([], 100.0) == {}
+
+    def test_single_unbounded_level_gap(self):
+        from repro.core.scheduler import PathShareRequest
+
+        # Levels 0 and 5 with nothing between: the gap must not break
+        # the level iteration.
+        requests = [
+            PathShareRequest(stream="hi", demand_mbps=10.0, weight=1.0, level=0),
+            PathShareRequest(stream="lo", demand_mbps=None, weight=1.0, level=5),
+        ]
+        granted = water_fill(requests, 25.0)
+        assert granted == {"hi": 10.0, "lo": 15.0}
+
+    def test_zero_demand_request(self):
+        from repro.core.scheduler import PathShareRequest
+
+        requests = [
+            PathShareRequest(stream="z", demand_mbps=0.0, weight=1.0),
+            PathShareRequest(stream="x", demand_mbps=None, weight=1.0),
+        ]
+        granted = water_fill(requests, 10.0)
+        assert granted["z"] == 0.0
+        assert granted["x"] == pytest.approx(10.0)
+
+
+class TestScheduleEdges:
+    def test_one_packet_schedule(self):
+        schedule = build_schedule({"s": {"A": 1}}, tw=1.0)
+        assert schedule.vp == ("A",)
+        assert schedule.vs["A"] == ("s",)
+
+    def test_large_counts_consistent(self):
+        schedule = build_schedule(
+            {"a": {"A": 5000}, "b": {"A": 2500, "B": 7500}}, tw=1.0
+        )
+        assert schedule.total_packets == 15_000
+        assert len(schedule.vp) == 15_000

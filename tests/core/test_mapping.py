@@ -1,0 +1,231 @@
+"""Utility-based resource mapping (Section 5.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.mapping import (
+    compute_mapping,
+    even_split_mapping,
+    largest_remainder_split,
+    shifted_cdf,
+)
+from repro.core.spec import StreamSpec
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+def cdf(mean, std, rng, n=3000):
+    return EmpiricalCDF(np.clip(mean + std * rng.standard_normal(n), 0, None))
+
+
+@pytest.fixture
+def two_paths(rng):
+    """Path A: 50±4 (stable); path B: 30±10 (noisy)."""
+    return {"A": cdf(50, 4, rng), "B": cdf(30, 10, rng)}
+
+
+class TestShiftedCDF:
+    def test_shift_moves_mass_down(self, gaussian_cdf):
+        shifted = shifted_cdf(gaussian_cdf, 10.0)
+        assert shifted.mean() == pytest.approx(gaussian_cdf.mean() - 10.0, abs=0.2)
+
+    def test_clips_at_zero(self):
+        shifted = shifted_cdf(EmpiricalCDF([5.0, 15.0]), 10.0)
+        assert list(shifted.samples) == [0.0, 5.0]
+
+    def test_zero_shift_is_identity(self, gaussian_cdf):
+        assert shifted_cdf(gaussian_cdf, 0.0) is gaussian_cdf
+
+    def test_negative_rejected(self, gaussian_cdf):
+        with pytest.raises(ConfigurationError):
+            shifted_cdf(gaussian_cdf, -1.0)
+
+
+class TestLargestRemainder:
+    def test_sums_to_total(self):
+        parts = largest_remainder_split(10, [1.0, 1.0, 1.0])
+        assert sum(parts) == 10
+
+    def test_proportionality(self):
+        assert largest_remainder_split(15, [9, 6]) == [9, 6]
+
+    def test_rounding_bounded_by_one(self):
+        parts = largest_remainder_split(100, [1, 2, 3, 5])
+        exact = [100 * w / 11 for w in (1, 2, 3, 5)]
+        assert all(abs(p - e) < 1.0 for p, e in zip(parts, exact))
+
+    def test_zero_weights(self):
+        assert largest_remainder_split(5, [0.0, 0.0]) == [5, 0]
+
+    def test_zero_total(self):
+        assert largest_remainder_split(0, [1, 2]) == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(-1, [1])
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(1, [])
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(1, [-1.0])
+
+
+class TestSinglePathMapping:
+    def test_stream_fits_on_stable_path(self, two_paths):
+        specs = [StreamSpec(name="ctl", required_mbps=20.0, probability=0.95)]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert mapping.paths_of("ctl") == ["A"]
+        assert not mapping.is_split("ctl")
+        assert mapping.achieved_probability["ctl"] >= 0.95
+
+    def test_most_important_stream_first(self, two_paths):
+        # Both fit only on the stable path alone; the P=0.99 stream is
+        # placed first (highest probability wins the precedence order).
+        specs = [
+            StreamSpec(name="lo", required_mbps=14.0, probability=0.90),
+            StreamSpec(name="hi", required_mbps=30.0, probability=0.99),
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert mapping.paths_of("hi") == ["A"]
+        assert mapping.achieved_probability["lo"] >= 0.90
+
+    def test_total_rate_matches_requirement(self, two_paths):
+        specs = [StreamSpec(name="s", required_mbps=25.0, probability=0.95)]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert mapping.total_rate("s") == pytest.approx(25.0)
+
+    def test_packet_counts_cover_rate(self, two_paths):
+        specs = [StreamSpec(name="s", required_mbps=25.0, probability=0.95)]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        total_packets = sum(mapping.packets["s"].values())
+        assert total_packets == specs[0].packets_in_window(1.0)
+
+
+class TestSplitMapping:
+    def test_splits_when_no_single_path_fits(self, rng):
+        paths = {"A": cdf(30, 2, rng), "B": cdf(30, 2, rng)}
+        specs = [StreamSpec(name="big", required_mbps=45.0, probability=0.9)]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert mapping.is_split("big")
+        assert mapping.total_rate("big") == pytest.approx(45.0)
+        assert mapping.achieved_probability["big"] >= 0.9
+
+    def test_infeasible_raises_admission_error(self, rng):
+        paths = {"A": cdf(10, 2, rng), "B": cdf(10, 2, rng)}
+        specs = [StreamSpec(name="huge", required_mbps=80.0, probability=0.95)]
+        with pytest.raises(AdmissionError) as excinfo:
+            compute_mapping(specs, paths, tw=1.0)
+        assert excinfo.value.stream_name == "huge"
+
+
+class TestElasticMapping:
+    def test_elastic_gets_leftover_on_both_paths(self, two_paths):
+        specs = [
+            StreamSpec(name="ctl", required_mbps=20.0, probability=0.95),
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=40.0),
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert set(mapping.paths_of("bulk")) == {"A", "B"}
+        # Leftover mean: (50-20) + 30 = 60-ish.
+        assert mapping.total_rate("bulk") == pytest.approx(60.0, rel=0.15)
+
+    def test_two_elastic_share_by_weight(self, two_paths):
+        specs = [
+            StreamSpec(name="e1", elastic=True, nominal_mbps=30.0),
+            StreamSpec(name="e2", elastic=True, nominal_mbps=10.0),
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert mapping.total_rate("e1") / mapping.total_rate(
+            "e2"
+        ) == pytest.approx(3.0, rel=0.01)
+
+    def test_guaranteed_elastic_gets_both(self, two_paths):
+        specs = [
+            StreamSpec(
+                name="video",
+                required_mbps=5.0,
+                probability=0.95,
+                elastic=True,
+                nominal_mbps=20.0,
+            ),
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        # Reserved 5 Mbps plus an elastic share on top.
+        assert mapping.total_rate("video") > 5.0
+        assert mapping.achieved_probability["video"] >= 0.95
+
+
+class TestViolationBoundMapping:
+    def test_single_path_within_bound(self, two_paths):
+        specs = [
+            StreamSpec(name="vb", required_mbps=20.0, max_violation_rate=0.05)
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        assert mapping.achieved_violation_rate["vb"] <= 0.05
+        assert mapping.total_rate("vb") >= 20.0
+
+    def test_split_reduces_violations(self, rng):
+        paths = {"A": cdf(28, 3, rng), "B": cdf(28, 3, rng)}
+        specs = [
+            StreamSpec(name="vb", required_mbps=40.0, max_violation_rate=0.10)
+        ]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert mapping.is_split("vb")
+        assert mapping.achieved_violation_rate["vb"] <= 0.10
+
+    def test_impossible_bound_raises(self, rng):
+        paths = {"A": cdf(10, 3, rng)}
+        specs = [
+            StreamSpec(name="vb", required_mbps=50.0, max_violation_rate=0.01)
+        ]
+        with pytest.raises(AdmissionError):
+            compute_mapping(specs, paths, tw=1.0)
+
+
+class TestEvenSplitMapping:
+    def test_even_shares(self, two_paths):
+        specs = [StreamSpec(name="s", required_mbps=20.0, probability=0.95)]
+        mapping = even_split_mapping(specs, two_paths, tw=1.0)
+        assert mapping.rate("s", "A") == pytest.approx(10.0)
+        assert mapping.rate("s", "B") == pytest.approx(10.0)
+
+    def test_guarantee_reported_with_union_bound(self, two_paths):
+        specs = [StreamSpec(name="s", required_mbps=20.0, probability=0.95)]
+        mapping = even_split_mapping(specs, two_paths, tw=1.0)
+        assert 0.0 <= mapping.achieved_probability["s"] <= 1.0
+
+
+class TestCompile:
+    def test_mapping_compiles_to_schedule(self, two_paths):
+        specs = [
+            StreamSpec(name="ctl", required_mbps=10.0, probability=0.95),
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=20.0),
+        ]
+        mapping = compute_mapping(specs, two_paths, tw=1.0)
+        schedule = mapping.compile(
+            stream_order=["ctl", "bulk"], path_order=["A", "B"]
+        )
+        assert schedule.packets_for("ctl") == sum(
+            mapping.packets["ctl"].values()
+        )
+        # Best-effort traffic is rule-3 "unscheduled": not in the vectors.
+        assert schedule.packets_for("bulk") == 0
+        full = mapping.compile(
+            stream_order=["ctl", "bulk"],
+            path_order=["A", "B"],
+            include_best_effort=True,
+        )
+        assert full.total_packets == sum(
+            sum(p.values()) for p in mapping.packets.values()
+        )
+
+    def test_requires_path_cdfs(self):
+        with pytest.raises(ConfigurationError):
+            compute_mapping(
+                [StreamSpec(name="s", required_mbps=1.0)], {}, tw=1.0
+            )
+
+    def test_invalid_tw(self, two_paths):
+        with pytest.raises(ConfigurationError):
+            compute_mapping(
+                [StreamSpec(name="s", required_mbps=1.0)], two_paths, tw=0.0
+            )

@@ -1,0 +1,143 @@
+"""RTT / loss ceilings in the resource mapping and PGOS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.mapping import PathQoSEstimate, compute_mapping, eligible_paths
+from repro.core.pgos import PGOSScheduler
+from repro.core.spec import StreamSpec
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+@pytest.fixture
+def paths(rng):
+    return {
+        "A": EmpiricalCDF(np.clip(50 + 4 * rng.standard_normal(2000), 0, None)),
+        "B": EmpiricalCDF(np.clip(45 + 4 * rng.standard_normal(2000), 0, None)),
+    }
+
+
+#: Path A: low RTT, clean.  Path B: high RTT, lossy.
+QOS = {
+    "A": PathQoSEstimate(rtt_ms=20.0, loss_rate=0.001),
+    "B": PathQoSEstimate(rtt_ms=80.0, loss_rate=0.02),
+}
+
+
+class TestEligibility:
+    def test_no_constraints_all_paths(self):
+        spec = StreamSpec(name="s", required_mbps=1.0)
+        assert eligible_paths(spec, ["A", "B"], QOS) == ["A", "B"]
+
+    def test_rtt_ceiling_filters(self):
+        spec = StreamSpec(name="ctl", required_mbps=1.0, max_rtt_ms=50.0)
+        assert eligible_paths(spec, ["A", "B"], QOS) == ["A"]
+
+    def test_loss_ceiling_filters(self):
+        spec = StreamSpec(name="ctl", required_mbps=1.0, max_loss_rate=0.01)
+        assert eligible_paths(spec, ["A", "B"], QOS) == ["A"]
+
+    def test_unmonitored_path_passes(self):
+        spec = StreamSpec(name="ctl", required_mbps=1.0, max_rtt_ms=50.0)
+        qos = {"A": PathQoSEstimate()}  # nothing monitored
+        assert eligible_paths(spec, ["A"], qos) == ["A"]
+
+    def test_no_qos_map_means_unconstrained(self):
+        spec = StreamSpec(name="ctl", required_mbps=1.0, max_rtt_ms=1.0)
+        assert eligible_paths(spec, ["A", "B"], None) == ["A", "B"]
+
+
+class TestMappingWithQoS:
+    def test_control_stream_pinned_to_low_rtt_path(self, paths):
+        specs = [
+            StreamSpec(
+                name="ctl",
+                required_mbps=2.0,
+                probability=0.99,
+                max_rtt_ms=50.0,
+            ),
+        ]
+        mapping = compute_mapping(specs, paths, tw=1.0, qos=QOS)
+        assert mapping.paths_of("ctl") == ["A"]
+
+    def test_infeasible_ceiling_raises(self, paths):
+        specs = [
+            StreamSpec(
+                name="ctl",
+                required_mbps=2.0,
+                probability=0.99,
+                max_rtt_ms=5.0,  # no path is this fast
+            ),
+        ]
+        with pytest.raises(AdmissionError, match="RTT/loss"):
+            compute_mapping(specs, paths, tw=1.0, qos=QOS)
+
+    def test_elastic_respects_ceilings(self, paths):
+        specs = [
+            StreamSpec(
+                name="bulk",
+                elastic=True,
+                nominal_mbps=20.0,
+                max_loss_rate=0.01,
+            ),
+        ]
+        mapping = compute_mapping(specs, paths, tw=1.0, qos=QOS)
+        assert mapping.paths_of("bulk") == ["A"]
+
+    def test_without_qos_both_paths_usable(self, paths):
+        specs = [
+            StreamSpec(
+                name="ctl", required_mbps=2.0, probability=0.99, max_rtt_ms=50.0
+            ),
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=20.0),
+        ]
+        mapping = compute_mapping(specs, paths, tw=1.0)
+        assert set(mapping.paths_of("bulk")) == {"A", "B"}
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec(name="s", required_mbps=1.0, max_rtt_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamSpec(name="s", required_mbps=1.0, max_loss_rate=1.5)
+
+
+class TestPGOSWithQoS:
+    def test_monitored_rtt_steers_placement(self, rng):
+        scheduler = PGOSScheduler(min_history=30)
+        streams = [
+            StreamSpec(
+                name="ctl",
+                required_mbps=2.0,
+                probability=0.95,
+                max_rtt_ms=40.0,
+            ),
+        ]
+        scheduler.setup(streams, ["A", "B"], dt=0.1, tw=1.0)
+        # Path B has the better bandwidth but a 100 ms RTT.
+        for k in range(60):
+            scheduler.observe(
+                k,
+                {"A": 30.0 + rng.standard_normal(), "B": 60.0 + rng.standard_normal()},
+                rtt_ms={"A": 15.0, "B": 100.0},
+                loss_rate={"A": 0.0, "B": 0.0},
+            )
+        scheduler.allocate(60, {"ctl": 2.0})
+        assert scheduler.mapping.paths_of("ctl") == ["A"]
+
+    def test_without_rtt_constraint_prefers_bandwidth(self, rng):
+        # 29 Mbps only fits on path B (60±1); without an RTT ceiling the
+        # high-RTT path is fine.
+        scheduler = PGOSScheduler(min_history=30)
+        streams = [
+            StreamSpec(name="data", required_mbps=29.0, probability=0.95),
+        ]
+        scheduler.setup(streams, ["A", "B"], dt=0.1, tw=1.0)
+        for k in range(60):
+            scheduler.observe(
+                k,
+                {"A": 30.0 + rng.standard_normal(), "B": 60.0 + rng.standard_normal()},
+                rtt_ms={"A": 15.0, "B": 100.0},
+            )
+        scheduler.allocate(60, {"data": 29.0})
+        assert scheduler.mapping.paths_of("data") == ["B"]

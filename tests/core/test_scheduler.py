@@ -1,0 +1,99 @@
+"""The shared scheduler interface and the water-filling contention model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.scheduler import PathShareRequest, SchedulerBase, water_fill
+from repro.core.spec import StreamSpec
+
+
+def req(stream, demand, weight, level=0):
+    return PathShareRequest(
+        stream=stream, demand_mbps=demand, weight=weight, level=level
+    )
+
+
+class TestWaterFill:
+    def test_underload_everyone_satisfied(self):
+        granted = water_fill([req("a", 10, 10), req("b", 20, 20)], 100.0)
+        assert granted == {"a": 10, "b": 20}
+
+    def test_overload_proportional_to_weight(self):
+        granted = water_fill([req("a", 40, 1), req("b", 40, 3)], 40.0)
+        assert granted["a"] == pytest.approx(10.0)
+        assert granted["b"] == pytest.approx(30.0)
+
+    def test_capped_stream_redistributes_surplus(self):
+        # a is capped at 5; b takes the rest regardless of weights.
+        granted = water_fill([req("a", 5, 50), req("b", None, 1)], 60.0)
+        assert granted["a"] == pytest.approx(5.0)
+        assert granted["b"] == pytest.approx(55.0)
+
+    def test_unbounded_demand_absorbs_all(self):
+        granted = water_fill([req("a", None, 1)], 33.0)
+        assert granted["a"] == pytest.approx(33.0)
+
+    def test_strict_priority_levels(self):
+        granted = water_fill(
+            [req("hi", 30, 1, level=0), req("lo", None, 100, level=1)], 40.0
+        )
+        assert granted["hi"] == pytest.approx(30.0)
+        assert granted["lo"] == pytest.approx(10.0)
+
+    def test_starved_low_level(self):
+        granted = water_fill(
+            [req("hi", None, 1, level=0), req("lo", 5, 1, level=1)], 20.0
+        )
+        assert granted["hi"] == pytest.approx(20.0)
+        assert granted["lo"] == 0.0
+
+    def test_zero_capacity(self):
+        granted = water_fill([req("a", 10, 1)], 0.0)
+        assert granted["a"] == 0.0
+
+    def test_conservation(self):
+        requests = [req("a", 7, 2), req("b", None, 1), req("c", 3, 5, level=1)]
+        granted = water_fill(requests, 50.0)
+        assert sum(granted.values()) == pytest.approx(50.0)
+
+    def test_no_overallocation_when_demand_short(self):
+        granted = water_fill([req("a", 5, 1), req("b", 5, 1)], 100.0)
+        assert sum(granted.values()) == pytest.approx(10.0)
+
+    def test_duplicate_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_fill([req("a", 5, 1), req("a", 5, 1)], 10.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_fill([], -1.0)
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            PathShareRequest(stream="s", demand_mbps=-1.0, weight=1.0)
+        with pytest.raises(ConfigurationError):
+            PathShareRequest(stream="s", demand_mbps=1.0, weight=0.0)
+        with pytest.raises(ConfigurationError):
+            PathShareRequest(stream="s", demand_mbps=1.0, weight=1.0, level=-1)
+
+
+class TestSchedulerBase:
+    def test_setup_validation(self):
+        scheduler = SchedulerBase()
+        streams = [StreamSpec(name="s", required_mbps=1.0)]
+        with pytest.raises(ConfigurationError):
+            scheduler.setup([], ["A"], 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.setup(streams, [], 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.setup(streams, ["A"], 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.setup(streams * 2, ["A"], 0.1, 1.0)  # duplicate names
+
+    def test_stream_lookup(self):
+        scheduler = SchedulerBase()
+        spec = StreamSpec(name="s", required_mbps=1.0)
+        scheduler.setup([spec], ["A"], 0.1, 1.0)
+        assert scheduler.stream("s") is spec
+        with pytest.raises(ConfigurationError):
+            scheduler.stream("ghost")

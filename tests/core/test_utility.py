@@ -1,0 +1,81 @@
+"""Utility-based stream selection under overload."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import StreamSpec
+from repro.core.utility import select_streams_by_utility
+from repro.errors import ConfigurationError
+from repro.monitoring.cdf import EmpiricalCDF
+
+
+@pytest.fixture
+def paths(rng):
+    """Capacity supports ~45 Mbps of guarantees at 95 %, not more."""
+    return {
+        "A": EmpiricalCDF(np.clip(30 + 2 * rng.standard_normal(2000), 0, None)),
+        "B": EmpiricalCDF(np.clip(25 + 2 * rng.standard_normal(2000), 0, None)),
+    }
+
+
+def spec(name, mbps):
+    return StreamSpec(name=name, required_mbps=mbps, probability=0.95)
+
+
+class TestSelection:
+    def test_everything_admitted_when_feasible(self, paths):
+        specs = [spec("a", 10.0), spec("b", 10.0)]
+        sel = select_streams_by_utility(
+            specs, {"a": 1.0, "b": 1.0}, paths
+        )
+        assert set(sel.admitted) == {"a", "b"}
+        assert sel.demoted == ()
+        assert sel.mapping is not None
+
+    def test_overload_demotes_lowest_density(self, paths):
+        # Combined demand 75 > ~45 capacity: the big low-utility stream
+        # must be demoted.
+        specs = [spec("control", 5.0), spec("video", 30.0), spec("bulkish", 40.0)]
+        utilities = {"control": 100.0, "video": 50.0, "bulkish": 10.0}
+        sel = select_streams_by_utility(specs, utilities, paths)
+        assert "control" in sel.admitted
+        assert "bulkish" in sel.demoted
+        assert sel.total_utility >= 150.0
+
+    def test_total_utility_consistent(self, paths):
+        specs = [spec("a", 20.0), spec("b", 20.0), spec("c", 40.0)]
+        utilities = {"a": 3.0, "b": 2.0, "c": 1.0}
+        sel = select_streams_by_utility(specs, utilities, paths)
+        assert sel.total_utility == sum(
+            utilities[name] for name in sel.admitted
+        )
+
+    def test_elastic_streams_always_carried(self, paths):
+        specs = [
+            spec("big", 80.0),  # infeasible
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=10.0),
+        ]
+        sel = select_streams_by_utility(specs, {"big": 1.0}, paths)
+        assert sel.admitted == ()
+        assert sel.demoted == ("big",)
+        assert sel.mapping is not None
+        assert sel.mapping.total_rate("bulk") > 0
+
+    def test_missing_utility_rejected(self, paths):
+        with pytest.raises(ConfigurationError, match="missing utilities"):
+            select_streams_by_utility([spec("a", 5.0)], {}, paths)
+
+    def test_negative_utility_rejected(self, paths):
+        with pytest.raises(ConfigurationError):
+            select_streams_by_utility(
+                [spec("a", 5.0)], {"a": -1.0}, paths
+            )
+
+    def test_greedy_prefers_density_not_raw_utility(self, paths):
+        # "fat" has the highest utility but terrible density; two lean
+        # streams together beat it and fit.
+        specs = [spec("fat", 50.0), spec("lean1", 20.0), spec("lean2", 20.0)]
+        utilities = {"fat": 55.0, "lean1": 40.0, "lean2": 40.0}
+        sel = select_streams_by_utility(specs, utilities, paths)
+        assert set(sel.admitted) == {"lean1", "lean2"}
+        assert sel.total_utility == 80.0

@@ -1,0 +1,134 @@
+"""Scheduling vectors: the paper's worked example, exactly.
+
+Section 5.2.2: stream S1 has 5 packets on path 1; stream S2 has 4 packets
+on path 1 and 6 on path 2.  Path 1 carries 9 packets, path 2 carries 6.
+The paper gives V_P = [1,2,1,2,1,1,2,1,2,1,1,2,1,2,1] and
+V_S^1 = [1,2,1,2,1,2,1,2,1] (the paper prints two extra trailing entries
+for V_S^1 — a typo, as path 1 only has 9 packets; our vector is the
+9-entry prefix, which matches the stated deadline sequence
+S1,S2,S1,S2,S1,S2,S1,S2,S1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.vectors import (
+    Schedule,
+    build_schedule,
+    path_lookup_vector,
+    stream_schedule_vector,
+    virtual_deadlines,
+)
+
+
+class TestVirtualDeadlines:
+    def test_spread_over_window(self):
+        d = virtual_deadlines(4, 1.0)
+        assert np.allclose(d, [0.0, 0.25, 0.5, 0.75])
+
+    def test_zero_count(self):
+        assert virtual_deadlines(0, 1.0).size == 0
+
+    def test_scales_with_window(self):
+        assert np.allclose(virtual_deadlines(2, 4.0), [0.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            virtual_deadlines(-1, 1.0)
+        with pytest.raises(ConfigurationError):
+            virtual_deadlines(3, 0.0)
+
+
+class TestPaperExample:
+    def test_vp_matches_paper(self):
+        vp = path_lookup_vector({1: 9, 2: 6}, tw=1.0, order=[1, 2])
+        assert vp == [1, 2, 1, 2, 1, 1, 2, 1, 2, 1, 1, 2, 1, 2, 1]
+
+    def test_vs_path1_matches_paper(self):
+        vs = stream_schedule_vector({"S1": 5, "S2": 4}, tw=1.0, order=["S1", "S2"])
+        assert vs == ["S1", "S2", "S1", "S2", "S1", "S2", "S1", "S2", "S1"]
+
+    def test_full_schedule(self):
+        schedule = build_schedule(
+            {"S1": {1: 5}, "S2": {1: 4, 2: 6}},
+            tw=1.0,
+            stream_order=["S1", "S2"],
+            path_order=[1, 2],
+        )
+        assert list(schedule.vp) == [1, 2, 1, 2, 1, 1, 2, 1, 2, 1, 1, 2, 1, 2, 1]
+        assert list(schedule.vs[1]) == [
+            "S1", "S2", "S1", "S2", "S1", "S2", "S1", "S2", "S1",
+        ]
+        assert list(schedule.vs[2]) == ["S2"] * 6
+        assert schedule.path_packets == {1: 9, 2: 6}
+        assert schedule.total_packets == 15
+        assert schedule.packets_for("S2") == 10
+
+    def test_vp_proportions(self):
+        # "three fifths of the time it will visit path 1, two fifths path 2"
+        vp = path_lookup_vector({1: 9, 2: 6}, tw=1.0, order=[1, 2])
+        assert vp.count(1) / len(vp) == pytest.approx(3 / 5)
+        assert vp.count(2) / len(vp) == pytest.approx(2 / 5)
+
+
+class TestGeneralProperties:
+    def test_counts_preserved(self):
+        vp = path_lookup_vector({"A": 7, "B": 3, "C": 5}, tw=1.0)
+        assert vp.count("A") == 7
+        assert vp.count("B") == 3
+        assert vp.count("C") == 5
+
+    def test_interleaving_is_smooth(self):
+        # Equal shares should alternate perfectly.
+        vp = path_lookup_vector({"A": 5, "B": 5}, tw=1.0, order=["A", "B"])
+        assert vp == ["A", "B"] * 5
+
+    def test_zero_share_paths_absent(self):
+        vp = path_lookup_vector({"A": 3, "B": 0}, tw=1.0)
+        assert "B" not in vp
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            path_lookup_vector({"A": -1}, tw=1.0)
+
+    def test_key_missing_from_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            path_lookup_vector({"A": 1}, tw=1.0, order=["B"])
+
+
+class TestBuildSchedule:
+    def test_null_substreams_dropped(self):
+        schedule = build_schedule(
+            {"S1": {"A": 5, "B": 0}}, tw=1.0
+        )
+        assert schedule.stream_path_packets == {"S1": {"A": 5}}
+        assert "B" not in schedule.vs
+
+    def test_empty_stream_ok(self):
+        schedule = build_schedule({"S1": {}}, tw=1.0)
+        assert schedule.total_packets == 0
+        assert schedule.packets_for("S1") == 0
+
+    def test_stream_order_breaks_ties(self):
+        # Both streams' first packets share deadline 0; precedence first.
+        schedule = build_schedule(
+            {"low": {"A": 2}, "high": {"A": 2}},
+            tw=1.0,
+            stream_order=["high", "low"],
+        )
+        assert schedule.vs["A"][0] == "high"
+
+    def test_invalid_tw(self):
+        with pytest.raises(ConfigurationError):
+            build_schedule({"S1": {"A": 1}}, tw=0.0)
+
+    def test_negative_packets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_schedule({"S1": {"A": -2}}, tw=1.0)
+
+    def test_path_order_must_cover_paths(self):
+        with pytest.raises(ConfigurationError):
+            build_schedule(
+                {"S1": {"A": 1}}, tw=1.0, path_order=["B"]
+            )

@@ -1,0 +1,102 @@
+"""Buffer-requirement and burstiness metrics (tech-report claims)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.metrics import burstiness, required_playout_buffer_bytes
+from repro.units import bytes_in_interval
+
+
+class TestBufferRequirement:
+    def test_zero_for_delivery_at_playout_rate(self):
+        x = np.full(100, 10.0)
+        assert required_playout_buffer_bytes(x, 0.1, 10.0) == 0.0
+
+    def test_known_deficit(self):
+        # One interval at half rate: deficit = half an interval of bytes.
+        x = np.array([10.0, 5.0, 15.0, 10.0])
+        expected = bytes_in_interval(5.0, 0.1)
+        assert required_playout_buffer_bytes(x, 0.1, 10.0) == pytest.approx(
+            expected
+        )
+
+    def test_grows_with_longer_outage(self):
+        short = np.concatenate([np.full(5, 0.0), np.full(95, 11.0)])
+        long = np.concatenate([np.full(20, 0.0), np.full(80, 13.0)])
+        assert required_playout_buffer_bytes(
+            long, 0.1, 10.0
+        ) > required_playout_buffer_bytes(short, 0.1, 10.0)
+
+    def test_smooth_needs_less_than_bursty_at_same_mean(self, rng):
+        smooth = np.clip(10.0 + 0.2 * rng.standard_normal(1000), 0, None)
+        bursty = np.clip(10.0 + 4.0 * rng.standard_normal(1000), 0, None)
+        bursty *= smooth.mean() / bursty.mean()  # equalize means
+        assert required_playout_buffer_bytes(
+            smooth, 0.1, 9.9
+        ) < required_playout_buffer_bytes(bursty, 0.1, 9.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_playout_buffer_bytes(np.ones(5), 0.1, 0.0)
+        with pytest.raises(ConfigurationError):
+            required_playout_buffer_bytes(np.array([]), 0.1, 1.0)
+
+
+class TestDownsideDeviation:
+    def test_zero_when_target_always_met(self):
+        from repro.harness.metrics import downside_deviation
+
+        assert downside_deviation(np.full(50, 10.0), 9.0) == 0.0
+
+    def test_known_shortfall(self):
+        from repro.harness.metrics import downside_deviation
+
+        x = np.array([10.0, 6.0, 10.0, 6.0])
+        # Shortfalls of 0, 4, 0, 4 -> RMS = sqrt(8) ~ 2.828.
+        assert downside_deviation(x, 10.0) == pytest.approx(np.sqrt(8.0))
+
+    def test_spikes_above_target_are_free(self):
+        from repro.harness.metrics import downside_deviation
+
+        steady = np.full(100, 10.0)
+        spiky = np.concatenate([np.full(50, 10.0), np.full(50, 100.0)])
+        assert downside_deviation(spiky, 10.0) == downside_deviation(
+            steady, 10.0
+        )
+
+    def test_validation(self):
+        from repro.harness.metrics import downside_deviation
+
+        with pytest.raises(ConfigurationError):
+            downside_deviation(np.ones(5), 0.0)
+        with pytest.raises(ConfigurationError):
+            downside_deviation(np.array([]), 1.0)
+
+
+class TestBurstiness:
+    def test_zero_for_constant(self):
+        assert burstiness(np.full(50, 7.0)) == 0.0
+
+    def test_scales_with_variance(self, rng):
+        quiet = 10 + 0.5 * rng.standard_normal(1000)
+        loud = 10 + 3.0 * rng.standard_normal(1000)
+        assert burstiness(loud) > burstiness(quiet)
+
+    def test_zero_mean_series(self):
+        assert burstiness(np.zeros(10)) == 0.0
+
+
+class TestEndToEndBufferClaim:
+    def test_pgos_needs_smaller_buffer_than_msfq(self):
+        """The tech report's claim on the SmartPointer workload."""
+        from repro.apps.smartpointer import BOND1_MBPS, run_smartpointer
+
+        kwargs = dict(seed=7, duration=90.0, warmup_intervals=250)
+        pgos = run_smartpointer("PGOS", **kwargs).stream_series("Bond1")
+        msfq = run_smartpointer("MSFQ", **kwargs).stream_series("Bond1")
+        playout = BOND1_MBPS * 0.98
+        assert required_playout_buffer_bytes(
+            pgos, 0.1, playout
+        ) < required_playout_buffer_bytes(msfq, 0.1, playout)
+        assert burstiness(pgos) < burstiness(msfq)

@@ -1,0 +1,44 @@
+"""The figure-regeneration CLI."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9", "--seed", "3", "--fast"])
+        assert args.figure == "fig9"
+        assert args.seed == 3
+        assert args.fast
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_runs_one_figure(self, capsys):
+        assert main(["fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "percentile failure rate" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["fig4", "--fast", "--seed", "17"]) == 0
+        assert "fig4" in capsys.readouterr().out
+
+    def test_output_dir(self, capsys, tmp_path):
+        out = tmp_path / "reports"
+        assert main(["fig4", "--fast", "--output", str(out)]) == 0
+        written = (out / "fig4.txt").read_text()
+        assert "percentile failure rate" in written
+
+    def test_all_runs_every_figure(self, capsys, tmp_path):
+        from repro.harness.figures import FIGURES
+
+        out = tmp_path / "reports"
+        assert main(["all", "--fast", "--output", str(out)]) == 0
+        written = {p.stem for p in out.glob("*.txt")}
+        assert written == set(FIGURES)

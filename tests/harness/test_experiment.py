@@ -1,0 +1,142 @@
+"""The interval-driven experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.pgos import PGOSScheduler
+from repro.core.scheduler import PathShareRequest, SchedulerBase
+from repro.core.spec import StreamSpec
+from repro.harness.experiment import ExperimentResult, run_schedule_experiment
+
+
+class GreedyScheduler(SchedulerBase):
+    """Test double: every stream demands its full backlog on every path."""
+
+    name = "Greedy"
+
+    def allocate(self, interval, backlog_mbps):
+        return {
+            p: [
+                PathShareRequest(
+                    stream=s.name,
+                    demand_mbps=backlog_mbps.get(s.name),
+                    weight=s.weight,
+                )
+                for s in self.streams
+            ]
+            for p in self.path_names
+        }
+
+
+def specs():
+    return [
+        StreamSpec(name="cbr", required_mbps=10.0, probability=0.95),
+        StreamSpec(name="fill", elastic=True, nominal_mbps=20.0),
+    ]
+
+
+class TestDriver:
+    def test_throughput_bounded_by_availability(self, realization):
+        res = run_schedule_experiment(
+            GreedyScheduler(), realization, specs(), warmup_intervals=50
+        )
+        total = res.total_series()
+        avail = sum(res.available_mbps[p] for p in res.path_names)
+        assert np.all(total <= avail + 1e-6)
+
+    def test_cbr_stream_capped_by_arrivals(self, realization):
+        res = run_schedule_experiment(
+            GreedyScheduler(), realization, specs(), warmup_intervals=50
+        )
+        cbr = res.stream_series("cbr")
+        # Long-run mean cannot exceed the arrival rate.
+        assert cbr.mean() <= 10.0 + 1e-6
+
+    def test_elastic_stream_unbounded_by_arrivals(self, realization):
+        res = run_schedule_experiment(
+            GreedyScheduler(), realization, specs(), warmup_intervals=50
+        )
+        assert res.stream_series("fill").mean() > 20.0
+
+    def test_warmup_excluded_from_results(self, realization):
+        res = run_schedule_experiment(
+            GreedyScheduler(), realization, specs(), warmup_intervals=100
+        )
+        assert res.n_intervals == realization.n_intervals - 100
+
+    def test_invalid_warmup(self, realization):
+        with pytest.raises(ConfigurationError):
+            run_schedule_experiment(
+                GreedyScheduler(),
+                realization,
+                specs(),
+                warmup_intervals=realization.n_intervals,
+            )
+
+    def test_pgos_sees_warmup_history(self, realization):
+        scheduler = PGOSScheduler(min_history=50)
+        run_schedule_experiment(
+            scheduler, realization, specs(), warmup_intervals=100
+        )
+        assert scheduler.has_history
+        assert scheduler.remap_count >= 1
+
+    def test_buffer_bound_drops_bytes(self, testbed):
+        # A demand far beyond capacity must overflow the bounded buffer.
+        realization = testbed.realize(seed=2, duration=30.0, dt=0.1)
+        starved = [
+            StreamSpec(name="cbr", required_mbps=500.0, probability=0.95)
+        ]
+
+        class NothingScheduler(SchedulerBase):
+            name = "Nothing"
+
+            def allocate(self, interval, backlog_mbps):
+                return {p: [] for p in self.path_names}
+
+        res = run_schedule_experiment(
+            NothingScheduler(), realization, starved, warmup_intervals=10
+        )
+        assert res.dropped_bytes["cbr"] > 0
+        assert np.all(res.stream_series("cbr") == 0.0)
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        return ExperimentResult(
+            scheduler_name="X",
+            dt=0.1,
+            stream_names=["a"],
+            path_names=["A", "B"],
+            delivered_mbps={
+                "a": {"A": np.array([1.0, 2.0]), "B": np.array([0.5, 0.0])}
+            },
+            available_mbps={
+                "A": np.array([10.0, 10.0]),
+                "B": np.array([5.0, 5.0]),
+            },
+        )
+
+    def test_stream_series_sums_paths(self):
+        res = self._result()
+        assert np.allclose(res.stream_series("a"), [1.5, 2.0])
+
+    def test_substream_series(self):
+        res = self._result()
+        assert np.allclose(res.substream_series("a", "B"), [0.5, 0.0])
+
+    def test_paths_used_filters_idle(self):
+        res = self._result()
+        assert res.paths_used("a") == ["A", "B"]
+        assert res.paths_used("a", min_mbps=0.6) == ["A"]
+
+    def test_times(self):
+        res = self._result()
+        assert np.allclose(res.times, [0.0, 0.1])
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._result().stream_series("ghost")
+        with pytest.raises(ConfigurationError):
+            self._result().substream_series("a", "C")

@@ -1,0 +1,165 @@
+"""Evaluation metrics: percentile-of-time, jitter, CDF points."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.metrics import (
+    bandwidth_at_time_fraction,
+    deadline_miss_rate,
+    empirical_cdf_points,
+    fraction_of_time_at_least,
+    frame_delivery_times,
+    frame_jitter_ms,
+    summarize_stream,
+)
+from repro.units import mbps_to_bytes_per_s
+
+
+class TestTimeFractionMetrics:
+    def test_p95_is_5th_percentile(self):
+        x = np.arange(1.0, 101.0)
+        assert bandwidth_at_time_fraction(x, 0.95) == pytest.approx(
+            np.percentile(x, 5)
+        )
+
+    def test_constant_series(self):
+        x = np.full(100, 22.148)
+        assert bandwidth_at_time_fraction(x, 0.95) == pytest.approx(22.148)
+        assert fraction_of_time_at_least(x, 22.148) == 1.0
+
+    def test_fraction_of_time(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert fraction_of_time_at_least(x, 2.5) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_at_time_fraction(np.ones(3), 1.0)
+        with pytest.raises(ConfigurationError):
+            fraction_of_time_at_least(np.array([]), 1.0)
+
+
+class TestSummary:
+    def test_summary_fields(self, rng):
+        x = 20 + rng.standard_normal(1000)
+        s = summarize_stream(x, "s", "PGOS", target_mbps=19.0)
+        assert s.mean_mbps == pytest.approx(20.0, abs=0.2)
+        assert s.p99_time_mbps <= s.p95_time_mbps <= s.mean_mbps
+        assert 0.0 <= s.fraction_meeting_target <= 1.0
+
+    def test_no_target(self, rng):
+        s = summarize_stream(rng.random(100), "s", "X")
+        assert s.target_mbps is None
+        assert s.fraction_meeting_target is None
+        assert s.target_attainment_at() is None
+
+    def test_attainment(self):
+        x = np.full(100, 19.0)
+        s = summarize_stream(x, "s", "X", target_mbps=20.0)
+        assert s.target_attainment_at("p95") == pytest.approx(0.95)
+
+
+class TestFrameDelivery:
+    def test_steady_rate_steady_frames(self):
+        # 10 Mbps, frames of 125000 bytes -> one frame per 0.1 s interval.
+        x = np.full(50, 10.0)
+        times = frame_delivery_times(x, 0.1, mbps_to_bytes_per_s(10.0) * 0.1)
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 0.1)
+
+    def test_jitter_zero_for_cbr_delivery(self):
+        x = np.full(100, 10.0)
+        frame = mbps_to_bytes_per_s(10.0) / 25.0
+        assert frame_jitter_ms(x, 0.1, frame, 25.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_jitter_positive_for_fluctuating_delivery(self, rng):
+        x = np.clip(10.0 + 3.0 * rng.standard_normal(500), 0.1, None)
+        frame = mbps_to_bytes_per_s(10.0) / 25.0
+        assert frame_jitter_ms(x, 0.1, frame, 25.0) > 0.5
+
+    def test_jitter_ordering_matches_stability(self, rng):
+        frame = mbps_to_bytes_per_s(10.0) / 25.0
+        stable = np.clip(10.0 + 0.2 * rng.standard_normal(500), 0.1, None)
+        noisy = np.clip(10.0 + 3.0 * rng.standard_normal(500), 0.1, None)
+        assert frame_jitter_ms(stable, 0.1, frame, 25.0) < frame_jitter_ms(
+            noisy, 0.1, frame, 25.0
+        )
+
+    def test_incomplete_frames_dropped(self):
+        x = np.full(3, 1.0)  # 37.5 kB total
+        times = frame_delivery_times(x, 0.1, 30_000.0)
+        assert times.size == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            frame_delivery_times(np.ones(5), 0.1, 0.0)
+        with pytest.raises(ConfigurationError):
+            frame_jitter_ms(np.ones(5), 0.1, 100.0, 0.0)
+
+
+class TestWindowConstraint:
+    def test_all_windows_satisfied_at_rate(self):
+        from repro.harness.metrics import window_constraint_satisfaction
+
+        # 12 Mbps steady = 1000 pkts of 1500 B per 1 s window.
+        x = np.full(100, 12.0)
+        sat = window_constraint_satisfaction(
+            x, dt=0.1, tw=1.0, x_packets=1000, packet_size=1500
+        )
+        assert sat == 1.0
+
+    def test_half_windows_satisfied(self):
+        from repro.harness.metrics import window_constraint_satisfaction
+
+        # Alternate windows at 12 and 6 Mbps.
+        x = np.concatenate([np.full(10, 12.0), np.full(10, 6.0)] * 5)
+        sat = window_constraint_satisfaction(
+            x, dt=0.1, tw=1.0, x_packets=1000, packet_size=1500
+        )
+        assert sat == pytest.approx(0.5)
+
+    def test_zero_requirement_always_met(self):
+        from repro.harness.metrics import window_constraint_satisfaction
+
+        sat = window_constraint_satisfaction(
+            np.zeros(20), dt=0.1, tw=1.0, x_packets=0, packet_size=1500
+        )
+        assert sat == 1.0
+
+    def test_validation(self):
+        from repro.harness.metrics import window_constraint_satisfaction
+
+        with pytest.raises(ConfigurationError):
+            window_constraint_satisfaction(
+                np.ones(20), dt=0.1, tw=0.35, x_packets=1, packet_size=1500
+            )
+        with pytest.raises(ConfigurationError):
+            window_constraint_satisfaction(
+                np.ones(5), dt=0.1, tw=1.0, x_packets=1, packet_size=1500
+            )
+        with pytest.raises(ConfigurationError):
+            window_constraint_satisfaction(
+                np.ones(20), dt=0.1, tw=1.0, x_packets=-1, packet_size=1500
+            )
+
+
+class TestCDFPointsAndMissRate:
+    def test_cdf_points_monotone(self, rng):
+        x, f = empirical_cdf_points(rng.random(100))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) > 0)
+        assert f[-1] == 1.0
+
+    def test_deadline_miss_rate(self):
+        x = np.array([10.0, 10.0, 5.0, 10.0])
+        assert deadline_miss_rate(x, 0.1, 10.0) == pytest.approx(0.25)
+
+    def test_miss_rate_tolerates_float_edge(self):
+        x = np.full(10, 22.148) * (1 - 1e-12)
+        assert deadline_miss_rate(x, 0.1, 22.148) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            deadline_miss_rate(np.ones(3), 0.1, 0.0)
+        with pytest.raises(ConfigurationError):
+            empirical_cdf_points(np.array([]))

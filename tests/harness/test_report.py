@@ -1,0 +1,64 @@
+"""ASCII rendering."""
+
+import numpy as np
+
+from repro.harness.report import (
+    cdf_table,
+    format_table,
+    paper_vs_measured_table,
+    series_block,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [("a", 1.0), ("bbbb", 22.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.500" in lines[3]
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["x"], [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_non_float_cells(self):
+        text = format_table(["x"], [(7,), ("text",)])
+        assert "7" in text and "text" in text
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(np.arange(1000), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline(np.arange(5), width=40)) == 5
+
+    def test_constant_series(self):
+        s = sparkline(np.full(10, 3.0))
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_monotone_increases(self):
+        s = sparkline(np.arange(9), width=9)
+        assert s == "".join(sorted(s))
+
+
+class TestBlocks:
+    def test_series_block_annotations(self):
+        text = series_block("Atom", np.array([1.0, 2.0, 3.0]))
+        assert "Atom" in text
+        assert "mean=  2.00" in text
+
+    def test_cdf_table_quantiles(self):
+        table = cdf_table({"s": np.arange(1.0, 101.0)}, probabilities=(0.5,))
+        assert "0.50" in table
+        assert "50.500" in table
+
+    def test_paper_vs_measured(self):
+        table = paper_vs_measured_table([("metric", 1.0, 1.1)])
+        assert "metric" in table
+        assert "1.100" in table

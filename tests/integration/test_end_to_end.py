@@ -1,0 +1,112 @@
+"""End-to-end shape claims across modules (the paper's headline results)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.smartpointer import (
+    ATOM_MBPS,
+    BOND1_MBPS,
+    run_smartpointer,
+    smartpointer_streams,
+)
+from repro.core.admission import AdmissionController
+from repro.harness.metrics import bandwidth_at_time_fraction
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.network.emulab import make_figure8_testbed
+
+DURATION = 80.0
+WARMUP = 250
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        alg: run_smartpointer(
+            alg, seed=13, duration=DURATION, warmup_intervals=WARMUP
+        )
+        for alg in ("WFQ", "MSFQ", "PGOS", "OptSched")
+    }
+
+
+class TestHeadlineClaims:
+    def test_pgos_guarantees_critical_streams(self, runs):
+        pgos = runs["PGOS"]
+        for stream, target in (("Atom", ATOM_MBPS), ("Bond1", BOND1_MBPS)):
+            p95 = bandwidth_at_time_fraction(pgos.stream_series(stream), 0.95)
+            assert p95 >= target * 0.995, stream
+
+    def test_wfq_cannot_guarantee(self, runs):
+        wfq = runs["WFQ"]
+        p95 = bandwidth_at_time_fraction(wfq.stream_series("Bond1"), 0.95)
+        assert p95 < BOND1_MBPS * 0.95
+
+    def test_msfq_fluctuates(self, runs):
+        msfq = runs["MSFQ"]
+        p95 = bandwidth_at_time_fraction(msfq.stream_series("Bond1"), 0.95)
+        assert p95 < BOND1_MBPS * 0.95
+        assert msfq.stream_series("Bond1").std() > 3 * runs[
+            "PGOS"
+        ].stream_series("Bond1").std()
+
+    def test_pgos_tracks_oracle(self, runs):
+        pgos_b1 = runs["PGOS"].stream_series("Bond1")
+        opt_b1 = runs["OptSched"].stream_series("Bond1")
+        assert pgos_b1.mean() == pytest.approx(opt_b1.mean(), rel=0.02)
+
+    def test_noncritical_not_compromised(self, runs):
+        bond2_pgos = runs["PGOS"].stream_series("Bond2").mean()
+        bond2_msfq = runs["MSFQ"].stream_series("Bond2").mean()
+        assert bond2_pgos == pytest.approx(bond2_msfq, rel=0.05)
+
+    def test_full_bandwidth_utilization(self, runs):
+        # "providing guarantees does not imply sacrificing bandwidth":
+        # PGOS's aggregate throughput matches MSFQ's work-conserving total.
+        total_pgos = runs["PGOS"].total_series().mean()
+        total_msfq = runs["MSFQ"].total_series().mean()
+        assert total_pgos >= total_msfq * 0.97
+
+    def test_deterministic_reproduction(self):
+        a = run_smartpointer("PGOS", seed=21, duration=40.0, warmup_intervals=100)
+        b = run_smartpointer("PGOS", seed=21, duration=40.0, warmup_intervals=100)
+        for stream in ("Atom", "Bond1", "Bond2"):
+            assert np.array_equal(
+                a.stream_series(stream), b.stream_series(stream)
+            )
+
+
+class TestMonitoringToAdmissionPipeline:
+    def test_testbed_monitoring_admits_paper_workload(self):
+        # Monitor the realized paths, then admit the SmartPointer streams
+        # against the monitored CDFs — the full paper pipeline minus the
+        # scheduler.
+        testbed = make_figure8_testbed()
+        realization = testbed.realize(seed=31, duration=60.0, dt=0.1)
+        cdfs = {
+            p: EmpiricalCDF(realization.available[p].available_mbps)
+            for p in realization.path_names()
+        }
+        decision = AdmissionController(tw=1.0).try_admit(
+            smartpointer_streams(), cdfs
+        )
+        assert decision.admitted
+        mapping = decision.mapping
+        # Both critical streams ride the stable path A, unsplit.
+        assert mapping.paths_of("Atom") == ["A"]
+        assert mapping.paths_of("Bond1") == ["A"]
+        assert not mapping.is_split("Bond1")
+
+    def test_overloaded_workload_rejected_with_hint(self):
+        testbed = make_figure8_testbed()
+        realization = testbed.realize(seed=31, duration=60.0, dt=0.1)
+        cdfs = {
+            p: EmpiricalCDF(realization.available[p].available_mbps)
+            for p in realization.path_names()
+        }
+        from repro.core.spec import StreamSpec
+
+        greedy = [
+            StreamSpec(name="monster", required_mbps=150.0, probability=0.95)
+        ]
+        decision = AdmissionController(tw=1.0).try_admit(greedy, cdfs)
+        assert not decision.admitted
+        assert decision.rejected_stream == "monster"

@@ -1,0 +1,74 @@
+"""Theorem 1, empirically.
+
+"If there is a feasible schedule for PGOS to deliver streams S_i over
+paths P_j during scheduling window (t, t + tw) with bandwidth guarantees,
+then stream S_i's window constraint will be met with probability P_i."
+
+We check the statement end to end: admit the workload (so a feasible
+schedule exists by construction), run PGOS, and measure the fraction of
+scheduling windows in which each guaranteed stream's ``x_i`` packets were
+serviced.  That fraction must be at least ``P_i`` (within Monte-Carlo
+tolerance) for every guaranteed stream, across seeds.
+"""
+
+import pytest
+
+from repro.apps.smartpointer import run_smartpointer, smartpointer_streams
+from repro.core.admission import AdmissionController
+from repro.harness.metrics import window_constraint_satisfaction
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.network.emulab import make_figure8_testbed
+
+TW = 1.0
+
+
+@pytest.mark.parametrize("seed", (7, 71, 717))
+class TestTheorem1:
+    def test_window_constraints_met_with_probability_p(self, seed):
+        # Establish feasibility first (Theorem 1's premise).
+        testbed = make_figure8_testbed()
+        probe = testbed.realize(seed=seed, duration=30.0, dt=0.1)
+        cdfs = {
+            p: EmpiricalCDF(probe.available[p].available_mbps)
+            for p in probe.path_names()
+        }
+        decision = AdmissionController(tw=TW).try_admit(
+            smartpointer_streams(), cdfs
+        )
+        assert decision.admitted, "premise violated: workload infeasible"
+
+        result = run_smartpointer(
+            "PGOS", seed=seed, duration=120.0, warmup_intervals=300
+        )
+        for spec in smartpointer_streams():
+            if not spec.guaranteed:
+                continue
+            satisfaction = window_constraint_satisfaction(
+                result.stream_series(spec.name),
+                dt=result.dt,
+                tw=TW,
+                x_packets=spec.packets_in_window(TW),
+                packet_size=spec.packet_size,
+            )
+            # Monte-Carlo slack: ~90 windows per run.
+            assert satisfaction >= spec.probability - 0.03, (
+                spec.name,
+                satisfaction,
+            )
+
+    def test_non_pgos_baselines_do_not_satisfy_theorem(self, seed):
+        """The theorem is about PGOS: MSFQ's windows miss far more often."""
+        result = run_smartpointer(
+            "MSFQ", seed=seed, duration=120.0, warmup_intervals=300
+        )
+        bond1 = next(
+            s for s in smartpointer_streams() if s.name == "Bond1"
+        )
+        satisfaction = window_constraint_satisfaction(
+            result.stream_series("Bond1"),
+            dt=result.dt,
+            tw=TW,
+            x_packets=bond1.packets_in_window(TW),
+            packet_size=bond1.packet_size,
+        )
+        assert satisfaction < bond1.probability

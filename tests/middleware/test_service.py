@@ -1,0 +1,150 @@
+"""The middleware facade: dynamic joins/leaves, upcalls, reports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.spec import StreamSpec
+from repro.middleware.service import IQPathsService
+from repro.network.emulab import make_figure8_testbed
+
+
+@pytest.fixture()
+def service():
+    testbed = make_figure8_testbed()
+    realization = testbed.realize(seed=77, duration=120.0, dt=0.1)
+    return IQPathsService(realization, warmup_intervals=200)
+
+
+def critical(name="viz", mbps=20.0, p=0.95):
+    return StreamSpec(name=name, required_mbps=mbps, probability=p)
+
+
+def elastic(name="bulk", nominal=30.0):
+    return StreamSpec(name=name, elastic=True, nominal_mbps=nominal)
+
+
+class TestLifecycle:
+    def test_open_run_report(self, service):
+        handle = service.open_stream(critical())
+        assert handle.open
+        assert handle.achieved_probability >= 0.95
+        service.advance(40.0)
+        report = service.report("viz")
+        assert report.mean_mbps == pytest.approx(20.0, rel=0.02)
+        assert report.attainment >= 0.95
+
+    def test_join_triggers_remap(self, service):
+        service.open_stream(critical())
+        service.advance(10.0)
+        before = service.scheduler.remap_count
+        service.open_stream(elastic())
+        service.advance(10.0)
+        assert service.scheduler.remap_count > before
+
+    def test_existing_guarantee_survives_join(self, service):
+        service.open_stream(critical())
+        service.at(30.0, lambda: service.open_stream(elastic()))
+        service.advance(60.0)
+        report = service.report("viz")
+        assert report.attainment >= 0.95
+        # The elastic stream actually flowed after joining.
+        assert service.report("bulk").mean_mbps > 10.0
+
+    def test_leave_frees_capacity_for_elastic(self, service):
+        service.open_stream(critical("viz", 25.0))
+        service.open_stream(elastic())
+        service.advance(20.0)
+        bulk_before = service.report("bulk").mbps[-50:].mean()
+        service.close_stream("viz")
+        service.advance(20.0)
+        bulk_after = service.report("bulk").mbps[-50:].mean()
+        assert bulk_after > bulk_before + 15.0
+
+    def test_closed_stream_stops_accumulating(self, service):
+        service.open_stream(critical())
+        service.advance(5.0)
+        handle = service.close_stream("viz")
+        assert not handle.open
+        n = service.report("viz").mbps.size
+        service.advance(5.0)
+        assert service.report("viz").mbps.size == n
+
+    def test_double_open_rejected(self, service):
+        service.open_stream(critical())
+        with pytest.raises(ConfigurationError):
+            service.open_stream(critical())
+
+    def test_close_unknown_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.close_stream("ghost")
+
+    def test_all_closed_then_reopen(self, service):
+        service.open_stream(critical())
+        service.advance(5.0)
+        service.close_stream("viz")
+        service.advance(5.0)  # idle intervals with no open streams
+        handle = service.open_stream(critical("viz2", 15.0))
+        service.advance(10.0)
+        assert handle.achieved_probability >= 0.95
+        assert service.report("viz2").mean_mbps == pytest.approx(
+            15.0, rel=0.03
+        )
+
+    def test_reports_cover_all_opened_streams(self, service):
+        service.open_stream(critical())
+        service.open_stream(elastic())
+        service.advance(5.0)
+        service.close_stream("bulk")
+        service.advance(5.0)
+        reports = service.reports()
+        assert set(reports) == {"viz", "bulk"}
+
+
+class TestAdmission:
+    def test_infeasible_open_raises_upcall(self, service):
+        service.open_stream(critical())
+        with pytest.raises(AdmissionError):
+            service.open_stream(critical("monster", 120.0))
+        assert service.upcalls  # the upcall was recorded
+        # The rejected stream is not scheduled.
+        assert "monster" not in {s.name for s in service.scheduler.streams}
+
+    def test_lenient_mode_serves_degraded(self):
+        testbed = make_figure8_testbed()
+        realization = testbed.realize(seed=77, duration=80.0, dt=0.1)
+        service = IQPathsService(
+            realization, warmup_intervals=200, strict_admission=False
+        )
+        service.open_stream(critical("monster", 120.0))
+        assert service.upcalls
+        service.advance(20.0)
+        # Degraded service still moves bytes.
+        assert service.report("monster").mean_mbps > 0.0
+
+
+class TestScheduling:
+    def test_at_schedules_in_order(self, service):
+        order = []
+        service.at(5.0, lambda: order.append("b"))
+        service.at(2.0, lambda: order.append("a"))
+        service.advance(10.0)
+        assert order == ["a", "b"]
+
+    def test_at_in_past_rejected(self, service):
+        service.advance(10.0)
+        with pytest.raises(ConfigurationError):
+            service.at(5.0, lambda: None)
+
+    def test_advance_beyond_realization_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.advance(1e6)
+
+    def test_now_advances(self, service):
+        t0 = service.now
+        service.advance(7.0)
+        assert service.now == pytest.approx(t0 + 7.0)
+
+    def test_report_unknown_stream(self, service):
+        with pytest.raises(ConfigurationError):
+            service.report("nope")

@@ -1,0 +1,93 @@
+"""Throughput sampler and the per-path monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitoring.monitor import PathMonitor
+from repro.monitoring.sampler import ThroughputSampler
+
+
+class TestSampler:
+    def test_single_interval_rate(self):
+        sampler = ThroughputSampler(dt=0.1)
+        sampler.record(0.05, 125_000)  # 1.25e5 B in 0.1 s = 10 Mbps
+        closed = sampler.record(0.1, 0)
+        assert closed == pytest.approx([10.0])
+
+    def test_idle_intervals_emit_zero(self):
+        sampler = ThroughputSampler(dt=0.1)
+        sampler.record(0.0, 125_000)
+        closed = sampler.record(0.35, 125_000)
+        assert closed == pytest.approx([10.0, 0.0, 0.0])
+
+    def test_flush(self):
+        sampler = ThroughputSampler(dt=0.1)
+        sampler.record(0.0, 125_000)
+        assert sampler.flush(0.2) == pytest.approx([10.0, 0.0])
+
+    def test_samples_accumulate(self):
+        sampler = ThroughputSampler(dt=0.1)
+        for i in range(5):
+            sampler.record(i * 0.1, 125_000)
+        sampler.flush(0.5)
+        assert len(sampler.samples) == 5
+        assert sampler.samples == pytest.approx([10.0] * 5)
+
+    def test_time_going_backwards_rejected(self):
+        sampler = ThroughputSampler(dt=0.1)
+        sampler.record(0.5, 100)
+        with pytest.raises(ConfigurationError):
+            sampler.record(0.1, 100)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputSampler(dt=0.1).record(0.0, -1)
+
+
+class TestPathMonitor:
+    def test_guaranteed_bandwidth_is_quantile(self, rng):
+        monitor = PathMonitor("A", window=1000)
+        samples = 50 + 5 * rng.standard_normal(1000)
+        monitor.observe_bandwidth_many(samples)
+        assert monitor.guaranteed_bandwidth(0.95) == pytest.approx(
+            np.percentile(samples, 5)
+        )
+
+    def test_remap_trigger_before_first_mark(self):
+        monitor = PathMonitor("A")
+        monitor.observe_bandwidth(10.0)
+        assert monitor.cdf_changed_significantly()
+
+    def test_no_trigger_on_stable_distribution(self, rng):
+        monitor = PathMonitor("A", window=500, ks_threshold=0.2)
+        monitor.observe_bandwidth_many(50 + rng.standard_normal(500))
+        monitor.mark_remapped()
+        monitor.observe_bandwidth_many(50 + rng.standard_normal(250))
+        assert not monitor.cdf_changed_significantly()
+
+    def test_trigger_on_level_shift(self, rng):
+        monitor = PathMonitor("A", window=500, ks_threshold=0.2)
+        monitor.observe_bandwidth_many(50 + rng.standard_normal(500))
+        monitor.mark_remapped()
+        monitor.observe_bandwidth_many(30 + rng.standard_normal(400))
+        assert monitor.cdf_changed_significantly()
+
+    def test_rtt_and_loss_tracked(self):
+        monitor = PathMonitor("A")
+        monitor.observe_rtt(20.0)
+        monitor.observe_rtt(30.0)
+        assert 20.0 < monitor.rtt_ms.predict() <= 30.0
+        monitor.observe_loss(0.01)
+        assert monitor.loss_rate.predict() == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PathMonitor("A", ks_threshold=0.0)
+        monitor = PathMonitor("A")
+        with pytest.raises(ConfigurationError):
+            monitor.observe_rtt(-1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.observe_loss(2.0)
+        with pytest.raises(ConfigurationError):
+            monitor.guaranteed_bandwidth(1.5)

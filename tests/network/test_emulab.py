@@ -1,0 +1,112 @@
+"""The Figure-8 testbed: structure and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.emulab import LINK_CAPACITY_MBPS, make_figure8_testbed
+from repro.network.node import NodeKind
+
+
+class TestStructure:
+    def test_two_node_disjoint_paths(self, testbed):
+        paths = testbed.paths
+        assert set(paths) == {"A", "B"}
+        names_a = {n.name for n in paths["A"].nodes}
+        names_b = {n.name for n in paths["B"].nodes}
+        # Node-disjoint except the shared endpoints.
+        assert names_a & names_b == {"N-1", "N-6"}
+
+    def test_paths_share_no_links(self, testbed):
+        assert testbed.topology.shared_links(testbed.paths.values()) == set()
+
+    def test_paper_path_routes(self, testbed):
+        assert testbed.paths["A"].name == "N-1->N-2->N-4->N-6"
+        assert testbed.paths["B"].name == "N-1->N-3->N-5->N-6"
+
+    def test_cross_traffic_on_bottlenecks(self, testbed):
+        topo = testbed.topology
+        assert topo.link("N-2", "N-4").cross_traffic
+        assert topo.link("N-3", "N-5").cross_traffic
+        assert not topo.link("N-1", "N-2").cross_traffic
+
+    def test_cross_traffic_hosts_present(self, testbed):
+        kinds = {
+            n.name: n.kind for n in testbed.topology.nodes
+        }
+        for name in ("N-9", "N-10", "N-11", "N-12", "N-13", "N-14"):
+            assert kinds[name] is NodeKind.CROSS_TRAFFIC
+
+    def test_fourteen_nodes(self, testbed):
+        assert len(testbed.topology.nodes) == 14
+
+    def test_server_client_roles(self, testbed):
+        assert testbed.server.kind is NodeKind.SERVER
+        assert testbed.client.kind is NodeKind.CLIENT
+
+    def test_link_capacity_is_fast_ethernet(self, testbed):
+        assert all(
+            l.capacity_mbps == LINK_CAPACITY_MBPS for l in testbed.topology.links
+        )
+
+
+class TestRealization:
+    def test_deterministic(self, testbed):
+        r1 = testbed.realize(seed=3, duration=10.0, dt=0.1)
+        r2 = testbed.realize(seed=3, duration=10.0, dt=0.1)
+        for p in ("A", "B"):
+            assert np.array_equal(
+                r1.available[p].available_mbps, r2.available[p].available_mbps
+            )
+
+    def test_seeds_differ(self, testbed):
+        r1 = testbed.realize(seed=3, duration=10.0, dt=0.1)
+        r2 = testbed.realize(seed=4, duration=10.0, dt=0.1)
+        assert not np.array_equal(
+            r1.available["A"].available_mbps, r2.available["A"].available_mbps
+        )
+
+    def test_paths_independent_noise(self, testbed):
+        r = testbed.realize(seed=3, duration=30.0, dt=0.1)
+        a = r.available["A"].available_mbps
+        b = r.available["B"].available_mbps
+        assert not np.array_equal(a, b)
+
+    def test_within_capacity(self, realization):
+        for p in realization.path_names():
+            bw = realization.available[p].available_mbps
+            assert np.all(bw >= 0.0)
+            assert np.all(bw <= LINK_CAPACITY_MBPS)
+
+    def test_bad_duration_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.realize(seed=1, duration=0.0, dt=0.1)
+        with pytest.raises(ConfigurationError):
+            testbed.realize(seed=1, duration=0.05, dt=0.1)
+
+
+class TestCalibration:
+    """Section 6.1's operating point: A higher/stabler, B lower/noisier."""
+
+    def test_path_a_higher_mean(self, testbed):
+        r = testbed.realize(seed=7, duration=120.0, dt=0.1)
+        assert r.available["A"].mean() > r.available["B"].mean()
+
+    def test_path_b_larger_variance(self, testbed):
+        r = testbed.realize(seed=7, duration=120.0, dt=0.1)
+        assert (
+            r.available["B"].available_mbps.std()
+            > r.available["A"].available_mbps.std()
+        )
+
+    def test_path_a_sustains_critical_demand(self, testbed):
+        # Atom + Bond1 = 25.4 Mbps must fit on A at the 95 % level.
+        r = testbed.realize(seed=7, duration=120.0, dt=0.1)
+        assert r.available["A"].percentile(5) > 25.4
+
+    def test_xtraffic_scale_shifts_operating_point(self):
+        heavy = make_figure8_testbed(xtraffic_scale=1.5)
+        light = make_figure8_testbed(xtraffic_scale=0.5)
+        rh = heavy.realize(seed=7, duration=60.0, dt=0.1)
+        rl = light.realize(seed=7, duration=60.0, dt=0.1)
+        assert rl.available["A"].mean() > rh.available["A"].mean()

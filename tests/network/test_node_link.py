@@ -1,0 +1,119 @@
+"""Nodes and capacity links."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.crosstraffic import CrossTrafficSource
+from repro.network.link import Link
+from repro.network.node import Node, NodeKind
+from repro.sim.random import RandomStreams
+
+
+class TestNode:
+    def test_equality_by_name(self):
+        assert Node("N-1", NodeKind.SERVER) == Node("N-1", NodeKind.CLIENT)
+        assert Node("N-1") != Node("N-2")
+
+    def test_hashable(self):
+        assert len({Node("a"), Node("a"), Node("b")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Node("")
+
+    def test_str(self):
+        assert str(Node("N-3")) == "N-3"
+
+
+class TestLink:
+    def _link(self, **kwargs) -> Link:
+        defaults = dict(a=Node("a"), b=Node("b"), capacity_mbps=100.0)
+        defaults.update(kwargs)
+        return Link(**defaults)
+
+    def test_name(self):
+        assert self._link().name == "a->b"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            self._link(capacity_mbps=0.0)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ConfigurationError):
+            self._link(loss_rate=1.0)
+
+    def test_residual_without_cross_traffic_is_capacity(self):
+        link = self._link()
+        residual = link.residual_series(100, 0.1, RandomStreams(1))
+        assert np.all(residual == 100.0)
+
+    def test_residual_subtracts_cross_traffic(self):
+        link = self._link()
+        link.add_cross_traffic(
+            CrossTrafficSource(name="ct", series=(30.0,))
+        )
+        residual = link.residual_series(50, 0.1, RandomStreams(1))
+        assert np.all(residual == 70.0)
+
+    def test_residual_sums_multiple_sources(self):
+        link = self._link()
+        link.add_cross_traffic(CrossTrafficSource(name="x", series=(30.0,)))
+        link.add_cross_traffic(CrossTrafficSource(name="y", series=(20.0,)))
+        residual = link.residual_series(10, 0.1, RandomStreams(1))
+        assert np.all(residual == 50.0)
+
+    def test_residual_clipped_at_zero(self):
+        link = self._link()
+        link.add_cross_traffic(CrossTrafficSource(name="x", series=(500.0,)))
+        residual = link.residual_series(10, 0.1, RandomStreams(1))
+        assert np.all(residual == 0.0)
+
+    def test_residual_deterministic_per_seed(self):
+        def make():
+            link = self._link()
+            link.add_cross_traffic(
+                CrossTrafficSource.from_profile_name("ct", "light")
+            )
+            return link.residual_series(100, 0.1, RandomStreams(42))
+
+        assert np.array_equal(make(), make())
+
+
+class TestCrossTrafficSource:
+    def test_requires_exactly_one_of_profile_or_series(self):
+        with pytest.raises(ConfigurationError):
+            CrossTrafficSource(name="bad")
+
+    def test_series_tiles_to_length(self):
+        src = CrossTrafficSource(name="s", series=(1.0, 2.0))
+        out = src.realize(5, 0.1, RandomStreams(1))
+        assert np.allclose(out, [1.0, 2.0, 1.0, 2.0, 1.0])
+
+    def test_scale_applied(self):
+        src = CrossTrafficSource(name="s", series=(10.0,), scale=0.5)
+        assert np.all(src.realize(3, 0.1, RandomStreams(1)) == 5.0)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(ConfigurationError, match="unknown cross-traffic"):
+            CrossTrafficSource.from_profile_name("s", "missing")
+
+    def test_profile_sources_independent_by_name(self):
+        a = CrossTrafficSource.from_profile_name("one", "light")
+        b = CrossTrafficSource.from_profile_name("two", "light")
+        streams = RandomStreams(5)
+        assert not np.array_equal(
+            a.realize(100, 0.1, streams), b.realize(100, 0.1, streams)
+        )
+
+    def test_profile_source_replayable(self):
+        src = CrossTrafficSource.from_profile_name("one", "light")
+        assert np.array_equal(
+            src.realize(100, 0.1, RandomStreams(5)),
+            src.realize(100, 0.1, RandomStreams(5)),
+        )
+
+    def test_empty_series_rejected_on_realize(self):
+        src = CrossTrafficSource(name="s", series=())
+        with pytest.raises(ConfigurationError):
+            src.realize(3, 0.1, RandomStreams(1))

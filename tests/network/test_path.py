@@ -1,0 +1,100 @@
+"""Overlay paths: validation, composed metrics, bandwidth realization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.crosstraffic import CrossTrafficSource
+from repro.network.link import Link
+from repro.network.node import Node
+from repro.network.path import OverlayPath
+from repro.sim.random import RandomStreams
+
+
+def chain(*capacities, delays=None, losses=None) -> OverlayPath:
+    """Build a linear path with the given per-link capacities."""
+    nodes = [Node(f"n{i}") for i in range(len(capacities) + 1)]
+    delays = delays or [1.0] * len(capacities)
+    losses = losses or [0.0] * len(capacities)
+    links = [
+        Link(
+            a=nodes[i],
+            b=nodes[i + 1],
+            capacity_mbps=c,
+            delay_ms=delays[i],
+            loss_rate=losses[i],
+        )
+        for i, c in enumerate(capacities)
+    ]
+    return OverlayPath(tuple(nodes), tuple(links))
+
+
+class TestValidation:
+    def test_link_count_must_match(self):
+        nodes = (Node("a"), Node("b"), Node("c"))
+        links = (Link(a=nodes[0], b=nodes[1], capacity_mbps=10.0),)
+        with pytest.raises(TopologyError):
+            OverlayPath(nodes, links)
+
+    def test_links_must_connect_nodes(self):
+        a, b, c = Node("a"), Node("b"), Node("c")
+        wrong = Link(a=a, b=c, capacity_mbps=10.0)
+        with pytest.raises(TopologyError, match="does not connect"):
+            OverlayPath((a, b), (wrong,))
+
+    def test_no_repeated_nodes(self):
+        a, b = Node("a"), Node("b")
+        l1 = Link(a=a, b=b, capacity_mbps=10.0)
+        l2 = Link(a=b, b=a, capacity_mbps=10.0)
+        with pytest.raises(TopologyError, match="twice"):
+            OverlayPath((a, b, a), (l1, l2))
+
+
+class TestMetrics:
+    def test_capacity_is_bottleneck(self):
+        assert chain(100.0, 50.0, 80.0).capacity_mbps == 50.0
+
+    def test_rtt_sums_delays(self):
+        path = chain(10.0, 10.0, delays=[3.0, 7.0])
+        assert path.rtt_ms == pytest.approx(20.0)
+
+    def test_loss_composes_multiplicatively(self):
+        path = chain(10.0, 10.0, losses=[0.1, 0.2])
+        assert path.loss_rate == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_endpoints(self):
+        path = chain(10.0, 10.0)
+        assert path.source.name == "n0"
+        assert path.sink.name == "n2"
+
+
+class TestRealization:
+    def test_min_over_links(self):
+        path = chain(100.0, 100.0)
+        path.links[0].add_cross_traffic(
+            CrossTrafficSource(name="x", series=(40.0,))
+        )
+        path.links[1].add_cross_traffic(
+            CrossTrafficSource(name="y", series=(70.0,))
+        )
+        bw = path.realize_bandwidth(10, 0.1, RandomStreams(1))
+        assert np.all(bw.available_mbps == 30.0)
+
+    def test_metadata(self):
+        bw = chain(100.0).realize_bandwidth(50, 0.1, RandomStreams(1))
+        assert bw.n_intervals == 50
+        assert bw.duration == pytest.approx(5.0)
+        assert bw.mean() == 100.0
+        assert bw.percentile(10) == 100.0
+
+    def test_window_slice(self):
+        bw = chain(100.0).realize_bandwidth(50, 0.1, RandomStreams(1))
+        assert bw.window(10, 5).shape == (5,)
+        assert bw.window(48, 10).shape == (2,)  # clamped at the end
+
+    def test_window_rejects_bad_args(self):
+        bw = chain(100.0).realize_bandwidth(10, 0.1, RandomStreams(1))
+        with pytest.raises(ValueError):
+            bw.window(-1, 5)
+        with pytest.raises(ValueError):
+            bw.window(0, 0)

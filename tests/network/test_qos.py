@@ -1,0 +1,100 @@
+"""RTT / loss-rate realization and guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.qos import (
+    MAX_QUEUE_FACTOR,
+    PathQoS,
+    loss_guarantee,
+    realize_qos,
+    rtt_guarantee,
+)
+from repro.sim.random import RandomStreams
+
+
+def _bandwidth(available, capacity=100.0, loss=0.0):
+    """Build a PathBandwidth over a 2-link chain with given availability."""
+    from repro.network.link import Link
+    from repro.network.node import Node
+    from repro.network.path import OverlayPath, PathBandwidth
+
+    a, b, c = Node("a"), Node("b"), Node("c")
+    links = (
+        Link(a=a, b=b, capacity_mbps=capacity, delay_ms=5.0, loss_rate=loss),
+        Link(a=b, b=c, capacity_mbps=capacity, delay_ms=5.0, loss_rate=loss),
+    )
+    path = OverlayPath((a, b, c), links)
+    return PathBandwidth(
+        path=path, dt=0.1, available_mbps=np.asarray(available, dtype=float)
+    )
+
+
+class TestRealizeQoS:
+    def test_idle_path_rtt_near_propagation(self, rng):
+        bw = _bandwidth(np.full(500, 100.0))
+        qos = realize_qos(bw, rng, jitter_ms=0.1)
+        assert qos.mean_rtt() == pytest.approx(20.0, abs=0.3)
+
+    def test_rtt_grows_with_utilization(self, rng):
+        idle = realize_qos(_bandwidth(np.full(500, 90.0)), rng)
+        busy = realize_qos(_bandwidth(np.full(500, 10.0)), rng)
+        assert busy.mean_rtt() > idle.mean_rtt()
+
+    def test_rtt_capped_under_saturation(self, rng):
+        qos = realize_qos(_bandwidth(np.full(100, 0.0)), rng, jitter_ms=0.0)
+        assert qos.rtt_ms.max() <= 20.0 * (1 + MAX_QUEUE_FACTOR) + 1e-9
+
+    def test_loss_zero_when_uncongested(self, rng):
+        qos = realize_qos(_bandwidth(np.full(100, 50.0)), rng)
+        assert np.all(qos.loss_rate == 0.0)
+
+    def test_loss_appears_under_saturation(self, rng):
+        qos = realize_qos(_bandwidth(np.full(100, 1.0)), rng)
+        assert qos.mean_loss() > 0.0
+
+    def test_base_loss_composes(self, rng):
+        qos = realize_qos(_bandwidth(np.full(100, 50.0), loss=0.01), rng)
+        # Two links at 1 % each -> ~1.99 %.
+        assert qos.loss_rate[0] == pytest.approx(1 - 0.99**2)
+
+    def test_negative_jitter_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            realize_qos(_bandwidth(np.full(10, 50.0)), rng, jitter_ms=-1.0)
+
+    def test_rtt_easier_to_predict_than_bandwidth(self, testbed):
+        # The paper's observation (citing Rao): RTT is far less noisy
+        # than available bandwidth, relatively.
+        r = testbed.realize(seed=8, duration=60.0, dt=0.1)
+        for p in r.path_names():
+            bw = r.available[p].available_mbps
+            rtt = r.qos[p].rtt_ms
+            assert (rtt.std() / rtt.mean()) < (bw.std() / bw.mean())
+
+
+class TestGuarantees:
+    def test_rtt_guarantee_is_quantile(self, rng):
+        rtt = 20 + np.abs(rng.standard_normal(2000))
+        g = rtt_guarantee(rtt, 0.95)
+        assert np.mean(rtt <= g) == pytest.approx(0.95, abs=0.01)
+
+    def test_loss_guarantee_monotone_in_probability(self, rng):
+        loss = np.clip(0.01 + 0.005 * rng.standard_normal(1000), 0, 1)
+        assert loss_guarantee(loss, 0.5) <= loss_guarantee(loss, 0.99)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            rtt_guarantee(np.ones(10), 1.0)
+        with pytest.raises(ConfigurationError):
+            loss_guarantee(np.ones(10), 0.0)
+
+
+class TestRealizationIntegration:
+    def test_testbed_carries_qos(self, realization):
+        for p in realization.path_names():
+            qos = realization.qos[p]
+            assert isinstance(qos, PathQoS)
+            assert qos.n_intervals == realization.n_intervals
+            assert np.all(qos.rtt_ms >= 0)
+            assert np.all((qos.loss_rate >= 0) & (qos.loss_rate <= 1))

@@ -1,0 +1,107 @@
+"""Overlay meshes: logical links, routes, bottleneck composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.overlay.mesh import LogicalLink, OverlayMesh
+from repro.traces.nlanr import PROFILES
+
+
+def diamond_mesh() -> OverlayMesh:
+    mesh = OverlayMesh()
+    mesh.add_link("S", "R1", "calm")
+    mesh.add_link("R1", "C", "calm")
+    mesh.add_link("S", "R2", "light")
+    mesh.add_link("R2", "C", "light")
+    return mesh
+
+
+class TestMesh:
+    def test_add_and_lookup(self):
+        mesh = diamond_mesh()
+        assert mesh.link("S", "R1").name == "S->R1"
+        assert len(mesh.links) == 4
+        assert set(mesh.nodes) == {"S", "R1", "R2", "C"}
+
+    def test_duplicate_link_rejected(self):
+        mesh = diamond_mesh()
+        with pytest.raises(TopologyError):
+            mesh.add_link("S", "R1", "calm")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverlayMesh().add_link("a", "b", "nope")
+
+    def test_profile_instance_accepted(self):
+        mesh = OverlayMesh()
+        link = mesh.add_link("a", "b", PROFILES["calm"])
+        assert link.profile.name == "calm"
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogicalLink(src="a", dst="a", profile=PROFILES["calm"])
+
+    def test_unknown_link_lookup(self):
+        with pytest.raises(TopologyError):
+            diamond_mesh().link("R1", "S")
+
+
+class TestRoutes:
+    def test_two_disjoint_routes(self):
+        routes = diamond_mesh().routes("S", "C", k=2)
+        middles = {route[1] for route in routes}
+        assert middles == {"R1", "R2"}
+
+    def test_insufficient_routes(self):
+        with pytest.raises(TopologyError):
+            diamond_mesh().routes("S", "C", k=3)
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(TopologyError):
+            diamond_mesh().routes("S", "ghost")
+
+
+class TestRealization:
+    def test_series_shapes_and_bounds(self):
+        mesh = diamond_mesh()
+        r = mesh.realize(seed=1, duration=20.0, dt=0.1)
+        assert r.n_intervals == 200
+        for link in mesh.links:
+            series = r.link_series(link.src, link.dst)
+            assert series.shape == (200,)
+            assert np.all((series >= 0) & (series <= link.capacity_mbps))
+
+    def test_deterministic(self):
+        mesh = diamond_mesh()
+        a = mesh.realize(seed=5, duration=10.0, dt=0.1)
+        b = mesh.realize(seed=5, duration=10.0, dt=0.1)
+        assert np.array_equal(
+            a.link_series("S", "R1"), b.link_series("S", "R1")
+        )
+
+    def test_links_independent(self):
+        mesh = diamond_mesh()
+        r = mesh.realize(seed=5, duration=10.0, dt=0.1)
+        assert not np.array_equal(
+            r.link_series("S", "R1"), r.link_series("R1", "C")
+        )
+
+    def test_bottleneck_composition(self):
+        mesh = OverlayMesh()
+        mesh.add_link("S", "R", "calm", capacity_mbps=100.0)
+        mesh.add_link("R", "C", "calm", capacity_mbps=30.0)
+        r = mesh.realize(seed=2, duration=10.0, dt=0.1)
+        route = r.route_bottleneck_series(["S", "R", "C"])
+        assert np.all(route <= r.link_series("R", "C") + 1e-12)
+        assert np.all(route <= r.link_series("S", "R") + 1e-12)
+
+    def test_short_route_rejected(self):
+        mesh = diamond_mesh()
+        r = mesh.realize(seed=2, duration=5.0, dt=0.1)
+        with pytest.raises(TopologyError):
+            r.route_bottleneck_series(["S"])
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diamond_mesh().realize(seed=1, duration=0.0, dt=0.1)

@@ -1,0 +1,120 @@
+"""Overlay multicast distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.mesh import OverlayMesh
+from repro.overlay.multicast import (
+    MulticastTree,
+    multicast_guaranteed_rate,
+    run_multicast_session,
+)
+
+
+def fan_mesh() -> OverlayMesh:
+    """S -> R -> {C1 (calm link), C2 (noisy link)}."""
+    mesh = OverlayMesh()
+    mesh.add_link("S", "R", "calm")
+    mesh.add_link("R", "C1", "calm")
+    mesh.add_link("R", "C2", "abilene-noisy")
+    return mesh
+
+
+def fan_tree() -> MulticastTree:
+    return MulticastTree(
+        source="S",
+        children={"S": ("R",), "R": ("C1", "C2"), "C1": (), "C2": ()},
+    )
+
+
+@pytest.fixture(scope="module")
+def realization():
+    return fan_mesh().realize(seed=6, duration=60.0, dt=0.1)
+
+
+class TestTree:
+    def test_leaves(self):
+        assert fan_tree().leaves == ["C1", "C2"]
+
+    def test_paths_to_leaves(self):
+        paths = fan_tree().paths_to_leaves()
+        assert paths == {"C1": ["S", "R", "C1"], "C2": ["S", "R", "C2"]}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            MulticastTree(
+                source="S",
+                children={"S": ("A", "B"), "A": ("B",), "B": ()},
+            )
+
+    def test_source_must_be_present(self):
+        with pytest.raises(ConfigurationError):
+            MulticastTree(source="S", children={"X": ()})
+
+
+class TestGuaranteedRate:
+    def test_rate_bounded_by_weakest_leaf(self, realization):
+        rate = multicast_guaranteed_rate(realization, fan_tree(), 0.95)
+        from repro.core.guarantees import guaranteed_rate_at
+        from repro.monitoring.cdf import EmpiricalCDF
+
+        noisy_leaf = guaranteed_rate_at(
+            EmpiricalCDF(
+                realization.route_bottleneck_series(["S", "R", "C2"])
+            ),
+            0.95,
+        )
+        assert rate == pytest.approx(noisy_leaf)
+
+    def test_higher_probability_lower_rate(self, realization):
+        r95 = multicast_guaranteed_rate(realization, fan_tree(), 0.95)
+        r70 = multicast_guaranteed_rate(realization, fan_tree(), 0.70)
+        assert r95 <= r70
+
+
+class TestSession:
+    def test_paced_rate_reaches_every_client(self, realization):
+        rate = multicast_guaranteed_rate(realization, fan_tree(), 0.95)
+        result = run_multicast_session(realization, fan_tree(), rate)
+        for client in ("C1", "C2"):
+            assert result.client_attainment(client, rate) >= 0.93, client
+            assert result.dropped_bytes[client] == 0.0
+
+    def test_overdriven_rate_starves_the_weak_subtree(self, realization):
+        # Push at the strong leaf's sustainable rate: the noisy subtree
+        # cannot keep up (drops at the bounded buffer) while C1 is fine.
+        from repro.core.guarantees import guaranteed_rate_at
+        from repro.monitoring.cdf import EmpiricalCDF
+
+        strong = guaranteed_rate_at(
+            EmpiricalCDF(
+                realization.route_bottleneck_series(["S", "R", "C1"])
+            ),
+            0.95,
+        )
+        result = run_multicast_session(
+            realization,
+            fan_tree(),
+            strong,
+            node_buffer_bytes=2_000_000,
+        )
+        assert result.client_attainment("C1", strong) >= 0.9
+        assert result.client_attainment("C2", strong) < 0.7
+        assert result.dropped_bytes["C2"] > 0
+
+    def test_delivery_conserves_rate(self, realization):
+        result = run_multicast_session(realization, fan_tree(), 5.0)
+        for client in ("C1", "C2"):
+            assert result.delivered_mbps[client].mean() == pytest.approx(
+                5.0, rel=0.02
+            )
+
+    def test_unknown_client_rejected(self, realization):
+        result = run_multicast_session(realization, fan_tree(), 5.0)
+        with pytest.raises(ConfigurationError):
+            result.client_attainment("ghost", 1.0)
+
+    def test_bad_rate_rejected(self, realization):
+        with pytest.raises(ConfigurationError):
+            run_multicast_session(realization, fan_tree(), 0.0)

@@ -1,0 +1,95 @@
+"""In-transit reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.mesh import OverlayMesh
+from repro.overlay.operators import (
+    ReductionOperator,
+    run_processed_relay,
+)
+
+
+def tight_mesh() -> OverlayMesh:
+    """S -> R -> C where the second hop cannot carry the full stream."""
+    mesh = OverlayMesh()
+    mesh.add_link("S", "R", "calm")                      # ~80 Mbps residual
+    mesh.add_link("R", "C", "calm", capacity_mbps=45.0)  # ~25 Mbps residual
+    return mesh
+
+
+@pytest.fixture(scope="module")
+def realization():
+    return tight_mesh().realize(seed=14, duration=60.0, dt=0.1)
+
+
+HALVER = ReductionOperator(name="downsample-2x", ratio=0.5, fidelity=0.7)
+
+
+class TestOperator:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReductionOperator(name="bad", ratio=0.0, fidelity=0.5)
+        with pytest.raises(ConfigurationError):
+            ReductionOperator(name="bad", ratio=0.5, fidelity=1.5)
+
+
+class TestProcessedRelay:
+    def test_unprocessed_overload_stalls(self, realization):
+        # 40 Mbps into a ~25 Mbps second hop without an operator: the
+        # router drowns and effective delivery saturates at the hop rate.
+        result = run_processed_relay(
+            realization, ["S", "R", "C"], injection_mbps=40.0
+        )
+        assert result.delivered_mbps.mean() < 30.0
+        assert result.mean_fidelity == 1.0
+        assert result.reduced_fraction == 0.0
+
+    def test_operator_restores_timeliness_at_fidelity_cost(self, realization):
+        plain = run_processed_relay(
+            realization, ["S", "R", "C"], injection_mbps=40.0
+        )
+        processed = run_processed_relay(
+            realization,
+            ["S", "R", "C"],
+            injection_mbps=40.0,
+            operators={"R": HALVER},
+        )
+        # Reduction engaged and fidelity dropped accordingly...
+        assert processed.reduced_fraction > 0.5
+        assert 0.7 <= processed.mean_fidelity < 1.0
+        # ...but the router queue is far smaller than without it.
+        assert (
+            processed.peak_queue_bytes["R"]
+            < plain.peak_queue_bytes["R"] / 2
+        )
+
+    def test_no_pressure_no_reduction(self, realization):
+        # 10 Mbps fits the tight hop: the operator should never engage.
+        result = run_processed_relay(
+            realization,
+            ["S", "R", "C"],
+            injection_mbps=10.0,
+            operators={"R": HALVER},
+        )
+        assert result.reduced_fraction < 0.05
+        assert result.mean_fidelity > 0.98
+        assert result.delivered_mbps.mean() == pytest.approx(10.0, rel=0.03)
+
+    def test_operator_node_must_be_intermediate(self, realization):
+        with pytest.raises(ConfigurationError, match="intermediate"):
+            run_processed_relay(
+                realization,
+                ["S", "R", "C"],
+                injection_mbps=10.0,
+                operators={"S": HALVER},
+            )
+
+    def test_bad_rate_rejected(self, realization):
+        with pytest.raises(ConfigurationError):
+            run_processed_relay(realization, ["S", "R", "C"], 0.0)
+
+    def test_short_route_rejected(self, realization):
+        with pytest.raises(ConfigurationError):
+            run_processed_relay(realization, ["S"], 10.0)

@@ -1,0 +1,116 @@
+"""Property-based tests: empirical CDF invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guarantees import (
+    probabilistic_guarantee,
+    violation_bound,
+)
+from repro.monitoring.cdf import EmpiricalCDF, SlidingWindowCDF, ks_distance
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestCDFInvariants:
+    @given(samples_strategy, st.floats(min_value=-10, max_value=1100))
+    def test_bounded_between_zero_and_one(self, samples, b):
+        cdf = EmpiricalCDF(samples)
+        assert 0.0 <= cdf.evaluate(b) <= 1.0
+        assert 0.0 <= cdf.evaluate_strict(b) <= 1.0
+
+    @given(
+        samples_strategy,
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_monotone(self, samples, b1, b2):
+        cdf = EmpiricalCDF(samples)
+        lo, hi = min(b1, b2), max(b1, b2)
+        assert cdf.evaluate(lo) <= cdf.evaluate(hi)
+
+    @given(samples_strategy)
+    def test_strict_below_or_equal_weak(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for b in samples[:10]:
+            assert cdf.evaluate_strict(b) <= cdf.evaluate(b)
+
+    @given(samples_strategy, st.floats(min_value=0, max_value=100))
+    def test_percentile_inverse(self, samples, q):
+        cdf = EmpiricalCDF(samples)
+        value = cdf.percentile(q)
+        # numpy's percentile interpolates between order statistics, so the
+        # step CDF at the percentile may sit one sample-weight below q.
+        assert cdf.evaluate(value) >= q / 100.0 - 1.0 / cdf.n - 1e-9
+
+    @given(samples_strategy)
+    def test_partial_mean_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCDF(samples)
+        lo = cdf.partial_mean_below(cdf.percentile(25))
+        hi = cdf.partial_mean_below(cdf.percentile(75))
+        assert 0.0 <= lo <= hi <= cdf.mean() + 1e-9
+
+    @given(samples_strategy, samples_strategy)
+    def test_ks_distance_is_metric_like(self, a_samples, b_samples):
+        a, b = EmpiricalCDF(a_samples), EmpiricalCDF(b_samples)
+        d = ks_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert abs(d - ks_distance(b, a)) < 1e-12
+        assert ks_distance(a, a) == 0.0
+
+
+class TestGuaranteeInvariants:
+    @given(samples_strategy, st.floats(min_value=0, max_value=1200))
+    def test_lemma1_is_probability(self, samples, required):
+        cdf = EmpiricalCDF(samples)
+        p = probabilistic_guarantee(cdf, required)
+        assert 0.0 <= p <= 1.0
+
+    @given(samples_strategy)
+    def test_lemma1_antitone_in_requirement(self, samples):
+        cdf = EmpiricalCDF(samples)
+        p_small = probabilistic_guarantee(cdf, 1.0)
+        p_large = probabilistic_guarantee(cdf, 500.0)
+        assert p_small >= p_large
+
+    @given(
+        samples_strategy,
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_lemma2_bound_in_range(self, samples, x):
+        cdf = EmpiricalCDF(samples)
+        bound = violation_bound(cdf, x, 1500, 1.0)
+        assert 0.0 <= bound <= x
+
+    @given(samples_strategy, st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=50)
+    def test_lemma2_never_below_exact_expectation(self, samples, x):
+        """The bound dominates the exact expected shortfall on the same
+        distribution (this is what makes it a *bound*)."""
+        cdf = EmpiricalCDF(samples)
+        bound = violation_bound(cdf, x, 1500, 1.0)
+        arr = np.asarray(cdf.samples)
+        served = np.minimum(arr * 1e6 / 8.0 / 1500, x)
+        exact = float((x - served).mean())
+        assert bound >= exact - 1e-6
+
+
+class TestSlidingWindow:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=2, max_value=50),
+    )
+    def test_window_never_exceeds_capacity(self, values, window):
+        swc = SlidingWindowCDF(window=window)
+        swc.extend(values)
+        assert len(swc) == min(len(values), window)
+        assert list(swc.snapshot().samples) == sorted(values[-window:])

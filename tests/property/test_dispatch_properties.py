@@ -1,0 +1,123 @@
+"""Property-based tests: packet dispatch conservation and honesty."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pgos import dispatch_window, make_packet_queue
+from repro.core.vectors import build_schedule
+from repro.transport.backoff import ExponentialBackoff
+from repro.transport.service import PathService
+
+PKT = 1000
+
+
+@st.composite
+def dispatch_scenarios(draw):
+    """Random schedules, queue fills, and byte budgets."""
+    n_paths = draw(st.integers(min_value=1, max_value=3))
+    paths = [f"P{i}" for i in range(n_paths)]
+    n_streams = draw(st.integers(min_value=1, max_value=3))
+    mapping = {}
+    for i in range(n_streams):
+        shares = {}
+        for p in paths:
+            count = draw(st.integers(min_value=0, max_value=25))
+            if count:
+                shares[p] = count
+        mapping[f"s{i}"] = shares
+    # Queue fill may be below or above the scheduled quota.
+    fills = {
+        s: draw(st.integers(min_value=0, max_value=60)) for s in mapping
+    }
+    n_unscheduled = draw(st.integers(min_value=0, max_value=2))
+    unscheduled_fills = {
+        f"u{i}": draw(st.integers(min_value=0, max_value=40))
+        for i in range(n_unscheduled)
+    }
+    budgets = {
+        p: draw(st.integers(min_value=0, max_value=120)) * PKT for p in paths
+    }
+    return mapping, fills, unscheduled_fills, budgets
+
+
+def run_dispatch(mapping, fills, unscheduled_fills, budgets):
+    schedule = build_schedule(mapping, tw=1.0)
+    queues = {
+        s: make_packet_queue(s, n, 1.0, PKT) for s, n in fills.items()
+    }
+    unscheduled = {
+        s: make_packet_queue(s, n, 1.0, PKT)
+        for s, n in unscheduled_fills.items()
+    }
+    services = {}
+    for p, budget in budgets.items():
+        svc = PathService(
+            p, backoff=ExponentialBackoff(base_delay=10.0, max_delay=10.0)
+        )
+        svc.begin_interval(0.0, budget)
+        services[p] = svc
+    result = dispatch_window(schedule, services, queues, unscheduled)
+    return schedule, queues, unscheduled, services, result
+
+
+class TestDispatchInvariants:
+    @given(dispatch_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_conservation(self, scenario):
+        """sent + still-queued == offered; nothing duplicated or lost."""
+        mapping, fills, unscheduled_fills, budgets = scenario
+        _, queues, unscheduled, _, result = run_dispatch(*scenario)
+        for s, offered in fills.items():
+            assert result.sent_total(s) + len(queues[s]) == offered
+        for s, offered in unscheduled_fills.items():
+            assert result.sent_total(s) + len(unscheduled[s]) == offered
+
+    @given(dispatch_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_budgets_respected(self, scenario):
+        """No path delivers more bytes than its interval budget."""
+        mapping, fills, unscheduled_fills, budgets = scenario
+        _, _, _, services, result = run_dispatch(*scenario)
+        for p, svc in services.items():
+            delivered = sum(svc.log.bytes_by_stream.values())
+            assert delivered <= budgets[p] + 1e-9
+
+    @given(dispatch_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_work_conservation(self, scenario):
+        """If *sendable* packets remain queued, every path's budget is
+        exhausted (below one packet) — the dispatcher never idles a
+        usable path.  A scheduled packet beyond its stream's window quota
+        is not sendable this window (rules 1/2 only move quota'd packets;
+        rule 3 only moves unscheduled streams)."""
+        mapping, fills, unscheduled_fills, budgets = scenario
+        _, queues, unscheduled, services, result = run_dispatch(*scenario)
+        sendable = sum(len(q) for q in unscheduled.values())
+        for s, queue in queues.items():
+            quota_left = sum(mapping[s].values()) - result.sent_total(s)
+            sendable += max(0, min(len(queue), quota_left))
+        if sendable > 0:
+            for svc in services.values():
+                assert svc.remaining_budget < PKT
+
+    @given(dispatch_scenarios())
+    @settings(max_examples=100, deadline=None)
+    def test_quota_honored_under_ample_budget(self, scenario):
+        """With unconstrained budgets, no sub-stream exceeds its quota by
+        more than the cross-path (rule 2) reshuffling allows: total sent
+        per stream <= min(offered, scheduled quota) for scheduled streams."""
+        mapping, fills, unscheduled_fills, _ = scenario
+        big_budgets = {p: 10_000 * PKT for p in
+                       {pp for shares in mapping.values() for pp in shares} or
+                       {"P0"}}
+        schedule, queues, unscheduled, services, result = run_dispatch(
+            mapping, fills, unscheduled_fills, big_budgets
+        )
+        for s, offered in fills.items():
+            quota = sum(mapping[s].values())
+            assert result.sent_total(s) == min(offered, quota)
+        # All unscheduled packets flow once scheduled ones are done.
+        for s, offered in unscheduled_fills.items():
+            assert result.sent_total(s) == offered

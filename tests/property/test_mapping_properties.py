@@ -1,0 +1,115 @@
+"""Property-based tests: resource-mapping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionError
+from repro.core.mapping import best_effort_mapping, compute_mapping
+from repro.core.spec import StreamSpec
+from repro.monitoring.cdf import EmpiricalCDF
+
+# Random two-path environments: (mean, std) per path, seeded samples.
+path_params = st.tuples(
+    st.floats(min_value=5.0, max_value=80.0),
+    st.floats(min_value=0.5, max_value=15.0),
+)
+
+
+def make_cdfs(params, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        f"P{i}": EmpiricalCDF(
+            np.clip(mean + std * rng.standard_normal(400), 0.0, None)
+        )
+        for i, (mean, std) in enumerate(params)
+    }
+
+
+spec_params = st.tuples(
+    st.floats(min_value=0.5, max_value=60.0),  # required_mbps
+    st.floats(min_value=0.5, max_value=0.99),  # probability
+)
+
+
+@st.composite
+def scenarios(draw):
+    paths = draw(st.lists(path_params, min_size=1, max_size=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    specs = []
+    for i, (mbps, p) in enumerate(
+        draw(st.lists(spec_params, min_size=1, max_size=3))
+    ):
+        specs.append(
+            StreamSpec(name=f"s{i}", required_mbps=mbps, probability=p)
+        )
+    add_elastic = draw(st.booleans())
+    if add_elastic:
+        specs.append(
+            StreamSpec(name="elastic", elastic=True, nominal_mbps=10.0)
+        )
+    return make_cdfs(paths, seed), specs
+
+
+class TestMappingInvariants:
+    @given(scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_mappings_are_sound(self, scenario):
+        cdfs, specs = scenario
+        try:
+            mapping = compute_mapping(specs, cdfs, tw=1.0)
+        except AdmissionError:
+            return  # rejection is a legal outcome; soundness is vacuous
+        for spec in specs:
+            if spec.elastic:
+                continue
+            # Rates conserve the requirement.
+            assert mapping.total_rate(spec.name) >= spec.required_mbps - 1e-6
+            # The reported guarantee honours the request.
+            achieved = mapping.achieved_probability[spec.name]
+            assert spec.probability - 1e-9 <= achieved <= 1.0
+            # Packet counts cover the required rate.
+            pkts = sum(mapping.packets[spec.name].values())
+            assert pkts >= spec.packets_in_window(1.0) - 1
+        # No stream is mapped onto unknown paths.
+        for shares in mapping.rates_mbps.values():
+            assert set(shares) <= set(cdfs)
+
+    @given(scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_best_effort_never_raises_and_is_complete(self, scenario):
+        cdfs, specs = scenario
+        mapping = best_effort_mapping(specs, cdfs, tw=1.0)
+        for spec in specs:
+            if spec.elastic:
+                continue
+            assert mapping.total_rate(spec.name) >= spec.required_mbps - 1e-6
+            assert 0.0 <= mapping.achieved_probability[spec.name] <= 1.0
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_best_effort_never_beats_honesty(self, scenario):
+        """Best-effort reports at most what compute_mapping guarantees.
+
+        When the strict mapping succeeds, its per-stream guarantees come
+        from the same CDFs, so best-effort (single-path only) cannot
+        report a *higher* probability for the most important stream than
+        the strict mapping achieves for it.
+        """
+        cdfs, specs = scenario
+        try:
+            strict = compute_mapping(specs, cdfs, tw=1.0)
+        except AdmissionError:
+            return
+        loose = best_effort_mapping(specs, cdfs, tw=1.0)
+        first = max(
+            (s for s in specs if not s.elastic),
+            key=lambda s: (s.probability, s.required_mbps),
+            default=None,
+        )
+        if first is None:
+            return
+        assert (
+            loose.achieved_probability[first.name]
+            <= strict.achieved_probability[first.name] + 1e-9
+        )

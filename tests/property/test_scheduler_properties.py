@@ -1,0 +1,158 @@
+"""Property-based tests: water-filling and scheduling-vector invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import largest_remainder_split
+from repro.core.scheduler import PathShareRequest, water_fill
+from repro.core.vectors import build_schedule, path_lookup_vector
+
+request_strategy = st.builds(
+    PathShareRequest,
+    stream=st.sampled_from(["s1", "s2", "s3", "s4", "s5"]),
+    demand_mbps=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+    ),
+    weight=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    level=st.integers(min_value=0, max_value=3),
+)
+
+
+def unique_requests(requests):
+    seen = {}
+    for r in requests:
+        seen.setdefault(r.stream, r)
+    return list(seen.values())
+
+
+class TestWaterFillProperties:
+    @given(
+        st.lists(request_strategy, min_size=1, max_size=5),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_never_exceeds_capacity_or_demand(self, requests, capacity):
+        requests = unique_requests(requests)
+        granted = water_fill(requests, capacity)
+        assert sum(granted.values()) <= capacity + 1e-6
+        for r in requests:
+            assert granted[r.stream] >= 0.0
+            if r.demand_mbps is not None:
+                assert granted[r.stream] <= r.demand_mbps + 1e-6
+
+    @given(
+        st.lists(request_strategy, min_size=1, max_size=5),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_work_conserving(self, requests, capacity):
+        """All capacity is used unless every demand is fully met."""
+        requests = unique_requests(requests)
+        granted = water_fill(requests, capacity)
+        used = sum(granted.values())
+        if used < capacity - 1e-6:
+            for r in requests:
+                assert r.demand_mbps is not None
+                assert granted[r.stream] >= r.demand_mbps - 1e-6
+
+    @given(
+        st.lists(request_strategy, min_size=2, max_size=5),
+        st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_priority_dominance(self, requests, capacity):
+        """A lower level gets nothing only if every higher level is sated."""
+        requests = unique_requests(requests)
+        granted = water_fill(requests, capacity)
+        levels = sorted({r.level for r in requests})
+        for i, level in enumerate(levels[:-1]):
+            lower = [r for r in requests if r.level > level]
+            higher = [r for r in requests if r.level == level]
+            if any(granted[r.stream] > 1e-6 for r in lower):
+                # Some lower-priority stream got capacity: every bounded
+                # higher-priority demand must be fully met.
+                for r in higher:
+                    if r.demand_mbps is not None:
+                        assert granted[r.stream] >= r.demand_mbps - 1e-6
+                    else:
+                        # Unbounded high priority absorbs everything;
+                        # lower levels could not have received any.
+                        raise AssertionError(
+                            "unbounded high-priority starved by lower level"
+                        )
+
+
+class TestLargestRemainderProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_sums_exact_and_near_proportional(self, total, weights):
+        parts = largest_remainder_split(total, weights)
+        assert sum(parts) == total
+        assert all(p >= 0 for p in parts)
+        s = sum(weights)
+        if s > 0:
+            for part, w in zip(parts, weights):
+                assert abs(part - total * w / s) < 1.0 + 1e-9
+
+
+class TestVectorProperties:
+    counts_strategy = st.dictionaries(
+        st.sampled_from(["A", "B", "C", "D"]),
+        st.integers(min_value=0, max_value=60),
+        min_size=1,
+        max_size=4,
+    )
+
+    @given(counts_strategy)
+    def test_vp_preserves_counts(self, counts):
+        vp = path_lookup_vector(counts, tw=1.0)
+        for key, count in counts.items():
+            assert vp.count(key) == count
+
+    @given(counts_strategy)
+    @settings(max_examples=100)
+    def test_vp_prefix_proportionality(self, counts):
+        """Any prefix of V_P visits each path within 1 + its fair share.
+
+        This is the smoothness property virtual deadlines buy: the
+        schedule never runs far ahead on one path.
+        """
+        vp = path_lookup_vector(counts, tw=1.0)
+        total = len(vp)
+        if total == 0:
+            return
+        running = {k: 0 for k in counts}
+        for i, key in enumerate(vp, start=1):
+            running[key] += 1
+            for k, count in counts.items():
+                fair = count * i / total
+                assert running[k] <= fair + 1.0 + 1e-9
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["s1", "s2", "s3"]),
+            st.dictionaries(
+                st.sampled_from(["A", "B"]),
+                st.integers(min_value=0, max_value=30),
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_schedule_consistency(self, stream_path_packets):
+        schedule = build_schedule(stream_path_packets, tw=1.0)
+        # V_P length equals total packets; each V_S length equals the
+        # path's packet count.
+        assert len(schedule.vp) == schedule.total_packets
+        for path, count in schedule.path_packets.items():
+            assert len(schedule.vs[path]) == count
+        # Per-stream totals agree with the input.
+        for stream, shares in stream_path_packets.items():
+            assert schedule.packets_for(stream) == sum(shares.values())

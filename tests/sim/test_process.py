@@ -1,0 +1,100 @@
+"""Generator processes: timeouts, completion, interruption."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Timeout, start
+
+
+class TestProcess:
+    def test_process_runs_to_completion(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield Timeout(1.0)
+            log.append(("mid", sim.now))
+            yield Timeout(2.0)
+            log.append(("end", sim.now))
+
+        proc = start(sim, worker())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+        assert proc.done
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(period)
+                log.append((name, sim.now))
+
+        start(sim, ticker("fast", 1.0))
+        start(sim, ticker("slow", 1.5))
+        sim.run()
+        # At the t=3.0 tie, "slow" fires first: its wake-up was scheduled
+        # at t=1.5, before "fast" scheduled its own at t=2.0 (seq order).
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 1.5),
+            ("fast", 2.0),
+            ("slow", 3.0),
+            ("fast", 3.0),
+            ("slow", 4.5),
+        ]
+
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            while True:
+                yield Timeout(1.0)
+                log.append(sim.now)
+
+        proc = start(sim, worker())
+        sim.run(until=2.5)
+        proc.interrupt()
+        sim.run()
+        assert log == [1.0, 2.0]
+        assert proc.done
+
+    def test_yielding_non_timeout_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        start(sim, bad())
+        with pytest.raises(SimulationError, match="expected Timeout"):
+            sim.run()
+
+    def test_zero_delay_timeout_allowed(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            yield Timeout(0.0)
+            log.append(sim.now)
+
+        start(sim, worker())
+        sim.run()
+        assert log == [0.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_name_defaults(self):
+        sim = Simulator()
+
+        def named():
+            yield Timeout(0.0)
+
+        proc = Process(sim, named(), name="my-proc")
+        assert proc.name == "my-proc"
+        sim.run()

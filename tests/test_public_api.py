@@ -1,0 +1,61 @@
+"""The advertised public API: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.traces",
+    "repro.network",
+    "repro.transport",
+    "repro.monitoring",
+    "repro.core",
+    "repro.baselines",
+    "repro.apps",
+    "repro.middleware",
+    "repro.overlay",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports(package):
+    importlib.import_module(package)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists {name!r}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_convenience_exports():
+    import repro
+
+    # The README quickstart's names are importable from the root.
+    assert repro.StreamSpec is not None
+    assert repro.PGOSScheduler is not None
+    assert repro.EmpiricalCDF is not None
+    assert callable(repro.probabilistic_guarantee)
+    assert callable(repro.violation_bound)
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"

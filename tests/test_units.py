@@ -1,0 +1,57 @@
+"""Unit-conversion sanity: the bit/byte/packet arithmetic everything rests on."""
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_mbps_to_bytes_round_trip(self):
+        assert units.bytes_per_s_to_mbps(units.mbps_to_bytes_per_s(34.56)) == (
+            pytest.approx(34.56)
+        )
+
+    def test_one_mbps_is_125000_bytes_per_s(self):
+        assert units.mbps_to_bytes_per_s(1.0) == 125_000.0
+
+    def test_bytes_in_interval(self):
+        # 100 Mbps for 0.1 s = 1.25 MB
+        assert units.bytes_in_interval(100.0, 0.1) == pytest.approx(1_250_000)
+
+    def test_mbps_from_bytes(self):
+        assert units.mbps_from_bytes(1_250_000, 0.1) == pytest.approx(100.0)
+
+    def test_mbps_from_bytes_rejects_zero_dt(self):
+        with pytest.raises(ValueError):
+            units.mbps_from_bytes(100, 0.0)
+
+
+class TestPacketsPerWindow:
+    def test_exact_fit(self):
+        # 1500-byte packets, 1 s window, 12 Mbps = 1000 packets exactly.
+        assert units.packets_per_window(12.0, 1500, 1.0) == 1000
+
+    def test_rounds_up(self):
+        assert units.packets_per_window(12.001, 1500, 1.0) == 1001
+
+    def test_zero_rate(self):
+        assert units.packets_per_window(0.0, 1500, 1.0) == 0
+
+    def test_rejects_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            units.packets_per_window(10.0, 0, 1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            units.packets_per_window(10.0, 1500, -1.0)
+
+    def test_rate_of_packets_inverts(self):
+        x = units.packets_per_window(25.0, 1500, 1.0)
+        rate = units.rate_of_packets(x, 1500, 1.0)
+        assert rate >= 25.0
+        assert rate == pytest.approx(25.0, rel=1e-3)
+
+    def test_paper_atom_stream(self):
+        # SmartPointer Atom: 3.249 Mbps with 1500 B packets, tw = 1 s.
+        x = units.packets_per_window(3.249, 1500, 1.0)
+        assert x == 271  # ceil(3.249e6 / 8 / 1500)

@@ -1,0 +1,62 @@
+"""The trace tooling CLI."""
+
+import pytest
+
+from repro.traces.cli import main
+
+
+class TestTraceCLI:
+    def test_list_profiles(self, capsys):
+        assert main(["list-profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "abilene-noisy" in out
+        assert "light" in out
+
+    def test_generate_and_inspect_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.npz"
+        assert (
+            main(
+                [
+                    "generate",
+                    "calm",
+                    "--duration",
+                    "60",
+                    "--seed",
+                    "5",
+                    "-o",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert out_file.exists()
+        assert main(["inspect", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "600 samples" in out or "600 x" in out
+        assert "mean=" in out
+
+    def test_inspect_with_resample(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.npz"
+        main(["generate", "calm", "--duration", "60", "-o", str(out_file)])
+        assert main(["inspect", str(out_file), "--resample", "1.0"]) == 0
+        assert "60 x 1.0s" in capsys.readouterr().out
+
+    def test_generation_deterministic(self, tmp_path):
+        import numpy as np
+
+        from repro.traces.io import load_trace
+
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        for path in (a, b):
+            main(
+                ["generate", "calm", "--duration", "30", "--seed", "9", "-o", str(path)]
+            )
+        assert np.array_equal(load_trace(a).rates, load_trace(b).rates)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", "-o", "x.npz"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,83 @@
+"""Fractional Gaussian noise: exactness of the Davies-Harte construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.fgn import fbm_from_fgn, fgn_autocovariance, fractional_gaussian_noise
+from repro.traces.stats import hurst_exponent
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_unit_variance(self):
+        gamma = fgn_autocovariance(10, 0.8)
+        assert gamma[0] == pytest.approx(1.0)
+
+    def test_white_noise_case(self):
+        gamma = fgn_autocovariance(10, 0.5)
+        assert gamma[0] == pytest.approx(1.0)
+        assert np.allclose(gamma[1:], 0.0, atol=1e-12)
+
+    def test_positive_correlation_for_high_hurst(self):
+        gamma = fgn_autocovariance(20, 0.85)
+        assert np.all(gamma[1:] > 0)
+
+    def test_slow_decay_for_lrd(self):
+        gamma = fgn_autocovariance(100, 0.9)
+        # gamma(k) ~ H(2H-1) k^{2H-2}; ratio between lags 10 and 40 should
+        # match the power law within a few percent.
+        expected = (40 / 10) ** (2 * 0.9 - 2)
+        assert gamma[40] / gamma[10] == pytest.approx(expected, rel=0.05)
+
+
+class TestSampling:
+    def test_output_length(self, rng):
+        assert fractional_gaussian_noise(1000, 0.8, rng).shape == (1000,)
+
+    def test_unit_variance(self, rng):
+        x = fractional_gaussian_noise(100_000, 0.8, rng)
+        assert x.std() == pytest.approx(1.0, rel=0.05)
+        # Long memory: the sample mean converges as n^(H-1) ~ n^-0.2, so
+        # its standard error at n=1e5 is ~0.1, not the 1/sqrt(n) of IID.
+        assert x.mean() == pytest.approx(0.0, abs=0.4)
+
+    def test_sample_autocovariance_matches_theory(self, rng):
+        x = fractional_gaussian_noise(200_000, 0.8, rng)
+        gamma_hat = np.array(
+            [np.mean(x[:-k] * x[k:]) for k in (1, 2, 4)]
+        )
+        gamma = fgn_autocovariance(5, 0.8)
+        assert gamma_hat == pytest.approx(gamma[[1, 2, 4]], abs=0.03)
+
+    def test_hurst_recovered(self, rng):
+        x = fractional_gaussian_noise(65536, 0.8, rng)
+        assert hurst_exponent(x) == pytest.approx(0.8, abs=0.1)
+
+    def test_white_noise_hurst(self, rng):
+        x = fractional_gaussian_noise(65536, 0.5, rng)
+        assert hurst_exponent(x) == pytest.approx(0.5, abs=0.1)
+
+    def test_deterministic_given_rng(self):
+        a = fractional_gaussian_noise(100, 0.8, np.random.default_rng(1))
+        b = fractional_gaussian_noise(100, 0.8, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_n_one_works(self, rng):
+        assert fractional_gaussian_noise(1, 0.7, rng).shape == (1,)
+
+    @pytest.mark.parametrize("hurst", [0.0, 1.0, -0.3, 1.5])
+    def test_invalid_hurst_rejected(self, rng, hurst):
+        with pytest.raises(ConfigurationError):
+            fractional_gaussian_noise(10, hurst, rng)
+
+    def test_invalid_n_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            fractional_gaussian_noise(0, 0.8, rng)
+
+
+class TestFBM:
+    def test_fbm_is_cumsum(self, rng):
+        x = fractional_gaussian_noise(100, 0.8, rng)
+        fbm = fbm_from_fgn(x)
+        assert fbm[0] == pytest.approx(x[0])
+        assert fbm[-1] == pytest.approx(x.sum())

@@ -1,0 +1,64 @@
+"""Trace persistence and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import Trace, load_trace, save_trace
+
+
+class TestTrace:
+    def test_duration(self):
+        trace = Trace(rates=np.ones(50), dt=0.1)
+        assert trace.duration == pytest.approx(5.0)
+
+    def test_resample_averages_groups(self):
+        trace = Trace(rates=np.array([1.0, 3.0, 5.0, 7.0]), dt=0.5)
+        coarse = trace.resample(1.0)
+        assert np.allclose(coarse.rates, [2.0, 6.0])
+        assert coarse.dt == 1.0
+
+    def test_resample_drops_trailing_partial_group(self):
+        trace = Trace(rates=np.arange(5, dtype=float), dt=1.0)
+        coarse = trace.resample(2.0)
+        assert len(coarse.rates) == 2
+
+    def test_resample_identity(self):
+        trace = Trace(rates=np.ones(10), dt=0.1)
+        assert trace.resample(0.1) is trace
+
+    def test_resample_preserves_mean(self, rng):
+        trace = Trace(rates=rng.random(1000), dt=0.1)
+        coarse = trace.resample(0.5)
+        assert coarse.rates.mean() == pytest.approx(trace.rates.mean(), rel=1e-9)
+
+    def test_non_integer_ratio_rejected(self):
+        trace = Trace(rates=np.ones(10), dt=0.3)
+        with pytest.raises(TraceError):
+            trace.resample(0.5)
+
+    def test_too_short_rejected(self):
+        trace = Trace(rates=np.ones(3), dt=0.1)
+        with pytest.raises(TraceError):
+            trace.resample(1.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, rng):
+        original = Trace(rates=rng.random(100) * 50, dt=0.1, name="abilene")
+        path = tmp_path / "trace.npz"
+        save_trace(path, original)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.rates, original.rates)
+        assert loaded.dt == original.dt
+        assert loaded.name == "abilene"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong_key=np.ones(3))
+        with pytest.raises(TraceError, match="malformed"):
+            load_trace(path)

@@ -1,0 +1,97 @@
+"""NLANR-like profiles: the statistical properties the evaluation rests on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.nlanr import PROFILES, CrossTrafficProfile, synthesize_cross_traffic
+from repro.traces.stats import TraceStats
+
+
+class TestProfiles:
+    def test_all_registered_profiles_sample(self, rng):
+        for name, profile in PROFILES.items():
+            x = profile.sample(1000, rng)
+            assert x.shape == (1000,)
+            assert np.all(x >= 0.0), name
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_mean_near_calibration(self, name, rng):
+        profile = PROFILES[name]
+        x = profile.sample(50_000, rng)
+        assert x.mean() == pytest.approx(profile.mean_mbps, rel=0.15)
+
+    def test_noisy_profile_noisier_than_light(self, rng):
+        noisy = PROFILES["abilene-noisy"].sample(20_000, rng)
+        light = PROFILES["light"].sample(20_000, rng)
+        assert noisy.std() > light.std()
+
+    def test_regime_shifts_present(self, rng):
+        # abilene-moderate has a two-level regime component: block means
+        # over long windows should spread more than IID noise alone allows.
+        profile = PROFILES["abilene-moderate"]
+        x = profile.sample(60_000, rng)
+        block_means = x.reshape(-1, 1000).mean(axis=1)
+        assert block_means.std() > 0.5
+
+    def test_custom_profile_build(self, rng):
+        profile = CrossTrafficProfile(
+            name="custom", mean_mbps=10.0, iid_std=1.0
+        )
+        x = profile.sample(10_000, rng)
+        assert x.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_negative_mean_rejected(self, rng):
+        bad = CrossTrafficProfile(name="bad", mean_mbps=-5.0, iid_std=1.0)
+        with pytest.raises(ConfigurationError):
+            bad.build()
+
+
+class TestSynthesize:
+    def test_length_from_duration(self, rng):
+        x = synthesize_cross_traffic("light", duration=30.0, dt=0.1, rng=rng)
+        assert x.shape == (300,)
+
+    def test_accepts_profile_instance(self, rng):
+        x = synthesize_cross_traffic(
+            PROFILES["calm"], duration=1.0, dt=0.1, rng=rng
+        )
+        assert x.shape == (10,)
+
+    def test_unknown_profile_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            synthesize_cross_traffic("nope", duration=1.0, dt=0.1, rng=rng)
+
+    def test_bad_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            synthesize_cross_traffic("calm", duration=0.0, dt=0.1, rng=rng)
+
+    def test_sub_interval_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            synthesize_cross_traffic("calm", duration=0.01, dt=0.1, rng=rng)
+
+
+class TestStatisticalShape:
+    """The Figure-4 preconditions: near-IID noise, stable distribution."""
+
+    def test_short_timescale_noise_dominates(self, rng):
+        from repro.traces.stats import autocorrelation
+
+        x = PROFILES["abilene-noisy"].sample(50_000, rng)
+        # Lag-1 autocorrelation well below 1: the per-interval signal is
+        # mostly noise, which is what defeats mean predictors.
+        assert autocorrelation(x, 1)[1] < 0.5
+
+    def test_short_horizon_distribution_stable(self, rng):
+        # Percentiles of adjacent 500-sample windows should agree within a
+        # few Mbps — the property percentile prediction exploits.
+        x = PROFILES["abilene-moderate"].sample(10_000, rng)
+        p10_first = np.percentile(x[:5000], 10)
+        p10_second = np.percentile(x[5000:], 10)
+        assert abs(p10_first - p10_second) < 0.15 * max(p10_first, 1.0)
+
+    def test_stats_summary(self, rng):
+        x = PROFILES["auckland"].sample(20_000, rng)
+        stats = TraceStats.from_series(x)
+        assert stats.p05 <= stats.p50 <= stats.p95
+        assert "mean=" in stats.describe()

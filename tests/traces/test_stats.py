@@ -1,0 +1,131 @@
+"""Trace characterization: ACF, Hurst estimation, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.stats import TraceStats, autocorrelation, hurst_exponent
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        x = rng.random(1000)
+        assert autocorrelation(x, 5)[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        x = rng.standard_normal(50_000)
+        acf = autocorrelation(x, 3)
+        assert np.all(np.abs(acf[1:]) < 0.02)
+
+    def test_perfect_persistence(self):
+        x = np.ones(100)
+        acf = autocorrelation(x, 2)
+        # Constant series: defined as acf 0 beyond lag 0.
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_ar1_recovers_phi(self, rng):
+        phi = 0.7
+        n = 50_000
+        x = np.empty(n)
+        x[0] = 0.0
+        eps = rng.standard_normal(n)
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + eps[i]
+        assert autocorrelation(x, 1)[1] == pytest.approx(phi, abs=0.02)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(TraceError):
+            autocorrelation(np.array([1.0]), 1)
+
+    def test_lag_exceeding_length_rejected(self, rng):
+        with pytest.raises(TraceError):
+            autocorrelation(rng.random(10), 10)
+
+
+class TestHurst:
+    def test_white_noise_near_half(self, rng):
+        assert hurst_exponent(rng.standard_normal(65536)) == pytest.approx(
+            0.5, abs=0.08
+        )
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(TraceError):
+            hurst_exponent(rng.random(10))
+
+    def test_result_clipped_to_unit_interval(self, rng):
+        h = hurst_exponent(np.cumsum(rng.standard_normal(4096)))
+        assert 0.0 < h < 1.0
+
+
+class TestSteadiness:
+    def test_constant_series_fully_steady(self):
+        from repro.traces.stats import fraction_steady, mean_steady_period
+
+        x = np.full(100, 10.0)
+        assert fraction_steady(x, rho=1.2, horizon=5) == 1.0
+        assert mean_steady_period(x, rho=1.2) == 100.0
+
+    def test_alternating_beyond_rho_never_steady(self):
+        from repro.traces.stats import fraction_steady
+
+        x = np.array([10.0, 30.0] * 50)
+        assert fraction_steady(x, rho=1.5, horizon=3) == 0.0
+
+    def test_looser_rho_is_steadier(self, rng):
+        from repro.traces.stats import fraction_steady
+
+        x = np.clip(20 + 3 * rng.standard_normal(5000), 0.1, None)
+        tight = fraction_steady(x, rho=1.1, horizon=10)
+        loose = fraction_steady(x, rho=2.0, horizon=10)
+        assert loose >= tight
+
+    def test_zero_touching_windows_unsteady(self):
+        from repro.traces.stats import fraction_steady
+
+        x = np.array([0.0, 10.0, 10.0, 10.0, 10.0])
+        assert fraction_steady(x, rho=5.0, horizon=5) == 0.0
+
+    def test_steady_period_splits_on_jump(self):
+        from repro.traces.stats import mean_steady_period
+
+        x = np.concatenate([np.full(50, 10.0), np.full(50, 100.0)])
+        assert mean_steady_period(x, rho=1.5) == pytest.approx(50.0)
+
+    def test_quieter_series_has_longer_periods(self, rng):
+        from repro.traces.stats import mean_steady_period
+
+        quiet = np.clip(20 + 0.5 * rng.standard_normal(3000), 0.1, None)
+        noisy = np.clip(20 + 6.0 * rng.standard_normal(3000), 0.1, None)
+        assert mean_steady_period(quiet, 1.3) > mean_steady_period(noisy, 1.3)
+
+    def test_validation(self, rng):
+        from repro.traces.stats import fraction_steady, mean_steady_period
+
+        x = rng.random(100)
+        with pytest.raises(TraceError):
+            fraction_steady(x, rho=1.0, horizon=5)
+        with pytest.raises(TraceError):
+            fraction_steady(x, rho=2.0, horizon=1)
+        with pytest.raises(TraceError):
+            fraction_steady(x[:3], rho=2.0, horizon=5)
+        with pytest.raises(TraceError):
+            mean_steady_period(np.array([]), rho=2.0)
+
+
+class TestTraceStats:
+    def test_percentile_ordering(self, rng):
+        stats = TraceStats.from_series(rng.random(5000) * 100)
+        assert (
+            stats.p05 <= stats.p10 <= stats.p50 <= stats.p90 <= stats.p95
+        )
+
+    def test_gaussian_values(self, rng):
+        stats = TraceStats.from_series(50 + 5 * rng.standard_normal(100_000))
+        assert stats.mean == pytest.approx(50.0, abs=0.2)
+        assert stats.std == pytest.approx(5.0, rel=0.05)
+        assert stats.p10 == pytest.approx(50 - 1.2816 * 5, abs=0.3)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(TraceError):
+            TraceStats.from_series(np.array([1.0]))

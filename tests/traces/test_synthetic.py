@@ -1,0 +1,163 @@
+"""Synthetic bandwidth processes: distributions, composition, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import (
+    CompositeProcess,
+    ConstantProcess,
+    HeavyTailNoise,
+    IIDProcess,
+    MarkovModulatedProcess,
+    OrnsteinUhlenbeckProcess,
+    SelfSimilarProcess,
+)
+
+
+class TestConstant:
+    def test_constant_values(self, rng):
+        x = ConstantProcess(42.0).sample(100, rng)
+        assert np.all(x == 42.0)
+
+
+class TestIID:
+    def test_mean_and_std(self, rng):
+        x = IIDProcess(mean=50.0, std=5.0).sample(50_000, rng)
+        assert x.mean() == pytest.approx(50.0, abs=0.2)
+        assert x.std() == pytest.approx(5.0, rel=0.05)
+
+    def test_near_zero_autocorrelation(self, rng):
+        from repro.traces.stats import autocorrelation
+
+        x = IIDProcess(mean=0.0, std=1.0).sample(20_000, rng)
+        assert abs(autocorrelation(x, 1)[1]) < 0.03
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IIDProcess(mean=1.0, std=-1.0)
+
+
+class TestHeavyTail:
+    def test_burst_probability(self, rng):
+        x = HeavyTailNoise(burst_prob=0.1, burst_scale=5.0).sample(50_000, rng)
+        assert np.mean(x > 0) == pytest.approx(0.1, abs=0.01)
+
+    def test_zero_prob_is_silent(self, rng):
+        x = HeavyTailNoise(burst_prob=0.0, burst_scale=5.0).sample(1000, rng)
+        assert np.all(x == 0.0)
+
+    def test_heavy_upper_tail(self, rng):
+        x = HeavyTailNoise(burst_prob=1.0, burst_scale=1.0, sigma=1.0).sample(
+            50_000, rng
+        )
+        # Lognormal: max far beyond the mean.
+        assert x.max() > 5 * x.mean()
+
+    def test_invalid_prob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeavyTailNoise(burst_prob=1.5, burst_scale=1.0)
+
+
+class TestMarkovModulated:
+    def test_visits_all_levels(self, rng):
+        proc = MarkovModulatedProcess(levels=(10.0, 30.0), stay_prob=0.95)
+        x = proc.sample(5000, rng)
+        assert set(np.unique(x)) == {10.0, 30.0}
+
+    def test_stays_long_in_state(self, rng):
+        proc = MarkovModulatedProcess(levels=(0.0, 1.0), stay_prob=0.99)
+        x = proc.sample(20_000, rng)
+        switches = np.sum(np.abs(np.diff(x)) > 0)
+        # Expected ~1% switch rate.
+        assert switches / x.size == pytest.approx(0.01, abs=0.005)
+
+    def test_single_level_constant(self, rng):
+        x = MarkovModulatedProcess(levels=(7.0,)).sample(100, rng)
+        assert np.all(x == 7.0)
+
+    def test_starts_in_initial_state(self, rng):
+        proc = MarkovModulatedProcess(
+            levels=(1.0, 2.0, 3.0), stay_prob=0.9999, initial_state=2
+        )
+        x = proc.sample(10, rng)
+        assert x[0] == 3.0
+
+    def test_bad_initial_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedProcess(levels=(1.0, 2.0), initial_state=5)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedProcess(levels=())
+
+
+class TestOrnsteinUhlenbeck:
+    def test_stationary_moments(self, rng):
+        proc = OrnsteinUhlenbeckProcess(mean=40.0, std=4.0, theta=0.1)
+        x = proc.sample(100_000, rng)
+        assert x.mean() == pytest.approx(40.0, abs=0.5)
+        assert x.std() == pytest.approx(4.0, rel=0.1)
+
+    def test_mean_reversion(self, rng):
+        from repro.traces.stats import autocorrelation
+
+        proc = OrnsteinUhlenbeckProcess(mean=0.0, std=1.0, theta=0.2)
+        x = proc.sample(50_000, rng)
+        acf = autocorrelation(x, 2)
+        assert acf[1] == pytest.approx(0.8, abs=0.05)  # 1 - theta
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckProcess(mean=0.0, std=1.0, theta=0.0)
+
+
+class TestSelfSimilar:
+    def test_moments(self, rng):
+        x = SelfSimilarProcess(mean=20.0, std=3.0, hurst=0.8).sample(
+            50_000, rng
+        )
+        # LRD sample mean has standard error ~ std * n^(H-1) ~ 0.35 here.
+        assert x.mean() == pytest.approx(20.0, abs=1.5)
+        assert x.std() == pytest.approx(3.0, rel=0.1)
+
+    def test_positive_lag1_correlation(self, rng):
+        from repro.traces.stats import autocorrelation
+
+        x = SelfSimilarProcess(mean=0.0, std=1.0, hurst=0.85).sample(
+            20_000, rng
+        )
+        assert autocorrelation(x, 1)[1] > 0.2
+
+    def test_invalid_hurst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelfSimilarProcess(mean=0.0, std=1.0, hurst=1.2)
+
+
+class TestComposite:
+    def test_sum_of_components(self, rng):
+        proc = CompositeProcess(
+            [ConstantProcess(10.0), ConstantProcess(5.0)]
+        )
+        assert np.all(proc.sample(50, rng) == 15.0)
+
+    def test_clipping(self, rng):
+        proc = CompositeProcess(
+            [IIDProcess(mean=0.0, std=10.0)], floor=0.0, ceiling=5.0
+        )
+        x = proc.sample(10_000, rng)
+        assert x.min() >= 0.0
+        assert x.max() <= 5.0
+
+    def test_add_operator(self, rng):
+        proc = ConstantProcess(1.0) + ConstantProcess(2.0)
+        assert isinstance(proc, CompositeProcess)
+        assert np.all(proc.sample(10, rng) == 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeProcess([])
+
+    def test_floor_above_ceiling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeProcess([ConstantProcess(1.0)], floor=10.0, ceiling=5.0)

@@ -1,0 +1,64 @@
+"""Packets and exponential backoff."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transport.backoff import ExponentialBackoff
+from repro.transport.packet import Packet
+
+
+class TestPacket:
+    def test_orders_by_deadline(self):
+        early = Packet(deadline=0.1, stream="s", seq=0)
+        late = Packet(deadline=0.2, stream="s", seq=1)
+        assert early < late
+
+    def test_tie_breaks_by_stream_then_seq(self):
+        a = Packet(deadline=0.1, stream="a", seq=5)
+        b = Packet(deadline=0.1, stream="b", seq=0)
+        assert a < b
+        s0 = Packet(deadline=0.1, stream="a", seq=0)
+        assert s0 < a
+
+    def test_delivery_flags(self):
+        pkt = Packet(deadline=1.0, stream="s", seq=0)
+        assert not pkt.delivered
+        assert not pkt.missed_deadline
+        pkt.delivered_at = 0.5
+        assert pkt.delivered
+        assert not pkt.missed_deadline
+        pkt.delivered_at = 1.5
+        assert pkt.missed_deadline
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Packet(deadline=0.0, stream="s", seq=0, size=0)
+
+
+class TestBackoff:
+    def test_doubles_until_cap(self):
+        backoff = ExponentialBackoff(base_delay=0.01, factor=2.0, max_delay=0.05)
+        delays = [backoff.next_delay() for _ in range(5)]
+        assert delays == pytest.approx([0.01, 0.02, 0.04, 0.05, 0.05])
+
+    def test_reset_restarts(self):
+        backoff = ExponentialBackoff(base_delay=0.01)
+        backoff.next_delay()
+        backoff.next_delay()
+        backoff.reset()
+        assert backoff.failures == 0
+        assert backoff.next_delay() == pytest.approx(0.01)
+
+    def test_counts_failures(self):
+        backoff = ExponentialBackoff()
+        for _ in range(3):
+            backoff.next_delay()
+        assert backoff.failures == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(base_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(base_delay=1.0, max_delay=0.5)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Generate docs/api.md: a public-API reference from live docstrings.
+
+Walks every ``repro`` module, collects public classes and functions (the
+module's ``__all__`` where defined, else non-underscore top-level names
+defined in that module), and emits each with its signature and the first
+paragraph of its docstring.
+
+Run:  python tools/gen_api_docs.py [output_path]
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+import repro
+
+
+def first_paragraph(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n\n", 1)[0].replace("\n", " ").strip()
+
+
+def public_names(module) -> list[str]:
+    if hasattr(module, "__all__"):
+        return list(module.__all__)
+    return sorted(
+        name
+        for name, value in vars(module).items()
+        if not name.startswith("_")
+        and getattr(value, "__module__", None) == module.__name__
+        and (inspect.isclass(value) or inspect.isfunction(value))
+    )
+
+
+def try_signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def render() -> str:
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `tools/gen_api_docs.py` — regenerate "
+        "after changing public APIs.",
+        "",
+    ]
+    for module in iter_modules():
+        names = public_names(module)
+        entries = []
+        for name in names:
+            obj = getattr(module, name, None)
+            if obj is None:
+                continue
+            # Skip re-exports: document each object where it is defined.
+            defined_in = getattr(obj, "__module__", module.__name__)
+            if inspect.ismodule(obj) or defined_in != module.__name__:
+                continue
+            if inspect.isclass(obj):
+                entries.append(
+                    f"- **class `{name}`** — {first_paragraph(obj)}"
+                )
+                for mname, method in sorted(vars(obj).items()):
+                    if mname.startswith("_") or not callable(method):
+                        continue
+                    entries.append(
+                        f"  - `.{mname}{try_signature(method)}` — "
+                        f"{first_paragraph(method)}"
+                    )
+            elif inspect.isfunction(obj):
+                entries.append(
+                    f"- **`{name}{try_signature(obj)}`** — "
+                    f"{first_paragraph(obj)}"
+                )
+        if not entries:
+            continue
+        lines.append(f"## `{module.__name__}`")
+        lines.append("")
+        summary = first_paragraph(module)
+        if summary:
+            lines.append(summary)
+            lines.append("")
+        lines.extend(entries)
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    out = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).parent.parent / "docs" / "api.md"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render(), encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
