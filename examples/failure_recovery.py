@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Path failure and self-regulating recovery.
+"""Path failure, self-regulating recovery, and the runtime health layer.
 
-Injects a 75 %-severity degradation on the overlay path carrying the
-critical streams halfway through a SmartPointer run.  PGOS's monitoring
-sees the bandwidth CDF shift (Kolmogorov-Smirnov trigger), recomputes the
-resource mapping, and moves the guarantees to the healthy path; a static
-single-path deployment stays degraded for the rest of the run.
+Part 1 — the paper's static story: a 75 %-severity degradation baked
+into the overlay path carrying the critical streams.  PGOS's monitoring
+sees the bandwidth CDF shift (Kolmogorov-Smirnov trigger), recomputes
+the resource mapping, and moves the guarantees to the healthy path; a
+static single-path deployment stays degraded for the rest of the run.
+
+Part 2 — the runtime fault-tolerance layer: the same overlay hit by a
+*dynamic* fault campaign (full outage on the best path, applied
+mid-run).  Per-path health state machines detect the collapse, the
+failed path is quarantined out of the mapping, the elastic stream is
+shed to isolate recovery, and the path only re-enters service through
+backoff-gated, probe-confirmed recovery.  The chaos report scores the
+loop: time to detect, time to recover, guarantee-violation seconds.
 
 Run:  python examples/failure_recovery.py [seed]
 """
@@ -15,18 +23,15 @@ import sys
 from repro.apps.smartpointer import BOND1_MBPS, smartpointer_streams
 from repro.baselines.wfq import WFQScheduler
 from repro.core.pgos import PGOSScheduler
+from repro.harness.chaos import run_chaos_campaign
 from repro.harness.experiment import run_schedule_experiment
 from repro.harness.metrics import fraction_of_time_at_least
 from repro.harness.report import series_block
 from repro.network.emulab import make_figure8_testbed
-from repro.network.faults import PathFault, inject_faults
+from repro.network.faults import FaultCampaign, PathFault, inject_faults
 
 
-def main(seed: int = 41) -> None:
-    testbed = make_figure8_testbed(
-        profile_a="abilene-moderate", profile_b="light"
-    )
-    realization = testbed.realize(seed=seed, duration=150.0, dt=0.1)
+def static_failover(realization) -> None:
     fault = PathFault(path="A", start=75.0, end=150.0, severity=0.75)
     faulted = inject_faults(realization, [fault])
     print(
@@ -53,6 +58,39 @@ def main(seed: int = 41) -> None:
             f"  post-fault guarantee attainment (last 30 s): "
             f"{attainment * 100:.1f}%\n"
         )
+
+
+def runtime_health(realization) -> None:
+    campaign = FaultCampaign(
+        faults=(PathFault(path="A", start=30.0, end=45.0, severity=1.0),),
+        name="outage-on-best-path",
+    )
+    print(
+        f"campaign {campaign.name!r}: full outage on path A, "
+        f"t={campaign.first_onset:.0f}s to t={campaign.last_end:.0f}s "
+        "(session time, applied mid-run)\n"
+    )
+    report = run_chaos_campaign(
+        realization, smartpointer_streams(), campaign, duration=100.0
+    )
+    print(report.summary())
+    print("\nhealth transitions and degradation decisions:")
+    for event in report.events:
+        print(f"  {event}")
+    print()
+
+
+def main(seed: int = 41) -> None:
+    testbed = make_figure8_testbed(
+        profile_a="abilene-moderate", profile_b="light"
+    )
+    realization = testbed.realize(seed=seed, duration=150.0, dt=0.1)
+
+    print("=== Part 1: static fault, KS-trigger failover ===\n")
+    static_failover(realization)
+
+    print("=== Part 2: dynamic campaign, health layer ===\n")
+    runtime_health(realization)
 
 
 if __name__ == "__main__":

@@ -95,6 +95,9 @@ class PGOSScheduler(SchedulerBase):
         #: True while serving with a stale or best-effort mapping because
         #: the workload is not admittable at its requested guarantees.
         self.degraded = False
+        #: Paths the health layer has quarantined: excluded from the
+        #: mapping and from every emitted request until re-admitted.
+        self.quarantined: frozenset[str] = frozenset()
 
     # ------------------------------------------------------------------
     # SchedulerBase lifecycle
@@ -116,6 +119,7 @@ class PGOSScheduler(SchedulerBase):
         self.mapping = None
         self.schedule = None
         self.remap_count = 0
+        self.quarantined = frozenset()
 
     def observe(
         self,
@@ -163,6 +167,31 @@ class PGOSScheduler(SchedulerBase):
         raise ConfigurationError(f"unknown stream {name!r}")
 
     # ------------------------------------------------------------------
+    # path quarantine (runtime fault tolerance)
+    # ------------------------------------------------------------------
+    def set_quarantine(self, paths) -> None:
+        """Exclude ``paths`` from the mapping until lifted (forces a remap).
+
+        The health layer (:class:`repro.robustness.health.HealthTracker`)
+        calls this when paths fail or recover.  Quarantined paths receive
+        no requests at all — neither guaranteed reservations, nor rule-2
+        overflow, nor elastic best-effort — so recovery probing traffic
+        is isolated from application traffic.  Quarantining *every* path
+        falls back to mapping over the full set (there is nothing left to
+        route around).
+        """
+        q = frozenset(paths) & set(self.path_names)
+        if q != self.quarantined:
+            self.quarantined = q
+            self.mapping = None  # "previous scheduling vectors" are void
+
+    @property
+    def usable_paths(self) -> list[str]:
+        """Paths the mapping may use (all of them when all are quarantined)."""
+        usable = [p for p in self.path_names if p not in self.quarantined]
+        return usable or list(self.path_names)
+
+    # ------------------------------------------------------------------
     # mapping maintenance (Figure 7, lines 1-11)
     # ------------------------------------------------------------------
     @property
@@ -197,9 +226,10 @@ class PGOSScheduler(SchedulerBase):
         Raises :class:`AdmissionError` if no feasible mapping exists *and*
         no previous mapping can be kept.
         """
-        cdfs = {p: self.monitors[p].cdf() for p in self.path_names}
+        usable = self.usable_paths
+        cdfs = {p: self.monitors[p].cdf() for p in usable}
         qos = {}
-        for p in self.path_names:
+        for p in usable:
             monitor = self.monitors[p]
             qos[p] = PathQoSEstimate(
                 rtt_ms=monitor.rtt_ms.predict() if monitor.rtt_ms.ready else None,
@@ -230,7 +260,7 @@ class PGOSScheduler(SchedulerBase):
             mapping = best_effort_mapping(self.streams, cdfs, self.tw, qos=qos)
         self.mapping = mapping
         self.schedule = mapping.compile(
-            stream_order=self.stream_precedence(), path_order=self.path_names
+            stream_order=self.stream_precedence(), path_order=usable
         )
         for monitor in self.monitors.values():
             monitor.mark_remapped()
@@ -256,6 +286,7 @@ class PGOSScheduler(SchedulerBase):
         if self._needs_remap():
             self.remap()
         mapping = self.mapping
+        usable = self.usable_paths
         requests: dict[str, list[PathShareRequest]] = {
             p: [] for p in self.path_names
         }
@@ -264,7 +295,7 @@ class PGOSScheduler(SchedulerBase):
             mapped_total = sum(rates.values())
             backlog = backlog_mbps.get(spec.name)
             guaranteed = spec.guaranteed or spec.max_violation_rate is not None
-            for path in self.path_names:
+            for path in usable:
                 mapped_here = rates.get(path, 0.0)
                 if guaranteed and mapped_here > 0:
                     # Rule 1: packets scheduled on this path.
@@ -300,10 +331,10 @@ class PGOSScheduler(SchedulerBase):
                         )
             if spec.elastic:
                 # Rule 3: unscheduled (best-effort) packets fill leftovers.
-                for path in self.path_names:
+                for path in usable:
                     weight = max(rates.get(path, 0.0), 0.0)
                     if weight <= 0:
-                        weight = spec.weight / len(self.path_names)
+                        weight = spec.weight / len(usable)
                     requests[path].append(
                         PathShareRequest(
                             stream=spec.name,
@@ -321,9 +352,10 @@ class PGOSScheduler(SchedulerBase):
         requests: dict[str, list[PathShareRequest]] = {
             p: [] for p in self.path_names
         }
-        n = len(self.path_names)
+        usable = self.usable_paths
+        n = len(usable)
         for spec in self.streams:
-            for path in self.path_names:
+            for path in usable:
                 backlog = backlog_mbps.get(spec.name)
                 requests[path].append(
                     PathShareRequest(

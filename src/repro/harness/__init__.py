@@ -9,9 +9,12 @@
   series.
 * :mod:`repro.harness.figures` — one module per paper figure, each
   returning a structured result with paper-vs-measured rows.
+* :mod:`repro.harness.chaos` — chaos campaigns against the middleware:
+  time-to-detect, time-to-recover, guarantee-violation seconds.
 * :mod:`repro.harness.cli` — ``python -m repro.harness fig9 --seed 7``.
 """
 
+from repro.harness.chaos import ChaosReport, run_chaos_campaign, run_chaos_suite
 from repro.harness.experiment import ExperimentResult, run_schedule_experiment
 from repro.harness.metrics import StreamSummary, frame_jitter_ms, summarize_stream
 
@@ -21,4 +24,7 @@ __all__ = [
     "StreamSummary",
     "summarize_stream",
     "frame_jitter_ms",
+    "ChaosReport",
+    "run_chaos_campaign",
+    "run_chaos_suite",
 ]

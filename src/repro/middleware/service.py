@@ -8,6 +8,16 @@ buffers, and per-stream reporting.
 Time is interval-stepped (like the figure driver); the service owns the
 loop and applications script membership through :meth:`IQPathsService.at`
 or drive it step by step with :meth:`IQPathsService.advance`.
+
+Runtime fault tolerance rides on top: pass a
+:class:`repro.network.faults.FaultCampaign` and the service applies its
+faults *mid-run* (scaling delivered bandwidth, adding loss, dropping
+monitoring observations during blackouts), while a
+:class:`repro.robustness.health.HealthTracker` watches every path.
+Failed paths are quarantined out of the PGOS mapping, elastic streams
+are shed before guaranteed ones, guarantees are downgraded before any
+stream is dropped, and a quarantined path only re-enters service through
+its backoff-gated, probe-confirmed recovery.
 """
 
 from __future__ import annotations
@@ -24,6 +34,13 @@ from repro.core.scheduler import water_fill
 from repro.core.spec import StreamSpec
 from repro.harness.metrics import fraction_of_time_at_least
 from repro.network.emulab import TestbedRealization
+from repro.network.faults import FaultCampaign
+from repro.robustness.degradation import (
+    DegradationLevel,
+    DegradationPlan,
+    plan_degradation,
+)
+from repro.robustness.health import HealthTracker
 from repro.units import bytes_in_interval, mbps_from_bytes
 
 
@@ -84,6 +101,16 @@ class IQPathsService:
         :class:`AdmissionError` if the new stream (plus those already
         open) is not admittable — the paper's upcall.  When False the
         stream is opened anyway and served best-effort/degraded.
+    campaign:
+        Optional dynamic fault schedule, applied mid-run: active faults
+        scale what each path delivers and add loss; monitor blackouts
+        drop the affected path's observations.  Campaign timestamps are
+        session time (``t = 0`` when the probe phase ends).
+    health:
+        Optional :class:`HealthTracker` watching the paths.  Created
+        automatically (default thresholds) when a ``campaign`` is given;
+        pass one explicitly to tune thresholds or to enable runtime
+        health without a campaign.
     """
 
     def __init__(
@@ -94,6 +121,8 @@ class IQPathsService:
         buffer_seconds: float = 2.0,
         strict_admission: bool = True,
         scheduler: Optional[PGOSScheduler] = None,
+        campaign: Optional[FaultCampaign] = None,
+        health: Optional[HealthTracker] = None,
     ):
         if warmup_intervals < 1 or warmup_intervals >= realization.n_intervals:
             raise ConfigurationError(
@@ -112,6 +141,10 @@ class IQPathsService:
         self.scheduler = scheduler or PGOSScheduler()
         # The scheduler needs >= 1 stream for setup; bind lazily instead.
         self._scheduler_bound = False
+        self.campaign = campaign
+        if health is None and campaign is not None:
+            health = HealthTracker(self.path_names)
+        self.health = health
         self.handles: dict[str, StreamHandle] = {}
         self._delivered: dict[str, list[float]] = {}
         self._opened_interval: dict[str, int] = {}
@@ -119,6 +152,14 @@ class IQPathsService:
         self._admission = AdmissionController(tw=tw)
         self._pending: list[tuple[int, Callable[[], None]]] = []
         self.upcalls: list[str] = []
+        #: Health transitions and degradation decisions, human-readable.
+        self.events: list[str] = []
+        # Degradation bookkeeping: requested spec per stream, the spec
+        # actually in the scheduler, and the active plan.
+        self._original: dict[str, StreamSpec] = {}
+        self._serving: dict[str, StreamSpec] = {}
+        self._plan: Optional[DegradationPlan] = None
+        self.degradation_level = DegradationLevel.NORMAL
 
         self._k = 0
         while self._k < warmup_intervals:
@@ -138,24 +179,53 @@ class IQPathsService:
     def remaining_intervals(self) -> int:
         return self.realization.n_intervals - self._k
 
-    def _observe(self, k: int) -> None:
-        if self._scheduler_bound:
-            self.scheduler.observe(
-                k,
-                {p: float(self._avail[p][k]) for p in self.path_names},
-                rtt_ms={
-                    p: float(self._qos[p].rtt_ms[k]) for p in self.path_names
-                },
-                loss_rate={
-                    p: float(self._qos[p].loss_rate[k])
-                    for p in self.path_names
-                },
+    def _session_time(self, k: int) -> float:
+        return (k - self._start_k) * self.dt
+
+    # ------------------------------------------------------------------
+    # fault-aware path views
+    # ------------------------------------------------------------------
+    def _effective_avail(self, path: str, k: int) -> float:
+        """Realized availability with the campaign's active faults applied."""
+        value = float(self._avail[path][k])
+        if self.campaign is not None:
+            value *= self.campaign.availability_multiplier(
+                path, self._session_time(k)
             )
-        else:
-            # Not bound yet: stash history in a side monitor via seeding
-            # later; simplest is to remember the index range and seed on
-            # bind (see _bind_scheduler).
-            pass
+        return value
+
+    def _effective_loss(self, path: str, k: int) -> float:
+        loss = float(self._qos[path].loss_rate[k])
+        if self.campaign is not None:
+            loss += self.campaign.extra_loss(path, self._session_time(k))
+        return min(loss, 1.0)
+
+    def _path_observed(self, path: str, k: int) -> bool:
+        if self.campaign is None:
+            return True
+        return self.campaign.observed(path, self._session_time(k))
+
+    def _usable_paths(self) -> list[str]:
+        """Paths the mapping may use (all when health is off or all failed)."""
+        if self.health is None:
+            return list(self.path_names)
+        quarantined = self.health.quarantined()
+        usable = [p for p in self.path_names if p not in quarantined]
+        return usable or list(self.path_names)
+
+    def _observe(self, k: int) -> None:
+        if not self._scheduler_bound:
+            # Not bound yet: history is seeded on bind (_bind_scheduler).
+            return
+        observed = [p for p in self.path_names if self._path_observed(p, k)]
+        if not observed:
+            return
+        self.scheduler.observe(
+            k,
+            {p: self._effective_avail(p, k) for p in observed},
+            rtt_ms={p: float(self._qos[p].rtt_ms[k]) for p in observed},
+            loss_rate={p: self._effective_loss(p, k) for p in observed},
+        )
 
     def _bind_scheduler(self, first_spec: StreamSpec) -> None:
         self.scheduler.setup(
@@ -168,6 +238,8 @@ class IQPathsService:
         # caller's open_stream() adds it through the normal path.
         self.scheduler.streams.clear()
         self._scheduler_bound = True
+        if self.health is not None:
+            self.scheduler.set_quarantine(self.health.quarantined())
 
     # ------------------------------------------------------------------
     # stream lifecycle
@@ -179,10 +251,12 @@ class IQPathsService:
         if not self._scheduler_bound:
             self._bind_scheduler(spec)
         open_specs = [
-            h.spec for h in self.handles.values() if h.open
+            self._original[h.name]
+            for h in self.handles.values()
+            if h.open
         ] + [spec]
         cdfs = {
-            p: self.scheduler.monitors[p].cdf() for p in self.path_names
+            p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
         }
         decision = self._admission.try_admit(open_specs, cdfs)
         achieved = None
@@ -198,6 +272,8 @@ class IQPathsService:
         elif decision.mapping is not None:
             achieved = decision.mapping.achieved_probability.get(spec.name)
         self.scheduler.add_stream(spec)
+        self._serving[spec.name] = spec
+        self._original[spec.name] = spec
         handle = StreamHandle(
             spec=spec, opened_at=self.now, achieved_probability=achieved
         )
@@ -205,6 +281,11 @@ class IQPathsService:
         self._delivered[spec.name] = []
         self._opened_interval[spec.name] = self._k
         self._backlog_bytes[spec.name] = 0.0
+        if self.health is not None and (
+            self.health.quarantined()
+            or self.degradation_level is not DegradationLevel.NORMAL
+        ):
+            self._refresh_degradation()
         return handle
 
     def close_stream(self, name: str) -> StreamHandle:
@@ -212,8 +293,11 @@ class IQPathsService:
         handle = self.handles.get(name)
         if handle is None or not handle.open:
             raise ConfigurationError(f"stream {name!r} is not open")
-        self.scheduler.remove_stream(name)
+        if name in self._serving:
+            self.scheduler.remove_stream(name)
+            del self._serving[name]
         handle.closed_at = self.now
+        self._original.pop(name, None)
         self._backlog_bytes.pop(name, None)
         return handle
 
@@ -226,6 +310,73 @@ class IQPathsService:
             )
         self._pending.append((k, action))
         self._pending.sort(key=lambda e: e[0])
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _refresh_degradation(self) -> None:
+        """Re-plan shedding/downgrades for the current path health."""
+        if self.health is None or not self._scheduler_bound:
+            return
+        open_handles = [h for h in self.handles.values() if h.open]
+        if not open_handles:
+            return
+        quarantined = self.health.quarantined()
+        cdfs = {
+            p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
+        }
+        originals = [self._original[h.name] for h in open_handles]
+        plan = plan_degradation(
+            originals,
+            cdfs,
+            self.tw,
+            quarantine_active=bool(quarantined),
+            admission=self._admission,
+        )
+        if plan == self._plan:
+            return
+        self._apply_plan(plan)
+        self._plan = plan
+        if plan.level is not self.degradation_level:
+            self.events.append(
+                f"t={self.now:.1f}s degradation "
+                f"{self.degradation_level.name} -> {plan.level.name}"
+            )
+        self.degradation_level = plan.level
+        for note in plan.notes:
+            self.events.append(f"t={self.now:.1f}s {note}")
+
+    def _apply_plan(self, plan: DegradationPlan) -> None:
+        """Diff the scheduler's stream set against ``plan`` and apply."""
+        desired: dict[str, StreamSpec] = {}
+        for handle in self.handles.values():
+            if not handle.open:
+                continue
+            spec = plan.spec_for(handle.name)
+            if spec is not None:
+                desired[handle.name] = spec
+        for name in list(self._serving):
+            target = desired.get(name)
+            if target is None:
+                self.scheduler.remove_stream(name)
+                del self._serving[name]
+            elif target != self._serving[name]:
+                self.scheduler.remove_stream(name)
+                self.scheduler.add_stream(target)
+                self._serving[name] = target
+        for name, spec in desired.items():
+            if name not in self._serving:
+                self.scheduler.add_stream(spec)
+                self._serving[name] = spec
+
+    @property
+    def shed_streams(self) -> frozenset[str]:
+        """Open streams currently paused by the degradation policy."""
+        return frozenset(
+            h.name
+            for h in self.handles.values()
+            if h.open and h.name not in self._serving
+        )
 
     # ------------------------------------------------------------------
     # the loop
@@ -270,7 +421,7 @@ class IQPathsService:
             delivered = {h.name: 0.0 for h in open_handles}
             for p in self.path_names:
                 granted = water_fill(
-                    requests.get(p, []), float(self._avail[p][k])
+                    requests.get(p, []), self._effective_avail(p, k)
                 )
                 for name, mbps in granted.items():
                     if mbps <= 0 or name not in delivered:
@@ -286,7 +437,39 @@ class IQPathsService:
             for h in open_handles:
                 self._delivered[h.name].append(0.0)
         self._observe(k)
+        self._update_health(k)
         self._k += 1
+
+    def _update_health(self, k: int) -> None:
+        if self.health is None:
+            return
+        t = self._session_time(k)
+        bandwidth: dict[str, Optional[float]] = {}
+        loss: dict[str, float] = {}
+        ks_shift: dict[str, bool] = {}
+        mapped = (
+            self._scheduler_bound and self.scheduler.mapping is not None
+        )
+        for p in self.path_names:
+            if self._path_observed(p, k):
+                bandwidth[p] = self._effective_avail(p, k)
+                loss[p] = self._effective_loss(p, k)
+            else:
+                bandwidth[p] = None  # probe timeout
+                loss[p] = 0.0
+            ks_shift[p] = (
+                self.scheduler.monitors[p].cdf_changed_significantly()
+                if mapped
+                else False
+            )
+        fired = self.health.update(t, bandwidth, loss=loss, ks_shift=ks_shift)
+        if not fired:
+            return
+        for transition in fired:
+            self.events.append(str(transition))
+        if self._scheduler_bound:
+            self.scheduler.set_quarantine(self.health.quarantined())
+        self._refresh_degradation()
 
     # ------------------------------------------------------------------
     # reporting

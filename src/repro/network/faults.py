@@ -1,12 +1,28 @@
-"""Path fault injection.
+"""Path fault injection: static realizations and dynamic campaigns.
 
 The paper's future work is runtime fault tolerance — isolating recovery
-traffic, re-routing around failures.  The substrate for studying that is
-the ability to inject faults into a realization: outages (availability
-drops to zero) and degradations (availability scaled down) on chosen
-paths over chosen intervals.  PGOS's monitoring sees the change, the KS
-trigger fires, and the mapping moves guaranteed streams away — verified
-in ``tests/integration/test_failure_recovery.py``.
+traffic, re-routing around failures.  Two substrates for studying that
+live here:
+
+* **Static injection** (:func:`inject_faults`): outages (availability
+  drops to zero) and degradations (availability scaled down) baked into a
+  realization *before* the run.  PGOS's monitoring sees the change, the
+  KS trigger fires, and the mapping moves guaranteed streams away —
+  verified in ``tests/integration/test_failure_recovery.py``.
+
+* **Dynamic campaigns** (:class:`FaultCampaign`): time-indexed fault and
+  monitor-blackout schedules that consumers apply *mid-run*.  The
+  middleware (:class:`repro.middleware.service.IQPathsService`) and the
+  packet session (:func:`repro.transport.session.run_packet_session`)
+  query the campaign each interval/window, scale the realized
+  availability, add loss, and drop monitoring observations during
+  blackouts — driving the runtime health machinery in
+  :mod:`repro.robustness`.
+
+Overlapping faults on the same path compose **multiplicatively** on
+availability (two 50 % degradations leave 25 % of the bandwidth) and
+**additively, clipped to 1** on loss rate.  This holds for both the
+static and the dynamic application.
 """
 
 from __future__ import annotations
@@ -34,9 +50,11 @@ class PathFault:
         Fault window in seconds of experiment time (end exclusive).
     severity:
         Fraction of availability removed: ``1.0`` is a full outage,
-        ``0.5`` halves the path's bandwidth.
+        ``0.5`` halves the path's bandwidth.  Faults whose windows
+        overlap on the same path compose multiplicatively.
     extra_loss:
-        Additional packet loss rate during the fault (clipped to 1).
+        Additional packet loss rate during the fault (clipped to 1;
+        overlapping faults add).
     """
 
     path: str
@@ -59,6 +77,35 @@ class PathFault:
                 f"extra_loss must be in [0, 1], got {self.extra_loss}"
             )
 
+    def active(self, t: float) -> bool:
+        """Whether the fault covers time ``t`` (start inclusive, end exclusive)."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class MonitorBlackout:
+    """A window during which a path's monitoring observations are dropped.
+
+    A blackout models probe loss / monitor failure: the path keeps
+    carrying whatever the scheduler sends, but the monitoring stack
+    receives *no* bandwidth, RTT, or loss samples — the health machinery
+    treats the missing observations as probe timeouts.
+    """
+
+    path: str
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"blackout end {self.end} must exceed start {self.start}"
+            )
+
+    def active(self, t: float) -> bool:
+        """Whether the blackout covers time ``t``."""
+        return self.start <= t < self.end
+
 
 def inject_faults(
     realization: TestbedRealization, faults: Sequence[PathFault]
@@ -66,7 +113,11 @@ def inject_faults(
     """Return a copy of ``realization`` with the faults applied.
 
     The original realization is left untouched (its arrays are copied for
-    every faulted path).
+    every faulted path).  Both window edges round to the nearest interval
+    boundary, so a window of ``n * dt`` seconds always covers exactly
+    ``n`` intervals regardless of where it starts.  Overlapping faults on
+    the same path compose multiplicatively on availability and additively
+    (clipped to 1) on loss.
     """
     dt = realization.dt
     n = realization.n_intervals
@@ -78,7 +129,7 @@ def inject_faults(
                 f"unknown path {fault.path!r}; have "
                 f"{sorted(available)}"
             )
-        lo = max(int(fault.start / dt), 0)
+        lo = max(int(round(fault.start / dt)), 0)
         hi = min(int(round(fault.end / dt)), n)
         if lo >= n or hi <= lo:
             raise ConfigurationError(
@@ -98,3 +149,274 @@ def inject_faults(
             path=q.path, dt=q.dt, rtt_ms=q.rtt_ms.copy(), loss_rate=loss
         )
     return replace(realization, available=available, qos=qos)
+
+
+# ----------------------------------------------------------------------
+# dynamic fault schedules
+# ----------------------------------------------------------------------
+def flapping_faults(
+    path: str,
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+    mean_up: float = 4.0,
+    mean_down: float = 2.0,
+    severity: float = 1.0,
+    extra_loss: float = 0.0,
+    min_episode: float = 0.2,
+) -> list[PathFault]:
+    """A seeded link-flapping schedule: alternating up/down episodes.
+
+    Starting *up* at ``start``, the link alternates between healthy
+    episodes (mean ``mean_up`` seconds) and faulted episodes (mean
+    ``mean_down`` seconds), both exponentially distributed and floored at
+    ``min_episode``, until ``end``.  Returns the list of down-episode
+    faults (possibly empty if the first up episode outlives the window).
+    """
+    if end <= start:
+        raise ConfigurationError(
+            f"flapping window end {end} must exceed start {start}"
+        )
+    if mean_up <= 0 or mean_down <= 0 or min_episode <= 0:
+        raise ConfigurationError(
+            "mean_up, mean_down and min_episode must be positive"
+        )
+    faults: list[PathFault] = []
+    t = start
+    while t < end:
+        t += max(float(rng.exponential(mean_up)), min_episode)
+        if t >= end:
+            break
+        down = max(float(rng.exponential(mean_down)), min_episode)
+        faults.append(
+            PathFault(
+                path=path,
+                start=t,
+                end=min(t + down, end),
+                severity=severity,
+                extra_loss=extra_loss,
+            )
+        )
+        t += down
+    return faults
+
+
+def correlated_outage(
+    paths: Sequence[str],
+    start: float,
+    duration: float,
+    severity: float = 1.0,
+    stagger: float = 0.0,
+) -> list[PathFault]:
+    """A correlated multi-path outage: every path fails near-simultaneously.
+
+    Models a shared-risk failure (a common underlay link, a site power
+    event): each listed path gets the same fault window, with path ``i``
+    delayed by ``i * stagger`` seconds (cascading failures).
+    """
+    if not paths:
+        raise ConfigurationError("correlated outage needs at least one path")
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be > 0, got {duration}")
+    if stagger < 0:
+        raise ConfigurationError(f"stagger must be >= 0, got {stagger}")
+    return [
+        PathFault(
+            path=p,
+            start=start + i * stagger,
+            end=start + i * stagger + duration,
+            severity=severity,
+        )
+        for i, p in enumerate(paths)
+    ]
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A time-indexed fault schedule applied *mid-run* by the middleware.
+
+    Unlike :func:`inject_faults`, nothing is baked into the realization:
+    consumers query the campaign every interval and scale what the paths
+    actually deliver, add loss, and drop monitoring observations during
+    blackouts.  Timestamps are in the consumer's session clock (``t = 0``
+    when application traffic starts, i.e. after the warmup probe phase).
+
+    Attributes
+    ----------
+    faults:
+        Availability/loss fault episodes (overlaps compose as documented
+        in :class:`PathFault`).
+    blackouts:
+        Monitor-blackout windows (observations dropped).
+    name, seed:
+        Labelling for reports; ``seed`` records the generator seed for
+        campaigns built by :meth:`random`.
+    """
+
+    faults: tuple[PathFault, ...] = ()
+    blackouts: tuple[MonitorBlackout, ...] = ()
+    name: str = "campaign"
+    seed: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "blackouts", tuple(self.blackouts))
+        if not self.faults and not self.blackouts:
+            raise ConfigurationError(
+                "a campaign needs at least one fault or blackout"
+            )
+
+    # ------------------------------------------------------------------
+    # point queries (one interval / window)
+    # ------------------------------------------------------------------
+    def availability_multiplier(self, path: str, t: float) -> float:
+        """Product of ``1 - severity`` over the faults active on ``path``."""
+        mult = 1.0
+        for fault in self.faults:
+            if fault.path == path and fault.active(t):
+                mult *= 1.0 - fault.severity
+        return mult
+
+    def extra_loss(self, path: str, t: float) -> float:
+        """Summed extra loss of the active faults on ``path``, clipped to 1."""
+        loss = sum(
+            f.extra_loss
+            for f in self.faults
+            if f.path == path and f.active(t)
+        )
+        return min(loss, 1.0)
+
+    def observed(self, path: str, t: float) -> bool:
+        """Whether monitoring on ``path`` sees anything at time ``t``."""
+        return not any(
+            b.path == path and b.active(t) for b in self.blackouts
+        )
+
+    def active_faults(self, t: float) -> list[PathFault]:
+        """The faults covering time ``t``."""
+        return [f for f in self.faults if f.active(t)]
+
+    # ------------------------------------------------------------------
+    # extent queries (reporting)
+    # ------------------------------------------------------------------
+    @property
+    def faulted_paths(self) -> frozenset[str]:
+        """Paths touched by at least one availability/loss fault."""
+        return frozenset(f.path for f in self.faults)
+
+    @property
+    def first_onset(self) -> float | None:
+        """Start of the earliest fault (``None`` for blackout-only campaigns)."""
+        return min((f.start for f in self.faults), default=None)
+
+    @property
+    def last_end(self) -> float | None:
+        """End of the latest fault (``None`` for blackout-only campaigns)."""
+        return max((f.end for f in self.faults), default=None)
+
+    def shifted(self, offset: float) -> "FaultCampaign":
+        """The same campaign with every timestamp moved by ``offset``."""
+        return replace(
+            self,
+            faults=tuple(
+                replace(f, start=f.start + offset, end=f.end + offset)
+                for f in self.faults
+            ),
+            blackouts=tuple(
+                replace(b, start=b.start + offset, end=b.end + offset)
+                for b in self.blackouts
+            ),
+        )
+
+    def as_static(
+        self, realization: TestbedRealization, offset: float = 0.0
+    ) -> TestbedRealization:
+        """Bake the availability/loss faults into a realization.
+
+        ``offset`` converts campaign (session) time to realization time —
+        pass the warmup length in seconds.  Blackouts cannot be baked in
+        (they affect observation, not delivery) and are ignored here.
+        """
+        if not self.faults:
+            return realization
+        return inject_faults(
+            realization, [f for f in self.shifted(offset).faults]
+        )
+
+    # ------------------------------------------------------------------
+    # seeded generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        paths: Sequence[str],
+        duration: float,
+        seed: int,
+        flap: bool = True,
+        outage: bool = True,
+        blackout: bool = True,
+        severity: float = 1.0,
+        name: str | None = None,
+    ) -> "FaultCampaign":
+        """A seeded random campaign mixing the three disruption modes.
+
+        Deterministic for a fixed ``(paths, duration, seed)``: one path
+        flaps through the middle of the run, a correlated outage hits up
+        to two paths in the final third, and a monitor blackout drops one
+        path's observations for a stretch.  Individual modes can be
+        switched off.
+        """
+        if not paths:
+            raise ConfigurationError("campaign needs at least one path")
+        if duration <= 0:
+            raise ConfigurationError(
+                f"duration must be > 0, got {duration}"
+            )
+        rng = np.random.default_rng(seed)
+        ordered = list(paths)
+        faults: list[PathFault] = []
+        blackouts: list[MonitorBlackout] = []
+        if flap:
+            flap_path = ordered[int(rng.integers(len(ordered)))]
+            faults.extend(
+                flapping_faults(
+                    flap_path,
+                    start=duration * 0.15,
+                    end=duration * 0.55,
+                    rng=rng,
+                    mean_up=duration * 0.06,
+                    mean_down=duration * 0.03,
+                    severity=severity,
+                )
+            )
+        if outage:
+            victims = ordered[: max(1, min(2, len(ordered)))]
+            start = duration * (0.6 + 0.1 * float(rng.random()))
+            faults.extend(
+                correlated_outage(
+                    victims,
+                    start=start,
+                    duration=duration * 0.12,
+                    severity=severity,
+                    stagger=duration * 0.01,
+                )
+            )
+        if blackout:
+            dark = ordered[int(rng.integers(len(ordered)))]
+            start = duration * (0.3 + 0.2 * float(rng.random()))
+            blackouts.append(
+                MonitorBlackout(
+                    path=dark, start=start, end=start + duration * 0.05
+                )
+            )
+        if not faults and not blackouts:
+            raise ConfigurationError(
+                "campaign generator produced no events; enable at least one "
+                "of flap/outage/blackout"
+            )
+        return cls(
+            faults=tuple(sorted(faults, key=lambda f: (f.start, f.path))),
+            blackouts=tuple(blackouts),
+            name=name or f"random-{seed}",
+            seed=seed,
+        )

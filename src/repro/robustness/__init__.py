@@ -1,0 +1,44 @@
+"""Runtime fault tolerance: path health, quarantine, graceful degradation.
+
+The paper's key future-work direction — detecting path failures online,
+isolating recovery traffic, and re-routing guaranteed streams — lives
+here:
+
+* :mod:`repro.robustness.health` — per-path health state machines
+  (``HEALTHY -> DEGRADED -> SUSPECT -> FAILED -> RECOVERING``) with
+  hysteresis, driven by probe timeouts, loss spikes, bandwidth collapse
+  and the KS-shift trigger; re-admission of a failed path is gated on
+  exponential backoff plus probe-confirmed recovery.
+* :mod:`repro.robustness.degradation` — the graceful-degradation ladder:
+  shed elastic streams first, downgrade guarantee probabilities before
+  dropping a stream, never drop.
+
+Dynamic fault *schedules* (flapping, correlated outages, monitor
+blackouts, seeded campaigns) live in :mod:`repro.network.faults`; the
+chaos-campaign runner that sweeps them and reports time-to-detect /
+time-to-recover lives in :mod:`repro.harness.chaos`.
+"""
+
+from repro.robustness.health import (
+    HealthThresholds,
+    HealthTracker,
+    HealthTransition,
+    PathHealth,
+    PathHealthMachine,
+)
+from repro.robustness.degradation import (
+    DegradationLevel,
+    DegradationPlan,
+    plan_degradation,
+)
+
+__all__ = [
+    "PathHealth",
+    "PathHealthMachine",
+    "HealthThresholds",
+    "HealthTracker",
+    "HealthTransition",
+    "DegradationLevel",
+    "DegradationPlan",
+    "plan_degradation",
+]

@@ -1,0 +1,400 @@
+"""Per-path health state machines with hysteresis and backoff-gated probing.
+
+The paper names runtime fault tolerance — detecting path failures online
+and re-routing guaranteed streams — as its key future-work direction.
+This module supplies the detection half: each overlay path carries a
+five-state health machine
+
+    HEALTHY -> DEGRADED -> SUSPECT -> FAILED -> RECOVERING -> HEALTHY
+
+driven by the signals the monitoring stack already produces every
+interval: the observed available bandwidth (compared against a
+slowly-adapting healthy baseline), loss-rate spikes, probe timeouts
+(missing observations, e.g. during a monitor blackout), and the PGOS
+KS-shift trigger.
+
+Hysteresis keeps flapping links from thrashing the mapping: every
+downward hop needs several *consecutive* bad windows, every upward hop
+several consecutive good ones, and a path that reaches ``FAILED`` is
+quarantined behind :class:`repro.transport.backoff.ExponentialBackoff` —
+it only re-enters service after the backoff gate opens *and* a probation
+period of clean probe observations (``RECOVERING``) confirms the
+recovery.  A failed probe sends the path straight back to ``FAILED``
+with a doubled gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.transport.backoff import ExponentialBackoff
+
+
+class PathHealth(enum.Enum):
+    """The five health states of one overlay path."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+    RECOVERING = "recovering"
+
+
+#: Downward escalation ladder (hysteresis applies per hop).
+_DOWN = {
+    PathHealth.HEALTHY: PathHealth.DEGRADED,
+    PathHealth.DEGRADED: PathHealth.SUSPECT,
+    PathHealth.SUSPECT: PathHealth.FAILED,
+}
+
+#: Upward recovery ladder for the non-quarantined states.
+_UP = {
+    PathHealth.DEGRADED: PathHealth.HEALTHY,
+    PathHealth.SUSPECT: PathHealth.DEGRADED,
+}
+
+
+class _Signal(enum.Enum):
+    OK = 0
+    DEGRADE = 1
+    FAIL = 2
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Tuning knobs of the health machine.
+
+    Attributes
+    ----------
+    degraded_ratio:
+        Observed bandwidth below this fraction of the healthy baseline is
+        a *degrade* signal.
+    failed_ratio:
+        Bandwidth below this fraction of the baseline is a *fail* signal
+        (a collapse, not mere congestion).
+    loss_spike:
+        Loss rate at or above this is a fail signal.
+    degrade_after:
+        Consecutive bad windows before ``HEALTHY`` steps down.
+    fail_after:
+        Consecutive fail windows per further downward hop
+        (``DEGRADED -> SUSPECT -> FAILED``).
+    recover_after:
+        Consecutive good windows per upward hop while not quarantined.
+    probe_confirm:
+        Consecutive good probe windows that ``RECOVERING`` needs before
+        the path is re-admitted as ``HEALTHY``.
+    backoff_base, backoff_max:
+        Quarantine gate: the first trip to ``FAILED`` blocks re-probing
+        for ``backoff_base`` seconds, doubling per re-failure up to
+        ``backoff_max``.
+    baseline_alpha:
+        EWMA step of the healthy-bandwidth baseline (only updated on good
+        windows, so the baseline does not chase a fault downward).
+    """
+
+    degraded_ratio: float = 0.5
+    failed_ratio: float = 0.1
+    loss_spike: float = 0.3
+    degrade_after: int = 3
+    fail_after: int = 3
+    recover_after: int = 5
+    probe_confirm: int = 3
+    backoff_base: float = 2.0
+    backoff_max: float = 30.0
+    baseline_alpha: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 < self.failed_ratio < self.degraded_ratio < 1.0:
+            raise ConfigurationError(
+                "need 0 < failed_ratio < degraded_ratio < 1, got "
+                f"{self.failed_ratio}, {self.degraded_ratio}"
+            )
+        if not 0.0 < self.loss_spike <= 1.0:
+            raise ConfigurationError(
+                f"loss_spike must be in (0, 1], got {self.loss_spike}"
+            )
+        for name in ("degrade_after", "fail_after", "recover_after",
+                     "probe_confirm"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.backoff_base <= 0 or self.backoff_max < self.backoff_base:
+            raise ConfigurationError(
+                f"need 0 < backoff_base <= backoff_max, got "
+                f"{self.backoff_base}, {self.backoff_max}"
+            )
+        if not 0.0 < self.baseline_alpha <= 1.0:
+            raise ConfigurationError(
+                f"baseline_alpha must be in (0, 1], got {self.baseline_alpha}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One state change of one path, with its trigger."""
+
+    time: float
+    path: str
+    old: PathHealth
+    new: PathHealth
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"t={self.time:.1f}s {self.path}: "
+            f"{self.old.value} -> {self.new.value} ({self.reason})"
+        )
+
+
+class PathHealthMachine:
+    """The health state machine of a single overlay path.
+
+    Feed it one observation per monitoring interval via :meth:`update`;
+    it returns the transitions that fired (at most two: the backoff gate
+    opening plus a probe verdict).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        thresholds: Optional[HealthThresholds] = None,
+    ):
+        if not path:
+            raise ConfigurationError("path name must be non-empty")
+        self.path = path
+        self.thresholds = thresholds or HealthThresholds()
+        self.state = PathHealth.HEALTHY
+        self.backoff = ExponentialBackoff(
+            base_delay=self.thresholds.backoff_base,
+            factor=2.0,
+            max_delay=self.thresholds.backoff_max,
+        )
+        self._baseline: Optional[float] = None
+        self._bad = 0
+        self._good = 0
+        self._blocked_until = 0.0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def baseline_mbps(self) -> Optional[float]:
+        """The healthy-bandwidth reference (``None`` before any sample)."""
+        return self._baseline
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether guaranteed traffic must stay off this path."""
+        return self.state in (PathHealth.FAILED, PathHealth.RECOVERING)
+
+    @property
+    def blocked_until(self) -> float:
+        """When the current quarantine's backoff gate opens."""
+        return self._blocked_until
+
+    # ------------------------------------------------------------------
+    # the machine
+    # ------------------------------------------------------------------
+    def _classify(
+        self, bandwidth: Optional[float], loss: float, ks_shift: bool
+    ) -> tuple[_Signal, str]:
+        th = self.thresholds
+        if bandwidth is None:
+            return _Signal.FAIL, "probe timeout"
+        if loss >= th.loss_spike:
+            return _Signal.FAIL, f"loss spike {loss:.2f}"
+        if self._baseline is None:
+            self._baseline = bandwidth
+            return _Signal.OK, "first sample"
+        if bandwidth <= th.failed_ratio * self._baseline:
+            return _Signal.FAIL, (
+                f"bandwidth collapse {bandwidth:.1f} of "
+                f"{self._baseline:.1f} Mbps baseline"
+            )
+        if bandwidth <= th.degraded_ratio * self._baseline:
+            return _Signal.DEGRADE, (
+                f"bandwidth {bandwidth:.1f} below "
+                f"{th.degraded_ratio:.0%} of baseline"
+            )
+        if ks_shift:
+            return _Signal.DEGRADE, "KS distribution shift"
+        return _Signal.OK, "ok"
+
+    def _move(
+        self, now: float, new: PathHealth, reason: str
+    ) -> HealthTransition:
+        transition = HealthTransition(
+            time=now, path=self.path, old=self.state, new=new, reason=reason
+        )
+        self.state = new
+        self._bad = 0
+        self._good = 0
+        return transition
+
+    def update(
+        self,
+        now: float,
+        bandwidth: Optional[float],
+        loss: float = 0.0,
+        ks_shift: bool = False,
+    ) -> list[HealthTransition]:
+        """Advance one monitoring interval; returns fired transitions.
+
+        ``bandwidth=None`` means the interval produced no observation
+        (probe timeout / monitor blackout) — a fail signal.
+        """
+        th = self.thresholds
+        transitions: list[HealthTransition] = []
+        if self.state is PathHealth.FAILED:
+            if now < self._blocked_until:
+                return transitions  # quarantined: wait out the backoff gate
+            transitions.append(
+                self._move(
+                    now, PathHealth.RECOVERING, "backoff elapsed; probing"
+                )
+            )
+        signal, reason = self._classify(bandwidth, loss, ks_shift)
+        if signal is _Signal.OK and bandwidth is not None:
+            # Track the healthy level only on good windows so the
+            # baseline never chases a fault downward.
+            if self._baseline is not None:
+                alpha = th.baseline_alpha
+                self._baseline += alpha * (bandwidth - self._baseline)
+
+        if self.state is PathHealth.RECOVERING:
+            if signal is _Signal.OK:
+                self._good += 1
+                if self._good >= th.probe_confirm:
+                    self.backoff.reset()
+                    transitions.append(
+                        self._move(
+                            now, PathHealth.HEALTHY, "probe confirmed recovery"
+                        )
+                    )
+            elif signal is _Signal.FAIL:
+                self._blocked_until = now + self.backoff.next_delay()
+                transitions.append(
+                    self._move(
+                        now, PathHealth.FAILED, f"probe failed: {reason}"
+                    )
+                )
+            else:
+                # Soft evidence (e.g. a KS shift while the monitor window
+                # still holds fault-era samples) stalls the probe count
+                # but does not re-fail the path.
+                self._good = 0
+            return transitions
+
+        if signal is _Signal.OK:
+            self._bad = 0
+            self._good += 1
+            up = _UP.get(self.state)
+            if up is not None and self._good >= th.recover_after:
+                transitions.append(self._move(now, up, "sustained recovery"))
+        elif signal is _Signal.FAIL:
+            self._good = 0
+            self._bad += 1
+            needed = (
+                th.degrade_after
+                if self.state is PathHealth.HEALTHY
+                else th.fail_after
+            )
+            if self._bad >= needed:
+                down = _DOWN[self.state]
+                if down is PathHealth.FAILED:
+                    self._blocked_until = now + self.backoff.next_delay()
+                transitions.append(self._move(now, down, reason))
+        else:  # DEGRADE: evidence against recovery, not enough to escalate
+            self._good = 0
+            if self.state is PathHealth.HEALTHY:
+                self._bad += 1
+                if self._bad >= th.degrade_after:
+                    transitions.append(
+                        self._move(now, PathHealth.DEGRADED, reason)
+                    )
+        return transitions
+
+
+class HealthTracker:
+    """The health machines of a whole path set, plus the transition log.
+
+    The middleware feeds it one batch of per-path observations per
+    interval; consumers read :meth:`quarantined` to keep guaranteed
+    traffic off failed/probing paths and :attr:`transitions` to compute
+    detection/recovery metrics.
+    """
+
+    def __init__(
+        self,
+        path_names: Sequence[str],
+        thresholds: Optional[HealthThresholds] = None,
+    ):
+        if not path_names:
+            raise ConfigurationError("tracker needs at least one path")
+        self.thresholds = thresholds or HealthThresholds()
+        self.machines = {
+            p: PathHealthMachine(p, self.thresholds) for p in path_names
+        }
+        self.transitions: list[HealthTransition] = []
+
+    def update(
+        self,
+        now: float,
+        bandwidth: Mapping[str, Optional[float]],
+        loss: Optional[Mapping[str, float]] = None,
+        ks_shift: Optional[Mapping[str, bool]] = None,
+    ) -> list[HealthTransition]:
+        """Feed one interval's observations; returns fired transitions.
+
+        Paths missing from ``bandwidth`` (or mapped to ``None``) count as
+        probe timeouts.
+        """
+        fired: list[HealthTransition] = []
+        for path, machine in self.machines.items():
+            fired.extend(
+                machine.update(
+                    now,
+                    bandwidth.get(path),
+                    loss=(loss or {}).get(path, 0.0),
+                    ks_shift=(ks_shift or {}).get(path, False),
+                )
+            )
+        self.transitions.extend(fired)
+        return fired
+
+    def state(self, path: str) -> PathHealth:
+        """Current health of one path."""
+        machine = self.machines.get(path)
+        if machine is None:
+            raise ConfigurationError(f"unknown path {path!r}")
+        return machine.state
+
+    def states(self) -> dict[str, PathHealth]:
+        """Current health of every path."""
+        return {p: m.state for p, m in self.machines.items()}
+
+    def quarantined(self) -> frozenset[str]:
+        """Paths guaranteed traffic must avoid (FAILED or RECOVERING)."""
+        return frozenset(
+            p for p, m in self.machines.items() if m.quarantined
+        )
+
+    def usable(self) -> list[str]:
+        """Paths eligible for the guarantee mapping, in tracker order."""
+        return [p for p, m in self.machines.items() if not m.quarantined]
+
+    def all_healthy(self) -> bool:
+        """Whether every path is back in the ``HEALTHY`` state."""
+        return all(
+            m.state is PathHealth.HEALTHY for m in self.machines.values()
+        )
+
+    def transitions_for(self, paths: Iterable[str]) -> list[HealthTransition]:
+        """The transition log filtered to the given paths."""
+        wanted = set(paths)
+        return [t for t in self.transitions if t.path in wanted]

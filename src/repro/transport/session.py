@@ -29,6 +29,8 @@ from repro.errors import ConfigurationError
 from repro.core.pgos import PGOSScheduler, dispatch_window, make_packet_queue
 from repro.core.spec import StreamSpec
 from repro.network.emulab import TestbedRealization
+from repro.network.faults import FaultCampaign
+from repro.robustness.health import HealthTracker, HealthTransition
 from repro.sim.engine import Simulator
 from repro.sim.process import Timeout, start
 from repro.transport.packet import Packet
@@ -49,6 +51,10 @@ class SessionResult:
     deadline_misses: dict[str, int] = field(default_factory=dict)
     blocked_events: int = 0
     remap_count: int = 0
+    #: health transitions fired during the session (empty without health)
+    health_transitions: list[HealthTransition] = field(default_factory=list)
+    #: per window, whether each path was quarantined when it was dispatched
+    quarantine_series: dict[str, list[bool]] = field(default_factory=dict)
 
     @property
     def n_windows(self) -> int:
@@ -86,6 +92,8 @@ def run_packet_session(
     tw: float = 1.0,
     warmup_windows: int = 30,
     elastic_backlog_windows: int = 2,
+    campaign: Optional[FaultCampaign] = None,
+    health: Optional[HealthTracker] = None,
 ) -> SessionResult:
     """Run a packet-accurate PGOS session over a testbed realization.
 
@@ -104,6 +112,17 @@ def run_packet_session(
         has.
     warmup_windows:
         Windows of monitoring before traffic starts.
+    campaign:
+        Optional mid-run fault schedule (session time ``t = 0`` at the
+        first traffic window; faults are sampled at each window's
+        midpoint).  Active faults scale the window's byte budgets and
+        blackouts drop the affected path's monitoring observation.
+    health:
+        Optional :class:`HealthTracker`; auto-created when a
+        ``campaign`` is given.  Quarantined paths get a zero byte budget
+        for the window *and* are excluded from the PGOS mapping, so no
+        guaranteed packet rides a failed path until its backoff-gated
+        probe confirms recovery.
     """
     dt = realization.dt
     ratio = tw / dt
@@ -114,6 +133,8 @@ def run_packet_session(
         )
     scheduler = scheduler or PGOSScheduler()
     path_names = realization.path_names()
+    if health is None and campaign is not None:
+        health = HealthTracker(path_names)
     # Window-granularity availability: mean over each window's intervals.
     avail = {}
     for p in path_names:
@@ -146,9 +167,17 @@ def run_packet_session(
             s.name: {p: [] for p in path_names} for s in streams
         },
         deadline_misses={s.name: 0 for s in streams},
+        quarantine_series={p: [] for p in path_names},
     )
 
     n_windows = n_windows_total - warmup_windows
+
+    def window_avail(p: str, w: int) -> float:
+        """Effective availability for traffic window ``w`` (session time)."""
+        value = float(avail[p][warmup_windows + w])
+        if campaign is not None:
+            value *= campaign.availability_multiplier(p, (w + 0.5) * tw)
+        return value
 
     def produce(window_idx: int) -> None:
         """Enqueue one window's packets for every stream."""
@@ -188,12 +217,21 @@ def run_packet_session(
         for w in range(n_windows):
             absolute = warmup_windows + w
             produce(w)
+            quarantined = (
+                health.quarantined() if health is not None else frozenset()
+            )
+            if health is not None:
+                scheduler.set_quarantine(quarantined)
             schedule = scheduler.maybe_remap()
             budgets = {
-                p: avail[p][absolute] * 1e6 / 8.0 * tw for p in path_names
+                p: window_avail(p, w) * 1e6 / 8.0 * tw for p in path_names
             }
             for p, service in services.items():
-                service.begin_interval(sim.now, budgets[p])
+                # A quarantined path carries probe traffic only: zero byte
+                # budget, so even work-conserving overflow avoids it.
+                budget = 0.0 if p in quarantined else budgets[p]
+                service.begin_interval(sim.now, budget)
+                result.quarantine_series[p].append(p in quarantined)
             window_result = dispatch_window(
                 schedule,
                 services,
@@ -214,9 +252,32 @@ def run_packet_session(
                 while queue and queue[0].deadline < sim.now - tw:
                     queue.popleft()
                     result.deadline_misses[name] += 1
-            scheduler.observe(
-                absolute, {p: float(avail[p][absolute]) for p in path_names}
-            )
+            t_mid = (w + 0.5) * tw
+            observed = [
+                p
+                for p in path_names
+                if campaign is None or campaign.observed(p, t_mid)
+            ]
+            if observed:
+                scheduler.observe(
+                    absolute, {p: window_avail(p, w) for p in observed}
+                )
+            if health is not None:
+                bandwidth = {
+                    p: window_avail(p, w) if p in observed else None
+                    for p in path_names
+                }
+                loss = {
+                    p: (
+                        campaign.extra_loss(p, t_mid)
+                        if campaign is not None and p in observed
+                        else 0.0
+                    )
+                    for p in path_names
+                }
+                result.health_transitions.extend(
+                    health.update(w * tw, bandwidth, loss=loss)
+                )
             yield Timeout(tw)
 
     start(sim, session(), name="pgos-session")

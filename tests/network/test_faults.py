@@ -1,0 +1,184 @@
+"""Fault windows, overlap semantics, and dynamic campaign schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.emulab import make_figure8_testbed
+from repro.network.faults import (
+    FaultCampaign,
+    MonitorBlackout,
+    PathFault,
+    correlated_outage,
+    flapping_faults,
+    inject_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def realization():
+    return make_figure8_testbed().realize(seed=3, duration=60.0, dt=0.1)
+
+
+class TestWindowRounding:
+    def test_window_covers_exactly_its_intervals(self, realization):
+        # Regression: lo used to floor while hi rounded, so a window
+        # offset by +0.06 s gained an extra leading interval.
+        faulted = inject_faults(
+            realization,
+            [PathFault(path="A", start=10.06, end=12.06)],
+        )
+        bw = faulted.available["A"].available_mbps
+        assert np.all(bw[101:121] == 0.0)
+        assert bw[100] > 0.0  # interval 100 is before the rounded start
+        assert bw[121] > 0.0
+
+    def test_n_dt_window_hits_n_intervals_anywhere(self, realization):
+        dt = realization.dt
+        for offset in (0.0, 0.03, 0.049, 0.051, 0.09):
+            faulted = inject_faults(
+                realization,
+                [PathFault(path="A", start=5.0 + offset, end=7.0 + offset)],
+            )
+            bw = faulted.available["A"].available_mbps
+            assert int((bw == 0.0).sum()) == int(round(2.0 / dt))
+
+
+class TestOverlapSemantics:
+    def test_overlapping_severities_multiply(self, realization):
+        faulted = inject_faults(
+            realization,
+            [
+                PathFault(path="A", start=10.0, end=20.0, severity=0.5),
+                PathFault(path="A", start=15.0, end=25.0, severity=0.5),
+            ],
+        )
+        original = realization.available["A"].available_mbps
+        bw = faulted.available["A"].available_mbps
+        assert np.allclose(bw[100:150], original[100:150] * 0.5)
+        assert np.allclose(bw[150:200], original[150:200] * 0.25)
+        assert np.allclose(bw[200:250], original[200:250] * 0.5)
+
+    def test_overlapping_extra_loss_adds_and_clips(self, realization):
+        faulted = inject_faults(
+            realization,
+            [
+                PathFault(
+                    path="A", start=10.0, end=20.0,
+                    severity=0.1, extra_loss=0.7,
+                ),
+                PathFault(
+                    path="A", start=10.0, end=20.0,
+                    severity=0.1, extra_loss=0.7,
+                ),
+            ],
+        )
+        loss = faulted.qos["A"].loss_rate
+        assert np.all(loss[100:200] <= 1.0)
+        assert np.all(loss[100:200] >= 0.7)
+
+    def test_campaign_multiplier_matches_static_semantics(self):
+        campaign = FaultCampaign(
+            faults=(
+                PathFault(path="A", start=1.0, end=3.0, severity=0.5),
+                PathFault(path="A", start=2.0, end=4.0, severity=0.5),
+            )
+        )
+        assert campaign.availability_multiplier("A", 1.5) == 0.5
+        assert campaign.availability_multiplier("A", 2.5) == 0.25
+        assert campaign.availability_multiplier("A", 3.5) == 0.5
+        assert campaign.availability_multiplier("A", 5.0) == 1.0
+        assert campaign.availability_multiplier("B", 2.5) == 1.0
+
+
+class TestGenerators:
+    def test_flapping_is_seeded_and_bounded(self):
+        rng = np.random.default_rng(11)
+        faults = flapping_faults("A", start=10.0, end=40.0, rng=rng)
+        again = flapping_faults(
+            "A", start=10.0, end=40.0, rng=np.random.default_rng(11)
+        )
+        assert faults == again
+        for f in faults:
+            assert 10.0 <= f.start < f.end <= 40.0
+            assert f.path == "A"
+
+    def test_flapping_episodes_do_not_overlap(self):
+        faults = flapping_faults(
+            "A", start=0.0, end=100.0, rng=np.random.default_rng(5)
+        )
+        for a, b in zip(faults, faults[1:]):
+            assert a.end <= b.start
+
+    def test_correlated_outage_staggers(self):
+        faults = correlated_outage(
+            ["A", "B"], start=10.0, duration=5.0, stagger=0.5
+        )
+        assert faults[0].start == 10.0
+        assert faults[1].start == 10.5
+        assert all(f.end - f.start == 5.0 for f in faults)
+
+    def test_correlated_outage_needs_paths(self):
+        with pytest.raises(ConfigurationError):
+            correlated_outage([], start=0.0, duration=1.0)
+
+
+class TestCampaign:
+    def test_needs_at_least_one_event(self):
+        with pytest.raises(ConfigurationError):
+            FaultCampaign()
+
+    def test_blackout_drops_observations(self):
+        campaign = FaultCampaign(
+            blackouts=(MonitorBlackout(path="A", start=5.0, end=8.0),)
+        )
+        assert campaign.observed("A", 4.9)
+        assert not campaign.observed("A", 5.0)
+        assert not campaign.observed("A", 7.9)
+        assert campaign.observed("A", 8.0)
+        assert campaign.observed("B", 6.0)
+
+    def test_extent_queries(self):
+        campaign = FaultCampaign(
+            faults=(
+                PathFault(path="A", start=3.0, end=6.0),
+                PathFault(path="B", start=4.0, end=9.0),
+            )
+        )
+        assert campaign.first_onset == 3.0
+        assert campaign.last_end == 9.0
+        assert campaign.faulted_paths == frozenset({"A", "B"})
+
+    def test_shifted_moves_everything(self):
+        campaign = FaultCampaign(
+            faults=(PathFault(path="A", start=3.0, end=6.0),),
+            blackouts=(MonitorBlackout(path="B", start=1.0, end=2.0),),
+        )
+        moved = campaign.shifted(10.0)
+        assert moved.faults[0].start == 13.0
+        assert moved.blackouts[0].end == 12.0
+
+    def test_random_campaign_is_deterministic(self):
+        one = FaultCampaign.random(["A", "B"], duration=60.0, seed=42)
+        two = FaultCampaign.random(["A", "B"], duration=60.0, seed=42)
+        other = FaultCampaign.random(["A", "B"], duration=60.0, seed=43)
+        assert one.faults == two.faults
+        assert one.blackouts == two.blackouts
+        assert one.faults != other.faults
+
+    def test_random_campaign_stays_in_window(self):
+        campaign = FaultCampaign.random(["A", "B"], duration=50.0, seed=9)
+        for f in campaign.faults:
+            assert 0.0 <= f.start < f.end <= 50.0 + 50.0 * 0.13
+        for b in campaign.blackouts:
+            assert 0.0 <= b.start < b.end <= 50.0
+
+    def test_as_static_matches_dynamic_multiplier(self, realization):
+        campaign = FaultCampaign(
+            faults=(PathFault(path="A", start=5.0, end=10.0, severity=0.5),)
+        )
+        baked = campaign.as_static(realization, offset=20.0)
+        original = realization.available["A"].available_mbps
+        bw = baked.available["A"].available_mbps
+        assert np.allclose(bw[250:300], original[250:300] * 0.5)
+        assert np.allclose(bw[:250], original[:250])

@@ -1,0 +1,58 @@
+"""Property-based tests: exponential backoff invariants.
+
+The health state machine gates re-admission of a failed path on this
+backoff, so its invariants are load-bearing for fault tolerance: delays
+must never shrink between consecutive failures, never exceed the cap,
+and ``reset()`` must restore the base delay exactly.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.transport.backoff import ExponentialBackoff
+
+params_strategy = st.tuples(
+    st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),  # base
+    st.floats(min_value=1.0, max_value=8.0, allow_nan=False),    # factor
+    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),    # max mult
+)
+
+
+def make_backoff(params) -> ExponentialBackoff:
+    base, factor, max_mult = params
+    return ExponentialBackoff(
+        base_delay=base, factor=factor, max_delay=base * max_mult
+    )
+
+
+class TestBackoffInvariants:
+    @given(params_strategy, st.integers(min_value=1, max_value=60))
+    def test_delays_monotone_non_decreasing(self, params, n):
+        backoff = make_backoff(params)
+        delays = [backoff.next_delay() for _ in range(n)]
+        assert all(a <= b for a, b in zip(delays, delays[1:]))
+
+    @given(params_strategy, st.integers(min_value=1, max_value=60))
+    def test_delays_within_bounds(self, params, n):
+        backoff = make_backoff(params)
+        for _ in range(n):
+            delay = backoff.next_delay()
+            assert backoff.base_delay <= delay <= backoff.max_delay
+
+    @given(params_strategy, st.integers(min_value=0, max_value=60))
+    def test_reset_returns_to_base_delay(self, params, n):
+        backoff = make_backoff(params)
+        for _ in range(n):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.failures == 0
+        assert backoff.next_delay() == backoff.base_delay
+
+    @given(params_strategy, st.integers(min_value=1, max_value=60))
+    def test_first_delay_is_base(self, params, n):
+        backoff = make_backoff(params)
+        assert backoff.next_delay() == backoff.base_delay
+        # ... and the failure count tracks every next_delay() call.
+        for expected in range(1, n + 1):
+            assert backoff.failures == expected
+            backoff.next_delay()

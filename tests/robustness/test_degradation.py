@@ -1,0 +1,115 @@
+"""Graceful-degradation planner: shed elastic first, downgrade, never drop."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import StreamSpec
+from repro.errors import ConfigurationError
+from repro.monitoring.cdf import EmpiricalCDF
+from repro.robustness.degradation import (
+    DegradationLevel,
+    plan_degradation,
+)
+
+
+def cdf(mean, std=2.0, n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    return EmpiricalCDF(np.clip(mean + std * rng.standard_normal(n), 0, None))
+
+
+@pytest.fixture
+def streams():
+    return [
+        StreamSpec(name="g1", required_mbps=10.0, probability=0.95),
+        StreamSpec(name="g2", required_mbps=8.0, probability=0.9),
+        StreamSpec(name="bulk", elastic=True, nominal_mbps=30.0),
+    ]
+
+
+class TestNormal:
+    def test_feasible_and_no_quarantine_serves_everything(self, streams):
+        plan = plan_degradation(streams, {"A": cdf(60.0)}, tw=1.0)
+        assert plan.level is DegradationLevel.NORMAL
+        assert {s.name for s in plan.serve} == {"g1", "g2", "bulk"}
+        assert plan.shed == ()
+        assert not plan.downgraded
+
+    def test_requires_a_usable_path(self, streams):
+        with pytest.raises(ConfigurationError):
+            plan_degradation(streams, {}, tw=1.0)
+
+
+class TestShedElastic:
+    def test_quarantine_sheds_elastic_even_if_feasible(self, streams):
+        plan = plan_degradation(
+            streams, {"A": cdf(60.0)}, tw=1.0, quarantine_active=True
+        )
+        assert plan.level is DegradationLevel.SHED_ELASTIC
+        assert plan.shed == ("bulk",)
+        assert {s.name for s in plan.serve} == {"g1", "g2"}
+        # Guarantees are untouched on this rung.
+        assert not plan.downgraded
+
+    def test_elastic_stream_is_paused_not_dropped(self, streams):
+        plan = plan_degradation(
+            streams, {"A": cdf(60.0)}, tw=1.0, quarantine_active=True
+        )
+        assert plan.spec_for("bulk") is None
+        assert "bulk" in plan.shed
+
+
+class TestDowngrade:
+    def test_infeasible_set_downgrades_before_dropping(self, streams):
+        # 12 Mbps path cannot hold 18 Mbps of guarantees.
+        plan = plan_degradation(
+            streams, {"A": cdf(12.0, std=1.0)}, tw=1.0,
+            quarantine_active=True,
+        )
+        assert plan.level is DegradationLevel.DOWNGRADED
+        # Every guaranteed stream is still served somehow.
+        assert {s.name for s in plan.serve} == {"g1", "g2"}
+        # Only rejected streams are touched — but at least one must be.
+        assert plan.downgraded
+        originals = {s.name: s for s in streams}
+        for name in plan.downgraded:
+            served = plan.spec_for(name)
+            assert served is not None
+            original_p = originals[name].probability
+            assert served.probability is None or (
+                served.probability < original_p
+            )
+
+    def test_downgraded_probabilities_reported(self, streams):
+        plan = plan_degradation(
+            streams, {"A": cdf(12.0, std=1.0)}, tw=1.0,
+            quarantine_active=True,
+        )
+        for name, new_p in plan.downgraded.items():
+            served = plan.spec_for(name)
+            assert served is not None
+            if new_p is None:
+                # Guarantee stripped: stream rides as elastic best-effort.
+                assert served.elastic
+                assert served.probability is None
+            else:
+                assert served.probability == pytest.approx(new_p)
+
+    def test_hopeless_overlay_strips_to_best_effort_but_serves(self, streams):
+        # A nearly-dead path: nothing is admittable at any probability.
+        plan = plan_degradation(
+            streams, {"A": cdf(0.5, std=0.2)}, tw=1.0,
+            quarantine_active=True,
+        )
+        assert plan.level is DegradationLevel.DOWNGRADED
+        # Never drop: both guaranteed streams still appear in the plan.
+        assert {s.name for s in plan.serve} == {"g1", "g2"}
+        for spec in plan.serve:
+            assert spec.probability is None or spec.probability > 0
+
+    def test_notes_trace_every_decision(self, streams):
+        plan = plan_degradation(
+            streams, {"A": cdf(12.0, std=1.0)}, tw=1.0,
+            quarantine_active=True,
+        )
+        assert plan.notes
+        assert any("shed elastic" in n for n in plan.notes)

@@ -1,0 +1,198 @@
+"""Path-health state machine: transitions, hysteresis, backoff gating."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.robustness.health import (
+    HealthThresholds,
+    HealthTracker,
+    PathHealth,
+    PathHealthMachine,
+)
+
+TH = HealthThresholds(
+    degrade_after=2,
+    fail_after=2,
+    recover_after=3,
+    probe_confirm=2,
+    backoff_base=1.0,
+    backoff_max=8.0,
+)
+
+
+def feed(machine, t0, samples, dt=0.1, **kwargs):
+    """Feed a bandwidth sequence; returns (next_t, all transitions)."""
+    transitions = []
+    t = t0
+    for bw in samples:
+        transitions += machine.update(t, bw, **kwargs)
+        t += dt
+    return t, transitions
+
+
+class TestClassification:
+    def test_starts_healthy_with_no_baseline(self):
+        m = PathHealthMachine("A", TH)
+        assert m.state is PathHealth.HEALTHY
+        assert m.baseline_mbps is None
+
+    def test_first_sample_sets_baseline(self):
+        m = PathHealthMachine("A", TH)
+        m.update(0.0, 50.0)
+        assert m.baseline_mbps == pytest.approx(50.0)
+
+    def test_baseline_tracks_good_windows_only(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 10)
+        baseline_before = m.baseline_mbps
+        # A collapse must not drag the baseline down with it.
+        feed(m, 1.0, [0.0] * 4)
+        assert m.baseline_mbps == pytest.approx(baseline_before)
+
+
+class TestLadder:
+    def test_collapse_walks_healthy_to_failed(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [0.0] * 6)
+        states = [t.new for t in transitions]
+        assert states == [
+            PathHealth.DEGRADED,
+            PathHealth.SUSPECT,
+            PathHealth.FAILED,
+        ]
+        assert m.quarantined
+
+    def test_single_bad_window_does_not_transition(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [0.0])
+        assert transitions == []
+        assert m.state is PathHealth.HEALTHY
+
+    def test_flapping_below_hysteresis_never_escalates(self):
+        # One bad window between good ones: degrade_after=2 never fires.
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [0.0, 50.0] * 20)
+        assert transitions == []
+        assert m.state is PathHealth.HEALTHY
+
+    def test_probe_timeout_is_a_fail_signal(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [None] * 6)
+        assert transitions[-1].new is PathHealth.FAILED
+
+    def test_loss_spike_is_a_fail_signal(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [50.0] * 6, loss=0.5)
+        assert transitions[-1].new is PathHealth.FAILED
+
+    def test_ks_shift_degrades_but_does_not_fail(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        _, transitions = feed(m, 0.5, [50.0] * 10, ks_shift=True)
+        assert [t.new for t in transitions] == [PathHealth.DEGRADED]
+        assert m.state is PathHealth.DEGRADED
+
+    def test_degraded_recovers_after_sustained_good(self):
+        m = PathHealthMachine("A", TH)
+        feed(m, 0.0, [50.0] * 5)
+        feed(m, 0.5, [0.0] * 2)  # -> DEGRADED
+        assert m.state is PathHealth.DEGRADED
+        _, transitions = feed(m, 0.7, [50.0] * 3)
+        assert transitions[-1].new is PathHealth.HEALTHY
+
+
+class TestFailedAndRecovery:
+    def fail(self, m, t0=0.0):
+        t, _ = feed(m, t0, [50.0] * 5)
+        t, _ = feed(m, t, [0.0] * 6)
+        assert m.state is PathHealth.FAILED
+        return t
+
+    def test_backoff_gates_probing(self):
+        m = PathHealthMachine("A", TH)
+        t = self.fail(m)
+        # Inside the gate: even perfect bandwidth changes nothing.
+        transitions = m.update(t, 50.0)
+        assert transitions == []
+        assert m.state is PathHealth.FAILED
+
+    def test_probe_confirmed_recovery(self):
+        m = PathHealthMachine("A", TH)
+        t = self.fail(m)
+        t += TH.backoff_base + 0.01
+        _, transitions = feed(m, t, [50.0] * 2)
+        states = [tr.new for tr in transitions]
+        assert states == [PathHealth.RECOVERING, PathHealth.HEALTHY]
+        assert not m.quarantined
+
+    def test_failed_probe_doubles_the_gate(self):
+        m = PathHealthMachine("A", TH)
+        t = self.fail(m)
+        t += TH.backoff_base + 0.01
+        _, transitions = feed(m, t, [0.0])
+        assert [tr.new for tr in transitions] == [
+            PathHealth.RECOVERING,
+            PathHealth.FAILED,
+        ]
+        # Second gate is doubled: base * 2.
+        assert m.blocked_until == pytest.approx(t + 2 * TH.backoff_base)
+
+    def test_recovery_resets_backoff(self):
+        m = PathHealthMachine("A", TH)
+        t = self.fail(m)
+        t += TH.backoff_base + 0.01
+        t, _ = feed(m, t, [50.0] * 2)  # recovered
+        t, _ = feed(m, t, [50.0] * 5)
+        t2 = self.fail(m, t)  # fail again
+        # Gate is back at the base delay, not the doubled one.
+        assert m.blocked_until <= t2 + TH.backoff_base + 1e-9
+
+    def test_ks_shift_during_probation_stalls_but_does_not_refail(self):
+        m = PathHealthMachine("A", TH)
+        t = self.fail(m)
+        t += TH.backoff_base + 0.01
+        m.update(t, 50.0)  # -> RECOVERING
+        transitions = m.update(t + 0.1, 50.0, ks_shift=True)
+        assert transitions == []
+        assert m.state is PathHealth.RECOVERING
+
+
+class TestTracker:
+    def test_needs_at_least_one_path(self):
+        with pytest.raises(ConfigurationError):
+            HealthTracker([])
+
+    def test_quarantine_set_tracks_machines(self):
+        tracker = HealthTracker(["A", "B"], TH)
+        for i in range(5):
+            tracker.update(i * 0.1, {"A": 50.0, "B": 30.0})
+        for i in range(5, 11):
+            tracker.update(i * 0.1, {"A": 0.0, "B": 30.0})
+        assert tracker.quarantined() == frozenset({"A"})
+        assert tracker.usable() == ["B"]
+        assert not tracker.all_healthy()
+
+    def test_transition_log_is_time_ordered(self):
+        tracker = HealthTracker(["A", "B"], TH)
+        for i in range(5):
+            tracker.update(i * 0.1, {"A": 50.0, "B": 30.0})
+        for i in range(5, 12):
+            tracker.update(i * 0.1, {"A": 0.0, "B": 0.0})
+        times = [tr.time for tr in tracker.transitions]
+        assert times == sorted(times)
+        assert len(tracker.transitions_for({"A"})) > 0
+
+
+class TestThresholdValidation:
+    def test_rejects_bad_ratios(self):
+        with pytest.raises(ConfigurationError):
+            HealthThresholds(degraded_ratio=0.2, failed_ratio=0.5)
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ConfigurationError):
+            HealthThresholds(degrade_after=0)
