@@ -22,9 +22,11 @@ checks the two agree to within a packet quantum.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Mapping, Optional, Sequence
+from typing import Callable, Deque, Mapping, Optional, Sequence
 
 from repro.errors import AdmissionError, ConfigurationError
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 from repro.core.mapping import (
     PathQoSEstimate,
     ResourceMapping,
@@ -88,6 +90,8 @@ class PGOSScheduler(SchedulerBase):
         self.ks_threshold = ks_threshold
         self.min_history = min_history
         self.split_strategy = split_strategy
+        self._obs = NULL_OBS
+        self._clock: Callable[[], float] = lambda: 0.0
         self.monitors: dict[str, PathMonitor] = {}
         self.mapping: Optional[ResourceMapping] = None
         self.schedule: Optional[Schedule] = None
@@ -112,7 +116,11 @@ class PGOSScheduler(SchedulerBase):
         super().setup(streams, path_names, dt, tw)
         self.monitors = {
             p: PathMonitor(
-                p, window=self.history_window, ks_threshold=self.ks_threshold
+                p,
+                window=self.history_window,
+                ks_threshold=self.ks_threshold,
+                obs=self._obs,
+                clock=self._clock,
             )
             for p in self.path_names
         }
@@ -120,6 +128,24 @@ class PGOSScheduler(SchedulerBase):
         self.schedule = None
         self.remap_count = 0
         self.quarantined = frozenset()
+
+    def bind_observability(
+        self,
+        obs: Observability,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Attach a per-run observability context (and virtual clock).
+
+        Safe to call before or after :meth:`setup`; existing monitors are
+        re-bound so every layer shares one trace.  The ``clock`` callable
+        supplies the ``sim_time`` stamped on events the scheduler emits
+        outside an ``observe``/``allocate`` call (remaps, quarantines).
+        """
+        self._obs = obs
+        if clock is not None:
+            self._clock = clock
+        for monitor in self.monitors.values():
+            monitor.bind_observability(self._obs, self._clock)
 
     def observe(
         self,
@@ -184,6 +210,18 @@ class PGOSScheduler(SchedulerBase):
         if q != self.quarantined:
             self.quarantined = q
             self.mapping = None  # "previous scheduling vectors" are void
+            if self._obs.enabled:
+                self._obs.metrics.counter("scheduler.quarantine_changes").inc()
+                self._obs.metrics.gauge("scheduler.quarantined_paths").set(
+                    len(q)
+                )
+                self._obs.trace.emit(
+                    self._clock(),
+                    Category.SCHEDULER,
+                    "quarantine",
+                    paths=sorted(q),
+                    usable=self.usable_paths,
+                )
 
     @property
     def usable_paths(self) -> list[str]:
@@ -265,6 +303,30 @@ class PGOSScheduler(SchedulerBase):
         for monitor in self.monitors.values():
             monitor.mark_remapped()
         self.remap_count += 1
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("scheduler.remaps").inc()
+            metrics.gauge("scheduler.degraded").set(1.0 if self.degraded else 0.0)
+            obs = self._obs
+            self._obs.trace.emit(
+                self._clock(),
+                Category.SCHEDULER,
+                "remap",
+                # remap_count is monotone per scheduler: the stable ID
+                # other layers join remap-scoped events on.
+                remap_id=self.remap_count,
+                degraded=self.degraded,
+                strategy=self.split_strategy,
+                paths=list(usable),
+                quarantined=sorted(self.quarantined),
+                rates_mbps={
+                    s: dict(rates)
+                    for s, rates in mapping.rates_mbps.items()
+                },
+                stream_ids={
+                    s: obs.stream_id(s) for s in mapping.rates_mbps
+                },
+            )
         return mapping
 
     def stream_precedence(self) -> list[str]:
@@ -395,6 +457,11 @@ class DispatchResult:
         self.sent: dict[str, dict[str, int]] = {}
         self.blocked_events = 0
         self.unsent = 0
+        #: Packets sent through Table 1 rule 2 (scheduled on another path
+        #: but carried here as overflow).
+        self.rule2_sent = 0
+        #: Best-effort packets sent through rule 3.
+        self.unscheduled_sent = 0
 
     def record(self, stream: str, path: str) -> None:
         per_path = self.sent.setdefault(stream, {})
@@ -533,6 +600,10 @@ def dispatch_window(
             return False
         if service.offer(packet):
             result.record(packet.stream, path)
+            if from_unscheduled:
+                result.unscheduled_sent += 1
+            elif quota_path is not None and quota_path != path:
+                result.rule2_sent += 1
             return True
         # Blocked path: requeue at the head and switch immediately
         # (Figure 7's GetNextFreePath; backoff lives in the service).

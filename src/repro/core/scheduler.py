@@ -20,10 +20,11 @@ guaranteed and the elastic portions of the schedule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.core.spec import StreamSpec
+from repro.obs.context import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,25 @@ class SchedulerBase:
 
     #: Display name used in figures/reports.
     name: str = "scheduler"
+
+    #: Per-run observability context; the disabled default costs one
+    #: attribute lookup at each instrumentation site.
+    _obs: Observability = NULL_OBS
+    _clock: Callable[[], float] = staticmethod(lambda: 0.0)
+
+    def bind_observability(
+        self,
+        obs: Observability,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Attach a per-run observability context and virtual clock.
+
+        The base implementation just stores them; schedulers with
+        internal state (PGOS's per-path monitors) override to propagate.
+        """
+        self._obs = obs
+        if clock is not None:
+            self._clock = clock
 
     def setup(
         self,

@@ -19,6 +19,14 @@ metrics the throughput figures cannot show:
 Campaigns are seeded and the whole pipeline is deterministic: the same
 seed reproduces the same report, which is what makes the chaos suite a
 regression test rather than a dice roll.
+
+The harness runs with observability on by default: the report's
+time-to-detect/recover figures are computed *from the trace* (the
+``health.transition`` events every run emits), not from private
+bookkeeping, so ``tools/trace_report.py`` can reconstruct exactly the
+numbers the report prints.  The legacy transition-log computation is
+kept (``_detection_latency`` / ``_recovery_latency``) as the
+cross-check the test suite holds the trace against.
 """
 
 from __future__ import annotations
@@ -33,6 +41,12 @@ from repro.core.pgos import PGOSScheduler
 from repro.core.spec import StreamSpec
 from repro.network.emulab import TestbedRealization
 from repro.network.faults import FaultCampaign
+from repro.obs.context import Observability
+from repro.obs.events import Category
+from repro.obs.introspect import (
+    detection_latency_from_trace,
+    recovery_latency_from_trace,
+)
 from repro.robustness.health import (
     HealthThresholds,
     HealthTracker,
@@ -67,6 +81,9 @@ class ChaosReport:
     remap_count: int
     transitions: tuple[HealthTransition, ...] = ()
     events: tuple[str, ...] = ()
+    #: The run's observability context (trace + metrics); ``None`` only
+    #: when the caller explicitly disabled it.
+    obs: Optional[Observability] = None
 
     @property
     def detected(self) -> bool:
@@ -145,6 +162,7 @@ def run_chaos_campaign(
     thresholds: Optional[HealthThresholds] = None,
     scheduler: Optional[PGOSScheduler] = None,
     duration: Optional[float] = None,
+    obs: Optional[Observability] = None,
 ) -> ChaosReport:
     """Run ``streams`` through ``campaign`` and score the fault handling.
 
@@ -153,6 +171,9 @@ def run_chaos_campaign(
     that is exactly the condition under test) and an auto-settled
     duration: long enough to cover the campaign plus a recovery tail,
     bounded by the realization.
+
+    A fresh enabled :class:`Observability` context is created unless one
+    is passed; the report's detect/recover figures come from its trace.
     """
     known = set(realization.path_names())
     ghost = (
@@ -179,6 +200,8 @@ def run_chaos_campaign(
     # repro.harness.metrics, whose package __init__ imports this module.
     from repro.middleware.service import IQPathsService
 
+    if obs is None:
+        obs = Observability()
     tracker = HealthTracker(realization.path_names(), thresholds)
     service = IQPathsService(
         realization,
@@ -188,6 +211,18 @@ def run_chaos_campaign(
         scheduler=scheduler,
         campaign=campaign,
         health=tracker,
+        obs=obs,
+    )
+    obs.trace.emit(
+        0.0,
+        Category.HARNESS,
+        "campaign_start",
+        campaign=campaign.name,
+        faults=len(campaign.faults),
+        blackouts=len(campaign.blackouts),
+        first_onset=campaign.first_onset,
+        last_end=campaign.last_end,
+        duration=duration,
     )
     for spec in streams:
         service.open_stream(spec)
@@ -199,8 +234,19 @@ def run_chaos_campaign(
     reports: dict[str, StreamReport] = service.reports()
     violation_seconds: dict[str, float] = {}
     packets_lost: dict[str, int] = {}
-    detect = _detection_latency(tracker.transitions, campaign)
-    recover = _recovery_latency(tracker, campaign)
+    # The trace is the source of truth; the transition-log computation
+    # below is the legacy bookkeeping the tests cross-check against.
+    trace_events = obs.trace.events(category=Category.HEALTH)
+    if obs.enabled:
+        detect = detection_latency_from_trace(
+            trace_events, campaign.faulted_paths, campaign.first_onset
+        )
+        recover = recovery_latency_from_trace(
+            trace_events, realization.path_names(), campaign.last_end
+        )
+    else:
+        detect = _detection_latency(tracker.transitions, campaign)
+        recover = _recovery_latency(tracker, campaign)
     onset = campaign.first_onset
     recovery_t = (
         campaign.last_end + recover if recover is not None else duration
@@ -215,6 +261,16 @@ def run_chaos_campaign(
         shortfall_mbps = np.clip(target - series[lo:hi], 0.0, None)
         lost_bytes = float(shortfall_mbps.sum()) * dt * 1e6 / 8.0
         packets_lost[spec.name] = int(round(lost_bytes / spec.packet_size))
+    obs.trace.emit(
+        duration,
+        Category.HARNESS,
+        "campaign_end",
+        campaign=campaign.name,
+        time_to_detect=detect,
+        time_to_recover=recover,
+        remap_count=service.scheduler.remap_count,
+    )
+    obs.metrics.snapshot(duration)
     return ChaosReport(
         campaign=campaign.name,
         dt=dt,
@@ -229,6 +285,7 @@ def run_chaos_campaign(
         remap_count=service.scheduler.remap_count,
         transitions=tuple(tracker.transitions),
         events=tuple(service.events),
+        obs=obs,
     )
 
 

@@ -35,6 +35,8 @@ from repro.core.spec import StreamSpec
 from repro.harness.metrics import fraction_of_time_at_least
 from repro.network.emulab import TestbedRealization
 from repro.network.faults import FaultCampaign
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 from repro.robustness.degradation import (
     DegradationLevel,
     DegradationPlan,
@@ -46,10 +48,16 @@ from repro.units import bytes_in_interval, mbps_from_bytes
 
 @dataclass
 class StreamHandle:
-    """An application's handle on one open stream."""
+    """An application's handle on one open stream.
+
+    ``stream_id`` is a service-assigned, monotonically increasing
+    integer — the stable join key carried by trace events from every
+    layer, so a stream renamed or reopened never aliases an old one.
+    """
 
     spec: StreamSpec
     opened_at: float
+    stream_id: int = 0
     closed_at: Optional[float] = None
     achieved_probability: Optional[float] = None
 
@@ -123,10 +131,17 @@ class IQPathsService:
         scheduler: Optional[PGOSScheduler] = None,
         campaign: Optional[FaultCampaign] = None,
         health: Optional[HealthTracker] = None,
+        obs: Optional[Observability] = None,
+        metrics_snapshot_seconds: float = 5.0,
     ):
         if warmup_intervals < 1 or warmup_intervals >= realization.n_intervals:
             raise ConfigurationError(
                 f"warmup_intervals {warmup_intervals} out of range"
+            )
+        if metrics_snapshot_seconds <= 0:
+            raise ConfigurationError(
+                f"metrics_snapshot_seconds must be > 0, got "
+                f"{metrics_snapshot_seconds}"
             )
         self.realization = realization
         self.dt = realization.dt
@@ -145,6 +160,15 @@ class IQPathsService:
         if health is None and campaign is not None:
             health = HealthTracker(self.path_names)
         self.health = health
+        self.obs = obs if obs is not None else NULL_OBS
+        self.scheduler.bind_observability(self.obs, clock=lambda: self.now)
+        if self.health is not None:
+            self.health.bind_observability(self.obs)
+        #: Monotone stream-ID allocator (stable join key for traces).
+        self._next_stream_id = 0
+        self._snapshot_every = max(
+            1, int(round(metrics_snapshot_seconds / self.dt))
+        )
         self.handles: dict[str, StreamHandle] = {}
         self._delivered: dict[str, list[float]] = {}
         self._opened_interval: dict[str, int] = {}
@@ -259,6 +283,9 @@ class IQPathsService:
             p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
         }
         decision = self._admission.try_admit(open_specs, cdfs)
+        self._next_stream_id += 1
+        stream_id = self._next_stream_id
+        self.obs.bind_stream(spec.name, stream_id)
         achieved = None
         if not decision.admitted:
             hint = decision.suggested_probability
@@ -267,6 +294,17 @@ class IQPathsService:
                 + (f"; overlay can offer P~={hint:.3f}" if hint else "")
             )
             self.upcalls.append(message)
+            if self.obs.enabled:
+                self.obs.metrics.counter("service.admission_rejections").inc()
+                self.obs.trace.emit(
+                    self.now,
+                    Category.SERVICE,
+                    "admission_upcall",
+                    stream_id=stream_id,
+                    stream=spec.name,
+                    message=message,
+                    suggested_probability=hint,
+                )
             if self.strict_admission:
                 raise AdmissionError(spec.name, message)
         elif decision.mapping is not None:
@@ -275,9 +313,25 @@ class IQPathsService:
         self._serving[spec.name] = spec
         self._original[spec.name] = spec
         handle = StreamHandle(
-            spec=spec, opened_at=self.now, achieved_probability=achieved
+            spec=spec,
+            opened_at=self.now,
+            stream_id=stream_id,
+            achieved_probability=achieved,
         )
         self.handles[spec.name] = handle
+        if self.obs.enabled:
+            self.obs.metrics.counter("service.streams_opened").inc()
+            self.obs.trace.emit(
+                self.now,
+                Category.SERVICE,
+                "stream_open",
+                stream_id=stream_id,
+                stream=spec.name,
+                admitted=decision.admitted,
+                required_mbps=spec.required_mbps,
+                probability=spec.probability,
+                achieved_probability=achieved,
+            )
         self._delivered[spec.name] = []
         self._opened_interval[spec.name] = self._k
         self._backlog_bytes[spec.name] = 0.0
@@ -299,6 +353,15 @@ class IQPathsService:
         handle.closed_at = self.now
         self._original.pop(name, None)
         self._backlog_bytes.pop(name, None)
+        if self.obs.enabled:
+            self.obs.metrics.counter("service.streams_closed").inc()
+            self.obs.trace.emit(
+                self.now,
+                Category.SERVICE,
+                "stream_close",
+                stream_id=handle.stream_id,
+                stream=name,
+            )
         return handle
 
     def at(self, time: float, action: Callable[[], None]) -> None:
@@ -342,6 +405,19 @@ class IQPathsService:
                 f"t={self.now:.1f}s degradation "
                 f"{self.degradation_level.name} -> {plan.level.name}"
             )
+            if self.obs.enabled:
+                self.obs.metrics.counter("service.degradation_changes").inc()
+                self.obs.metrics.gauge("service.degradation_level").set(
+                    int(plan.level)
+                )
+                self.obs.trace.emit(
+                    self.now,
+                    Category.SERVICE,
+                    "degradation",
+                    old_level=self.degradation_level.name,
+                    new_level=plan.level.name,
+                    notes=list(plan.notes),
+                )
         self.degradation_level = plan.level
         for note in plan.notes:
             self.events.append(f"t={self.now:.1f}s {note}")
@@ -360,14 +436,37 @@ class IQPathsService:
             if target is None:
                 self.scheduler.remove_stream(name)
                 del self._serving[name]
+                self._emit_plan_event("stream_shed", name)
             elif target != self._serving[name]:
                 self.scheduler.remove_stream(name)
                 self.scheduler.add_stream(target)
                 self._serving[name] = target
+                self._emit_plan_event(
+                    "stream_downgraded",
+                    name,
+                    required_mbps=target.required_mbps,
+                    probability=target.probability,
+                )
         for name, spec in desired.items():
             if name not in self._serving:
                 self.scheduler.add_stream(spec)
                 self._serving[name] = spec
+                self._emit_plan_event("stream_restored", name)
+
+    def _emit_plan_event(self, name: str, stream: str, **fields) -> None:
+        """One degradation-plan action (shed/downgrade/restore) as trace."""
+        if not self.obs.enabled:
+            return
+        handle = self.handles.get(stream)
+        self.obs.metrics.counter(f"service.{name}").inc()
+        self.obs.trace.emit(
+            self.now,
+            Category.SERVICE,
+            name,
+            stream_id=handle.stream_id if handle is not None else None,
+            stream=stream,
+            **fields,
+        )
 
     @property
     def shed_streams(self) -> frozenset[str]:
@@ -433,12 +532,40 @@ class IQPathsService:
                     delivered[name] += mbps_from_bytes(nbytes, self.dt)
             for name, mbps in delivered.items():
                 self._delivered[name].append(mbps)
+            if self.obs.enabled:
+                self._emit_shortfalls(k, delivered)
         else:
             for h in open_handles:
                 self._delivered[h.name].append(0.0)
         self._observe(k)
         self._update_health(k)
         self._k += 1
+        if self.obs.enabled and (self._k - self._start_k) % (
+            self._snapshot_every
+        ) == 0:
+            self.obs.metrics.snapshot(self.now)
+
+    def _emit_shortfalls(self, k: int, delivered: dict[str, float]) -> None:
+        """Per-window guarantee shortfall events (the trace's ground truth
+        for "stream X missed its guarantee in window k")."""
+        window = k - self._start_k
+        for name, mbps in delivered.items():
+            handle = self.handles[name]
+            target = handle.spec.required_mbps
+            if target is None or mbps >= target * 0.999:
+                continue
+            self.obs.metrics.counter("service.shortfall_intervals").inc()
+            self.obs.trace.emit(
+                self.now,
+                Category.SERVICE,
+                "window_shortfall",
+                stream_id=handle.stream_id,
+                stream=name,
+                window=window,
+                delivered_mbps=mbps,
+                required_mbps=target,
+                shed=name not in self._serving,
+            )
 
     def _update_health(self, k: int) -> None:
         if self.health is None:

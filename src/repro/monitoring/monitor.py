@@ -10,11 +10,16 @@ snapshot taken at the last remap.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import ConfigurationError
 from repro.monitoring.cdf import EmpiricalCDF, SlidingWindowCDF, ks_distance
 from repro.monitoring.predictors import EWMAPredictor
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
+
+#: Relative-error buckets of the bandwidth-prediction histogram.
+_PREDICTION_ERROR_BOUNDS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
 
 
 class PathMonitor:
@@ -32,7 +37,12 @@ class PathMonitor:
     """
 
     def __init__(
-        self, name: str, window: int = 500, ks_threshold: float = 0.2
+        self,
+        name: str,
+        window: int = 500,
+        ks_threshold: float = 0.2,
+        obs: Optional[Observability] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if not 0.0 < ks_threshold <= 1.0:
             raise ConfigurationError(
@@ -44,12 +54,42 @@ class PathMonitor:
         self.rtt_ms = EWMAPredictor(alpha=0.2)
         self.loss_rate = EWMAPredictor(alpha=0.2)
         self._reference_cdf: Optional[EmpiricalCDF] = None
+        self._obs = obs if obs is not None else NULL_OBS
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        # One-step-ahead bandwidth forecast, kept only for the
+        # prediction-error metric (EWMA, same alpha as rtt/loss).
+        self._bw_forecast: Optional[float] = None
+
+    def bind_observability(
+        self,
+        obs: Observability,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Attach (or replace) this monitor's observability context."""
+        self._obs = obs
+        if clock is not None:
+            self._clock = clock
 
     # ------------------------------------------------------------------
     # measurements
     # ------------------------------------------------------------------
     def observe_bandwidth(self, mbps: float) -> None:
         """Record one available-bandwidth sample."""
+        if self._obs.enabled:
+            if self._bw_forecast is not None:
+                # Relative error with a 1 Mbps floor so a path collapsing
+                # to ~0 does not register unbounded ratios.
+                error = abs(mbps - self._bw_forecast) / max(
+                    self._bw_forecast, 1.0
+                )
+                self._obs.metrics.histogram(
+                    "monitor.prediction_error", _PREDICTION_ERROR_BOUNDS
+                ).observe(error)
+            self._bw_forecast = (
+                mbps
+                if self._bw_forecast is None
+                else self._bw_forecast + 0.2 * (mbps - self._bw_forecast)
+            )
         self.bandwidth.update(mbps)
 
     def observe_bandwidth_many(self, samples: Iterable[float]) -> None:
@@ -99,10 +139,37 @@ class PathMonitor:
     # ------------------------------------------------------------------
     def mark_remapped(self) -> None:
         """Snapshot the current CDF as the reference for change detection."""
+        old = self._reference_cdf
         self._reference_cdf = self.cdf()
+        if self._obs.enabled:
+            self._obs.metrics.counter("monitor.cdf_refreshes").inc()
+            self._obs.trace.emit(
+                self._clock(),
+                Category.MONITOR,
+                "cdf_refresh",
+                path=self.name,
+                samples=len(self.bandwidth),
+                ks_from_previous=(
+                    ks_distance(self._reference_cdf, old)
+                    if old is not None
+                    else None
+                ),
+            )
 
     def cdf_changed_significantly(self) -> bool:
         """Whether the distribution drifted beyond ``ks_threshold``."""
         if self._reference_cdf is None:
             return True  # never mapped against this path yet
-        return ks_distance(self.cdf(), self._reference_cdf) > self.ks_threshold
+        ks = ks_distance(self.cdf(), self._reference_cdf)
+        shifted = ks > self.ks_threshold
+        if shifted and self._obs.enabled:
+            self._obs.metrics.counter("monitor.cdf_shifts").inc()
+            self._obs.trace.emit(
+                self._clock(),
+                Category.MONITOR,
+                "cdf_shift",
+                path=self.name,
+                ks_distance=ks,
+                threshold=self.ks_threshold,
+            )
+        return shifted

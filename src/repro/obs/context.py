@@ -1,0 +1,75 @@
+"""The per-run observability context handed down through the layers.
+
+One :class:`Observability` object travels from the entry point (packet
+session, middleware service, chaos harness) into every instrumented
+layer.  It bundles the trace bus, the metrics registry, and a stream-ID
+join table: the middleware assigns each stream a monotone integer ID at
+open time and binds it here, so events emitted by *any* layer can be
+tagged with (and joined on) ``stream_id`` instead of string-matching
+stream names.
+
+``NULL_OBS`` is the module-wide disabled context and the default
+everywhere; its ``enabled`` attribute is the one-lookup hot-path guard::
+
+    if self._obs.enabled:
+        self._obs.trace.emit(...)
+
+``NULL_OBS`` is shared across the process, so binding IDs into it is a
+silent no-op — a disabled run keeps no observability state at all.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.trace import NullTraceBus, TraceBus
+
+
+class Observability:
+    """Trace bus + metrics registry + stream-ID join table for one run."""
+
+    __slots__ = ("enabled", "trace", "metrics", "_stream_ids")
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 65536):
+        self.enabled = enabled
+        if enabled:
+            self.trace = TraceBus(capacity=trace_capacity)
+            self.metrics = MetricsRegistry()
+        else:
+            self.trace = NullTraceBus()
+            self.metrics = NullMetricsRegistry()
+        self._stream_ids: dict[str, int] = {}
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared inert context (same object as :data:`NULL_OBS`)."""
+        return NULL_OBS
+
+    # ------------------------------------------------------------------
+    # stream-ID join table
+    # ------------------------------------------------------------------
+    def bind_stream(self, name: str, stream_id: int) -> None:
+        """Record the stable ID the middleware assigned to ``name``.
+
+        No-op when disabled, so the shared ``NULL_OBS`` stays stateless.
+        """
+        if self.enabled:
+            self._stream_ids[name] = stream_id
+
+    def bind_streams(self, ids: Mapping[str, int]) -> None:
+        """Bind a whole name -> ID table at once."""
+        if self.enabled:
+            self._stream_ids.update(ids)
+
+    def stream_id(self, name: str) -> Optional[int]:
+        """The bound ID of ``name`` (``None`` if never bound)."""
+        return self._stream_ids.get(name)
+
+    def stream_ids(self) -> dict[str, int]:
+        """A copy of the full name -> ID table."""
+        return dict(self._stream_ids)
+
+
+#: The shared disabled context; default for every instrumented layer.
+NULL_OBS = Observability(enabled=False)

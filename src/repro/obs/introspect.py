@@ -1,0 +1,211 @@
+"""Run introspection: turn a trace back into explanations.
+
+This is the analysis half of the observability layer, shared by
+``tools/trace_report.py`` and the chaos harness.  It answers two kinds
+of question from a trace alone:
+
+* **robustness figures** — time-to-detect and time-to-recover computed
+  by replaying the ``health.transition`` events (the chaos harness now
+  reports these trace-derived numbers rather than keeping bespoke
+  bookkeeping);
+* **causal chains** — for a ``service.window_shortfall`` event ("stream
+  X missed its guarantee in window k"), the ordered sequence of
+  preceding decisions that produced it: the health transition that
+  quarantined a path, the quarantine application, the remap that
+  re-routed the mapping, then the shortfall itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.events import Category, TraceEvent
+
+#: Health states that quarantine a path (mirrors PathHealth semantics
+#: without importing the robustness layer into the analysis path).
+_QUARANTINED_STATES = ("failed", "recovering")
+_HEALTHY = "healthy"
+
+
+def _ordered(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    return sorted(events, key=lambda e: (e.sim_time, e.seq))
+
+
+def health_transitions(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    """All ``health.transition`` events, in time order."""
+    return _ordered(
+        e
+        for e in events
+        if e.category == Category.HEALTH and e.name == "transition"
+    )
+
+
+def detection_latency_from_trace(
+    events: Iterable[TraceEvent],
+    faulted_paths: Iterable[str],
+    first_onset: float,
+) -> Optional[float]:
+    """Seconds from first fault onset to first off-HEALTHY transition.
+
+    Mirrors the chaos harness's definition: the first health transition
+    on a faulted path at/after the onset, whatever its target state.
+    """
+    faulted = set(faulted_paths)
+    for e in health_transitions(events):
+        if e.path in faulted and e.sim_time >= first_onset:
+            return e.sim_time - first_onset
+    return None
+
+
+def recovery_latency_from_trace(
+    events: Iterable[TraceEvent],
+    paths: Iterable[str],
+    last_end: float,
+) -> Optional[float]:
+    """Seconds from last fault end until every path is HEALTHY again.
+
+    Replays the per-path states over the transition events and finds the
+    first instant at/after ``last_end`` where all paths are healthy;
+    ``0.0`` when they already were, ``None`` when some path never heals.
+    """
+    states = {p: _HEALTHY for p in paths}
+    for e in health_transitions(events):
+        if e.path in states:
+            states[e.path] = e.fields.get("new", _HEALTHY)
+        if e.sim_time >= last_end and all(
+            s == _HEALTHY for s in states.values()
+        ):
+            return e.sim_time - last_end
+    if all(s == _HEALTHY for s in states.values()):
+        return 0.0
+    return None
+
+
+def guarantee_violations(
+    events: Iterable[TraceEvent],
+    stream: Optional[str] = None,
+    stream_id: Optional[int] = None,
+) -> list[TraceEvent]:
+    """All per-window guarantee shortfall events, optionally filtered."""
+    out = []
+    for e in events:
+        if e.category != Category.SERVICE or e.name != "window_shortfall":
+            continue
+        if stream is not None and e.fields.get("stream") != stream:
+            continue
+        if stream_id is not None and e.stream_id != stream_id:
+            continue
+        out.append(e)
+    return _ordered(out)
+
+
+def explain_shortfall(
+    events: Sequence[TraceEvent],
+    shortfall: TraceEvent,
+    lookback: Optional[float] = None,
+) -> list[TraceEvent]:
+    """The ordered causal chain behind one shortfall event.
+
+    Selects, among events at/before the shortfall (and within
+    ``lookback`` seconds when given):
+
+    1. the most recent health transition *into* a quarantined state per
+       path (the detection),
+    2. the most recent scheduler quarantine application,
+    3. the most recent remap,
+
+    and returns them time-ordered with the shortfall last.  Links that
+    never happened (e.g. no remap fired yet) are simply absent, so the
+    chain degrades gracefully on partial traces.
+    """
+    t = shortfall.sim_time
+    horizon = t - lookback if lookback is not None else None
+
+    def in_window(e: TraceEvent) -> bool:
+        if (e.sim_time, e.seq) > (t, shortfall.seq):
+            return False
+        return horizon is None or e.sim_time >= horizon
+
+    last_transition: dict[str, TraceEvent] = {}
+    last_detect: dict[str, TraceEvent] = {}
+    last_quarantine: Optional[TraceEvent] = None
+    last_remap: Optional[TraceEvent] = None
+    for e in _ordered(events):
+        if not in_window(e):
+            continue
+        if e.category == Category.HEALTH and e.name == "transition":
+            if e.path:
+                last_transition[e.path] = e
+                if e.fields.get("new") in _QUARANTINED_STATES:
+                    last_detect[e.path] = e
+        elif e.category == Category.SCHEDULER and e.name == "quarantine":
+            last_quarantine = e
+        elif e.category == Category.SCHEDULER and e.name == "remap":
+            last_remap = e
+    # A path whose *latest* transition left quarantine has healed; its
+    # old detection is no longer part of this shortfall's cause.
+    chain = [
+        e
+        for path, e in last_detect.items()
+        if last_transition[path] is e
+    ]
+    if last_quarantine is not None:
+        chain.append(last_quarantine)
+    if last_remap is not None:
+        chain.append(last_remap)
+    chain = _ordered(chain)
+    chain.append(shortfall)
+    return chain
+
+
+def render_chain(chain: Sequence[TraceEvent]) -> str:
+    """Human-readable rendering of a causal chain."""
+    lines = []
+    for e in chain:
+        extra = ""
+        if e.category == Category.HEALTH and e.name == "transition":
+            extra = (
+                f"{e.path}: {e.fields.get('old')} -> {e.fields.get('new')}"
+                f" ({e.fields.get('reason')})"
+            )
+        elif e.name == "quarantine":
+            extra = f"quarantined={e.fields.get('paths')}"
+        elif e.name == "remap":
+            extra = (
+                f"remap #{e.fields.get('remap_id')} over "
+                f"{e.fields.get('paths')}"
+                + (" [degraded]" if e.fields.get("degraded") else "")
+            )
+        elif e.name == "window_shortfall":
+            extra = (
+                f"stream {e.fields.get('stream')!r} window "
+                f"{e.fields.get('window')}: delivered "
+                f"{e.fields.get('delivered_mbps'):.2f} of "
+                f"{e.fields.get('required_mbps'):.2f} Mbps"
+            )
+        lines.append(
+            f"  t={e.sim_time:9.2f}s  {e.category}.{e.name:<18s} {extra}"
+        )
+    return "\n".join(lines)
+
+
+def summarize(events: Sequence[TraceEvent]) -> str:
+    """A compact overview of one trace: counts per category and name."""
+    counts: dict[str, int] = {}
+    t_min = t_max = None
+    for e in events:
+        key = f"{e.category}.{e.name}"
+        counts[key] = counts.get(key, 0) + 1
+        t_min = e.sim_time if t_min is None else min(t_min, e.sim_time)
+        t_max = e.sim_time if t_max is None else max(t_max, e.sim_time)
+    lines = [
+        f"{len(events)} events"
+        + (
+            f" spanning t=[{t_min:.2f}, {t_max:.2f}]s"
+            if t_min is not None
+            else ""
+        )
+    ]
+    for key in sorted(counts):
+        lines.append(f"  {key:<28s} {counts[key]}")
+    return "\n".join(lines)

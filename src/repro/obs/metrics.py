@@ -1,0 +1,261 @@
+"""Self-metrics: counters, gauges, and fixed-bucket histograms.
+
+Instruments are created once (:meth:`MetricsRegistry.counter` and
+friends are create-or-get) and updated from hot paths; the registry
+snapshots every instrument against *simulation* time, so a run's metric
+trajectory lines up with its trace.  Bucket semantics follow the
+cumulative-le convention: a histogram with bounds ``[1, 5]`` files a
+value of exactly ``1`` under the ``<= 1`` bucket, values above the last
+bound under overflow.
+
+The ``Null*`` twins make a disabled registry free: shared inert
+instrument singletons, no allocation, no arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (heap depth, degradation flag, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-``<=`` bucket semantics.
+
+    ``bounds`` are the finite upper bucket edges, strictly increasing; an
+    implicit overflow bucket catches everything beyond the last bound.  A
+    value landing exactly on an edge belongs to that edge's bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        bounds = [float(b) for b in bounds]
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullInstrument:
+    """Inert counter/gauge/histogram; one shared instance serves all."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-or-get instrument store with sim-time snapshotting."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        #: ``(sim_time, {name: instrument snapshot})`` pairs, in order.
+        self.snapshots: list[tuple[float, dict[str, dict[str, Any]]]] = []
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        histogram = self._get(name, Histogram, bounds)
+        if list(histogram.bounds) != [float(b) for b in bounds]:
+            raise ConfigurationError(
+                f"histogram {name!r} re-registered with different bounds"
+            )
+        return histogram
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (or ``None``)."""
+        return self._instruments.get(name)
+
+    # ------------------------------------------------------------------
+    # snapshotting
+    # ------------------------------------------------------------------
+    def snapshot(self, sim_time: float) -> dict[str, dict[str, Any]]:
+        """Record (and return) every instrument's state at ``sim_time``."""
+        state = {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+        self.snapshots.append((sim_time, state))
+        return state
+
+    def to_dict(self) -> dict[str, Any]:
+        """Current values plus the snapshot trajectory, JSON-ready."""
+        return {
+            "current": {
+                name: instrument.snapshot()
+                for name, instrument in sorted(self._instruments.items())
+            },
+            "snapshots": [
+                {"sim_time": t, "metrics": state}
+                for t, state in self.snapshots
+            ],
+        }
+
+    def export_json(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load_json(path: str | Path) -> dict[str, Any]:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is the shared inert one."""
+
+    enabled = False
+    snapshots: list = []
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> list[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def snapshot(self, sim_time: float) -> dict[str, Any]:
+        return {}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"current": {}, "snapshots": []}
+
+    def export_json(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict()) + "\n", encoding="utf-8"
+        )
+
+    load_json = staticmethod(MetricsRegistry.load_json)

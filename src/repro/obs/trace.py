@@ -1,0 +1,149 @@
+"""The trace bus: a ring buffer of typed events with JSONL export.
+
+The bus is bounded (``capacity`` events); when full, the oldest events
+are dropped and counted, so a long chaos run keeps its recent history
+instead of exhausting memory.  :class:`NullTraceBus` is the disabled
+twin: same surface, every method inert, ``enabled`` False — hot paths
+test that one attribute and skip the call entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEvent
+
+
+class TraceBus:
+    """Ring-buffered, append-only event log ordered by emission."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"trace capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: Events evicted by the ring buffer (emitted minus retained).
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # producing
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        sim_time: float,
+        category: str,
+        name: str,
+        stream_id: Optional[int] = None,
+        path: Optional[str] = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        """Append one event; returns it (with its sequence number)."""
+        event = TraceEvent(
+            sim_time=sim_time,
+            category=category,
+            name=name,
+            seq=self._seq,
+            stream_id=stream_id,
+            path=path,
+            fields=fields,
+        )
+        self._seq += 1
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # consuming
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buffer)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (retained + dropped)."""
+        return self._seq
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        stream_id: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> list[TraceEvent]:
+        """Retained events, optionally filtered; emission order."""
+        out = []
+        for e in self._buffer:
+            if category is not None and e.category != category:
+                continue
+            if name is not None and e.name != name:
+                continue
+            if stream_id is not None and e.stream_id != stream_id:
+                continue
+            if path is not None and e.path != path:
+                continue
+            out.append(e)
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write retained events, one JSON object per line; returns count."""
+        events = list(self._buffer)
+        with open(path, "w", encoding="utf-8") as fp:
+            for event in events:
+                fp.write(event.to_json())
+                fp.write("\n")
+        return len(events)
+
+    @staticmethod
+    def load_jsonl(path: str | Path) -> list[TraceEvent]:
+        """Read a trace exported by :meth:`export_jsonl`."""
+        events = []
+        with open(path, "r", encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if line:
+                    events.append(TraceEvent.from_json(line))
+        return events
+
+
+class NullTraceBus:
+    """Disabled trace bus: accepts everything, records nothing."""
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+    emitted = 0
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def events(self, *args: Any, **kwargs: Any) -> list[TraceEvent]:
+        return []
+
+    def export_jsonl(self, path: str | Path) -> int:
+        # Writing an empty file keeps "run then export" scripts working
+        # unconditionally.
+        Path(path).write_text("", encoding="utf-8")
+        return 0
+
+    load_jsonl = staticmethod(TraceBus.load_jsonl)

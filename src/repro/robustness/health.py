@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 from repro.transport.backoff import ExponentialBackoff
 
 
@@ -333,6 +335,7 @@ class HealthTracker:
         self,
         path_names: Sequence[str],
         thresholds: Optional[HealthThresholds] = None,
+        obs: Optional[Observability] = None,
     ):
         if not path_names:
             raise ConfigurationError("tracker needs at least one path")
@@ -341,6 +344,11 @@ class HealthTracker:
             p: PathHealthMachine(p, self.thresholds) for p in path_names
         }
         self.transitions: list[HealthTransition] = []
+        self._obs = obs if obs is not None else NULL_OBS
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach a per-run observability context."""
+        self._obs = obs
 
     def update(
         self,
@@ -365,6 +373,26 @@ class HealthTracker:
                 )
             )
         self.transitions.extend(fired)
+        if fired and self._obs.enabled:
+            metrics = self._obs.metrics
+            for tr in fired:
+                metrics.counter("health.transitions").inc()
+                if tr.new is PathHealth.FAILED:
+                    metrics.counter("health.failures").inc()
+                elif tr.new is PathHealth.HEALTHY:
+                    metrics.counter("health.recoveries").inc()
+                self._obs.trace.emit(
+                    tr.time,
+                    Category.HEALTH,
+                    "transition",
+                    path=tr.path,
+                    old=tr.old.value,
+                    new=tr.new.value,
+                    reason=tr.reason,
+                )
+            metrics.gauge("health.quarantined_paths").set(
+                len(self.quarantined())
+            )
         return fired
 
     def state(self, path: str) -> PathHealth:

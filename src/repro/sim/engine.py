@@ -4,6 +4,13 @@ Events are ordered by ``(time, priority, sequence)``; the sequence number
 makes simultaneous events fire in scheduling order, so runs are exactly
 reproducible.  The engine underpins the packet-level transport and the
 window-level experiment drivers.
+
+Cancelled events do not linger: the engine counts them and compacts the
+heap whenever they outnumber the live entries, so a workload that
+schedules and cancels (timeout patterns, interrupted processes) keeps a
+heap proportional to its *live* event count.  With an
+:class:`repro.obs.Observability` context attached, the engine also
+reports events scheduled/fired/cancelled, compactions, and heap depth.
 """
 
 from __future__ import annotations
@@ -14,6 +21,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
+
+#: Compact only above this queue size; tiny heaps are not worth a rebuild.
+_COMPACT_MIN_QUEUE = 64
 
 
 @dataclass(order=True)
@@ -31,7 +43,8 @@ class Event:
     fn:
         Zero-argument callable invoked when the event fires.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events are skipped when popped; the owning simulator
+        reclaims their heap slots once they outnumber live entries.
     """
 
     time: float
@@ -39,10 +52,16 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Optional["Simulator"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when its time arrives."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancelled()
 
 
 class Simulator:
@@ -58,16 +77,23 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._cancelled = 0
+        self._obs = obs if obs is not None else NULL_OBS
 
     @property
     def now(self) -> float:
         """Current virtual time."""
         return self._now
+
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled entries currently occupying heap slots."""
+        return self._cancelled
 
     def schedule(
         self, delay: float, fn: Callable[[], None], priority: int = 0
@@ -85,14 +111,61 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, priority, next(self._seq), fn)
+        event = Event(time, priority, next(self._seq), fn, owner=self)
         heapq.heappush(self._queue, event)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("engine.events_scheduled").inc()
+            metrics.gauge("engine.heap_depth").set(len(self._queue))
         return event
+
+    # ------------------------------------------------------------------
+    # cancelled-entry bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when worthwhile."""
+        self._cancelled += 1
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("engine.events_cancelled").inc()
+            metrics.gauge("engine.cancelled_pending").set(self._cancelled)
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _note_popped_cancelled(self) -> None:
+        if self._cancelled > 0:
+            self._cancelled -= 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries."""
+        before = len(self._queue)
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("engine.heap_compactions").inc()
+            metrics.counter("engine.heap_entries_reclaimed").inc(
+                before - len(self._queue)
+            )
+            metrics.gauge("engine.heap_depth").set(len(self._queue))
+            metrics.gauge("engine.cancelled_pending").set(0)
+            self._obs.trace.emit(
+                self._now,
+                Category.ENGINE,
+                "heap_compacted",
+                before=before,
+                after=len(self._queue),
+            )
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._note_popped_cancelled()
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -100,9 +173,17 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._note_popped_cancelled()
                 continue
+            # Disown: cancelling an already-fired event must not skew the
+            # count of cancelled entries still occupying heap slots.
+            event.owner = None
             self._now = event.time
             event.fn()
+            if self._obs.enabled:
+                metrics = self._obs.metrics
+                metrics.counter("engine.events_fired").inc()
+                metrics.gauge("engine.heap_depth").set(len(self._queue))
             return True
         return False
 
@@ -130,7 +211,10 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock keeps its value)."""
+        for event in self._queue:
+            event.owner = None
         self._queue.clear()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled

@@ -11,8 +11,11 @@ paths and backing off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 from repro.transport.backoff import ExponentialBackoff
 from repro.transport.packet import Packet
 
@@ -53,7 +56,12 @@ class PathService:
     try another path.
     """
 
-    def __init__(self, name: str, backoff: ExponentialBackoff | None = None):
+    def __init__(
+        self,
+        name: str,
+        backoff: ExponentialBackoff | None = None,
+        obs: Optional[Observability] = None,
+    ):
         if not name:
             raise ConfigurationError("path service needs a non-empty name")
         self.name = name
@@ -62,6 +70,7 @@ class PathService:
         self._budget_bytes = 0.0
         self._now = 0.0
         self._blocked_until = 0.0
+        self._obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------
     # interval lifecycle
@@ -100,6 +109,19 @@ class PathService:
             return False
         if packet.size > self._budget_bytes:
             self._blocked_until = self._now + self.backoff.next_delay()
+            if self._obs.enabled:
+                self._obs.metrics.counter("transport.offers_blocked").inc()
+                self._obs.trace.emit(
+                    self._now,
+                    Category.TRANSPORT,
+                    "path_blocked",
+                    path=self.name,
+                    stream_id=self._obs.stream_id(packet.stream),
+                    stream=packet.stream,
+                    budget_bytes=self._budget_bytes,
+                    packet_size=packet.size,
+                    blocked_until=self._blocked_until,
+                )
             return False
         self._budget_bytes -= packet.size
         self.backoff.reset()
@@ -107,6 +129,12 @@ class PathService:
         packet.delivered_at = self._now
         packet.path = self.name
         self.log.record(packet)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("transport.packets_delivered").inc()
+            metrics.counter("transport.bytes_delivered").inc(packet.size)
+            if packet.missed_deadline:
+                metrics.counter("transport.deadline_misses").inc()
         return True
 
     def deliver_bytes(self, stream: str, nbytes: float) -> float:

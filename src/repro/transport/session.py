@@ -30,6 +30,8 @@ from repro.core.pgos import PGOSScheduler, dispatch_window, make_packet_queue
 from repro.core.spec import StreamSpec
 from repro.network.emulab import TestbedRealization
 from repro.network.faults import FaultCampaign
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 from repro.robustness.health import HealthTracker, HealthTransition
 from repro.sim.engine import Simulator
 from repro.sim.process import Timeout, start
@@ -94,6 +96,7 @@ def run_packet_session(
     elastic_backlog_windows: int = 2,
     campaign: Optional[FaultCampaign] = None,
     health: Optional[HealthTracker] = None,
+    obs: Optional[Observability] = None,
 ) -> SessionResult:
     """Run a packet-accurate PGOS session over a testbed realization.
 
@@ -123,7 +126,14 @@ def run_packet_session(
         for the window *and* are excluded from the PGOS mapping, so no
         guaranteed packet rides a failed path until its backoff-gated
         probe confirms recovery.
+    obs:
+        Optional :class:`repro.obs.Observability` context.  When enabled,
+        the engine, path services, scheduler, monitors, and health layer
+        all share it, and the session emits one ``transport.window``
+        trace event per scheduling window (budgets, quarantine, packet
+        counts, rule-2 overflow, drops).
     """
+    obs = obs if obs is not None else NULL_OBS
     dt = realization.dt
     ratio = tw / dt
     k = int(round(ratio))
@@ -135,6 +145,10 @@ def run_packet_session(
     path_names = realization.path_names()
     if health is None and campaign is not None:
         health = HealthTracker(path_names)
+    # Stable stream IDs (spec order) so trace events join across layers.
+    obs.bind_streams({s.name: i for i, s in enumerate(streams, start=1)})
+    if health is not None:
+        health.bind_observability(obs)
     # Window-granularity availability: mean over each window's intervals.
     avail = {}
     for p in path_names:
@@ -151,8 +165,9 @@ def run_packet_session(
         {p: avail[p][:warmup_windows] for p in path_names}
     )
 
-    sim = Simulator()
-    services = {p: PathService(p) for p in path_names}
+    sim = Simulator(obs=obs)
+    scheduler.bind_observability(obs, clock=lambda: sim.now)
+    services = {p: PathService(p, obs=obs) for p in path_names}
     guaranteed = [s for s in streams if s.guaranteed or s.max_violation_rate]
     elastic = [s for s in streams if s.elastic and s not in guaranteed]
     queues: dict[str, Deque[Packet]] = {s.name: deque() for s in guaranteed}
@@ -246,12 +261,42 @@ def run_packet_session(
                     result.sent[s.name][p].append(per_path.get(p, 0))
             # Drop packets a full window stale (bounded buffers, matching
             # the fluid driver's 2-second bound); a drop is a miss.
+            drops = 0
             for name, queue in list(queues.items()) + list(
                 unscheduled.items()
             ):
                 while queue and queue[0].deadline < sim.now - tw:
                     queue.popleft()
                     result.deadline_misses[name] += 1
+                    drops += 1
+            if obs.enabled:
+                metrics = obs.metrics
+                metrics.counter("transport.windows").inc()
+                metrics.counter("transport.rule2_overflow").inc(
+                    window_result.rule2_sent
+                )
+                metrics.counter("transport.packets_dropped").inc(drops)
+                metrics.counter("transport.blocked_events").inc(
+                    window_result.blocked_events
+                )
+                obs.trace.emit(
+                    sim.now,
+                    Category.TRANSPORT,
+                    "window",
+                    window=w,
+                    budgets_bytes={p: budgets[p] for p in path_names},
+                    quarantined=sorted(quarantined),
+                    sent={
+                        s: dict(per_path)
+                        for s, per_path in window_result.sent.items()
+                    },
+                    rule2_sent=window_result.rule2_sent,
+                    unscheduled_sent=window_result.unscheduled_sent,
+                    blocked_events=window_result.blocked_events,
+                    unsent=window_result.unsent,
+                    dropped=drops,
+                )
+                metrics.snapshot(sim.now)
             t_mid = (w + 0.5) * tw
             observed = [
                 p

@@ -1,0 +1,181 @@
+"""Metrics registry: instrument semantics, edge cases, persistence."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+    def test_snapshot(self):
+        c = Counter("hits")
+        c.inc(4)
+        assert c.snapshot() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(3)
+        g.dec(1)
+        assert g.value == 12.0
+
+    def test_snapshot(self):
+        g = Gauge("depth")
+        g.set(-2.5)
+        assert g.snapshot() == {"type": "gauge", "value": -2.5}
+
+
+class TestHistogram:
+    def test_value_exactly_on_bucket_edge_lands_in_that_bucket(self):
+        # Cumulative-le convention: a value equal to a bound belongs to
+        # that bound's bucket, not the next one up.
+        h = Histogram("lat", bounds=[1.0, 5.0, 10.0])
+        for v in (1.0, 5.0, 10.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_values_between_edges_and_overflow(self):
+        h = Histogram("lat", bounds=[1.0, 5.0])
+        h.observe(0.5)   # <= 1
+        h.observe(3.0)   # <= 5
+        h.observe(5.001) # overflow
+        assert h.counts == [1, 1, 1]
+
+    def test_min_max_mean_track_observations(self):
+        h = Histogram("lat", bounds=[10.0])
+        assert h.mean is None
+        h.observe(2.0)
+        h.observe(6.0)
+        assert h.min == 2.0
+        assert h.max == 6.0
+        assert math.isclose(h.mean, 4.0)
+        assert h.count == 2
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", bounds=[])
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", bounds=[1.0, 1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", bounds=[2.0, 1.0])
+
+    def test_snapshot_round_trips_through_json(self):
+        h = Histogram("lat", bounds=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(3.0)
+        snap = json.loads(json.dumps(h.snapshot()))
+        assert snap["counts"] == [1, 0, 1]
+        assert snap["count"] == 2
+        assert snap["sum"] == 3.5
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", [1.0]) is reg.histogram("h", [1.0])
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+
+    def test_histogram_reregistered_with_different_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", [1.0, 3.0])
+
+    def test_snapshot_at_sim_time_zero(self):
+        # t=0 is a legitimate snapshot time (run start), not a falsy
+        # value to be skipped.
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        state = reg.snapshot(0.0)
+        assert reg.snapshots == [(0.0, state)]
+        assert state["c"]["value"] == 1.0
+
+    def test_snapshots_accumulate_in_order(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        reg.snapshot(0.0)
+        c.inc(5)
+        reg.snapshot(2.0)
+        assert [t for t, _ in reg.snapshots] == [0.0, 2.0]
+        assert reg.snapshots[0][1]["c"]["value"] == 0.0
+        assert reg.snapshots[1][1]["c"]["value"] == 5.0
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert isinstance(reg.get("b"), Counter)
+        assert reg.get("missing") is None
+
+    def test_export_load_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", [1.0]).observe(0.5)
+        reg.snapshot(0.0)
+        reg.snapshot(10.0)
+        out = tmp_path / "metrics.json"
+        reg.export_json(out)
+        data = MetricsRegistry.load_json(out)
+        assert data == reg.to_dict()
+        assert data["current"]["c"]["value"] == 3.0
+        assert [s["sim_time"] for s in data["snapshots"]] == [0.0, 10.0]
+
+
+class TestNullRegistry:
+    def test_all_instruments_share_one_inert_object(self):
+        reg = NullMetricsRegistry()
+        c = reg.counter("a")
+        assert c is reg.gauge("b")
+        assert c is reg.histogram("c", [1.0])
+
+    def test_updates_keep_no_state(self):
+        reg = NullMetricsRegistry()
+        reg.counter("a").inc(100)
+        reg.gauge("b").set(5)
+        reg.histogram("c", [1.0]).observe(0.5)
+        assert reg.counter("a").value == 0.0
+        assert reg.names() == []
+        assert reg.get("a") is None
+
+    def test_snapshot_and_export_are_inert_but_valid(self, tmp_path):
+        reg = NullMetricsRegistry()
+        assert reg.snapshot(0.0) == {}
+        out = tmp_path / "metrics.json"
+        reg.export_json(out)
+        assert NullMetricsRegistry.load_json(out) == {
+            "current": {},
+            "snapshots": [],
+        }

@@ -1,0 +1,125 @@
+"""Trace bus: ring-buffer semantics, filtering, JSONL persistence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import CATEGORIES, EVENT_NAMES, Category, TraceEvent
+from repro.obs.trace import NullTraceBus, TraceBus
+
+
+class TestEmit:
+    def test_sequence_numbers_are_monotone(self):
+        bus = TraceBus()
+        events = [
+            bus.emit(float(i), Category.ENGINE, "heap_compacted")
+            for i in range(5)
+        ]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert bus.emitted == 5
+
+    def test_unknown_category_rejected(self):
+        bus = TraceBus()
+        with pytest.raises(ConfigurationError):
+            bus.emit(0.0, "nonsense", "boom")
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceBus(capacity=0)
+
+
+class TestRingBuffer:
+    def test_wraparound_drops_oldest_and_counts(self):
+        bus = TraceBus(capacity=3)
+        for i in range(5):
+            bus.emit(float(i), Category.SERVICE, "stream_open", stream_id=i)
+        assert len(bus) == 3
+        assert bus.dropped == 2
+        assert bus.emitted == 5
+        # Only the newest three survive, in emission order.
+        assert [e.stream_id for e in bus] == [2, 3, 4]
+        assert [e.seq for e in bus] == [2, 3, 4]
+
+    def test_exactly_at_capacity_drops_nothing(self):
+        bus = TraceBus(capacity=3)
+        for i in range(3):
+            bus.emit(float(i), Category.HEALTH, "transition")
+        assert len(bus) == 3
+        assert bus.dropped == 0
+
+
+class TestFiltering:
+    def test_events_filters_compose(self):
+        bus = TraceBus()
+        bus.emit(0.0, Category.HEALTH, "transition", path="A")
+        bus.emit(1.0, Category.HEALTH, "transition", path="B")
+        bus.emit(2.0, Category.SCHEDULER, "remap", path="A")
+        bus.emit(3.0, Category.SERVICE, "stream_open", stream_id=7)
+        assert len(bus.events(category=Category.HEALTH)) == 2
+        assert len(bus.events(path="A")) == 2
+        assert len(bus.events(category=Category.HEALTH, path="A")) == 1
+        assert bus.events(stream_id=7)[0].name == "stream_open"
+        assert bus.events(name="remap")[0].category == Category.SCHEDULER
+
+
+class TestJsonlRoundTrip:
+    def test_every_registered_event_type_round_trips(self, tmp_path):
+        # One event per (category, name) pair the repo emits, each with
+        # every optional field populated, survives export -> load intact.
+        bus = TraceBus()
+        t = 0.0
+        for category in CATEGORIES:
+            for name in EVENT_NAMES[category]:
+                bus.emit(
+                    t,
+                    category,
+                    name,
+                    stream_id=int(t),
+                    path=f"P{int(t)}",
+                    window=int(t),
+                    note=f"{category}.{name}",
+                )
+                t += 1.0
+        path = tmp_path / "trace.jsonl"
+        written = bus.export_jsonl(path)
+        loaded = TraceBus.load_jsonl(path)
+        assert written == len(loaded) == sum(
+            len(names) for names in EVENT_NAMES.values()
+        )
+        for original, copy in zip(bus, loaded):
+            assert copy == original
+
+    def test_null_join_keys_omitted_from_json_but_restored(self, tmp_path):
+        bus = TraceBus()
+        bus.emit(1.5, Category.ENGINE, "heap_compacted")
+        line = next(iter(bus)).to_json()
+        assert "stream_id" not in line and "path" not in line
+        restored = TraceEvent.from_json(line)
+        assert restored.stream_id is None
+        assert restored.path is None
+        assert restored.fields == {}
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        bus = TraceBus()
+        bus.emit(0.0, Category.HARNESS, "campaign_start")
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            next(iter(bus)).to_json() + "\n\n\n", encoding="utf-8"
+        )
+        assert len(TraceBus.load_jsonl(path)) == 1
+
+
+class TestNullBus:
+    def test_emit_records_nothing(self):
+        bus = NullTraceBus()
+        assert bus.emit(0.0, Category.ENGINE, "heap_compacted") is None
+        assert len(bus) == 0
+        assert list(bus) == []
+        assert bus.events() == []
+        assert bus.emitted == 0
+
+    def test_export_writes_empty_file(self, tmp_path):
+        bus = NullTraceBus()
+        path = tmp_path / "trace.jsonl"
+        assert bus.export_jsonl(path) == 0
+        assert path.read_text(encoding="utf-8") == ""
+        assert NullTraceBus.load_jsonl(path) == []

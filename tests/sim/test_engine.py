@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs import Observability
+from repro.obs.events import Category
 from repro.sim.engine import Simulator
 
 
@@ -82,6 +84,93 @@ class TestCancellation:
         sim.schedule(2.0, lambda: None)
         e1.cancel()
         assert sim.peek() == 2.0
+
+
+class TestHeapCompaction:
+    def test_cancelled_majority_triggers_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for e in events[:60]:
+            e.cancel()
+        # The 51st cancellation tips cancelled entries past half the
+        # queue, rebuilding the heap without them.
+        assert len(sim._queue) < 100
+        assert sim.cancelled_events < 60
+        assert len(sim) == 40
+
+    def test_compacted_heap_still_fires_survivors_in_order(self):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(80)
+        ]
+        for e in events[: 80 - 10]:
+            e.cancel()
+        sim.run()
+        assert fired == list(range(70, 80))
+
+    def test_tiny_heaps_are_not_compacted(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        # Below the compaction floor the entry just waits to be popped.
+        assert sim.cancelled_events == 1
+        assert len(sim._queue) == 2
+        assert len(sim) == 1
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        e = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e.cancel()
+        e.cancel()
+        assert sim.cancelled_events == 1
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        sim = Simulator()
+        e = sim.schedule(1.0, lambda: None)
+        sim.run()
+        e.cancel()
+        assert sim.cancelled_events == 0
+
+    def test_peek_reclaims_popped_cancelled_entries(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.peek() == 2.0
+        assert sim.cancelled_events == 0
+
+    def test_clear_resets_cancelled_count(self):
+        sim = Simulator()
+        e = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e.cancel()
+        sim.clear()
+        assert sim.cancelled_events == 0
+        assert len(sim) == 0
+
+    def test_engine_metrics_and_compaction_trace(self):
+        obs = Observability()
+        sim = Simulator(obs=obs)
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for e in events[:60]:
+            e.cancel()
+        sim.run()
+        metrics = obs.metrics
+        assert metrics.get("engine.events_scheduled").value == 100
+        assert metrics.get("engine.events_cancelled").value == 60
+        assert metrics.get("engine.events_fired").value == 40
+        assert metrics.get("engine.heap_compactions").value >= 1
+        compactions = obs.trace.events(
+            category=Category.ENGINE, name="heap_compacted"
+        )
+        assert compactions
+        assert all(
+            e.fields["after"] < e.fields["before"] for e in compactions
+        )
 
 
 class TestRunUntil:

@@ -8,6 +8,9 @@ blackout) and drives it through the full middleware
 
 Run:  PYTHONPATH=src python tools/run_chaos.py [--seed N]
 
+``--trace-out`` / ``--metrics-out`` export the run's observability
+artifacts (JSONL trace, metrics snapshots) for ``tools/trace_report.py``.
+
 Exit status is non-zero if the campaign was not detected or the overlay
 never recovered — so this doubles as a CI smoke check.
 """
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.apps.smartpointer import smartpointer_streams
 from repro.harness.chaos import run_chaos_campaign
@@ -29,6 +33,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--duration", type=float, default=80.0,
         help="campaign window in seconds (session time)",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="export the run's trace as JSONL (for tools/trace_report.py)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="export the run's metrics snapshots as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -47,6 +59,12 @@ def main(argv=None) -> int:
     report = run_chaos_campaign(
         realization, smartpointer_streams(), campaign
     )
+    if args.trace_out is not None:
+        n = report.obs.trace.export_jsonl(args.trace_out)
+        print(f"wrote {n} trace events to {args.trace_out}")
+    if args.metrics_out is not None:
+        report.obs.metrics.export_json(args.metrics_out)
+        print(f"wrote metrics snapshots to {args.metrics_out}")
     print(report.summary())
     print("health transitions:")
     for transition in report.transitions:

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Answer "why did stream X miss its guarantee in window k" from a trace.
+
+Loads a JSONL trace exported by :class:`repro.obs.TraceBus` (plus an
+optional metrics-snapshot JSON) and correlates scheduler, health, and
+transport events into ordered causal chains: for each per-window
+guarantee shortfall it reports the health transition that quarantined a
+path, the quarantine application, the remap that re-routed the mapping,
+and the shortfall itself, in time order.
+
+Run::
+
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl
+    PYTHONPATH=src python tools/trace_report.py trace.jsonl \\
+        --stream gridftp --window 12 --metrics metrics.json
+
+Without ``--stream``/``--window`` it explains the first shortfall of
+every stream.  Exit status is 1 when a requested shortfall cannot be
+found, so scripted runs fail loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.events import Category  # noqa: E402
+from repro.obs.introspect import (  # noqa: E402
+    detection_latency_from_trace,
+    explain_shortfall,
+    guarantee_violations,
+    recovery_latency_from_trace,
+    render_chain,
+    summarize,
+)
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.trace import TraceBus  # noqa: E402
+
+
+def _campaign_overview(events) -> list[str]:
+    """Trace-derived robustness figures, when the trace has a campaign."""
+    starts = [
+        e
+        for e in events
+        if e.category == Category.HARNESS and e.name == "campaign_start"
+    ]
+    if not starts:
+        return []
+    start = starts[0]
+    paths = sorted(
+        {e.path for e in events if e.path is not None}
+    )
+    detect = detection_latency_from_trace(
+        events, paths, start.fields["first_onset"]
+    )
+    recover = recovery_latency_from_trace(
+        events, paths, start.fields["last_end"]
+    )
+
+    def fmt(v):
+        return f"{v:.2f}s" if v is not None else "never"
+
+    return [
+        f"campaign {start.fields.get('campaign')!r}: "
+        f"onset {start.fields['first_onset']:.1f}s, "
+        f"end {start.fields['last_end']:.1f}s",
+        f"  time to detect (from trace) : {fmt(detect)}",
+        f"  time to recover (from trace): {fmt(recover)}",
+    ]
+
+
+def _metrics_overview(path: Path) -> list[str]:
+    data = MetricsRegistry.load_json(path)
+    current = data.get("current", {})
+    lines = [f"metrics snapshot ({len(current)} instruments):"]
+    for name in sorted(current):
+        snap = current[name]
+        if snap.get("type") == "histogram":
+            mean = (
+                snap["sum"] / snap["count"] if snap.get("count") else None
+            )
+            mean_s = f"{mean:.4f}" if mean is not None else "n/a"
+            lines.append(
+                f"  {name:<34s} n={snap.get('count', 0)} mean={mean_s}"
+            )
+        else:
+            lines.append(f"  {name:<34s} {snap.get('value')}")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reconstruct causal chains from an IQ-Paths trace."
+    )
+    parser.add_argument("trace", type=Path, help="JSONL trace file")
+    parser.add_argument(
+        "--metrics", type=Path, default=None,
+        help="metrics-snapshot JSON exported alongside the trace",
+    )
+    parser.add_argument(
+        "--stream", default=None,
+        help="explain shortfalls of this stream only (name)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None,
+        help="explain the shortfall in this window (requires --stream)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="explain every shortfall instead of the first per stream",
+    )
+    parser.add_argument(
+        "--lookback", type=float, default=None,
+        help="only consider causes within this many seconds of a shortfall",
+    )
+    args = parser.parse_args(argv)
+
+    events = TraceBus.load_jsonl(args.trace)
+    print(summarize(events))
+    for line in _campaign_overview(events):
+        print(line)
+    if args.metrics is not None:
+        for line in _metrics_overview(args.metrics):
+            print(line)
+
+    violations = guarantee_violations(events, stream=args.stream)
+    if args.window is not None:
+        if args.stream is None:
+            parser.error("--window requires --stream")
+        violations = [
+            e for e in violations if e.fields.get("window") == args.window
+        ]
+        if not violations:
+            print(
+                f"no shortfall of stream {args.stream!r} in window "
+                f"{args.window}",
+                file=sys.stderr,
+            )
+            return 1
+    if not violations:
+        target = f" for stream {args.stream!r}" if args.stream else ""
+        print(f"no guarantee shortfalls in this trace{target}")
+        return 0
+
+    if not args.all and args.window is None:
+        # First shortfall per stream: the onset of each violation episode.
+        first: dict[object, object] = {}
+        for e in violations:
+            first.setdefault(e.stream_id or e.fields.get("stream"), e)
+        violations = list(first.values())
+
+    print(f"\nexplaining {len(violations)} shortfall(s):")
+    for shortfall in violations:
+        print(
+            f"\nstream {shortfall.fields.get('stream')!r} "
+            f"(id {shortfall.stream_id}) window "
+            f"{shortfall.fields.get('window')} "
+            f"at t={shortfall.sim_time:.2f}s:"
+        )
+        chain = explain_shortfall(events, shortfall, lookback=args.lookback)
+        print(render_chain(chain))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
