@@ -47,6 +47,7 @@ from pathlib import Path
 import pytest
 
 from repro.apps.smartpointer import smartpointer_streams
+from repro.fsutil import atomic_write_json
 from repro.network.emulab import make_figure8_testbed
 from repro.obs import NULL_OBS, Observability
 from repro.transport.session import run_packet_session
@@ -201,10 +202,7 @@ def test_obs_overhead_disabled(results_dir, realization):
         data = json.loads(baseline_path.read_text(encoding="utf-8"))
         baseline = data["baseline"]
         data["latest"] = measurement
-        baseline_path.write_text(
-            json.dumps(data, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        atomic_write_json(baseline_path, data)
         # Gate 3: calibration-normalized wall-clock trend, widened to the
         # noise floor when either run's own spread exceeds the 3 % budget.
         base_norm = baseline.get("norm_disabled")
@@ -227,7 +225,4 @@ def test_obs_overhead_disabled(results_dir, realization):
             "baseline": measurement,
             "latest": measurement,
         }
-        baseline_path.write_text(
-            json.dumps(data, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        atomic_write_json(baseline_path, data)

@@ -8,6 +8,7 @@ lower its requirements).
 
 from pathlib import Path
 
+from repro.harness.report import write_report
 from repro.harness.sweep import (
     admission_crossover,
     render_sweep,
@@ -24,10 +25,10 @@ def test_cross_traffic_sweep(benchmark, results_dir: Path):
         rounds=1,
         iterations=1,
     )
-    (results_dir / "sweep.txt").write_text(
+    write_report(
+        results_dir / "sweep.txt",
         render_sweep(points)
-        + f"\nadmission crossover at scale: {admission_crossover(points)}\n",
-        encoding="utf-8",
+        + f"\nadmission crossover at scale: {admission_crossover(points)}",
     )
     by_scale = {p.scale: p for p in points}
     # Light load: everything admitted, PGOS attains its guarantee.

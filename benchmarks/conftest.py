@@ -26,7 +26,8 @@ def save_report(results_dir):
     """Write a FigureResult's rendering next to the benchmark data."""
 
     def _save(result) -> None:
-        path = results_dir / f"{result.figure_id}.txt"
-        path.write_text(result.render() + "\n", encoding="utf-8")
+        from repro.harness.report import write_report
+
+        write_report(results_dir / f"{result.figure_id}.txt", result.render())
 
     return _save

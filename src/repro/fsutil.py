@@ -1,0 +1,60 @@
+"""Atomic filesystem writes shared by every result/report writer.
+
+Concurrent runner workers (and interrupted runs) must never leave torn
+or interleaved output files: every write in the repo that produces a
+result artifact — figure reports, benchmark baselines, cache entries,
+metrics exports — goes through :func:`atomic_write_text` /
+:func:`atomic_write_json`, which write to a temporary file in the target
+directory and publish with :func:`os.replace` (atomic on POSIX and NTFS
+for same-directory renames).  Readers therefore always see either the
+old complete file or the new complete file, never a partial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path.
+
+    The temporary file lives in the same directory as the target so the
+    final :func:`os.replace` never crosses a filesystem boundary.
+    Parent directories are created if missing.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fp:
+            fp.write(text)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_json(
+    path: str | Path,
+    obj: Any,
+    indent: int | None = 2,
+    sort_keys: bool = True,
+) -> Path:
+    """JSON-serialize ``obj`` and write it atomically with a newline."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )

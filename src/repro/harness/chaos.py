@@ -39,7 +39,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.core.pgos import PGOSScheduler
 from repro.core.spec import StreamSpec
-from repro.network.emulab import TestbedRealization
+from repro.network.emulab import TestbedRealization, make_figure8_testbed
 from repro.network.faults import FaultCampaign
 from repro.obs.context import Observability
 from repro.obs.events import Category
@@ -286,6 +286,38 @@ def run_chaos_campaign(
         transitions=tuple(tracker.transitions),
         events=tuple(service.events),
         obs=obs,
+    )
+
+
+def standard_chaos_run(
+    seed: int = 7,
+    duration: float = 80.0,
+    realization_seed: int = 41,
+    realization_duration: float = 220.0,
+    dt: float = 0.1,
+    obs: Optional[Observability] = None,
+) -> ChaosReport:
+    """The canonical seeded campaign, as a pure spec->result function.
+
+    Figure-8 testbed with a viable backup path, a random campaign (link
+    flapping + correlated outage + monitor blackout) generated from
+    ``seed``, driven through the full middleware.  This is the single
+    construction shared by ``tools/run_chaos.py``, the CI chaos smoke,
+    and the ``repro.runner`` chaos task — same seed, same report.
+    """
+    from repro.apps.smartpointer import smartpointer_streams
+
+    testbed = make_figure8_testbed(
+        profile_a="abilene-moderate", profile_b="light"
+    )
+    realization = testbed.realize(
+        seed=realization_seed, duration=realization_duration, dt=dt
+    )
+    campaign = FaultCampaign.random(
+        ["A", "B"], duration=duration, seed=seed
+    )
+    return run_chaos_campaign(
+        realization, smartpointer_streams(), campaign, obs=obs
     )
 
 

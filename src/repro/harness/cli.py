@@ -72,9 +72,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(rendered)
         print()
         if out_dir is not None:
-            (out_dir / f"{name}.txt").write_text(
-                rendered + "\n", encoding="utf-8"
-            )
+            from repro.harness.report import write_report
+
+            write_report(out_dir / f"{name}.txt", rendered)
     return 0
 
 

@@ -109,6 +109,7 @@ def run_schedule_experiment(
     buffer_seconds: float = 2.0,
     tw: Optional[float] = None,
     probe: Optional["ProbingEstimator"] = None,
+    probe_seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one scheduler over one testbed realization.
 
@@ -134,6 +135,10 @@ def run_schedule_experiment(
         scheduler then *observes* probe estimates of availability instead
         of the truth (delivery still uses the true series) — the realistic
         monitoring regime.
+    probe_seed:
+        Seed for the probe's noise RNG; defaults to the realization's
+        seed.  Sweeps pass a per-point derived seed so probe noise is
+        independent of execution order and worker assignment.
     """
     dt = realization.dt
     tw = tw if tw is not None else 10 * dt
@@ -152,7 +157,8 @@ def run_schedule_experiment(
     observed = avail
     if probe is not None:
         observed = probe.perturb_realization(
-            {p: avail[p] for p in path_names}, seed=realization.seed
+            {p: avail[p] for p in path_names},
+            seed=realization.seed if probe_seed is None else probe_seed,
         )
 
     def feed(k: int) -> None:

@@ -54,7 +54,12 @@ def _deceptive_run(scheduler, seed: int, duration: float, warmup: int):
     )
 
 
-def run(seed: int = 7, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 7
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Run the three ablations."""
     duration = 90.0 if fast else 180.0
     warmup = 200 if fast else 300

@@ -24,7 +24,12 @@ from repro.harness.metrics import bandwidth_at_time_fraction
 from repro.harness.report import cdf_table
 
 
-def run(seed: int = 7, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 7
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Reproduce Figure 10 (a-d)."""
     duration, warmup = params_for(fast)
     results = smartpointer_results(seed, duration, warmup_intervals=warmup)

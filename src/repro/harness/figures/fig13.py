@@ -15,7 +15,12 @@ from repro.harness.metrics import bandwidth_at_time_fraction
 from repro.harness.report import cdf_table
 
 
-def run(seed: int = 11, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 11
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Reproduce Figure 13 (a-b)."""
     duration, warmup = params_for(fast)
     results = gridftp_results(seed, duration, warmup_intervals=warmup)

@@ -49,7 +49,12 @@ def _trace_pool(seed: int, duration: float, dt: float) -> list[Trace]:
     return traces
 
 
-def run(seed: int = 3, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 3
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Reproduce Figure 4 (and the Section-4 in-text error claims)."""
     duration = 600.0 if fast else 2400.0
     dt = 0.1

@@ -23,7 +23,12 @@ from repro.harness.figures.smartpointer_runs import (
 from repro.harness.report import format_table, series_block
 
 
-def run(seed: int = 7, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 7
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Reproduce Figure 9 (a-d)."""
     duration, warmup = params_for(fast)
     results = smartpointer_results(seed, duration, warmup_intervals=warmup)

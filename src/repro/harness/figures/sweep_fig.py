@@ -18,7 +18,12 @@ from repro.harness.sweep import (
 )
 
 
-def run(seed: int = 7, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 7
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Run the load and measurement-noise sweeps."""
     duration = 50.0 if fast else 90.0
     warmup = 150 if fast else 200

@@ -18,7 +18,12 @@ from repro.harness.report import format_table
 ALGORITHMS = ("WFQ", "MSFQ", "PGOS")
 
 
-def run(seed: int = 23, fast: bool = False) -> FigureResult:
+#: The seed EXPERIMENTS.md's recorded numbers were produced with;
+#: the runner's default suite pins it on this figure's RunSpec.
+CANONICAL_SEED = 23
+
+
+def run(seed: int = CANONICAL_SEED, fast: bool = False) -> FigureResult:
     """Run the layered-video comparison."""
     duration = 60.0 if fast else 150.0
     warmup = 200 if fast else 300

@@ -3,15 +3,29 @@
 The paper's figures are plots; a terminal harness reports the same content
 as tables (summary rows), CDF tables (value at fixed probability points),
 and coarse sparkline series so a reader can eyeball stability.
+
+Report files are written through :func:`write_report` — an atomic
+temp-file + rename write — so a reader (or a parallel runner worker)
+never observes a half-written report.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.fsutil import atomic_write_text
+
 _SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def write_report(path: str | Path, text: str) -> Path:
+    """Atomically write a rendered report, ensuring a trailing newline."""
+    if not text.endswith("\n"):
+        text += "\n"
+    return atomic_write_text(path, text)
 
 
 def format_table(

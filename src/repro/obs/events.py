@@ -28,6 +28,7 @@ class Category:
     HEALTH = "health"
     SERVICE = "service"
     HARNESS = "harness"
+    RUNNER = "runner"
 
 
 #: Every known category (validation + exhaustive round-trip tests).
@@ -39,6 +40,7 @@ CATEGORIES = (
     Category.HEALTH,
     Category.SERVICE,
     Category.HARNESS,
+    Category.RUNNER,
 )
 
 #: Known event names per category.  The bus accepts unknown names (new
@@ -61,6 +63,16 @@ EVENT_NAMES: dict[str, tuple[str, ...]] = {
         "window_shortfall",
     ),
     Category.HARNESS: ("campaign_start", "campaign_end"),
+    # The experiment orchestrator (repro.runner): its "virtual time" is
+    # wall-clock seconds since the run started.
+    Category.RUNNER: (
+        "run_start",
+        "spec_start",
+        "spec_end",
+        "cache_hit",
+        "spec_retry",
+        "run_end",
+    ),
 }
 
 

@@ -216,9 +216,11 @@ class MetricsRegistry:
         }
 
     def export_json(self, path: str | Path) -> None:
-        Path(path).write_text(
+        from repro.fsutil import atomic_write_text
+
+        atomic_write_text(
+            path,
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
 
     @staticmethod
@@ -254,8 +256,8 @@ class NullMetricsRegistry:
         return {"current": {}, "snapshots": []}
 
     def export_json(self, path: str | Path) -> None:
-        Path(path).write_text(
-            json.dumps(self.to_dict()) + "\n", encoding="utf-8"
-        )
+        from repro.fsutil import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_dict()) + "\n")
 
     load_json = staticmethod(MetricsRegistry.load_json)

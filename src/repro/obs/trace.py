@@ -100,12 +100,17 @@ class TraceBus:
     # persistence
     # ------------------------------------------------------------------
     def export_jsonl(self, path: str | Path) -> int:
-        """Write retained events, one JSON object per line; returns count."""
+        """Write retained events, one JSON object per line; returns count.
+
+        The write is atomic (temp file + rename): readers never see a
+        half-written trace, even if the exporter dies mid-write.
+        """
+        from repro.fsutil import atomic_write_text
+
         events = list(self._buffer)
-        with open(path, "w", encoding="utf-8") as fp:
-            for event in events:
-                fp.write(event.to_json())
-                fp.write("\n")
+        atomic_write_text(
+            path, "".join(event.to_json() + "\n" for event in events)
+        )
         return len(events)
 
     @staticmethod
@@ -143,7 +148,9 @@ class NullTraceBus:
     def export_jsonl(self, path: str | Path) -> int:
         # Writing an empty file keeps "run then export" scripts working
         # unconditionally.
-        Path(path).write_text("", encoding="utf-8")
+        from repro.fsutil import atomic_write_text
+
+        atomic_write_text(path, "")
         return 0
 
     load_jsonl = staticmethod(TraceBus.load_jsonl)

@@ -1,0 +1,7 @@
+"""``python -m repro.runner`` — the one-command evaluation front door."""
+
+import sys
+
+from repro.runner.cli import main
+
+sys.exit(main())

@@ -1,0 +1,237 @@
+"""The front door: regenerate the whole evaluation in one command.
+
+Examples
+--------
+::
+
+    python -m repro.runner                       # every figure, cached
+    python -m repro.runner --workers 4           # same bytes, faster
+    python -m repro.runner fig9 fig10 --fast     # a subset, short runs
+    python -m repro.runner --with-chaos          # + the chaos campaign
+    python -m repro.runner --refresh             # ignore cached results
+
+Reports land in ``--output-dir`` (default ``reports``, or
+``reports/fast`` with ``--fast``) via atomic writes; results are cached
+under ``--cache-dir`` (default ``.repro-cache``) keyed by spec hash and
+code fingerprint, so a warm rerun of unchanged code is pure cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.fsutil import atomic_write_json, atomic_write_text
+from repro.harness.figures import FIGURES
+from repro.obs.context import Observability
+from repro.runner.cache import ResultCache
+from repro.runner.executor import RunReport, run_specs
+from repro.runner.suite import chaos_spec, figure_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description=(
+            "Parallel, cached regeneration of the IQ-Paths evaluation."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="FIGURE",
+        help=(
+            "figures to run (default: all); see --list for names"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known figures and exit"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = inline, no isolation; default 1)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorter runs (same structure, CI-friendly)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every figure's canonical seed",
+    )
+    parser.add_argument(
+        "--with-chaos",
+        action="store_true",
+        help="also run the canonical seeded chaos campaign",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "where report .txt files go "
+            "(default: reports, or reports/fast with --fast)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".repro-cache"),
+        metavar="DIR",
+        help="content-addressed result cache root (default .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results (fresh runs are still stored back)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="per-spec timeout in seconds (default 600)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts after a crash/timeout (default 1)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="stream a JSONL run manifest to PATH",
+    )
+    parser.add_argument(
+        "--summary-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run summary (counts, cache stats) as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="export the runner's obs trace as JSONL",
+    )
+    return parser
+
+
+def _print_report(report: RunReport, cache: Optional[ResultCache]) -> None:
+    for outcome in report.outcomes:
+        tag = outcome.status.upper()
+        line = f"[{tag:>7}] {outcome.spec.name}"
+        if outcome.status == "ok":
+            line += f"  ({outcome.duration_s:.1f}s"
+            if outcome.attempts > 1:
+                line += f", {outcome.attempts} attempts"
+            line += ")"
+        elif not outcome.ok:
+            line += f"  {outcome.error}"
+        print(line)
+    total = len(report.outcomes)
+    hit_rate = report.cached / total if total else 0.0
+    print(
+        f"{total} specs: {report.executed} executed, "
+        f"{report.cached} cached ({hit_rate:.0%} hit rate), "
+        f"{report.failed} failed in {report.wall_s:.1f}s "
+        f"with {report.workers} worker(s)"
+    )
+    if cache is not None:
+        print(
+            f"cache: {cache.entry_count()} entries at {cache.root}"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+
+    unknown = [t for t in args.targets if t not in FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s) {unknown}; known: {sorted(FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    specs = figure_suite(
+        args.targets or None, fast=args.fast, seed=args.seed
+    )
+    if args.with_chaos:
+        specs.append(chaos_spec())
+
+    output_dir = args.output_dir
+    if output_dir is None:
+        output_dir = Path("reports/fast") if args.fast else Path("reports")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    obs = (
+        Observability() if args.trace_out is not None else None
+    )
+
+    report = run_specs(
+        specs,
+        workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        refresh=args.refresh,
+        obs=obs,
+        manifest_path=(
+            str(args.manifest) if args.manifest is not None else None
+        ),
+    )
+
+    written = 0
+    for outcome in report.outcomes:
+        if outcome.ok and outcome.payload is not None:
+            atomic_write_text(
+                output_dir / f"{outcome.spec.name}.txt",
+                outcome.payload["report"],
+            )
+            written += 1
+
+    _print_report(report, cache)
+    if written:
+        print(f"wrote {written} report(s) to {output_dir}")
+
+    if args.summary_json is not None:
+        summary = report.summary_record()
+        if cache is not None:
+            summary["cache_stats"] = cache.stats.to_dict()
+        summary["specs"] = [
+            o.manifest_record(i) for i, o in enumerate(report.outcomes)
+        ]
+        atomic_write_json(args.summary_json, summary)
+        print(f"wrote summary to {args.summary_json}")
+    if obs is not None and args.trace_out is not None:
+        n = obs.trace.export_jsonl(args.trace_out)
+        print(f"wrote {n} trace events to {args.trace_out}")
+
+    return 0 if report.all_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,545 @@
+"""The run orchestrator: cache-aware parallel spec execution.
+
+:func:`run_specs` takes a list of :class:`RunSpec` and drives them to
+completion:
+
+1. **Cache probe** — with a cache attached, every spec whose
+   ``(content hash, code fingerprint)`` key hits is satisfied without
+   executing anything (status ``"cached"``).
+2. **Fan-out** — remaining specs run in single-use worker processes
+   (at most ``workers`` alive at once), each reporting its payload back
+   over a pipe.  One process per spec keeps the failure domain minimal:
+   a crash or timeout kills exactly that spec's worker, never a pool.
+3. **Fault handling** — a worker that dies without reporting is a
+   *crash* (captured with its exit code); one that outlives
+   ``timeout_s`` is terminated as a *timeout*.  Both are retried up to
+   ``retries`` extra attempts.  A clean Python exception is
+   deterministic and therefore **not** retried — it is reported as
+   ``"failed"`` with the worker's traceback.
+4. **Streaming** — progress flows through the ``repro.obs`` event bus
+   (category ``runner``, virtual time = wall seconds since run start)
+   and, when a manifest path is given, into a JSONL run manifest.
+
+Determinism: tasks are pure functions of their spec (seeds are
+spec-derived), so payloads — and the report bytes built from them — are
+byte-identical regardless of worker count, completion order, or whether
+a result came from cache.  Outcomes are returned in submission order.
+
+``workers=0`` runs every spec inline in the calling process (no
+isolation, timeouts ignored) — the debugging mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
+from repro.runner.cache import ResultCache, payload_digest
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.manifest import ManifestWriter
+from repro.runner.spec import RunSpec
+from repro.runner.tasks import execute_spec
+
+#: Poll interval of the orchestration loop (seconds).
+_POLL_S = 0.02
+
+
+@dataclass
+class RunOutcome:
+    """Terminal state of one spec."""
+
+    spec: RunSpec
+    #: "ok" | "cached" | "failed" | "timeout" | "crashed"
+    status: str
+    payload: Optional[dict[str, Any]] = None
+    attempts: int = 0
+    duration_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "cached"
+
+    def manifest_record(self, index: int) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "index": index,
+            "hash": self.spec.content_hash,
+            "kind": self.spec.kind,
+            "name": self.spec.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.payload is not None:
+            record["payload_digest"] = payload_digest(self.payload)
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`run_specs` learned about one run."""
+
+    fingerprint: str
+    workers: int
+    outcomes: list[RunOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.failed == 0
+
+    def outcome_for(self, spec: RunSpec) -> Optional[RunOutcome]:
+        target = spec.content_hash
+        for outcome in self.outcomes:
+            if outcome.spec.content_hash == target:
+                return outcome
+        return None
+
+    def summary_record(self) -> dict[str, Any]:
+        return {
+            "total": len(self.outcomes),
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "wall_s": round(self.wall_s, 6),
+            "workers": self.workers,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _worker_entry(conn, spec_dict: dict[str, Any]) -> None:
+    """Child-process body: execute one spec, report over the pipe."""
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+        t0 = time.perf_counter()
+        payload = execute_spec(spec)
+        conn.send(
+            {
+                "ok": True,
+                "payload": payload,
+                "duration_s": time.perf_counter() - t0,
+            }
+        )
+    except BaseException as exc:  # report, never let the child re-raise
+        try:
+            conn.send(
+                {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _mp_context():
+    """Fork where available (cheap, Linux); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class _Job:
+    index: int
+    spec: RunSpec
+    attempt: int  # 1-based
+    proc: Any = None
+    conn: Any = None
+    started: float = 0.0
+    deadline: Optional[float] = None
+
+
+class _Orchestrator:
+    """Bookkeeping shared by the fan-out loop and its completion paths."""
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        timeout_s: Optional[float],
+        retries: int,
+        cache: Optional[ResultCache],
+        fingerprint: str,
+        obs: Observability,
+        manifest: Optional[ManifestWriter],
+        t0: float,
+    ):
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.cache = cache
+        self.fingerprint = fingerprint
+        self.obs = obs
+        self.manifest = manifest
+        self.t0 = t0
+        self.ctx = _mp_context()
+        self.results: dict[int, RunOutcome] = {}
+
+    def now(self) -> float:
+        """Wall seconds since the run started (the runner's sim time)."""
+        return time.perf_counter() - self.t0
+
+    def emit(self, name: str, **fields: Any) -> None:
+        self.obs.trace.emit(
+            round(self.now(), 6), Category.RUNNER, name, **fields
+        )
+
+    def finish(self, job: _Job, outcome: RunOutcome) -> None:
+        self.results[job.index] = outcome
+        if (
+            self.cache is not None
+            and outcome.status == "ok"
+            and outcome.payload is not None
+        ):
+            self.cache.put(
+                outcome.spec,
+                self.fingerprint,
+                outcome.payload,
+                outcome.duration_s,
+            )
+        self.emit(
+            "spec_end",
+            spec=outcome.spec.name,
+            hash=outcome.spec.content_hash[:12],
+            status=outcome.status,
+            attempts=outcome.attempts,
+            duration_s=round(outcome.duration_s, 6),
+        )
+        if self.manifest is not None:
+            self.manifest.spec(outcome.manifest_record(job.index))
+
+    def spawn(self, job: _Job) -> None:
+        recv, send = self.ctx.Pipe(duplex=False)
+        job.proc = self.ctx.Process(
+            target=_worker_entry,
+            args=(send, job.spec.to_dict()),
+            daemon=True,
+        )
+        job.started = time.perf_counter()
+        job.deadline = (
+            job.started + self.timeout_s
+            if self.timeout_s is not None
+            else None
+        )
+        job.proc.start()
+        send.close()  # parent keeps only the read end
+        job.conn = recv
+        self.emit(
+            "spec_start",
+            spec=job.spec.name,
+            hash=job.spec.content_hash[:12],
+            attempt=job.attempt,
+        )
+
+    def reap(self, job: _Job) -> None:
+        """Close the pipe and join the (already finished) process."""
+        try:
+            job.conn.close()
+        except OSError:
+            pass
+        job.proc.join(timeout=5.0)
+        if job.proc.is_alive():  # pragma: no cover - defensive
+            job.proc.kill()
+            job.proc.join(timeout=5.0)
+
+    def may_retry(self, job: _Job, status: str, error: str) -> Optional[_Job]:
+        """Requeue a crashed/timed-out job if attempts remain."""
+        if job.attempt <= self.retries:
+            self.emit(
+                "spec_retry",
+                spec=job.spec.name,
+                hash=job.spec.content_hash[:12],
+                attempt=job.attempt,
+                status=status,
+                error=error,
+            )
+            return _Job(job.index, job.spec, job.attempt + 1)
+        self.finish(
+            job,
+            RunOutcome(
+                spec=job.spec,
+                status=status,
+                attempts=job.attempt,
+                duration_s=time.perf_counter() - job.started,
+                error=error,
+            ),
+        )
+        return None
+
+
+def _run_pool(orch: _Orchestrator, jobs: Sequence[_Job]) -> None:
+    """Drive jobs to completion with at most ``orch.workers`` children."""
+    pending: deque[_Job] = deque(jobs)
+    running: list[_Job] = []
+    while pending or running:
+        while pending and len(running) < orch.workers:
+            job = pending.popleft()
+            orch.spawn(job)
+            running.append(job)
+
+        conns = [j.conn for j in running]
+        if conns:
+            connection_wait(conns, timeout=_POLL_S)
+
+        now = time.perf_counter()
+        still_running: list[_Job] = []
+        for job in running:
+            message = None
+            done = False
+            if job.conn.poll():
+                try:
+                    message = job.conn.recv()
+                except EOFError:
+                    message = None  # died before sending: a crash
+                done = True
+            elif not job.proc.is_alive():
+                done = True  # exited without a message: a crash
+            elif job.deadline is not None and now > job.deadline:
+                job.proc.terminate()
+                job.proc.join(timeout=5.0)
+                orch.reap(job)
+                retry = orch.may_retry(
+                    job,
+                    "timeout",
+                    f"exceeded {orch.timeout_s}s timeout",
+                )
+                if retry is not None:
+                    pending.append(retry)
+                continue
+
+            if not done:
+                still_running.append(job)
+                continue
+
+            orch.reap(job)
+            if message is None:
+                retry = orch.may_retry(
+                    job,
+                    "crashed",
+                    f"worker died without reporting "
+                    f"(exitcode {job.proc.exitcode})",
+                )
+                if retry is not None:
+                    pending.append(retry)
+            elif message.get("ok"):
+                orch.finish(
+                    job,
+                    RunOutcome(
+                        spec=job.spec,
+                        status="ok",
+                        payload=message["payload"],
+                        attempts=job.attempt,
+                        duration_s=float(message["duration_s"]),
+                    ),
+                )
+            else:
+                # A clean exception is deterministic: no retry.
+                orch.finish(
+                    job,
+                    RunOutcome(
+                        spec=job.spec,
+                        status="failed",
+                        attempts=job.attempt,
+                        duration_s=time.perf_counter() - job.started,
+                        error=message.get("error", "unknown error"),
+                    ),
+                )
+        running = still_running
+
+
+def _run_inline(orch: _Orchestrator, jobs: Sequence[_Job]) -> None:
+    """workers=0: execute specs in-process (debug mode, no isolation)."""
+    for job in jobs:
+        orch.emit(
+            "spec_start",
+            spec=job.spec.name,
+            hash=job.spec.content_hash[:12],
+            attempt=1,
+        )
+        t0 = time.perf_counter()
+        try:
+            payload = execute_spec(job.spec)
+        except Exception as exc:
+            orch.finish(
+                job,
+                RunOutcome(
+                    spec=job.spec,
+                    status="failed",
+                    attempts=1,
+                    duration_s=time.perf_counter() - t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+            )
+        else:
+            orch.finish(
+                job,
+                RunOutcome(
+                    spec=job.spec,
+                    status="ok",
+                    payload=payload,
+                    attempts=1,
+                    duration_s=time.perf_counter() - t0,
+                ),
+            )
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    fingerprint: Optional[str] = None,
+    timeout_s: Optional[float] = 600.0,
+    retries: int = 1,
+    refresh: bool = False,
+    obs: Optional[Observability] = None,
+    manifest_path: Optional[str] = None,
+) -> RunReport:
+    """Execute ``specs`` and return their outcomes in submission order.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent worker processes; ``1`` is serial (still isolated),
+        ``0`` runs inline in this process.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are stored back.
+    fingerprint:
+        Code fingerprint for cache keying; computed from the live
+        ``repro`` package when omitted.
+    timeout_s:
+        Per-spec wall-clock budget (``None`` disables).
+    retries:
+        Extra attempts after a crash or timeout (clean exceptions are
+        deterministic and never retried).
+    refresh:
+        Ignore cache reads (results are still written back) — forces
+        re-execution without discarding the cache.
+    obs:
+        Observability context for progress events (``runner`` category);
+        disabled by default.
+    manifest_path:
+        When given, stream a JSONL run manifest there.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.content_hash in seen:
+            raise ConfigurationError(
+                f"duplicate spec {spec.name!r} "
+                f"({spec.content_hash[:12]}) in one run"
+            )
+        seen.add(spec.content_hash)
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    obs = obs if obs is not None else NULL_OBS
+    t0 = time.perf_counter()
+
+    manifest = (
+        ManifestWriter(manifest_path) if manifest_path is not None else None
+    )
+    orch = _Orchestrator(
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        cache=cache,
+        fingerprint=fingerprint,
+        obs=obs,
+        manifest=manifest,
+        t0=t0,
+    )
+    try:
+        if manifest is not None:
+            manifest.header(
+                fingerprint=fingerprint,
+                workers=workers,
+                n_specs=len(specs),
+            )
+        orch.emit(
+            "run_start",
+            n_specs=len(specs),
+            workers=workers,
+            fingerprint=fingerprint[:12],
+        )
+
+        to_execute: list[_Job] = []
+        for index, spec in enumerate(specs):
+            entry = None
+            if cache is not None and not refresh:
+                entry = cache.get(spec.content_hash, fingerprint)
+            if entry is not None:
+                outcome = RunOutcome(
+                    spec=spec,
+                    status="cached",
+                    payload=entry["payload"],
+                    attempts=0,
+                    duration_s=0.0,
+                )
+                orch.results[index] = outcome
+                orch.emit(
+                    "cache_hit",
+                    spec=spec.name,
+                    hash=spec.content_hash[:12],
+                )
+                if manifest is not None:
+                    manifest.spec(outcome.manifest_record(index))
+            else:
+                to_execute.append(_Job(index, spec, attempt=1))
+
+        if to_execute:
+            if workers == 0:
+                _run_inline(orch, to_execute)
+            else:
+                _run_pool(orch, to_execute)
+
+        report = RunReport(
+            fingerprint=fingerprint,
+            workers=workers,
+            outcomes=[orch.results[i] for i in range(len(specs))],
+            wall_s=time.perf_counter() - t0,
+        )
+        orch.emit("run_end", **report.summary_record())
+        if manifest is not None:
+            manifest.summary(report.summary_record())
+        return report
+    finally:
+        if manifest is not None:
+            manifest.close()

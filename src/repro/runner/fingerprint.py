@@ -1,0 +1,48 @@
+"""Code fingerprinting: the cache-invalidation half of the cache key.
+
+A cached result is only reusable while the code that produced it is
+unchanged, so every cache key mixes the spec's content hash with a
+*code fingerprint*: a SHA-256 over the contents of every ``*.py`` file
+under the ``repro`` package (sorted by relative path, so the walk order
+of the filesystem cannot matter).  Editing any source file — even one
+the spec never imports — changes the fingerprint and invalidates the
+whole cache.  That is deliberately coarse: correctness first; a stale
+hit is a silent wrong answer, a spurious miss merely re-runs.
+
+Tests pass explicit ``roots`` to fingerprint a sandbox tree instead of
+the live package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def code_fingerprint(
+    roots: Optional[Sequence[str | Path]] = None,
+) -> str:
+    """Hex SHA-256 over all ``*.py`` files under ``roots``.
+
+    Defaults to the installed ``repro`` package directory.  The digest
+    covers each file's root-relative POSIX path and its raw bytes, so
+    renames, additions, deletions, and edits all change it.
+    """
+    if roots is None:
+        import repro
+
+        roots = [Path(repro.__file__).parent]
+    digest = hashlib.sha256()
+    for root in roots:
+        root = Path(root)
+        files = sorted(
+            p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+        )
+        for path in files:
+            rel = path.relative_to(root).as_posix()
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()

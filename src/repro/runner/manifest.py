@@ -1,0 +1,116 @@
+"""JSONL run manifests: one append-only record stream per run.
+
+A manifest is the durable narration of a run: a ``run`` header (code
+fingerprint, worker count, spec count), one ``spec`` line per outcome
+in completion order (each tagged with its submission ``index`` so
+loaders can restore submission order), and a closing ``summary`` line.
+Lines are flushed as they happen, so a killed run still leaves a
+readable prefix; :func:`load_manifest` tolerates a torn final line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class Manifest:
+    """A parsed manifest: header + spec entries + optional summary."""
+
+    header: dict[str, Any]
+    entries: list[dict[str, Any]] = field(default_factory=list)
+    summary: Optional[dict[str, Any]] = None
+
+    def entries_in_submission_order(self) -> list[dict[str, Any]]:
+        return sorted(self.entries, key=lambda e: e.get("index", 0))
+
+
+class ManifestWriter:
+    """Streams manifest lines to disk as a run progresses.
+
+    The file is truncated at open (a manifest describes exactly one
+    run) and every line is flushed immediately — crash-safe by
+    construction, no buffering to tear.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fp = open(self.path, "w", encoding="utf-8")
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fp.flush()
+
+    def header(
+        self,
+        fingerprint: str,
+        workers: int,
+        n_specs: int,
+        **extra: Any,
+    ) -> None:
+        self._write(
+            {
+                "type": "run",
+                "schema": MANIFEST_SCHEMA,
+                "fingerprint": fingerprint,
+                "workers": workers,
+                "n_specs": n_specs,
+                **extra,
+            }
+        )
+
+    def spec(self, record: dict[str, Any]) -> None:
+        self._write({"type": "spec", **record})
+
+    def summary(self, record: dict[str, Any]) -> None:
+        self._write({"type": "summary", **record})
+
+    def close(self) -> None:
+        if not self._fp.closed:
+            self._fp.close()
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Parse a manifest written by :class:`ManifestWriter`.
+
+    A torn final line (from a killed run) is ignored; a torn line
+    anywhere else raises, since that indicates real corruption.
+    """
+    header: Optional[dict[str, Any]] = None
+    entries: list[dict[str, Any]] = []
+    summary: Optional[dict[str, Any]] = None
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if i == len(lines) - 1:
+                break  # torn tail from an interrupted run
+            raise ConfigurationError(
+                f"manifest {path} has a corrupt line {i + 1}: {exc}"
+            ) from exc
+        if record.get("type") == "run":
+            header = record
+        elif record.get("type") == "spec":
+            entries.append(record)
+        elif record.get("type") == "summary":
+            summary = record
+    if header is None:
+        raise ConfigurationError(f"manifest {path} has no run header")
+    return Manifest(header=header, entries=entries, summary=summary)

@@ -1,0 +1,92 @@
+"""Built-in spec suites: the runs the repo's evaluation is made of.
+
+:func:`figure_suite` is the declarative form of "regenerate
+EXPERIMENTS.md": one :class:`RunSpec` per figure, each pinning the
+canonical seed its recorded numbers were produced with, so runner
+output is byte-identical to ``python -m repro.harness <figure>``.
+:func:`chaos_spec` adds the canonical seeded chaos campaign, and
+:func:`seed_sweep_suite` builds the multi-seed replica workload the
+scaling benchmark fans out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.figures import CANONICAL_SEEDS, FIGURES
+from repro.runner.spec import RunSpec, mix_seed
+
+
+def figure_spec(
+    name: str,
+    *,
+    fast: bool = False,
+    seed: Optional[int] = None,
+) -> RunSpec:
+    """Spec for one figure; ``seed=None`` pins the canonical seed."""
+    if name not in FIGURES:
+        raise ConfigurationError(
+            f"unknown figure {name!r}; known: {sorted(FIGURES)}"
+        )
+    params = {"figure": name}
+    if fast:
+        params["fast"] = True
+    return RunSpec(
+        kind="figure",
+        name=name if not fast else f"{name}-fast",
+        params=params,
+        seed=seed if seed is not None else CANONICAL_SEEDS[name],
+    )
+
+
+def figure_suite(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    fast: bool = False,
+    seed: Optional[int] = None,
+) -> list[RunSpec]:
+    """Specs for ``figures`` (default: every figure, sorted by name)."""
+    names = sorted(FIGURES) if figures is None else list(figures)
+    return [figure_spec(n, fast=fast, seed=seed) for n in names]
+
+
+def chaos_spec(
+    *, seed: int = 7, duration: float = 80.0
+) -> RunSpec:
+    """The canonical seeded chaos campaign as a spec."""
+    return RunSpec(
+        kind="chaos",
+        name=f"chaos-s{seed}",
+        params={"duration": duration},
+        seed=seed,
+    )
+
+
+def seed_sweep_suite(
+    figure: str = "fig4",
+    *,
+    n_seeds: int = 4,
+    base_seed: int = 7,
+    fast: bool = True,
+) -> list[RunSpec]:
+    """``n_seeds`` replicas of one figure under derived seeds.
+
+    Each replica's seed is mixed from ``base_seed`` and its index, so
+    the workload is deterministic but every spec (hence cache key) is
+    distinct — the multi-seed sweep the scaling benchmark parallelizes.
+    """
+    if n_seeds < 1:
+        raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+    params = {"figure": figure}
+    if fast:
+        params["fast"] = True
+    return [
+        RunSpec(
+            kind="figure",
+            name=f"{figure}-seed{i}",
+            params=params,
+            seed=mix_seed(str(base_seed), figure, str(i)),
+        )
+        for i in range(n_seeds)
+    ]

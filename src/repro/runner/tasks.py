@@ -1,0 +1,211 @@
+"""Task implementations: pure spec -> JSON-payload functions.
+
+Each entry in :data:`TASKS` maps a spec ``kind`` to a top-level
+function (picklable, importable under any multiprocessing start
+method) that executes the spec and returns a JSON-serializable payload.
+Payloads are *pure* functions of the spec: no wall clocks, hostnames,
+PIDs, or attempt counters ever leak in, which is what makes parallel
+execution byte-identical to serial and cache entries reusable.
+
+Every payload carries a ``"report"`` key — the human-readable text the
+front door writes to ``<output>/<name>.txt`` — plus task-specific
+structured fields.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import RunSpec
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays for JSON serialization."""
+    if isinstance(obj, np.ndarray):
+        return [jsonify(v) for v in obj.tolist()]
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# figure
+# ----------------------------------------------------------------------
+def run_figure(spec: RunSpec) -> dict[str, Any]:
+    """Regenerate one figure: params ``{"figure": ..., "fast": ...}``.
+
+    The RNG seed is the spec's :meth:`~RunSpec.effective_seed` — the
+    suite builder pins each figure's canonical seed explicitly, so the
+    report bytes match ``python -m repro.harness <figure>``.
+    """
+    from repro.harness.figures import FIGURES
+
+    name = spec.params.get("figure")
+    if name not in FIGURES:
+        raise ConfigurationError(
+            f"unknown figure {name!r}; known: {sorted(FIGURES)}"
+        )
+    result = FIGURES[name](
+        seed=spec.effective_seed(),
+        fast=bool(spec.params.get("fast", False)),
+    )
+    return {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "report": result.render() + "\n",
+        "measured": jsonify(result.measured),
+        "notes": list(result.notes),
+    }
+
+
+# ----------------------------------------------------------------------
+# sweep points
+# ----------------------------------------------------------------------
+def run_sweep_point(spec: RunSpec) -> dict[str, Any]:
+    """One cross-traffic intensity: params ``{"scale": ..., ...}``.
+
+    Calls the same :func:`repro.harness.sweep.cross_traffic_point` the
+    serial sweep loop uses, with the same base seed, so a fanned-out
+    sweep reassembles bit-identically to ``sweep_cross_traffic``.
+    """
+    from repro.harness.sweep import cross_traffic_point, render_sweep
+
+    point = cross_traffic_point(
+        scale=float(spec.params["scale"]),
+        algorithms=tuple(spec.params.get("algorithms", ("MSFQ", "PGOS"))),
+        seed=spec.effective_seed(),
+        duration=float(spec.params.get("duration", 90.0)),
+        dt=float(spec.params.get("dt", 0.1)),
+        warmup_intervals=int(spec.params.get("warmup_intervals", 200)),
+    )
+    return {
+        "point": jsonify(asdict(point)),
+        "report": render_sweep([point]) + "\n",
+    }
+
+
+def run_noise_point(spec: RunSpec) -> dict[str, Any]:
+    """One probing-quality level: params describe the probe declaratively.
+
+    ``{"label": ..., "noise_cv": ..., "bias": ..., "smoothing_intervals":
+    ..., "perfect": bool}`` — the probe object is built here, inside the
+    worker, so specs stay plain data.
+    """
+    from repro.harness.sweep import measurement_noise_point
+    from repro.monitoring.probe import ProbingEstimator
+
+    label = str(spec.params["label"])
+    probe = None
+    if not spec.params.get("perfect", False):
+        probe = ProbingEstimator(
+            noise_cv=float(spec.params.get("noise_cv", 0.0)),
+            bias=float(spec.params.get("bias", 1.0)),
+            smoothing_intervals=int(
+                spec.params.get("smoothing_intervals", 1)
+            ),
+        )
+    point = measurement_noise_point(
+        label,
+        probe,
+        seed=spec.effective_seed(),
+        duration=float(spec.params.get("duration", 90.0)),
+        dt=float(spec.params.get("dt", 0.1)),
+        warmup_intervals=int(spec.params.get("warmup_intervals", 200)),
+    )
+    return {
+        "point": jsonify(asdict(point)),
+        "report": f"{point.label}: attainment {point.attainment:.3f}\n",
+    }
+
+
+# ----------------------------------------------------------------------
+# chaos campaign
+# ----------------------------------------------------------------------
+def run_chaos(spec: RunSpec) -> dict[str, Any]:
+    """The canonical seeded chaos campaign (tools/run_chaos.py's run)."""
+    from repro.harness.chaos import standard_chaos_run
+
+    report = standard_chaos_run(
+        seed=spec.effective_seed(),
+        duration=float(spec.params.get("duration", 80.0)),
+    )
+    return {
+        "campaign": report.campaign,
+        "report": report.summary() + "\n",
+        "detected": report.detected,
+        "recovered": report.recovered,
+        "time_to_detect": report.time_to_detect,
+        "time_to_recover": report.time_to_recover,
+        "remap_count": report.remap_count,
+        "violation_seconds": jsonify(report.violation_seconds),
+    }
+
+
+# ----------------------------------------------------------------------
+# selftest (executor plumbing probes)
+# ----------------------------------------------------------------------
+def run_selftest(spec: RunSpec) -> dict[str, Any]:
+    """Controlled success/crash/hang behaviors for tests and smoke runs.
+
+    Modes: ``echo`` returns ``value``; ``sleep`` sleeps ``sleep_s`` then
+    echoes; ``raise`` raises; ``crash`` hard-exits the worker; and
+    ``crash_once`` hard-exits only while the ``marker`` file is absent
+    (creating it first), so a retry succeeds — the bounded-retry path in
+    one spec.
+    """
+    mode = spec.params.get("mode", "echo")
+    value = spec.params.get("value")
+    if mode == "sleep":
+        time.sleep(float(spec.params.get("sleep_s", 0.1)))
+    elif mode == "raise":
+        raise RuntimeError(spec.params.get("message", "selftest failure"))
+    elif mode == "crash":
+        os._exit(int(spec.params.get("exit_code", 3)))
+    elif mode == "crash_once":
+        marker = spec.params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as fp:
+                fp.write("crashed\n")
+            os._exit(int(spec.params.get("exit_code", 3)))
+    elif mode != "echo":
+        raise ConfigurationError(f"unknown selftest mode {mode!r}")
+    return {"value": value, "report": f"selftest {mode}: {value}\n"}
+
+
+#: Dispatch table: spec kind -> task function.
+TASKS: dict[str, Callable[[RunSpec], dict[str, Any]]] = {
+    "figure": run_figure,
+    "sweep_point": run_sweep_point,
+    "noise_point": run_noise_point,
+    "chaos": run_chaos,
+    "selftest": run_selftest,
+}
+
+
+def execute_spec(spec: RunSpec) -> dict[str, Any]:
+    """Dispatch one spec to its task; the single worker entry point."""
+    task = TASKS.get(spec.kind)
+    if task is None:
+        raise ConfigurationError(
+            f"unknown spec kind {spec.kind!r}; known: {sorted(TASKS)}"
+        )
+    payload = task(spec)
+    if "report" not in payload:
+        raise ConfigurationError(
+            f"task {spec.kind!r} returned no 'report' key"
+        )
+    return payload

@@ -14,7 +14,7 @@ from repro.harness.sweep import (
 @pytest.fixture(scope="module")
 def points():
     return sweep_cross_traffic(
-        scales=(0.8, 1.6),
+        scales=(0.8, 1.4),
         algorithms=("MSFQ", "PGOS"),
         duration=40.0,
         warmup_intervals=100,
@@ -23,7 +23,7 @@ def points():
 
 class TestSweep:
     def test_one_point_per_scale(self, points):
-        assert [p.scale for p in points] == [0.8, 1.6]
+        assert [p.scale for p in points] == [0.8, 1.4]
 
     def test_light_load_admitted(self, points):
         assert points[0].admitted
@@ -40,7 +40,7 @@ class TestSweep:
         )
 
     def test_crossover(self, points):
-        assert admission_crossover(points) == 1.6
+        assert admission_crossover(points) == 1.4
 
     def test_crossover_none_when_all_admitted(self):
         ok = [

@@ -1,0 +1,137 @@
+"""Serial vs parallel byte-equivalence on real figures, plus the CLI.
+
+The runner's core promise: payloads are pure functions of their specs,
+so worker count and completion order can never change a single byte of
+output.  These tests pay for two real (fast-mode) figures once and
+compare every execution/caching path against that baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, figure_suite, run_specs
+from repro.runner.cache import payload_digest
+from repro.runner.cli import main as runner_main
+
+#: Two cheap figures with different code paths (scheduling vs app ext).
+FIGURES = ["fig10", "video"]
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    specs = figure_suite(FIGURES, fast=True)
+    return run_specs(specs, workers=1, timeout_s=300.0)
+
+
+class TestByteEquivalence:
+    def test_parallel_matches_serial(self, serial_report):
+        specs = figure_suite(FIGURES, fast=True)
+        parallel = run_specs(specs, workers=2, timeout_s=300.0)
+        for serial_o, parallel_o in zip(
+            serial_report.outcomes, parallel.outcomes
+        ):
+            assert serial_o.status == parallel_o.status == "ok"
+            assert payload_digest(serial_o.payload) == payload_digest(
+                parallel_o.payload
+            )
+            assert (
+                serial_o.payload["report"] == parallel_o.payload["report"]
+            )
+
+    def test_inline_matches_serial(self, serial_report):
+        specs = figure_suite(FIGURES, fast=True)
+        inline = run_specs(specs, workers=0)
+        for serial_o, inline_o in zip(
+            serial_report.outcomes, inline.outcomes
+        ):
+            assert payload_digest(serial_o.payload) == payload_digest(
+                inline_o.payload
+            )
+
+    def test_cached_payload_matches_fresh(self, serial_report, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = figure_suite(FIGURES, fast=True)
+        cold = run_specs(
+            specs, workers=2, cache=cache, fingerprint="fp",
+            timeout_s=300.0,
+        )
+        warm = run_specs(
+            specs, workers=2, cache=cache, fingerprint="fp",
+            timeout_s=300.0,
+        )
+        assert warm.executed == 0 and warm.cached == len(FIGURES)
+        for serial_o, warm_o in zip(serial_report.outcomes, warm.outcomes):
+            assert payload_digest(serial_o.payload) == payload_digest(
+                warm_o.payload
+            )
+        assert cold.executed == len(FIGURES)
+
+    def test_canonical_seed_matches_harness_cli(self, serial_report):
+        # The runner's figure report must be byte-identical to what
+        # ``python -m repro.harness <figure> --fast`` renders.
+        from repro.harness.figures import FIGURES as REGISTRY
+
+        for outcome in serial_report.outcomes:
+            name = outcome.spec.params["figure"]
+            direct = REGISTRY[name](fast=True)
+            assert outcome.payload["report"] == direct.render() + "\n"
+
+
+class TestRunnerCli:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        argv = [
+            "fig10",
+            "--fast",
+            "--workers",
+            "2",
+            "--output-dir",
+            str(tmp_path / "out"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--manifest",
+            str(tmp_path / "run.jsonl"),
+            "--summary-json",
+            str(tmp_path / "summary.json"),
+        ]
+        assert runner_main(argv) == 0
+        cold = json.loads((tmp_path / "summary.json").read_text())
+        assert cold["executed"] == 1 and cold["cached"] == 0
+        report_path = tmp_path / "out" / "fig10-fast.txt"
+        assert report_path.exists()
+        cold_bytes = report_path.read_bytes()
+
+        assert runner_main(argv) == 0
+        warm = json.loads((tmp_path / "summary.json").read_text())
+        assert warm["executed"] == 0 and warm["cached"] == 1
+        assert report_path.read_bytes() == cold_bytes
+        capsys.readouterr()  # silence the CLI chatter
+
+    def test_unknown_figure_rejected(self, tmp_path, capsys):
+        assert (
+            runner_main(
+                ["nope", "--cache-dir", str(tmp_path / "cache")]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "video" in out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        # Inject a failing spec through run_specs directly: the CLI's
+        # exit-code contract is report.all_ok, which this exercises.
+        from repro.runner import RunSpec
+
+        report = run_specs(
+            [RunSpec(kind="selftest", name="bad", params={"mode": "raise"})],
+            workers=1,
+            timeout_s=60.0,
+        )
+        assert not report.all_ok
+        capsys.readouterr()

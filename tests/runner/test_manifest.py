@@ -1,0 +1,72 @@
+"""JSONL run manifest: streaming writes, loading, torn tails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.manifest import ManifestWriter, load_manifest
+
+
+def _write_sample(path):
+    with ManifestWriter(path) as writer:
+        writer.header(fingerprint="fp", workers=2, n_specs=2)
+        writer.spec({"index": 1, "name": "b", "status": "ok"})
+        writer.spec({"index": 0, "name": "a", "status": "cached"})
+        writer.summary({"total": 2, "executed": 1, "cached": 1, "failed": 0})
+
+
+class TestRoundTrip:
+    def test_header_entries_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_sample(path)
+        manifest = load_manifest(path)
+        assert manifest.header["fingerprint"] == "fp"
+        assert manifest.header["workers"] == 2
+        assert len(manifest.entries) == 2
+        assert manifest.summary["total"] == 2
+
+    def test_submission_order_recovered(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_sample(path)
+        manifest = load_manifest(path)
+        # Entries were written in completion order (b before a) but the
+        # index field recovers submission order.
+        names = [
+            e["name"] for e in manifest.entries_in_submission_order()
+        ]
+        assert names == ["a", "b"]
+
+    def test_lines_are_flushed_as_written(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with ManifestWriter(path) as writer:
+            writer.header(fingerprint="fp", workers=1, n_specs=1)
+            # Before close: the header line must already be on disk.
+            assert path.read_text(encoding="utf-8").count("\n") == 1
+
+
+class TestTornFiles:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_sample(path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text + '{"type": "spec", "ind', encoding="utf-8")
+        manifest = load_manifest(path)
+        assert len(manifest.entries) == 2
+
+    def test_torn_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_sample(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_manifest(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"type": "spec", "index": 0}\n', encoding="utf-8"
+        )
+        with pytest.raises(ConfigurationError):
+            load_manifest(path)

@@ -1,0 +1,93 @@
+"""RunSpec: content hashing, seed derivation, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import RunSpec, canonical_json, mix_seed
+
+
+class TestContentHash:
+    def test_stable_under_param_dict_ordering(self):
+        a = RunSpec(kind="figure", name="f", params={"x": 1, "y": 2})
+        b = RunSpec(kind="figure", name="f", params={"y": 2, "x": 1})
+        assert a.content_hash == b.content_hash
+
+    def test_changes_on_param_change(self):
+        a = RunSpec(kind="figure", name="f", params={"x": 1})
+        b = RunSpec(kind="figure", name="f", params={"x": 2})
+        assert a.content_hash != b.content_hash
+
+    def test_changes_on_seed_change(self):
+        a = RunSpec(kind="figure", name="f", seed=1)
+        b = RunSpec(kind="figure", name="f", seed=2)
+        assert a.content_hash != b.content_hash
+
+    def test_changes_on_kind_and_name(self):
+        base = RunSpec(kind="figure", name="f")
+        assert (
+            base.content_hash
+            != RunSpec(kind="chaos", name="f").content_hash
+        )
+        assert (
+            base.content_hash
+            != RunSpec(kind="figure", name="g").content_hash
+        )
+
+    def test_hash_is_hex_sha256(self):
+        h = RunSpec(kind="figure", name="f").content_hash
+        assert len(h) == 64
+        int(h, 16)  # must parse as hex
+
+
+class TestEffectiveSeed:
+    def test_explicit_seed_wins(self):
+        assert RunSpec(kind="f", name="n", seed=42).effective_seed() == 42
+
+    def test_derived_seed_is_deterministic(self):
+        a = RunSpec(kind="f", name="n", params={"x": 1})
+        b = RunSpec(kind="f", name="n", params={"x": 1})
+        assert a.effective_seed() == b.effective_seed()
+
+    def test_derived_seed_varies_with_spec(self):
+        a = RunSpec(kind="f", name="n", params={"x": 1})
+        b = RunSpec(kind="f", name="n", params={"x": 2})
+        assert a.effective_seed() != b.effective_seed()
+
+    def test_derived_seed_is_31_bit(self):
+        seed = RunSpec(kind="f", name="n").effective_seed()
+        assert 0 <= seed < 2**31
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        spec = RunSpec(
+            kind="figure",
+            name="fig9",
+            params={"figure": "fig9", "fast": True},
+            seed=7,
+        )
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.content_hash == spec.content_hash
+
+
+class TestValidation:
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(kind="", name="n")
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(kind="f", name="n", params={"x": object()})
+
+
+class TestHelpers:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_mix_seed_deterministic_and_distinct(self):
+        assert mix_seed("a", "b") == mix_seed("a", "b")
+        assert mix_seed("a", "b") != mix_seed("a", "c")
+        assert 0 <= mix_seed("a") < 2**31

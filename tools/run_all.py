@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Regenerate the entire EXPERIMENTS.md evaluation in one command.
+
+A thin wrapper over ``python -m repro.runner`` with the full-evaluation
+defaults baked in: every figure at canonical seeds plus the chaos
+campaign, results cached under ``.repro-cache``, reports written to
+``reports/``.  A warm rerun with unchanged code is pure cache hits.
+
+Run:  PYTHONPATH=src python tools/run_all.py [--workers N] [...]
+
+Any extra arguments are forwarded to the runner CLI verbatim, so e.g.
+``tools/run_all.py --fast --workers 4`` works as expected.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--with-chaos" not in argv:
+        argv = ["--with-chaos", *argv]
+    sys.exit(main(argv))

@@ -21,10 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.apps.smartpointer import smartpointer_streams
-from repro.harness.chaos import run_chaos_campaign
-from repro.network.emulab import make_figure8_testbed
-from repro.network.faults import FaultCampaign
+from repro.harness.chaos import standard_chaos_run
 
 
 def main(argv=None) -> int:
@@ -44,20 +41,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    testbed = make_figure8_testbed(
-        profile_a="abilene-moderate", profile_b="light"
-    )
-    realization = testbed.realize(seed=41, duration=220.0, dt=0.1)
-    campaign = FaultCampaign.random(
-        ["A", "B"], duration=args.duration, seed=args.seed
-    )
+    report = standard_chaos_run(seed=args.seed, duration=args.duration)
     print(
-        f"campaign {campaign.name}: {len(campaign.faults)} faults, "
-        f"{len(campaign.blackouts)} blackouts, "
-        f"onset {campaign.first_onset:.1f}s, end {campaign.last_end:.1f}s"
-    )
-    report = run_chaos_campaign(
-        realization, smartpointer_streams(), campaign
+        f"campaign {report.campaign}: detect "
+        f"{report.time_to_detect}, recover {report.time_to_recover}"
     )
     if args.trace_out is not None:
         n = report.obs.trace.export_jsonl(args.trace_out)
