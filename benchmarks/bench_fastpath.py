@@ -10,9 +10,15 @@ These benches measure, at Python speed:
 * the per-interval fluid allocation (PGOS allocate + water_fill).
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.mapping import compute_mapping
+from repro.fsutil import atomic_write_json
 from repro.core.pgos import PGOSScheduler, dispatch_window, make_packet_queue
 from repro.core.scheduler import water_fill
 from repro.core.spec import StreamSpec
@@ -105,6 +111,104 @@ def test_monitor_update_rate(benchmark):
     # 2000 samples = 200 s of monitoring at 0.1 s intervals; it must cost
     # a tiny fraction of that.
     assert benchmark.stats["mean"] < 0.1
+
+
+#: Required incremental-over-batch speedup of the windowed update+query
+#: cycle at W=500.  The incremental backend measures ~7× here; 5× leaves
+#: slack for noisy boxes.
+CDF_MIN_SPEEDUP = 5.0
+
+#: Window size and cycle count of the windowed CDF bench.
+CDF_BENCH_WINDOW = 500
+CDF_BENCH_CYCLES = int(os.environ.get("CDF_BENCH_CYCLES", "2500"))
+
+CDF_RESULTS_NAME = "BENCH_cdf.json"
+
+
+def _windowed_cycle(backend: str, samples) -> tuple[float, float]:
+    """Time the monitoring hot loop; returns (seconds, query checksum)."""
+    from repro.monitoring.cdf import SlidingWindowCDF
+
+    swc = SlidingWindowCDF(window=CDF_BENCH_WINDOW, backend=backend)
+    warm = CDF_BENCH_WINDOW
+    for s in samples[:warm]:
+        swc.update(s)
+    t0 = time.perf_counter()
+    acc = 0.0
+    for s in samples[warm:]:
+        swc.update(s)
+        acc += swc.evaluate(45.0)          # Lemma 1 read
+        acc += swc.partial_mean_below(45.0)  # Lemma 2 read
+        acc += swc.percentile(10.0)        # guaranteed-rate read
+    return time.perf_counter() - t0, acc
+
+
+def test_windowed_cdf_update_query(results_dir: Path):
+    """Incremental vs batch SlidingWindowCDF on the update+query cycle.
+
+    Two gates, following ``bench_runner_scaling``:
+
+    1. **Bit-identity** (always) — the checksum of every query result
+       must match between backends; the incremental structure is only a
+       fast path if it changes nothing.
+    2. **Speedup** (environment-gated) — the incremental backend must be
+       at least :data:`CDF_MIN_SPEEDUP`× faster per cycle.  Set
+       ``CDF_BENCH_GATE=0`` to record without asserting (shared/loaded
+       boxes where Python microbenchmarks are noise).
+
+    ``CDF_BENCH_RECORD=1`` (re)records ``benchmarks/results/BENCH_cdf.json``.
+    """
+    rng = np.random.default_rng(5)
+    samples = (
+        50 + 5 * rng.standard_normal(CDF_BENCH_WINDOW + CDF_BENCH_CYCLES)
+    ).tolist()
+
+    batch_s, batch_acc = min(
+        _windowed_cycle("batch", samples) for _ in range(3)
+    )
+    inc_s, inc_acc = min(
+        _windowed_cycle("incremental", samples) for _ in range(3)
+    )
+
+    # Gate 1: the backends must agree bit-for-bit on every query.
+    assert inc_acc == batch_acc, (
+        f"incremental checksum {inc_acc!r} != batch {batch_acc!r}"
+    )
+
+    speedup = batch_s / inc_s if inc_s > 0 else float("inf")
+    measurement = {
+        "window": CDF_BENCH_WINDOW,
+        "cycles": CDF_BENCH_CYCLES,
+        "batch_us_per_cycle": round(batch_s * 1e6 / CDF_BENCH_CYCLES, 3),
+        "incremental_us_per_cycle": round(inc_s * 1e6 / CDF_BENCH_CYCLES, 3),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+
+    results_path = results_dir / CDF_RESULTS_NAME
+    record = os.environ.get("CDF_BENCH_RECORD") == "1"
+    if results_path.exists() and not record:
+        data = json.loads(results_path.read_text(encoding="utf-8"))
+        data["latest"] = measurement
+    else:
+        data = {
+            "schema": 1,
+            "workload": (
+                f"W={CDF_BENCH_WINDOW}, {CDF_BENCH_CYCLES} cycles of "
+                "update + evaluate + partial_mean_below + percentile"
+            ),
+            "baseline": measurement,
+            "latest": measurement,
+        }
+    atomic_write_json(results_path, data)
+
+    # Gate 2: skip only when explicitly told the box cannot measure it.
+    if os.environ.get("CDF_BENCH_GATE") != "0":
+        assert speedup >= CDF_MIN_SPEEDUP, (
+            f"incremental backend only {speedup:.2f}x faster than batch "
+            f"(< {CDF_MIN_SPEEDUP}x): batch {batch_s:.3f}s vs "
+            f"incremental {inc_s:.3f}s over {CDF_BENCH_CYCLES} cycles"
+        )
 
 
 def test_percentile_failure_scoring(benchmark):

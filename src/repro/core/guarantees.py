@@ -24,6 +24,8 @@ All bandwidths are Mbps at the API; conversions to byte rates happen here.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.monitoring.cdf import EmpiricalCDF
 from repro.units import mbps_to_bytes_per_s
@@ -53,6 +55,77 @@ def probabilistic_guarantee(cdf: EmpiricalCDF, required_mbps: float) -> float:
     # Strictly below b0 counts as failure; a sample exactly equal to b0
     # still satisfies the requirement, so use F(b0-) = P{b < b0}.
     return float(1.0 - cdf.evaluate_strict(required_mbps))
+
+
+def probabilistic_guarantee_batch(
+    cdf: EmpiricalCDF, required_mbps: np.ndarray
+) -> np.ndarray:
+    """Lemma 1 over many candidate rates at once.
+
+    One vectorized ``searchsorted`` replaces one scalar call per rate;
+    every element is bit-identical to
+    :func:`probabilistic_guarantee` at the same rate.
+    """
+    rates = np.asarray(required_mbps, dtype=float)
+    if rates.size and float(rates.min()) < 0:
+        raise ConfigurationError(
+            f"required_mbps must be >= 0, got {float(rates.min())}"
+        )
+    return 1.0 - np.asarray(cdf.evaluate_strict(rates))
+
+
+def violation_bounds_batch(
+    cdf: EmpiricalCDF,
+    x_packets: np.ndarray,
+    packet_size: int,
+    tw: float,
+) -> np.ndarray:
+    """Lemma 2 over many candidate packet counts at once.
+
+    The candidate rates ``b0`` and their CDF heights are computed with
+    one vectorized pass (a single ``searchsorted`` over all candidate
+    rates); the clip epilogue runs per element with the exact scalar
+    operations of :func:`violation_bound`, so the batch is bit-identical
+    to the scalar path — the property that keeps the greedy
+    violation-bound split's decisions byte-stable.
+    """
+    x = np.asarray(x_packets)
+    if x.size and int(x.min()) < 0:
+        raise ConfigurationError(f"x_packets must be >= 0, got {int(x.min())}")
+    if packet_size <= 0 or tw <= 0:
+        raise ConfigurationError(
+            f"packet_size and tw must be positive, got {packet_size}, {tw}"
+        )
+    b0 = x * packet_size * 8.0 / (tw * 1e6)
+    f_b0 = np.asarray(cdf.evaluate(b0))
+    partial_mean_packets = (
+        mbps_to_bytes_per_s(cdf.partial_means_below(b0)) * tw / packet_size
+    )
+    raw = x * f_b0 - partial_mean_packets
+    out = np.empty(x.shape, dtype=float)
+    flat_x, flat_raw, flat_out = x.ravel(), raw.ravel(), out.ravel()
+    for i in range(flat_x.size):
+        xi = int(flat_x[i])
+        if xi == 0:
+            flat_out[i] = 0.0
+        else:
+            flat_out[i] = float(min(max(float(flat_raw[i]), 0.0), xi))
+    return out
+
+
+def expected_violation_rates_batch(
+    cdf: EmpiricalCDF,
+    x_packets: np.ndarray,
+    packet_size: int,
+    tw: float,
+) -> np.ndarray:
+    """Lemma 2 normalized, batched: violation-fraction bounds per count."""
+    x = np.asarray(x_packets)
+    bounds = violation_bounds_batch(cdf, x, packet_size, tw)
+    out = np.zeros(x.shape, dtype=float)
+    nz = x != 0
+    out[nz] = bounds[nz] / x[nz]
+    return out
 
 
 def packet_guarantee(

@@ -34,9 +34,10 @@ import numpy as np
 
 from repro.errors import AdmissionError, ConfigurationError
 from repro.core.guarantees import (
-    expected_violation_rate,
+    expected_violation_rates_batch,
     guaranteed_rate_at,
     probabilistic_guarantee,
+    probabilistic_guarantee_batch,
 )
 from repro.core.spec import StreamSpec
 from repro.core.vectors import Schedule, build_schedule
@@ -97,7 +98,14 @@ def shifted_cdf(cdf: EmpiricalCDF, allocated_mbps: float) -> EmpiricalCDF:
         )
     if allocated_mbps == 0:
         return cdf
-    return EmpiricalCDF(np.clip(cdf.samples - allocated_mbps, 0.0, None))
+    # Subtracting a constant and clipping at zero preserve sortedness, so
+    # the residual CDF is built without re-sorting (the mapping step calls
+    # this once per (stream, path) and used to pay O(W log W) each time).
+    return EmpiricalCDF.from_sorted(
+        np.clip(cdf.samples - allocated_mbps, 0.0, None),
+        copy=False,
+        validate=False,
+    )
 
 
 def largest_remainder_split(total: int, fractions: Sequence[float]) -> list[int]:
@@ -274,23 +282,41 @@ def _map_violation_bound(
     def rate_of(pkts: int) -> float:
         return spec.rate_from_packets(pkts, tw)
 
-    # Single-path attempt: lowest expected violation rate wins if in bound.
-    singles = [
-        (
-            expected_violation_rate(
-                residuals[p], x_total, spec.packet_size, tw
-            ),
-            p,
+    # Every cumulative packet count the greedy walk below can reach: the
+    # chunk grid plus the grid offset by the final partial take.  One
+    # vectorized Lemma-2 pass per path (a single searchsorted over all
+    # candidate rates) replaces the 2 * paths * chunks scalar calls the
+    # walk would otherwise make; each ladder entry is bit-identical to
+    # the scalar expected_violation_rate, so placements cannot drift.
+    chunk = max(1, x_total // chunks)
+    k_max = x_total // chunk
+    leftover = x_total - k_max * chunk
+    count_set = {k * chunk for k in range(k_max + 1)}
+    if leftover:
+        count_set |= {k * chunk + leftover for k in range(k_max + 1)}
+    counts = np.array(
+        sorted(c for c in count_set if c <= x_total), dtype=np.int64
+    )
+    evr = {
+        p: dict(
+            zip(
+                counts.tolist(),
+                expected_violation_rates_batch(
+                    residuals[p], counts, spec.packet_size, tw
+                ).tolist(),
+            )
         )
         for p in path_order
-    ]
+    }
+
+    # Single-path attempt: lowest expected violation rate wins if in bound.
+    singles = [(evr[p][x_total], p) for p in path_order]
     best_rate, best_path = min(singles, key=lambda t: (t[0], path_order.index(t[1])))
     if best_rate <= bound:
         return {best_path: rate_of(x_total)}, best_rate
 
     # Greedy chunk split: place each chunk of packets on the path whose
     # expected violations grow least.
-    chunk = max(1, x_total // chunks)
     placed = {p: 0 for p in path_order}
     remaining = x_total
     while remaining > 0:
@@ -298,18 +324,15 @@ def _map_violation_bound(
         best_p, best_cost = None, None
         for p in path_order:
             new_x = placed[p] + take
-            cost = expected_violation_rate(
-                residuals[p], new_x, spec.packet_size, tw
-            ) * new_x - expected_violation_rate(
-                residuals[p], placed[p], spec.packet_size, tw
-            ) * placed[p]
+            cost = (
+                evr[p][new_x] * new_x - evr[p][placed[p]] * placed[p]
+            )
             if best_cost is None or cost < best_cost:
                 best_p, best_cost = p, cost
         placed[best_p] += take
         remaining -= take
     total_violations = sum(
-        expected_violation_rate(residuals[p], placed[p], spec.packet_size, tw)
-        * placed[p]
+        evr[p][placed[p]] * placed[p]
         for p in path_order
         if placed[p] > 0
     )
@@ -342,6 +365,7 @@ def even_split_mapping(
     rates: dict[str, dict[str, float]] = {}
     achieved_p: dict[str, float] = {}
     packets: dict[str, dict[str, int]] = {}
+    guaranteed = [s for s in specs if s.guaranteed]
     for spec in specs:
         if spec.elastic and spec.required_mbps is None:
             total = spec.weight
@@ -349,17 +373,29 @@ def even_split_mapping(
             total = spec.required_mbps or spec.weight
         shares = {p: total / n for p in path_order}
         rates[spec.name] = shares
-        if spec.guaranteed:
-            misses = sum(
-                1.0 - probabilistic_guarantee(cdfs[p], shares[p])
-                for p in path_order
-            )
-            achieved_p[spec.name] = max(0.0, 1.0 - misses)
         x_total = packets_per_window(total, spec.packet_size, tw)
         counts = largest_remainder_split(x_total, [1.0] * n)
         packets[spec.name] = {
             p: c for p, c in zip(path_order, counts) if c > 0
         }
+    if guaranteed:
+        # One vectorized Lemma-1 pass per path covering every guaranteed
+        # stream's even share (a single searchsorted per path instead of
+        # one scalar call per (stream, path) pair).  Misses are still
+        # summed per stream in path_order, so the result is bit-identical
+        # to the scalar loop.
+        share_rates = np.array(
+            [rates[s.name][path_order[0]] for s in guaranteed], dtype=float
+        )
+        guarantees = {
+            p: probabilistic_guarantee_batch(cdfs[p], share_rates)
+            for p in path_order
+        }
+        for i, spec in enumerate(guaranteed):
+            misses = sum(
+                1.0 - float(guarantees[p][i]) for p in path_order
+            )
+            achieved_p[spec.name] = max(0.0, 1.0 - misses)
     return ResourceMapping(
         packets=packets,
         rates_mbps=rates,

@@ -8,6 +8,9 @@ to the PGOS routing/scheduling component.  This package provides:
   per-interval bandwidth samples;
 * :mod:`repro.monitoring.cdf` — empirical CDFs and the sliding-window CDF
   the scheduler consults;
+* :mod:`repro.monitoring.incremental` — the sorted-window fast path behind
+  :class:`~repro.monitoring.cdf.SlidingWindowCDF`: O(log W) insert/evict,
+  no re-sorts, queries bit-identical to the batch CDF;
 * :mod:`repro.monitoring.predictors` — the average-bandwidth predictors the
   paper compares against (MA, SMA, EWMA, AR(1)) and the percentile
   predictor it proposes;
@@ -17,6 +20,7 @@ to the PGOS routing/scheduling component.  This package provides:
 """
 
 from repro.monitoring.cdf import EmpiricalCDF, SlidingWindowCDF, ks_distance
+from repro.monitoring.incremental import IncrementalWindowCDF
 from repro.monitoring.errors import (
     mean_relative_error,
     percentile_prediction_failure_rate,
@@ -35,6 +39,7 @@ from repro.monitoring.sampler import ThroughputSampler
 
 __all__ = [
     "EmpiricalCDF",
+    "IncrementalWindowCDF",
     "SlidingWindowCDF",
     "ks_distance",
     "Predictor",

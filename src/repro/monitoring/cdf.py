@@ -4,23 +4,54 @@ The paper's key data structure: ``F(b) = P{avail_bw in (0, b)}`` tracked
 per path over a sliding history window.  The PGOS guarantees (Lemmas 1 and
 2) are direct reads of this object: ``1 - F(b0)`` for the probabilistic
 guarantee and the partial mean ``M[b0]`` for the violation bound.
+
+Two construction paths exist:
+
+* :class:`EmpiricalCDF` — the immutable batch form, sorting its input
+  once; :meth:`EmpiricalCDF.from_sorted` skips the sort when the caller
+  already holds a sorted array (the residual-shift in the mapping step,
+  the incremental window's snapshot).
+* :class:`SlidingWindowCDF` — the online form.  Its default backend is
+  :class:`repro.monitoring.incremental.IncrementalWindowCDF`, which keeps
+  the window sorted under O(log W) insert/evict instead of re-sorting on
+  every snapshot; the seed's re-sort behaviour survives as the
+  ``"batch"`` backend for differential testing and benchmarking
+  (``REPRO_CDF_BACKEND=batch`` flips the process-wide default).
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Iterable
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Process-wide default backend for SlidingWindowCDF; the environment
+#: variable lets equivalence tests flip whole experiment runs without
+#: threading a parameter through every layer.
+CDF_BACKENDS = ("incremental", "batch")
+
+
+def default_backend() -> str:
+    """The backend used when ``SlidingWindowCDF(backend=None)``."""
+    backend = os.environ.get("REPRO_CDF_BACKEND", "incremental")
+    if backend not in CDF_BACKENDS:
+        raise ConfigurationError(
+            f"REPRO_CDF_BACKEND must be one of {CDF_BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 class EmpiricalCDF:
     """Immutable empirical CDF built from a sample array.
 
     Evaluation uses right-continuous step convention:
-    ``F(b) = (# samples <= b) / n``.
+    ``F(b) = (# samples <= b) / n``.  The underlying sorted array is
+    marked non-writeable at construction, so in-place mutation through
+    any reference raises instead of silently corrupting guarantees.
     """
 
     def __init__(self, samples: Iterable[float]):
@@ -29,7 +60,54 @@ class EmpiricalCDF:
             raise ConfigurationError("EmpiricalCDF needs at least one sample")
         if np.any(~np.isfinite(arr)):
             raise ConfigurationError("EmpiricalCDF samples must be finite")
+        arr.flags.writeable = False
         self._sorted = arr
+
+    @classmethod
+    def from_sorted(
+        cls,
+        sorted_samples: np.ndarray,
+        *,
+        copy: bool = True,
+        validate: bool = True,
+    ) -> "EmpiricalCDF":
+        """Build from an already-sorted array, skipping the O(n log n) sort.
+
+        This is the fast construction path for callers that maintain
+        sortedness themselves (the incremental sliding window) or apply a
+        monotone transform to an existing CDF's samples (the residual
+        shift in the mapping step).
+
+        Parameters
+        ----------
+        sorted_samples:
+            Ascending float array.
+        copy:
+            Copy the input (default).  Pass ``False`` only when handing
+            over ownership of a freshly allocated array.
+        validate:
+            Check finiteness and ascending order (O(n), vectorized).
+            Internal callers whose invariants already guarantee both may
+            skip it.
+        """
+        arr = np.asarray(sorted_samples, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError(
+                "from_sorted needs a non-empty 1-D sample array"
+            )
+        if validate:
+            if np.any(~np.isfinite(arr)):
+                raise ConfigurationError("EmpiricalCDF samples must be finite")
+            if arr.size > 1 and np.any(arr[1:] < arr[:-1]):
+                raise ConfigurationError(
+                    "from_sorted requires ascending samples"
+                )
+        if copy:
+            arr = arr.copy()
+        arr.flags.writeable = False
+        obj = cls.__new__(cls)
+        obj._sorted = arr
+        return obj
 
     @property
     def n(self) -> int:
@@ -38,10 +116,8 @@ class EmpiricalCDF:
 
     @property
     def samples(self) -> np.ndarray:
-        """Sorted sample array (read-only view)."""
-        view = self._sorted.view()
-        view.flags.writeable = False
-        return view
+        """Sorted sample array (read-only)."""
+        return self._sorted
 
     def evaluate(self, b: float | np.ndarray) -> float | np.ndarray:
         """``F(b)``: fraction of samples ``<= b``."""
@@ -63,15 +139,29 @@ class EmpiricalCDF:
             return float(result)
         return result
 
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of the sample distribution, ``q`` in [0, 100]."""
-        if not 0.0 <= q <= 100.0:
-            raise ConfigurationError(f"q must be in [0, 100], got {q}")
-        return float(np.percentile(self._sorted, q))
+    def percentile(
+        self, q: float | np.ndarray
+    ) -> float | np.ndarray:
+        """The ``q``-th percentile(s) of the sample distribution, ``q`` in [0, 100].
 
-    def quantile(self, p: float) -> float:
-        """Inverse CDF at probability ``p`` in [0, 1]."""
-        return self.percentile(p * 100.0)
+        Accepts an array of probabilities so batched callers (multicast
+        rate planning, guarantee sweeps) pay one vectorized pass instead
+        of one interpolation per level.
+        """
+        if np.isscalar(q):
+            if not 0.0 <= q <= 100.0:
+                raise ConfigurationError(f"q must be in [0, 100], got {q}")
+            return float(np.percentile(self._sorted, q))
+        q = np.asarray(q, dtype=float)
+        if q.size and (q.min() < 0.0 or q.max() > 100.0):
+            raise ConfigurationError(f"q must be in [0, 100], got {q}")
+        return np.percentile(self._sorted, q)
+
+    def quantile(self, p: float | np.ndarray) -> float | np.ndarray:
+        """Inverse CDF at probability ``p`` in [0, 1] (scalar or array)."""
+        if np.isscalar(p):
+            return self.percentile(p * 100.0)
+        return self.percentile(np.asarray(p, dtype=float) * 100.0)
 
     def mean(self) -> float:
         """Sample mean."""
@@ -94,6 +184,26 @@ class EmpiricalCDF:
             return 0.0
         return float(self._sorted[:idx].sum()) / self.n
 
+    def partial_means_below(self, b0: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`partial_mean_below` over many thresholds.
+
+        One ``searchsorted`` locates every threshold; each *distinct*
+        prefix is then reduced with the same ``ndarray.sum`` the scalar
+        path uses, so every element is bit-identical to the scalar call —
+        the property the batched mapping step relies on for byte-stable
+        schedules.
+        """
+        b0 = np.asarray(b0, dtype=float)
+        idx = np.searchsorted(self._sorted, b0, side="right")
+        out = np.zeros(b0.shape, dtype=float)
+        flat_idx = idx.ravel()
+        flat_out = out.ravel()
+        for i in np.unique(flat_idx):
+            if i == 0:
+                continue
+            flat_out[flat_idx == i] = float(self._sorted[:i].sum()) / self.n
+        return out
+
     def min(self) -> float:
         return float(self._sorted[0])
 
@@ -106,62 +216,174 @@ class SlidingWindowCDF:
 
     This is the monitoring module's live view of a path: the last
     ``window`` samples (the paper uses 500–1000 samples of 0.1–1 s each,
-    i.e. minutes of history).  ``snapshot()`` freezes the current window as
-    an :class:`EmpiricalCDF` for the mapping step; the sorted array is
-    cached and invalidated on update, so repeated guarantee evaluations
-    within a scheduling window cost one sort at most.
+    i.e. minutes of history).  ``snapshot()`` freezes the current window
+    as an :class:`EmpiricalCDF` for the mapping step.
+
+    Parameters
+    ----------
+    window:
+        History length in samples.
+    backend:
+        ``"incremental"`` (default) keeps the window sorted under
+        O(log W) insert/evict, so a snapshot is a copy rather than a
+        sort; ``"batch"`` preserves the seed behaviour (re-sort on every
+        snapshot) as the differential-testing reference.  ``None`` reads
+        the process default (``REPRO_CDF_BACKEND``).
+    obs:
+        Optional observability context; when enabled, snapshot
+        cache reuse vs rebuild is counted (``cdf.snapshot_reuses`` /
+        ``cdf.snapshot_rebuilds``) alongside ``cdf.updates``.
     """
 
-    def __init__(self, window: int = 500):
+    def __init__(
+        self,
+        window: int = 500,
+        backend: Optional[str] = None,
+        obs=None,
+    ):
         if window < 2:
             raise ConfigurationError(f"window must be >= 2, got {window}")
+        if backend is None:
+            backend = default_backend()
+        if backend not in CDF_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {CDF_BACKENDS}, got {backend!r}"
+            )
+        from repro.obs.context import NULL_OBS
+
         self.window = window
-        self._buffer: deque[float] = deque(maxlen=window)
+        self.backend = backend
+        self._obs = obs if obs is not None else NULL_OBS
         self._cached: EmpiricalCDF | None = None
+        if backend == "incremental":
+            from repro.monitoring.incremental import IncrementalWindowCDF
+
+            self._inc: Optional[IncrementalWindowCDF] = IncrementalWindowCDF(
+                window
+            )
+            self._buffer: deque[float] | None = None
+        else:
+            self._inc = None
+            self._buffer = deque(maxlen=window)
+
+    def bind_observability(self, obs) -> None:
+        """Attach (or replace) the observability context."""
+        from repro.obs.context import NULL_OBS
+
+        self._obs = obs if obs is not None else NULL_OBS
 
     def __len__(self) -> int:
+        if self._inc is not None:
+            return len(self._inc)
         return len(self._buffer)
 
     @property
     def full(self) -> bool:
         """Whether the history window has filled up."""
-        return len(self._buffer) == self.window
+        return len(self) == self.window
 
     def update(self, sample: float) -> None:
         """Append one bandwidth measurement (Mbps)."""
-        if not np.isfinite(sample):
-            raise ConfigurationError(f"sample must be finite, got {sample}")
-        self._buffer.append(float(sample))
+        if self._inc is not None:
+            self._inc.update(sample)
+        else:
+            if not np.isfinite(sample):
+                raise ConfigurationError(
+                    f"sample must be finite, got {sample}"
+                )
+            self._buffer.append(float(sample))
         self._cached = None
+        if self._obs.enabled:
+            self._obs.metrics.counter("cdf.updates").inc()
 
     def extend(self, samples: Iterable[float]) -> None:
         """Append many measurements."""
-        for s in samples:
-            self.update(s)
+        if self._inc is not None:
+            count = 0
+            for s in samples:
+                self._inc.update(s)
+                count += 1
+            self._cached = None
+            if count and self._obs.enabled:
+                self._obs.metrics.counter("cdf.updates").inc(count)
+        else:
+            for s in samples:
+                self.update(s)
 
     def snapshot(self) -> EmpiricalCDF:
-        """Freeze the current window as an immutable CDF."""
-        if not self._buffer:
+        """Freeze the current window as an immutable CDF.
+
+        The snapshot is cached and invalidated on update, so repeated
+        guarantee evaluations within a scheduling window reuse one
+        frozen CDF; with the incremental backend even a rebuild is a
+        copy of the maintained sorted buffer, never a sort.
+        """
+        if len(self) == 0:
             raise ConfigurationError("no samples observed yet")
         if self._cached is None:
-            self._cached = EmpiricalCDF(self._buffer)
+            if self._inc is not None:
+                self._cached = self._inc.snapshot()
+            else:
+                self._cached = EmpiricalCDF(self._buffer)
+            if self._obs.enabled:
+                self._obs.metrics.counter("cdf.snapshot_rebuilds").inc()
+        elif self._obs.enabled:
+            self._obs.metrics.counter("cdf.snapshot_reuses").inc()
         return self._cached
 
     def percentile(self, q: float) -> float:
         """Percentile of the current window."""
+        if self._inc is not None and self._cached is None:
+            # Interpolate on the maintained sorted buffer (bit-identical
+            # to np.percentile, no snapshot copy, no partition pass).
+            return self._inc.percentile(q)
         return self.snapshot().percentile(q)
 
     def evaluate(self, b: float) -> float:
         """``F(b)`` over the current window."""
+        if self._inc is not None and self._cached is None:
+            # O(log W) direct read; building/caching a snapshot is left
+            # to callers that will query repeatedly.
+            return self._inc.evaluate(b)
         return self.snapshot().evaluate(b)
 
+    def evaluate_strict(self, b: float) -> float:
+        """``F(b-)`` over the current window."""
+        if self._inc is not None and self._cached is None:
+            return self._inc.evaluate_strict(b)
+        return self.snapshot().evaluate_strict(b)
 
-def ks_distance(a: EmpiricalCDF, b: EmpiricalCDF) -> float:
+    def partial_mean_below(self, b0: float) -> float:
+        """``M[b0]`` over the current window."""
+        if self._inc is not None and self._cached is None:
+            return self._inc.partial_mean_below(b0)
+        return self.snapshot().partial_mean_below(b0)
+
+    def mean(self) -> float:
+        """Mean of the current window."""
+        if self._inc is not None and self._cached is None:
+            return self._inc.mean()
+        return self.snapshot().mean()
+
+
+def ks_distance(
+    a: Union[EmpiricalCDF, "SlidingWindowCDF"],
+    b: Union[EmpiricalCDF, "SlidingWindowCDF"],
+) -> float:
     """Kolmogorov–Smirnov distance ``sup_x |F_a(x) - F_b(x)|``.
 
     Used as the remap trigger: the paper rebuilds scheduling vectors "when
     the CDF of some path changes dramatically"; we quantify *dramatically*
     as a KS distance above a threshold.
+
+    The supremum over the union of both sample sets equals the supremum
+    over their concatenation (duplicate grid points cannot change a max),
+    so the grid is never sorted or deduplicated — the seed's ``union1d``
+    sort was the last O(n log n) step in the remap-trigger path.
     """
-    grid = np.union1d(a.samples, b.samples)
+    if isinstance(a, SlidingWindowCDF):
+        a = a.snapshot()
+    if isinstance(b, SlidingWindowCDF):
+        b = b.snapshot()
+    grid = np.concatenate([a.samples, b.samples])
     return float(np.max(np.abs(a.evaluate(grid) - b.evaluate(grid))))

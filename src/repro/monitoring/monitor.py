@@ -34,6 +34,9 @@ class PathMonitor:
     ks_threshold:
         KS distance above which the path's distribution is considered to
         have changed dramatically (triggering a PGOS remap).
+    cdf_backend:
+        Backend of the sliding-window CDF (``"incremental"`` default /
+        ``"batch"`` reference); ``None`` reads the process default.
     """
 
     def __init__(
@@ -43,6 +46,7 @@ class PathMonitor:
         ks_threshold: float = 0.2,
         obs: Optional[Observability] = None,
         clock: Optional[Callable[[], float]] = None,
+        cdf_backend: Optional[str] = None,
     ):
         if not 0.0 < ks_threshold <= 1.0:
             raise ConfigurationError(
@@ -50,7 +54,9 @@ class PathMonitor:
             )
         self.name = name
         self.ks_threshold = ks_threshold
-        self.bandwidth = SlidingWindowCDF(window=window)
+        self.bandwidth = SlidingWindowCDF(
+            window=window, backend=cdf_backend, obs=obs
+        )
         self.rtt_ms = EWMAPredictor(alpha=0.2)
         self.loss_rate = EWMAPredictor(alpha=0.2)
         self._reference_cdf: Optional[EmpiricalCDF] = None
@@ -67,6 +73,7 @@ class PathMonitor:
     ) -> None:
         """Attach (or replace) this monitor's observability context."""
         self._obs = obs
+        self.bandwidth.bind_observability(obs)
         if clock is not None:
             self._clock = clock
 

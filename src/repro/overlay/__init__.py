@@ -23,6 +23,7 @@ from repro.overlay.forwarding import ForwardingResult, run_relay_session
 from repro.overlay.multicast import (
     MulticastTree,
     multicast_guaranteed_rate,
+    multicast_guaranteed_rates,
     run_multicast_session,
 )
 from repro.overlay.operators import ReductionOperator, run_processed_relay
@@ -36,5 +37,6 @@ __all__ = [
     "run_relay_session",
     "MulticastTree",
     "multicast_guaranteed_rate",
+    "multicast_guaranteed_rates",
     "run_multicast_session",
 ]

@@ -34,8 +34,10 @@ from repro.traces.stats import (
     TraceStats,
     autocorrelation,
     fraction_steady,
+    hill_tail_index,
     hurst_exponent,
     mean_steady_period,
+    rs_hurst,
 )
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "TraceStats",
     "autocorrelation",
     "hurst_exponent",
+    "rs_hurst",
+    "hill_tail_index",
     "fraction_steady",
     "mean_steady_period",
 ]

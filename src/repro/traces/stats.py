@@ -71,6 +71,71 @@ def hurst_exponent(series: np.ndarray, min_block: int = 8) -> float:
     return float(np.clip(hurst, 0.01, 0.99))
 
 
+def rs_hurst(series: np.ndarray, min_block: int = 16) -> float:
+    """Estimate the Hurst parameter by rescaled-range (R/S) analysis.
+
+    For each block size ``m`` the series is cut into blocks; per block the
+    range of the mean-adjusted cumulative sum is divided by the block's
+    standard deviation, and ``E[R/S] ~ m^H`` gives ``H`` as the slope of
+    ``log(R/S)`` vs ``log m``.  An independent check on
+    :func:`hurst_exponent` (aggregated variance) — the acceptance tests
+    require both estimators to agree with the requested ``H``.
+    """
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if n < 4 * min_block:
+        raise TraceError(
+            f"series too short ({n}) to estimate Hurst with min_block {min_block}"
+        )
+    sizes = []
+    ratios = []
+    m = min_block
+    while n // m >= 4:
+        k = n // m
+        blocks = x[: k * m].reshape(k, m)
+        demeaned = blocks - blocks.mean(axis=1, keepdims=True)
+        cums = np.cumsum(demeaned, axis=1)
+        ranges = cums.max(axis=1) - cums.min(axis=1)
+        stds = blocks.std(axis=1)
+        valid = stds > 0
+        if np.any(valid):
+            rs = float(np.mean(ranges[valid] / stds[valid]))
+            if rs > 0:
+                sizes.append(m)
+                ratios.append(rs)
+        m *= 2
+    if len(sizes) < 2:
+        raise TraceError("not enough block sizes with positive R/S")
+    slope = np.polyfit(np.log(sizes), np.log(ratios), 1)[0]
+    return float(np.clip(slope, 0.01, 0.99))
+
+
+def hill_tail_index(series: np.ndarray, k: int | None = None) -> float:
+    """Hill estimator of the upper tail index ``alpha``.
+
+    Uses the ``k`` largest order statistics:
+    ``1/alpha = mean(log X_(i) - log X_(k+1))`` over the top ``k``.
+    Smaller ``alpha`` means a heavier tail; light-tailed (e.g. Gaussian)
+    data yields large values.  ``k`` defaults to ``sqrt(n)`` clipped to
+    ``[10, n // 4]``.
+    """
+    x = np.asarray(series, dtype=float)
+    x = x[x > 0]
+    n = x.size
+    if n < 40:
+        raise TraceError(f"need >= 40 positive samples, got {n}")
+    if k is None:
+        k = int(np.clip(np.sqrt(n), 10, n // 4))
+    if not 1 <= k < n:
+        raise TraceError(f"k must be in [1, {n - 1}], got {k}")
+    tail = np.sort(x)[-(k + 1):]
+    logs = np.log(tail)
+    inv_alpha = float(np.mean(logs[1:] - logs[0]))
+    if inv_alpha <= 0:
+        raise TraceError("degenerate tail (all top-k samples equal)")
+    return 1.0 / inv_alpha
+
+
 def fraction_steady(
     series: np.ndarray, rho: float, horizon: int
 ) -> float:

@@ -1,0 +1,197 @@
+"""Batched guarantee evaluation must be bit-identical to the scalar path.
+
+The PGOS mapping step now evaluates Lemma 1/2 over whole candidate-rate
+ladders with one vectorized pass per path; the byte-stability of every
+schedule (and hence of the golden figure digests) rests on each batch
+element equalling the scalar call exactly — not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.guarantees import (
+    expected_violation_rate,
+    expected_violation_rates_batch,
+    probabilistic_guarantee,
+    probabilistic_guarantee_batch,
+    violation_bound,
+    violation_bounds_batch,
+)
+from repro.core.mapping import compute_mapping, even_split_mapping, shifted_cdf
+from repro.core.spec import StreamSpec
+from repro.errors import ConfigurationError
+from repro.monitoring.cdf import EmpiricalCDF
+
+PKT = 1500
+TW = 1.0
+
+
+@pytest.fixture
+def cdf():
+    rng = np.random.default_rng(0)
+    return EmpiricalCDF(np.clip(50 + 8 * rng.standard_normal(500), 0, None))
+
+
+class TestBatchEqualsScalar:
+    def test_probabilistic_guarantee(self, cdf):
+        rates = np.concatenate(
+            [np.linspace(0.0, 90.0, 181), cdf.samples[:25]]
+        )
+        batch = probabilistic_guarantee_batch(cdf, rates)
+        for i, r in enumerate(rates):
+            assert batch[i] == probabilistic_guarantee(cdf, float(r))
+
+    def test_violation_bounds(self, cdf):
+        xs = np.arange(0, 6000, 37, dtype=np.int64)
+        batch = violation_bounds_batch(cdf, xs, PKT, TW)
+        for i, x in enumerate(xs):
+            assert batch[i] == violation_bound(cdf, int(x), PKT, TW)
+
+    def test_expected_violation_rates(self, cdf):
+        xs = np.arange(0, 6000, 41, dtype=np.int64)
+        batch = expected_violation_rates_batch(cdf, xs, PKT, TW)
+        for i, x in enumerate(xs):
+            assert batch[i] == expected_violation_rate(cdf, int(x), PKT, TW)
+
+    def test_zero_packets_is_zero(self, cdf):
+        assert violation_bounds_batch(cdf, np.array([0]), PKT, TW)[0] == 0.0
+        assert (
+            expected_violation_rates_batch(cdf, np.array([0]), PKT, TW)[0]
+            == 0.0
+        )
+
+    def test_negative_inputs_rejected(self, cdf):
+        with pytest.raises(ConfigurationError):
+            probabilistic_guarantee_batch(cdf, np.array([-1.0]))
+        with pytest.raises(ConfigurationError):
+            violation_bounds_batch(cdf, np.array([-1]), PKT, TW)
+        with pytest.raises(ConfigurationError):
+            violation_bounds_batch(cdf, np.array([1]), 0, TW)
+
+    def test_partial_means_below(self, cdf):
+        thresholds = np.concatenate(
+            [np.linspace(-5.0, 95.0, 201), cdf.samples[:25]]
+        )
+        batch = cdf.partial_means_below(thresholds)
+        for i, b0 in enumerate(thresholds):
+            assert batch[i] == cdf.partial_mean_below(float(b0))
+
+
+class TestShiftedCDF:
+    def test_matches_sorting_construction(self, cdf):
+        for allocated in (0.5, 13.7, 49.0, 200.0):
+            fast = shifted_cdf(cdf, allocated)
+            ref = EmpiricalCDF(
+                np.clip(np.asarray(cdf.samples) - allocated, 0.0, None)
+            )
+            assert np.array_equal(fast.samples, ref.samples)
+
+    def test_zero_shift_returns_same_object(self, cdf):
+        assert shifted_cdf(cdf, 0.0) is cdf
+
+    def test_result_immutable(self, cdf):
+        shifted = shifted_cdf(cdf, 5.0)
+        with pytest.raises(ValueError):
+            shifted.samples[0] = 1.0
+
+
+class TestMappingUnchangedByBatching:
+    """The ladder-driven greedy must place exactly as the scalar greedy.
+
+    An inline reimplementation of the seed's scalar violation-bound
+    mapping serves as the reference; any placement or achieved-bound
+    drift fails exactly (no tolerance).
+    """
+
+    def _scalar_violation_reference(self, spec, cdfs, path_order, tw, chunks=10):
+        x_total = spec.packets_in_window(tw)
+        bound = spec.max_violation_rate
+        residuals = {p: cdfs[p] for p in path_order}
+        singles = [
+            (
+                expected_violation_rate(residuals[p], x_total, spec.packet_size, tw),
+                p,
+            )
+            for p in path_order
+        ]
+        best_rate, best_path = min(
+            singles, key=lambda t: (t[0], path_order.index(t[1]))
+        )
+        if best_rate <= bound:
+            return {best_path: x_total}, best_rate
+        chunk = max(1, x_total // chunks)
+        placed = {p: 0 for p in path_order}
+        remaining = x_total
+        while remaining > 0:
+            take = min(chunk, remaining)
+            best_p, best_cost = None, None
+            for p in path_order:
+                new_x = placed[p] + take
+                cost = expected_violation_rate(
+                    residuals[p], new_x, spec.packet_size, tw
+                ) * new_x - expected_violation_rate(
+                    residuals[p], placed[p], spec.packet_size, tw
+                ) * placed[p]
+                if best_cost is None or cost < best_cost:
+                    best_p, best_cost = p, cost
+            placed[best_p] += take
+            remaining -= take
+        total = sum(
+            expected_violation_rate(residuals[p], placed[p], spec.packet_size, tw)
+            * placed[p]
+            for p in path_order
+            if placed[p] > 0
+        )
+        return placed, total / x_total
+
+    def test_violation_bound_mapping_identical(self):
+        rng = np.random.default_rng(7)
+        cdfs = {
+            "A": EmpiricalCDF(np.clip(18 + 6 * rng.standard_normal(400), 0, None)),
+            "B": EmpiricalCDF(np.clip(14 + 7 * rng.standard_normal(400), 0, None)),
+            "C": EmpiricalCDF(np.clip(10 + 3 * rng.standard_normal(400), 0, None)),
+        }
+        # Demand high enough that no single path passes: forces the greedy.
+        spec = StreamSpec(
+            name="viol",
+            required_mbps=30.0,
+            max_violation_rate=0.08,
+            packet_size=PKT,
+        )
+        ref_placed, ref_achieved = self._scalar_violation_reference(
+            spec, cdfs, ["A", "B", "C"], TW
+        )
+        mapping = compute_mapping([spec], cdfs, TW)
+        got = mapping.rates_mbps["viol"]
+        expected_rates = {
+            p: spec.rate_from_packets(c, TW)
+            for p, c in ref_placed.items()
+            if c > 0
+        }
+        assert got == expected_rates
+        assert mapping.achieved_violation_rate["viol"] == ref_achieved
+
+    def test_even_split_guarantees_identical(self):
+        rng = np.random.default_rng(8)
+        cdfs = {
+            "A": EmpiricalCDF(np.clip(50 + 5 * rng.standard_normal(300), 0, None)),
+            "B": EmpiricalCDF(np.clip(35 + 9 * rng.standard_normal(300), 0, None)),
+        }
+        specs = [
+            StreamSpec(name="crit", required_mbps=20.0, probability=0.95),
+            StreamSpec(name="data", required_mbps=12.0, probability=0.9),
+            StreamSpec(name="bulk", elastic=True, nominal_mbps=25.0),
+        ]
+        mapping = even_split_mapping(specs, cdfs, TW)
+        for spec in specs:
+            if not spec.guaranteed:
+                assert spec.name not in mapping.achieved_probability
+                continue
+            share = spec.required_mbps / 2
+            misses = sum(
+                1.0 - probabilistic_guarantee(cdfs[p], share)
+                for p in ("A", "B")
+            )
+            assert mapping.achieved_probability[spec.name] == max(
+                0.0, 1.0 - misses
+            )

@@ -1,0 +1,131 @@
+"""Differential property tests: incremental window vs batch EmpiricalCDF.
+
+The incremental structure's contract is *bit-identity*, not approximate
+agreement: every query on :class:`IncrementalWindowCDF` must return the
+exact float a freshly rebuilt :class:`EmpiricalCDF` over the same window
+contents would.  Hypothesis drives random update/extend sequences (with
+duplicates, negative values, zeros, and tiny/huge magnitudes) against a
+``deque(maxlen=window)`` mirror and compares every query class.
+
+``derandomize=True`` keeps the suite reproducible run-to-run — these
+tests also gate the golden regression suite's byte-identity claim, so
+they must themselves be deterministic.
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring.cdf import EmpiricalCDF, ks_distance
+from repro.monitoring.incremental import IncrementalWindowCDF
+
+value_strategy = st.one_of(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    st.sampled_from([0.0, -0.0, 1.0, 1.0, 50.0]),  # force collisions
+)
+
+stream_strategy = st.lists(value_strategy, min_size=1, max_size=120)
+
+window_strategy = st.integers(min_value=2, max_value=30)
+
+
+def _rebuild(mirror: deque) -> EmpiricalCDF:
+    return EmpiricalCDF(list(mirror))
+
+
+@settings(derandomize=True, max_examples=60)
+@given(stream_strategy, window_strategy)
+def test_window_contents_match_mirror(values, window):
+    inc = IncrementalWindowCDF(window=window)
+    mirror: deque = deque(maxlen=window)
+    for v in values:
+        inc.update(v)
+        mirror.append(0.0 if v == 0.0 else float(v))
+        assert sorted(mirror) == list(inc.sorted_view())
+
+
+@settings(derandomize=True, max_examples=60)
+@given(
+    stream_strategy,
+    window_strategy,
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+def test_evaluations_bit_identical(values, window, b):
+    inc = IncrementalWindowCDF(window=window)
+    mirror: deque = deque(maxlen=window)
+    inc.extend(values)
+    for v in values:
+        mirror.append(0.0 if v == 0.0 else float(v))
+    ref = _rebuild(mirror)
+    assert inc.evaluate(b) == ref.evaluate(b)
+    assert inc.evaluate_strict(b) == ref.evaluate_strict(b)
+    assert inc.partial_mean_below(b) == ref.partial_mean_below(b)
+    # Evaluate at the samples themselves: the step discontinuities.
+    for s in list(mirror)[:10]:
+        assert inc.evaluate(s) == ref.evaluate(s)
+        assert inc.evaluate_strict(s) == ref.evaluate_strict(s)
+        assert inc.partial_mean_below(s) == ref.partial_mean_below(s)
+
+
+@settings(derandomize=True, max_examples=60)
+@given(
+    stream_strategy,
+    window_strategy,
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_quantiles_bit_identical(values, window, q):
+    inc = IncrementalWindowCDF(window=window)
+    mirror: deque = deque(maxlen=window)
+    inc.extend(values)
+    for v in values:
+        mirror.append(0.0 if v == 0.0 else float(v))
+    ref = _rebuild(mirror)
+    assert inc.percentile(q) == ref.percentile(q)
+    assert inc.quantile(q / 100.0) == ref.quantile(q / 100.0)
+
+
+@settings(derandomize=True, max_examples=60)
+@given(stream_strategy, window_strategy)
+def test_moments_and_extremes_bit_identical(values, window):
+    inc = IncrementalWindowCDF(window=window)
+    mirror: deque = deque(maxlen=window)
+    inc.extend(values)
+    for v in values:
+        mirror.append(0.0 if v == 0.0 else float(v))
+    ref = _rebuild(mirror)
+    assert inc.mean() == ref.mean()
+    assert inc.std() == ref.std()
+    assert inc.min() == ref.min()
+    assert inc.max() == ref.max()
+
+
+@settings(derandomize=True, max_examples=40)
+@given(stream_strategy, stream_strategy, window_strategy)
+def test_ks_distance_bit_identical(a_values, b_values, window):
+    a_inc = IncrementalWindowCDF(window=window)
+    a_inc.extend(a_values)
+    b_ref = EmpiricalCDF(b_values)
+    a_mirror = [
+        0.0 if v == 0.0 else float(v) for v in a_values
+    ][-window:]
+    expected = ks_distance(EmpiricalCDF(a_mirror), b_ref)
+    assert a_inc.ks_distance(b_ref) == expected
+
+
+@settings(derandomize=True, max_examples=40)
+@given(stream_strategy, window_strategy)
+def test_snapshot_equals_batch_construction(values, window):
+    inc = IncrementalWindowCDF(window=window)
+    mirror: deque = deque(maxlen=window)
+    inc.extend(values)
+    for v in values:
+        mirror.append(0.0 if v == 0.0 else float(v))
+    snap = inc.snapshot()
+    ref = _rebuild(mirror)
+    assert np.array_equal(snap.samples, ref.samples)
+    # And the snapshot array is decoupled from further updates.
+    frozen = snap.samples.copy()
+    inc.update(123.456)
+    assert np.array_equal(snap.samples, frozen)

@@ -1,0 +1,58 @@
+"""The incremental CDF backend must not change one byte of any figure.
+
+The canonical payload digests in ``goldens.json`` are produced with the
+default (incremental) backend.  This test re-runs the whole canonical
+fast suite in a subprocess with ``REPRO_CDF_BACKEND=batch`` — the seed's
+re-sorting implementation — and requires the identical digests.  A
+subprocess is required (not a monkeypatched env var) because figure
+results are memoized in-process; the backend choice must be fixed before
+any experiment code runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIGEST_SCRIPT = """
+import json
+from repro.runner import figure_suite, run_specs
+from repro.runner.cache import payload_digest
+
+report = run_specs(figure_suite(fast=True), workers=0)
+out = {}
+for o in report.outcomes:
+    assert o.status == "ok", (o.spec.name, o.status, o.error)
+    out[o.spec.name] = payload_digest(o.payload)
+print(json.dumps(out))
+"""
+
+
+def _digests_with_backend(backend: str) -> dict[str, str]:
+    env = dict(os.environ)
+    env["REPRO_CDF_BACKEND"] = backend
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", DIGEST_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"backend={backend} run failed:\n{proc.stderr[-2000:]}"
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_batch_backend_reproduces_goldens(goldens):
+    digests = _digests_with_backend("batch")
+    assert digests == goldens["digests"], (
+        "batch (seed) backend produced different figure payloads than the "
+        "golden digests recorded with the incremental backend — the "
+        "backends have diverged"
+    )

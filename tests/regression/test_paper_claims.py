@@ -1,0 +1,172 @@
+"""Golden regression suite: the paper's headline claims, pinned.
+
+Two layers of protection:
+
+1. **Digest pinning** — every canonical fast-mode figure payload must
+   hash to the digest recorded in ``goldens.json``.  Any code change
+   that shifts a single byte of experiment output fails here; refresh
+   intentionally with ``tools/refresh_goldens.py`` and explain the shift
+   in the same commit.
+2. **Ordering claims** — even if goldens are refreshed, the *qualitative*
+   results the paper rests on must keep holding: PGOS beats the
+   fair-queueing baselines on violation rate and stability, tracks the
+   offline-optimal schedule (OptSched), and the IQ-Paths GridFTP client
+   beats stock GridFTP on predictability.  These assert on the measured
+   quantities themselves, so a refresh that flips a conclusion still
+   fails loudly.
+"""
+
+import re
+
+import pytest
+
+
+class TestGoldenDigests:
+    def test_every_canonical_figure_matches_golden(
+        self, canonical_digests, goldens
+    ):
+        mismatches = {
+            name: (digest, goldens["digests"].get(name))
+            for name, digest in canonical_digests.items()
+            if goldens["digests"].get(name) != digest
+        }
+        assert not mismatches, (
+            "canonical payload digests diverged from goldens.json "
+            f"(intentional? run tools/refresh_goldens.py): {mismatches}"
+        )
+
+    def test_golden_set_is_exactly_the_canonical_suite(
+        self, canonical_digests, goldens
+    ):
+        assert set(goldens["digests"]) == set(canonical_digests)
+
+
+class TestSchedulerOrderingClaims:
+    """Figures 9-11 + ablations: PGOS vs WFQ/MSFQ and its own ablations."""
+
+    def test_pgos_steadier_than_msfq(self, measured):
+        fig11 = measured("fig11")
+        assert fig11["pgos_bond1_std"] < fig11["msfq_bond1_std"]
+        assert fig11["pgos_jitter_ms"] < fig11["msfq_jitter_ms"]
+
+    def test_pgos_holds_target_rate_longer(self, measured):
+        fig11 = measured("fig11")
+        assert fig11["pgos_bond1_p95_time"] > fig11["msfq_bond1_p95_time"]
+        fig10 = measured("fig10")
+        assert (
+            fig10["pgos_bond1_attainment_p95"]
+            > fig10["msfq_bond1_attainment_p95"]
+        )
+
+    def test_pgos_violation_rate_below_baselines(self, measured):
+        """The paper's core claim: guaranteed streams miss less under PGOS."""
+        fig10 = measured("fig10")
+        pgos_violations = 1.0 - fig10["pgos_bond1_attainment_p95"]
+        msfq_violations = 1.0 - fig10["msfq_bond1_attainment_p95"]
+        assert pgos_violations < msfq_violations
+        assert pgos_violations <= 0.05  # within the requested P=0.95
+
+    def test_cdf_placement_beats_mean_prediction(self, measured):
+        abl = measured("ablations")
+        assert (
+            abl["pgos_crit_attainment_p95"]
+            > abl["meanpred_crit_attainment_p95"]
+        )
+
+    def test_single_first_beats_even_split(self, measured):
+        abl = measured("ablations")
+        assert abl["single_first_bond1_std"] < abl["even_split_bond1_std"]
+        assert abl["single_first_bond1_miss"] < abl["even_split_bond1_miss"]
+
+    def test_ks_threshold_modulates_remap_frequency(self, measured):
+        abl = measured("ablations")
+        assert abl["remaps_at_ks_0.05"] > abl["remaps_at_ks_0.5"]
+
+
+class TestOptSchedGap:
+    """Figure 9: PGOS must track the offline-optimal schedule."""
+
+    ROW = re.compile(
+        r"^(WFQ|MSFQ|PGOS|OptSched)\s+"
+        r"([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$"
+    )
+
+    def _stream_table(self, report: str) -> dict[str, dict[str, float]]:
+        rows = {}
+        for line in report.splitlines():
+            m = self.ROW.match(line.strip())
+            if m:
+                algo, am, astd, bm, bstd, b2m = m.groups()
+                rows[algo] = {
+                    "atom_mean": float(am),
+                    "atom_std": float(astd),
+                    "bond1_mean": float(bm),
+                    "bond1_std": float(bstd),
+                    "bond2_mean": float(b2m),
+                }
+        return rows
+
+    @pytest.fixture
+    def table(self, canonical_payloads):
+        rows = self._stream_table(canonical_payloads["fig9-fast"]["report"])
+        assert {"WFQ", "MSFQ", "PGOS", "OptSched"} <= set(rows), (
+            f"fig9 stream table missing rows: {sorted(rows)}"
+        )
+        return rows
+
+    def test_pgos_mean_matches_optsched(self, table):
+        for stream in ("atom_mean", "bond1_mean", "bond2_mean"):
+            gap = abs(table["PGOS"][stream] - table["OptSched"][stream])
+            assert gap <= 0.01 * max(table["OptSched"][stream], 1.0), (
+                f"PGOS {stream} {table['PGOS'][stream]} vs OptSched "
+                f"{table['OptSched'][stream]}"
+            )
+
+    def test_pgos_std_gap_to_optsched_bounded(self, table):
+        # OptSched (offline, clairvoyant) lower-bounds the variance; PGOS
+        # must stay within a small absolute gap of it on guaranteed streams
+        # while MSFQ does not.
+        for stream in ("atom_std", "bond1_std"):
+            pgos_gap = table["PGOS"][stream] - table["OptSched"][stream]
+            msfq_gap = table["MSFQ"][stream] - table["OptSched"][stream]
+            assert 0.0 <= pgos_gap <= 0.5
+            assert pgos_gap < msfq_gap
+
+    def test_wfq_underdelivers_guaranteed_streams(self, table):
+        assert table["WFQ"]["bond1_mean"] < table["OptSched"]["bond1_mean"]
+
+
+class TestApplicationClaims:
+    """Figures 12-13 + video: the paper's application-level results."""
+
+    def test_iqpg_more_predictable_than_gridftp(self, measured):
+        fig12 = measured("fig12")
+        assert fig12["iqpg_dt1_std"] < fig12["gridftp_dt1_std"]
+        fig13 = measured("fig13")
+        assert (
+            fig13["iqpg_dt1_attainment_p95"]
+            > fig13["gridftp_dt1_attainment_p95"]
+        )
+
+    def test_video_stalls_and_quality_variance(self, measured):
+        video = measured("video")
+        assert video["pgos_stall_fraction"] < video["msfq_stall_fraction"]
+        assert video["pgos_quality_std"] < video["msfq_quality_std"]
+
+    def test_percentile_prediction_failure_controlled(self, measured):
+        fig4 = measured("fig4")
+        # Lemma-1 reads must fail at most ~the allowed rate; mean
+        # prediction errors blow past 20% far more often.
+        assert fig4["percentile_failure_rate_max"] <= 0.10
+        assert (
+            fig4["fraction_mean_errors_above_20pct"]
+            > fig4["percentile_failure_rate_avg"]
+        )
+
+    def test_load_sweep_orderings(self, measured):
+        sweep = measured("sweep")
+        assert sweep["pgos_attainment_at_nominal_load"] >= 0.99
+        assert (
+            sweep["attainment_with_15pct_probe_noise"]
+            < sweep["pgos_attainment_at_nominal_load"]
+        )

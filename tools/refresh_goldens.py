@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate tests/regression/goldens.json from the canonical fast runs.
+
+The golden regression suite (``tests/regression/``) pins the payload
+digest of every canonical fast-mode figure run.  When an *intentional*
+change shifts experiment output (new figure content, a changed canonical
+seed, a modelling fix), rerun this script and commit the updated
+goldens together with the change that explains them:
+
+    PYTHONPATH=src python tools/refresh_goldens.py
+
+Never refresh goldens to silence an unexplained diff — a digest shift
+with no intentional cause is exactly the regression the suite exists to
+catch.
+
+Run:  python tools/refresh_goldens.py [output_path]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.runner import figure_suite, run_specs
+from repro.runner.cache import payload_digest
+
+GOLDENS_PATH = Path(__file__).resolve().parent.parent / (
+    "tests/regression/goldens.json"
+)
+
+
+def compute_digests() -> dict[str, str]:
+    """Run every canonical fast figure inline and digest its payload."""
+    report = run_specs(figure_suite(fast=True), workers=0)
+    digests = {}
+    for outcome in report.outcomes:
+        if outcome.status != "ok":
+            raise SystemExit(
+                f"{outcome.spec.name}: {outcome.status} ({outcome.error})"
+            )
+        digests[outcome.spec.name] = payload_digest(outcome.payload)
+    return digests
+
+
+def main(argv: list[str]) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else GOLDENS_PATH
+    data = {
+        "schema": 1,
+        "fast": True,
+        "digests": compute_digests(),
+    }
+    out_path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path} ({len(data['digests'])} digests)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
