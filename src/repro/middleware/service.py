@@ -23,7 +23,7 @@ its backoff-gated, probe-confirmed recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,11 @@ class StreamHandle:
     stream_id: int = 0
     closed_at: Optional[float] = None
     achieved_probability: Optional[float] = None
+    #: Whether admission control accepted the stream at open time; False
+    #: only under ``strict_admission=False`` (served degraded).
+    admitted: bool = True
+    #: Tenant label the opener attached (multi-tenant accounting), if any.
+    tenant: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -268,8 +273,110 @@ class IQPathsService:
     # ------------------------------------------------------------------
     # stream lifecycle
     # ------------------------------------------------------------------
-    def open_stream(self, spec: StreamSpec) -> StreamHandle:
-        """Open a stream now; admission-checked against monitored CDFs."""
+    def _count_admission(
+        self, outcome: str, tenant: Optional[str]
+    ) -> None:
+        """File one admission outcome into the metrics registry.
+
+        ``admission.admitted`` / ``admission.rejected`` /
+        ``admission.degraded`` are the first-class counters
+        ``tools/trace_report.py`` correlates with health transitions;
+        the per-tenant twins carry the multi-tenant breakdown.
+        """
+        if not self.obs.enabled:
+            return
+        self.obs.metrics.counter(f"admission.{outcome}").inc()
+        if tenant is not None:
+            self.obs.metrics.counter(
+                f"admission.{outcome}.tenant.{tenant}"
+            ).inc()
+
+    def _reject_upcall(
+        self,
+        spec: StreamSpec,
+        stream_id: int,
+        hint: Optional[float],
+        tenant: Optional[str],
+    ) -> str:
+        """Record the admission upcall for one non-admittable stream."""
+        message = (
+            f"stream {spec.name!r} not admittable"
+            + (f"; overlay can offer P~={hint:.3f}" if hint else "")
+        )
+        self.upcalls.append(message)
+        outcome = "rejected" if self.strict_admission else "degraded"
+        self._count_admission(outcome, tenant)
+        if self.obs.enabled:
+            self.obs.metrics.counter("service.admission_rejections").inc()
+            self.obs.trace.emit(
+                self.now,
+                Category.SERVICE,
+                "admission_upcall",
+                stream_id=stream_id,
+                stream=spec.name,
+                message=message,
+                suggested_probability=hint,
+                tenant=tenant,
+            )
+        return message
+
+    def _register_stream(
+        self,
+        spec: StreamSpec,
+        stream_id: int,
+        admitted: bool,
+        achieved: Optional[float],
+        tenant: Optional[str],
+    ) -> StreamHandle:
+        """Install an (admitted or degraded) stream into the service."""
+        self.scheduler.add_stream(spec)
+        self._serving[spec.name] = spec
+        self._original[spec.name] = spec
+        handle = StreamHandle(
+            spec=spec,
+            opened_at=self.now,
+            stream_id=stream_id,
+            achieved_probability=achieved,
+            admitted=admitted,
+            tenant=tenant,
+        )
+        self.handles[spec.name] = handle
+        if self.obs.enabled:
+            self.obs.metrics.counter("service.streams_opened").inc()
+            self.obs.trace.emit(
+                self.now,
+                Category.SERVICE,
+                "stream_open",
+                stream_id=stream_id,
+                stream=spec.name,
+                admitted=admitted,
+                required_mbps=spec.required_mbps,
+                probability=spec.probability,
+                achieved_probability=achieved,
+                tenant=tenant,
+            )
+        self._delivered[spec.name] = []
+        self._opened_interval[spec.name] = self._k
+        self._backlog_bytes[spec.name] = 0.0
+        return handle
+
+    def _maybe_refresh_after_open(self) -> None:
+        if self.health is not None and (
+            self.health.quarantined()
+            or self.degradation_level is not DegradationLevel.NORMAL
+        ):
+            self._refresh_degradation()
+
+    def open_stream(
+        self, spec: StreamSpec, tenant: Optional[str] = None
+    ) -> StreamHandle:
+        """Open a stream now; admission-checked against monitored CDFs.
+
+        ``tenant`` is an optional accounting label: it rides on the
+        handle, on every ``stream_open`` / ``admission_upcall`` trace
+        event, and on the per-tenant ``admission.*.tenant.<name>``
+        metric counters (the workload engine's join key).
+        """
         if spec.name in self.handles and self.handles[spec.name].open:
             raise ConfigurationError(f"stream {spec.name!r} already open")
         if not self._scheduler_bound:
@@ -288,59 +395,103 @@ class IQPathsService:
         self.obs.bind_stream(spec.name, stream_id)
         achieved = None
         if not decision.admitted:
-            hint = decision.suggested_probability
-            message = (
-                f"stream {spec.name!r} not admittable"
-                + (f"; overlay can offer P~={hint:.3f}" if hint else "")
+            message = self._reject_upcall(
+                spec, stream_id, decision.suggested_probability, tenant
             )
-            self.upcalls.append(message)
-            if self.obs.enabled:
-                self.obs.metrics.counter("service.admission_rejections").inc()
-                self.obs.trace.emit(
-                    self.now,
-                    Category.SERVICE,
-                    "admission_upcall",
-                    stream_id=stream_id,
-                    stream=spec.name,
-                    message=message,
-                    suggested_probability=hint,
-                )
             if self.strict_admission:
                 raise AdmissionError(spec.name, message)
-        elif decision.mapping is not None:
-            achieved = decision.mapping.achieved_probability.get(spec.name)
-        self.scheduler.add_stream(spec)
-        self._serving[spec.name] = spec
-        self._original[spec.name] = spec
-        handle = StreamHandle(
-            spec=spec,
-            opened_at=self.now,
-            stream_id=stream_id,
-            achieved_probability=achieved,
+        else:
+            self._count_admission("admitted", tenant)
+            if decision.mapping is not None:
+                achieved = decision.mapping.achieved_probability.get(
+                    spec.name
+                )
+        handle = self._register_stream(
+            spec, stream_id, decision.admitted, achieved, tenant
         )
-        self.handles[spec.name] = handle
-        if self.obs.enabled:
-            self.obs.metrics.counter("service.streams_opened").inc()
-            self.obs.trace.emit(
-                self.now,
-                Category.SERVICE,
-                "stream_open",
-                stream_id=stream_id,
-                stream=spec.name,
-                admitted=decision.admitted,
-                required_mbps=spec.required_mbps,
-                probability=spec.probability,
-                achieved_probability=achieved,
-            )
-        self._delivered[spec.name] = []
-        self._opened_interval[spec.name] = self._k
-        self._backlog_bytes[spec.name] = 0.0
-        if self.health is not None and (
-            self.health.quarantined()
-            or self.degradation_level is not DegradationLevel.NORMAL
-        ):
-            self._refresh_degradation()
+        self._maybe_refresh_after_open()
         return handle
+
+    def open_streams(
+        self,
+        specs: Sequence[StreamSpec],
+        tenant: Optional[str] = None,
+    ) -> list[StreamHandle]:
+        """Open many streams under a *single* admission decision.
+
+        The batch churn hook: one :class:`AdmissionController` pass
+        covers every stream already open plus the whole batch, so
+        opening N streams costs one resource mapping instead of N
+        (incremental :meth:`open_stream` is quadratic in the standing
+        population).  Semantics are all-or-nothing: under strict
+        admission a batch that does not fit raises
+        :class:`AdmissionError` (naming the stream that failed) and
+        opens nothing; under lenient admission the whole batch opens
+        degraded.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise ConfigurationError(
+                    f"duplicate stream {spec.name!r} in batch"
+                )
+            seen.add(spec.name)
+            if spec.name in self.handles and self.handles[spec.name].open:
+                raise ConfigurationError(
+                    f"stream {spec.name!r} already open"
+                )
+        if not self._scheduler_bound:
+            self._bind_scheduler(specs[0])
+        open_specs = [
+            self._original[h.name]
+            for h in self.handles.values()
+            if h.open
+        ] + specs
+        cdfs = {
+            p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
+        }
+        decision = self._admission.try_admit(open_specs, cdfs)
+        if not decision.admitted and self.strict_admission:
+            rejected = next(
+                (
+                    s
+                    for s in specs
+                    if s.name == decision.rejected_stream
+                ),
+                specs[0],
+            )
+            self._next_stream_id += 1
+            message = self._reject_upcall(
+                rejected,
+                self._next_stream_id,
+                decision.suggested_probability,
+                tenant,
+            )
+            raise AdmissionError(rejected.name, message)
+        handles = []
+        for spec in specs:
+            self._next_stream_id += 1
+            stream_id = self._next_stream_id
+            self.obs.bind_stream(spec.name, stream_id)
+            achieved = None
+            if decision.admitted:
+                self._count_admission("admitted", tenant)
+                if decision.mapping is not None:
+                    achieved = decision.mapping.achieved_probability.get(
+                        spec.name
+                    )
+            else:
+                self._count_admission("degraded", tenant)
+            handles.append(
+                self._register_stream(
+                    spec, stream_id, decision.admitted, achieved, tenant
+                )
+            )
+        self._maybe_refresh_after_open()
+        return handles
 
     def close_stream(self, name: str) -> StreamHandle:
         """Terminate a stream; its capacity is remapped to the others."""

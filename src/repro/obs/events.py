@@ -29,6 +29,7 @@ class Category:
     SERVICE = "service"
     HARNESS = "harness"
     RUNNER = "runner"
+    WORKLOAD = "workload"
 
 
 #: Every known category (validation + exhaustive round-trip tests).
@@ -41,6 +42,7 @@ CATEGORIES = (
     Category.SERVICE,
     Category.HARNESS,
     Category.RUNNER,
+    Category.WORKLOAD,
 )
 
 #: Known event names per category.  The bus accepts unknown names (new
@@ -72,6 +74,17 @@ EVENT_NAMES: dict[str, tuple[str, ...]] = {
         "cache_hit",
         "spec_retry",
         "run_end",
+    ),
+    # The multi-tenant workload engine (repro.workload): session-level
+    # arrival/departure churn driven against the middleware.
+    Category.WORKLOAD: (
+        "workload_start",
+        "session_arrival",
+        "session_admitted",
+        "session_degraded",
+        "session_rejected",
+        "session_close",
+        "workload_end",
     ),
 }
 

@@ -19,9 +19,12 @@ from repro.runner.manifest import Manifest, ManifestWriter, load_manifest
 from repro.runner.spec import RunSpec, mix_seed
 from repro.runner.suite import (
     chaos_spec,
+    envelope_spec,
     figure_spec,
     figure_suite,
+    scale_suite,
     seed_sweep_suite,
+    workload_spec,
 )
 
 __all__ = [
@@ -34,10 +37,13 @@ __all__ = [
     "RunSpec",
     "chaos_spec",
     "code_fingerprint",
+    "envelope_spec",
     "figure_spec",
     "figure_suite",
     "load_manifest",
     "mix_seed",
     "run_specs",
+    "scale_suite",
     "seed_sweep_suite",
+    "workload_spec",
 ]

@@ -29,7 +29,7 @@ from repro.harness.figures import FIGURES
 from repro.obs.context import Observability
 from repro.runner.cache import ResultCache
 from repro.runner.executor import RunReport, run_specs
-from repro.runner.suite import chaos_spec, figure_suite
+from repro.runner.suite import chaos_spec, figure_suite, scale_suite
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-chaos",
         action="store_true",
         help="also run the canonical seeded chaos campaign",
+    )
+    parser.add_argument(
+        "--with-scale",
+        action="store_true",
+        help=(
+            "also run the scale suite: every workload scenario plus "
+            "the baseline capacity envelope (shrunk under --fast)"
+        ),
     )
     parser.add_argument(
         "--output-dir",
@@ -181,6 +189,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if args.with_chaos:
         specs.append(chaos_spec())
+    if args.with_scale:
+        specs.extend(scale_suite(fast=args.fast))
 
     output_dir = args.output_dir
     if output_dir is None:

@@ -4,9 +4,11 @@
 EXPERIMENTS.md": one :class:`RunSpec` per figure, each pinning the
 canonical seed its recorded numbers were produced with, so runner
 output is byte-identical to ``python -m repro.harness <figure>``.
-:func:`chaos_spec` adds the canonical seeded chaos campaign, and
+:func:`chaos_spec` adds the canonical seeded chaos campaign,
 :func:`seed_sweep_suite` builds the multi-seed replica workload the
-scaling benchmark fans out.
+scaling benchmark fans out, and :func:`scale_suite` adds the
+multi-tenant churn scenarios plus the baseline capacity envelope from
+:mod:`repro.workload`.
 """
 
 from __future__ import annotations
@@ -61,6 +63,81 @@ def chaos_spec(
         params={"duration": duration},
         seed=seed,
     )
+
+
+def workload_spec(
+    scenario: str,
+    *,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    duration: Optional[float] = None,
+    max_sessions: Optional[int] = None,
+) -> RunSpec:
+    """One churn scenario (see :mod:`repro.workload`) as a spec."""
+    params: dict = {"scenario": scenario}
+    if rate_scale != 1.0:
+        params["rate_scale"] = rate_scale
+    if duration is not None:
+        params["duration"] = duration
+    if max_sessions is not None:
+        params["max_sessions"] = max_sessions
+    return RunSpec(
+        kind="workload",
+        name=f"workload-{scenario}-s{seed}",
+        params=params,
+        seed=seed,
+    )
+
+
+def envelope_spec(
+    scenario: str,
+    *,
+    seed: int = 0,
+    ceiling: float = 0.05,
+    iterations: int = 6,
+    probe_duration: float = 30.0,
+    max_sessions: Optional[int] = None,
+) -> RunSpec:
+    """One capacity-envelope search as a spec."""
+    params: dict = {
+        "scenario": scenario,
+        "ceiling": ceiling,
+        "iterations": iterations,
+        "probe_duration": probe_duration,
+    }
+    if max_sessions is not None:
+        params["max_sessions"] = max_sessions
+    return RunSpec(
+        kind="envelope",
+        name=f"envelope-{scenario}-s{seed}",
+        params=params,
+        seed=seed,
+    )
+
+
+def scale_suite(*, seed: int = 0, fast: bool = False) -> list[RunSpec]:
+    """The scale & capacity evaluation: every scenario + one envelope.
+
+    ``fast`` truncates each scenario's plan and shortens the envelope
+    search (fewer, shorter probes) — same structure, CI-friendly.
+    """
+    from repro.workload import SCENARIOS
+
+    max_sessions = 120 if fast else None
+    specs = [
+        workload_spec(name, seed=seed, max_sessions=max_sessions)
+        for name in sorted(SCENARIOS)
+    ]
+    specs.append(
+        envelope_spec(
+            "baseline",
+            seed=seed,
+            iterations=2 if fast else 6,
+            probe_duration=15.0 if fast else 30.0,
+            max_sessions=max_sessions,
+        )
+    )
+    return specs
 
 
 def seed_sweep_suite(

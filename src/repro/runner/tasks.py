@@ -156,6 +156,55 @@ def run_chaos(spec: RunSpec) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# workload scenarios and capacity envelopes
+# ----------------------------------------------------------------------
+def run_workload(spec: RunSpec) -> dict[str, Any]:
+    """One churn scenario: params ``{"scenario": ..., "rate_scale": ...}``.
+
+    Executes :func:`repro.workload.run_scenario` with the spec's seed.
+    The payload embeds the report's own ``checksum`` so byte-identity
+    across worker counts (and against fresh runs) is a string compare.
+    """
+    from repro.workload import run_scenario
+
+    report = run_scenario(
+        str(spec.params["scenario"]),
+        seed=spec.effective_seed(),
+        rate_scale=float(spec.params.get("rate_scale", 1.0)),
+        duration=spec.params.get("duration"),
+        max_sessions=spec.params.get("max_sessions"),
+    )
+    return {
+        "report": report.render() + "\n",
+        "workload": jsonify(report.to_dict()),
+        "checksum": report.checksum(),
+    }
+
+
+def run_envelope(spec: RunSpec) -> dict[str, Any]:
+    """One capacity-envelope search: params name the scenario + search.
+
+    ``{"scenario": ..., "ceiling": ..., "iterations": ...,
+    "probe_duration": ..., "max_sessions": ...}``.
+    """
+    from repro.workload import estimate_envelope
+
+    envelope = estimate_envelope(
+        str(spec.params["scenario"]),
+        seed=spec.effective_seed(),
+        ceiling=float(spec.params.get("ceiling", 0.05)),
+        iterations=int(spec.params.get("iterations", 6)),
+        probe_duration=float(spec.params.get("probe_duration", 30.0)),
+        max_sessions=spec.params.get("max_sessions"),
+    )
+    return {
+        "report": envelope.render() + "\n",
+        "envelope": jsonify(envelope.to_dict()),
+        "checksum": envelope.checksum(),
+    }
+
+
+# ----------------------------------------------------------------------
 # selftest (executor plumbing probes)
 # ----------------------------------------------------------------------
 def run_selftest(spec: RunSpec) -> dict[str, Any]:
@@ -192,6 +241,8 @@ TASKS: dict[str, Callable[[RunSpec], dict[str, Any]]] = {
     "sweep_point": run_sweep_point,
     "noise_point": run_noise_point,
     "chaos": run_chaos,
+    "workload": run_workload,
+    "envelope": run_envelope,
     "selftest": run_selftest,
 }
 

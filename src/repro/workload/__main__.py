@@ -1,0 +1,7 @@
+"""``python -m repro.workload`` — run scenarios from the command line."""
+
+import sys
+
+from repro.workload.cli import main
+
+sys.exit(main())

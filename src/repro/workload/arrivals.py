@@ -1,0 +1,327 @@
+"""Seeded, deterministic session arrival models.
+
+Each model turns ``(duration, seed)`` into a sorted array of arrival
+times — nothing else.  Determinism is the contract the whole scale
+suite rests on: the same seed yields a byte-identical schedule (same
+floats, same order), regardless of platform or call pattern, because
+every draw comes from a :class:`repro.sim.random.RandomStreams` child
+stream named after the model kind.
+
+Three families cover the dynamics the capacity work needs:
+
+* :class:`PoissonArrivals` — memoryless open-loop load (the baseline);
+* :class:`MMPPArrivals` — a cyclic Markov-modulated Poisson process
+  (piecewise-constant rates with exponential dwell times), the classic
+  diurnal day/night model;
+* :class:`FlashCrowdArrivals` — a trapezoid rate profile (ramp, hold,
+  decay) over a base rate, realized by thinning: the news-event burst.
+
+Models serialize to plain JSON params (``to_params`` /
+:func:`arrival_model_from_params`) so :class:`repro.runner.RunSpec`
+payloads can carry them, and every model supports :meth:`~ArrivalModel.
+scaled` — multiply all rates by a factor — which is the knob the
+capacity-envelope estimator binary-searches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.random import RandomStreams
+
+
+def schedule_checksum(times: np.ndarray) -> str:
+    """Hex SHA-256 over the schedule's raw float64 bytes (bit-identity)."""
+    arr = np.ascontiguousarray(np.asarray(times, dtype=np.float64))
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+def _gaps_until(
+    rng: np.random.Generator, rate: float, start: float, end: float
+) -> list[float]:
+    """Exponential-gap arrivals in ``[start, end)`` at constant ``rate``.
+
+    Draws one gap at a time so the consumed stream depends only on the
+    realized arrivals, never on an internal chunk size.
+    """
+    times: list[float] = []
+    t = start
+    scale = 1.0 / rate
+    while True:
+        t += rng.exponential(scale)
+        if t >= end:
+            return times
+        times.append(t)
+
+
+@dataclass(frozen=True)
+class ArrivalModel:
+    """Base class: a deterministic ``(duration, seed) -> times`` map."""
+
+    kind: ClassVar[str] = "abstract"
+
+    def arrival_times(self, duration: float, seed: int) -> np.ndarray:
+        """Sorted, non-negative arrival times in ``[0, duration)``."""
+        if duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {duration}"
+            )
+        rng = RandomStreams(seed).fresh(f"workload/arrivals/{self.kind}")
+        times = self._sample(duration, rng)
+        return np.asarray(times, dtype=np.float64)
+
+    def _sample(
+        self, duration: float, rng: np.random.Generator
+    ) -> list[float]:
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Configured long-run arrival rate (sessions/second)."""
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "ArrivalModel":
+        """The same arrival *shape* with every rate scaled by ``factor``."""
+        raise NotImplementedError
+
+    def to_params(self) -> dict[str, Any]:
+        """JSON-serializable parameters, including the ``kind`` tag."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalModel):
+    """Homogeneous Poisson arrivals at ``rate`` sessions/second."""
+
+    rate: float = 10.0
+
+    kind: ClassVar[str] = "poisson"
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"rate must be positive, got {self.rate}"
+            )
+
+    def _sample(
+        self, duration: float, rng: np.random.Generator
+    ) -> list[float]:
+        return _gaps_until(rng, self.rate, 0.0, duration)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def scaled(self, factor: float) -> "PoissonArrivals":
+        return replace(self, rate=self.rate * factor)
+
+    def to_params(self) -> dict[str, Any]:
+        return {"kind": self.kind, "rate": self.rate}
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalModel):
+    """Cyclic Markov-modulated Poisson process (diurnal load).
+
+    The modulating chain visits its states in order (wrapping around),
+    dwelling an exponential time with the state's mean; within a dwell
+    the process is Poisson at the state's rate.  Because a Poisson
+    process is memoryless, sampling each dwell segment independently is
+    exact.  Two states with day/night rates and equal dwells give the
+    classic diurnal model; see :meth:`diurnal`.
+    """
+
+    rates: tuple[float, ...] = (5.0, 20.0)
+    mean_dwell_s: tuple[float, ...] = (15.0, 15.0)
+
+    kind: ClassVar[str] = "mmpp"
+
+    def __post_init__(self):
+        rates = tuple(float(r) for r in self.rates)
+        dwells = tuple(float(d) for d in self.mean_dwell_s)
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "mean_dwell_s", dwells)
+        if len(rates) < 2:
+            raise ConfigurationError(
+                f"MMPP needs >= 2 states, got {len(rates)}"
+            )
+        if len(rates) != len(dwells):
+            raise ConfigurationError(
+                f"rates ({len(rates)}) and mean_dwell_s ({len(dwells)}) "
+                "must have equal length"
+            )
+        if any(r < 0 for r in rates) or all(r == 0 for r in rates):
+            raise ConfigurationError(
+                f"rates must be >= 0 with at least one positive: {rates}"
+            )
+        if any(d <= 0 for d in dwells):
+            raise ConfigurationError(
+                f"dwell times must be positive: {dwells}"
+            )
+
+    @classmethod
+    def diurnal(
+        cls, low: float, high: float, period_s: float = 30.0
+    ) -> "MMPPArrivals":
+        """Two-state day/night model with equal expected dwells."""
+        return cls(
+            rates=(low, high), mean_dwell_s=(period_s / 2, period_s / 2)
+        )
+
+    def _sample(
+        self, duration: float, rng: np.random.Generator
+    ) -> list[float]:
+        times: list[float] = []
+        t = 0.0
+        state = 0
+        n = len(self.rates)
+        while t < duration:
+            dwell = rng.exponential(self.mean_dwell_s[state])
+            end = min(t + dwell, duration)
+            rate = self.rates[state]
+            if rate > 0:
+                times.extend(_gaps_until(rng, rate, t, end))
+            t += dwell
+            state = (state + 1) % n
+        return times
+
+    def mean_rate(self) -> float:
+        weights = np.asarray(self.mean_dwell_s)
+        rates = np.asarray(self.rates)
+        return float((rates * weights).sum() / weights.sum())
+
+    def scaled(self, factor: float) -> "MMPPArrivals":
+        return replace(
+            self, rates=tuple(r * factor for r in self.rates)
+        )
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rates": list(self.rates),
+            "mean_dwell_s": list(self.mean_dwell_s),
+        }
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals(ArrivalModel):
+    """A flash crowd: base Poisson load with one trapezoid burst.
+
+    The instantaneous rate ramps linearly from ``base_rate`` to
+    ``peak_rate`` over ``ramp_s`` starting at ``t_start``, holds the
+    peak for ``hold_s``, then decays linearly back over ``decay_s``.
+    Realized by thinning a homogeneous ``peak_rate`` candidate process,
+    so the draw sequence (hence determinism) is independent of where
+    the burst sits.
+    """
+
+    base_rate: float = 5.0
+    peak_rate: float = 30.0
+    t_start: float = 20.0
+    ramp_s: float = 5.0
+    hold_s: float = 10.0
+    decay_s: float = 10.0
+
+    kind: ClassVar[str] = "flash-crowd"
+
+    def __post_init__(self):
+        if self.base_rate <= 0:
+            raise ConfigurationError(
+                f"base_rate must be positive, got {self.base_rate}"
+            )
+        if self.peak_rate < self.base_rate:
+            raise ConfigurationError(
+                f"peak_rate {self.peak_rate} must be >= base_rate "
+                f"{self.base_rate}"
+            )
+        if self.t_start < 0:
+            raise ConfigurationError(
+                f"t_start must be >= 0, got {self.t_start}"
+            )
+        for label in ("ramp_s", "hold_s", "decay_s"):
+            if getattr(self, label) < 0:
+                raise ConfigurationError(
+                    f"{label} must be >= 0, got {getattr(self, label)}"
+                )
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate of the trapezoid profile."""
+        u = t - self.t_start
+        if u < 0 or u >= self.ramp_s + self.hold_s + self.decay_s:
+            return self.base_rate
+        if u < self.ramp_s:
+            frac = u / self.ramp_s if self.ramp_s > 0 else 1.0
+            return self.base_rate + frac * (self.peak_rate - self.base_rate)
+        if u < self.ramp_s + self.hold_s:
+            return self.peak_rate
+        frac = (u - self.ramp_s - self.hold_s) / self.decay_s
+        return self.peak_rate - frac * (self.peak_rate - self.base_rate)
+
+    def _sample(
+        self, duration: float, rng: np.random.Generator
+    ) -> list[float]:
+        times: list[float] = []
+        cap = self.peak_rate
+        t = 0.0
+        scale = 1.0 / cap
+        while True:
+            t += rng.exponential(scale)
+            if t >= duration:
+                return times
+            if rng.random() * cap < self.rate_at(t):
+                times.append(t)
+
+    def mean_rate(self) -> float:
+        """Long-run rate ignoring the burst (the sustained base load)."""
+        return self.base_rate
+
+    def burst_sessions_expected(self) -> float:
+        """Expected *extra* sessions the burst injects over base load."""
+        excess = self.peak_rate - self.base_rate
+        return excess * (self.hold_s + (self.ramp_s + self.decay_s) / 2)
+
+    def scaled(self, factor: float) -> "FlashCrowdArrivals":
+        return replace(
+            self,
+            base_rate=self.base_rate * factor,
+            peak_rate=self.peak_rate * factor,
+        )
+
+    def to_params(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base_rate": self.base_rate,
+            "peak_rate": self.peak_rate,
+            "t_start": self.t_start,
+            "ramp_s": self.ramp_s,
+            "hold_s": self.hold_s,
+            "decay_s": self.decay_s,
+        }
+
+
+#: Registry: params ``kind`` tag -> model class.
+ARRIVAL_MODELS: dict[str, type[ArrivalModel]] = {
+    PoissonArrivals.kind: PoissonArrivals,
+    MMPPArrivals.kind: MMPPArrivals,
+    FlashCrowdArrivals.kind: FlashCrowdArrivals,
+}
+
+
+def arrival_model_from_params(params: dict[str, Any]) -> ArrivalModel:
+    """Inverse of ``to_params``: rebuild a model from its JSON form."""
+    kind = params.get("kind")
+    cls = ARRIVAL_MODELS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown arrival model kind {kind!r}; "
+            f"known: {sorted(ARRIVAL_MODELS)}"
+        )
+    kwargs = {k: v for k, v in params.items() if k != "kind"}
+    if "rates" in kwargs:
+        kwargs["rates"] = tuple(kwargs["rates"])
+    if "mean_dwell_s" in kwargs:
+        kwargs["mean_dwell_s"] = tuple(kwargs["mean_dwell_s"])
+    return cls(**kwargs)

@@ -1,0 +1,349 @@
+"""Session catalogs: tenant classes mixing application-shaped streams.
+
+A catalog describes *what* arrives when the arrival model says
+*something* arrives: a weighted mix of session templates, each shaped
+after one of the repo's applications (SmartPointer's small guaranteed
+telemetry, GridFTP's guaranteed record streams and elastic bulk data,
+layered video's base/enhancement split) but scaled down so thousands of
+concurrent sessions fit the Figure-8 testbed's two 100 Mbps paths.
+
+Templates are grouped under named :class:`TenantClass`\\ es with
+priorities — the accounting keys the churn driver reports per.
+:func:`plan_sessions` welds a catalog to an arrival model: one seeded,
+deterministic pass assigns every arrival a template, a tenant, a unique
+stream name, and an exponential holding time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.spec import StreamSpec
+from repro.sim.random import RandomStreams
+from repro.workload.arrivals import ArrivalModel
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One named tenant population sharing the overlay.
+
+    ``priority`` is 0-highest and purely an accounting/reporting label
+    here — the middleware's degradation policy orders streams by their
+    guarantee strength, which the templates encode.
+    """
+
+    name: str
+    priority: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.priority < 0:
+            raise ConfigurationError(
+                f"priority must be >= 0, got {self.priority}"
+            )
+
+
+@dataclass(frozen=True)
+class SessionTemplate:
+    """The shape of one session type: a parameterized StreamSpec."""
+
+    name: str
+    required_mbps: Optional[float] = None
+    probability: Optional[float] = None
+    elastic: bool = False
+    nominal_mbps: Optional[float] = None
+    mean_holding_s: float = 10.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("template name must be non-empty")
+        if self.mean_holding_s <= 0:
+            raise ConfigurationError(
+                f"mean_holding_s must be positive, got {self.mean_holding_s}"
+            )
+        # Fail fast on shapes StreamSpec would reject at open time.
+        self.make_spec("probe")
+
+    def make_spec(self, stream_name: str) -> StreamSpec:
+        """Instantiate the template as a concrete, uniquely named spec."""
+        return StreamSpec(
+            name=stream_name,
+            required_mbps=self.required_mbps,
+            probability=self.probability,
+            elastic=self.elastic,
+            nominal_mbps=self.nominal_mbps,
+        )
+
+    @property
+    def guaranteed(self) -> bool:
+        return self.probability is not None
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One (tenant, template) cell with its mix weight."""
+
+    tenant: TenantClass
+    template: SessionTemplate
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"weight must be positive, got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class SessionCatalog:
+    """A weighted mix of session templates across tenant classes."""
+
+    entries: tuple[CatalogEntry, ...]
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ConfigurationError("catalog needs at least one entry")
+        object.__setattr__(self, "entries", tuple(self.entries))
+        seen = set()
+        for e in self.entries:
+            key = (e.tenant.name, e.template.name)
+            if key in seen:
+                raise ConfigurationError(
+                    f"duplicate catalog entry {key}"
+                )
+            seen.add(key)
+
+    @property
+    def tenants(self) -> tuple[TenantClass, ...]:
+        """Distinct tenant classes, priority-then-name ordered."""
+        by_name = {e.tenant.name: e.tenant for e in self.entries}
+        return tuple(
+            sorted(by_name.values(), key=lambda t: (t.priority, t.name))
+        )
+
+    def mean_guaranteed_mbps(self) -> float:
+        """Mix-weighted mean guaranteed rate per session (sizing aid)."""
+        total_w = sum(e.weight for e in self.entries)
+        return (
+            sum(
+                e.weight * (e.template.required_mbps or 0.0)
+                for e in self.entries
+            )
+            / total_w
+        )
+
+    def mean_holding_s(self) -> float:
+        """Mix-weighted mean session holding time."""
+        total_w = sum(e.weight for e in self.entries)
+        return (
+            sum(e.weight * e.template.mean_holding_s for e in self.entries)
+            / total_w
+        )
+
+
+def default_catalog(rate_scale: float = 1.0) -> SessionCatalog:
+    """The standard three-tenant mix (gold / silver / bronze).
+
+    Shapes mirror the repo's applications at ~1/50 scale so hundreds of
+    sessions load (without trivially saturating) the two-path testbed:
+
+    * **gold** — SmartPointer-shaped telemetry (small, 95 % guaranteed)
+      and video base layers (97 % guaranteed);
+    * **silver** — GridFTP-shaped record streams (bigger, 95 %
+      guaranteed) and elastic video enhancement layers;
+    * **bronze** — purely elastic bulk and best-effort sessions.
+
+    ``rate_scale`` multiplies every per-session bandwidth figure.
+    """
+    if rate_scale <= 0:
+        raise ConfigurationError(
+            f"rate_scale must be positive, got {rate_scale}"
+        )
+    gold = TenantClass("gold", priority=0)
+    silver = TenantClass("silver", priority=1)
+    bronze = TenantClass("bronze", priority=2)
+    s = rate_scale
+    return SessionCatalog(
+        entries=(
+            CatalogEntry(
+                gold,
+                SessionTemplate(
+                    "pointer",
+                    required_mbps=0.40 * s,
+                    probability=0.95,
+                    mean_holding_s=8.0,
+                ),
+                weight=2.5,
+            ),
+            CatalogEntry(
+                gold,
+                SessionTemplate(
+                    "video-base",
+                    required_mbps=0.25 * s,
+                    probability=0.97,
+                    mean_holding_s=12.0,
+                ),
+                weight=1.5,
+            ),
+            CatalogEntry(
+                silver,
+                SessionTemplate(
+                    "gridftp-record",
+                    required_mbps=1.0 * s,
+                    probability=0.95,
+                    mean_holding_s=10.0,
+                ),
+                weight=1.5,
+            ),
+            CatalogEntry(
+                silver,
+                SessionTemplate(
+                    "video-enhancement",
+                    elastic=True,
+                    nominal_mbps=0.75 * s,
+                    mean_holding_s=12.0,
+                ),
+                weight=1.5,
+            ),
+            CatalogEntry(
+                bronze,
+                SessionTemplate(
+                    "gridftp-bulk",
+                    elastic=True,
+                    nominal_mbps=2.0 * s,
+                    mean_holding_s=6.0,
+                ),
+                weight=1.5,
+            ),
+            CatalogEntry(
+                bronze,
+                SessionTemplate(
+                    "besteffort",
+                    elastic=True,
+                    nominal_mbps=0.5 * s,
+                    mean_holding_s=5.0,
+                ),
+                weight=1.5,
+            ),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One planned session: who arrives, when, as what, for how long."""
+
+    index: int
+    name: str
+    tenant: str
+    priority: int
+    template: str
+    arrival_s: float
+    holding_s: float
+    spec: StreamSpec
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "tenant": self.tenant,
+            "template": self.template,
+            "arrival_s": self.arrival_s,
+            "holding_s": self.holding_s,
+        }
+
+
+def plan_sessions(
+    model: ArrivalModel,
+    catalog: SessionCatalog,
+    duration: float,
+    seed: int,
+    max_sessions: Optional[int] = None,
+) -> list[SessionPlan]:
+    """Deterministically expand arrivals into concrete session plans.
+
+    Three independent named RNG streams (arrivals, catalog mix, holding
+    times) all derive from ``seed``, so the plan is a pure function of
+    ``(model, catalog, duration, seed)`` — and adding a draw to one
+    stream can never perturb the others.
+    """
+    times = model.arrival_times(duration, seed)
+    if max_sessions is not None:
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        times = times[:max_sessions]
+    streams = RandomStreams(seed)
+    mix_rng = streams.fresh("workload/catalog-mix")
+    hold_rng = streams.fresh("workload/holding")
+    entries = catalog.entries
+    weights = [e.weight for e in entries]
+    total_w = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total_w)
+    plans: list[SessionPlan] = []
+    for i, t in enumerate(times):
+        u = mix_rng.random()
+        pick = 0
+        while pick < len(cumulative) - 1 and u > cumulative[pick]:
+            pick += 1
+        entry = entries[pick]
+        holding = float(
+            hold_rng.exponential(entry.template.mean_holding_s)
+        )
+        name = f"s{i:05d}.{entry.template.name}.{entry.tenant.name}"
+        plans.append(
+            SessionPlan(
+                index=i,
+                name=name,
+                tenant=entry.tenant.name,
+                priority=entry.tenant.priority,
+                template=entry.template.name,
+                arrival_s=float(t),
+                holding_s=holding,
+                spec=entry.template.make_spec(name),
+            )
+        )
+    return plans
+
+
+def plan_concurrent_batch(
+    catalog: SessionCatalog, count: int, seed: int
+) -> list[StreamSpec]:
+    """``count`` concrete specs drawn from the mix, for batch opens.
+
+    The scale benchmark uses this to stand up a 1k+ concurrent
+    population in one :meth:`~repro.middleware.service.IQPathsService.
+    open_streams` call.
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    mix_rng = RandomStreams(seed).fresh("workload/batch-mix")
+    entries = catalog.entries
+    weights = [e.weight for e in entries]
+    total_w = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total_w)
+    specs = []
+    for i in range(count):
+        u = mix_rng.random()
+        pick = 0
+        while pick < len(cumulative) - 1 and u > cumulative[pick]:
+            pick += 1
+        entry = entries[pick]
+        specs.append(
+            entry.template.make_spec(
+                f"b{i:05d}.{entry.template.name}.{entry.tenant.name}"
+            )
+        )
+    return specs

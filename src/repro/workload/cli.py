@@ -1,0 +1,152 @@
+"""Command-line front door for the workload engine.
+
+Runs one named scenario (or its capacity-envelope search) and prints
+the deterministic report plus wall-clock throughput figures::
+
+    python -m repro.workload --scenario baseline --seed 0
+    python -m repro.workload --scenario flash-crowd --rate-scale 1.5 \\
+        --trace-out trace.jsonl --metrics-out metrics.json
+    python -m repro.workload --scenario baseline --envelope \\
+        --ceiling 0.05 --iterations 6
+
+``tools/run_scale.py`` is the same entry point runnable straight from
+a checkout.  Wall-clock rates (sessions/sec, steps/sec) are printed but
+deliberately kept *out* of the report payload and its checksum, so the
+checksum stays a pure function of ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.context import Observability
+from repro.workload.envelope import estimate_envelope
+from repro.workload.scenarios import SCENARIOS, run_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description=(
+            "Run a multi-tenant workload scenario against the IQ-Paths "
+            "middleware, or estimate its capacity envelope."
+        ),
+    )
+    parser.add_argument(
+        "--scenario", default="baseline", choices=sorted(SCENARIOS),
+        help="named scenario to run (default: baseline)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="top-level seed; every stochastic ingredient derives from it",
+    )
+    parser.add_argument(
+        "--rate-scale", type=float, default=1.0,
+        help="multiply the scenario's arrival rates (default: 1.0)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the scenario's run duration (seconds)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="truncate the session plan after this many arrivals",
+    )
+    parser.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the canonical report payload (JSON) here",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="export the run's trace (JSONL) here",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="export the run's metrics registry (JSON) here",
+    )
+    parser.add_argument(
+        "--envelope", action="store_true",
+        help="binary-search the capacity envelope instead of one run",
+    )
+    parser.add_argument(
+        "--ceiling", type=float, default=0.05,
+        help="envelope violation-rate ceiling (default: 0.05)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=6,
+        help="envelope bisection iterations (default: 6)",
+    )
+    parser.add_argument(
+        "--probe-duration", type=float, default=30.0,
+        help="duration of each envelope probe run (default: 30s)",
+    )
+    return parser
+
+
+def _run_envelope(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    envelope = estimate_envelope(
+        args.scenario,
+        seed=args.seed,
+        ceiling=args.ceiling,
+        iterations=args.iterations,
+        probe_duration=args.probe_duration,
+        max_sessions=args.max_sessions,
+    )
+    wall = time.perf_counter() - t0
+    print(envelope.render())
+    print(f"checksum {envelope.checksum()}")
+    print(f"wall {wall:.2f}s over {len(envelope.probes)} probes")
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(envelope.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.envelope:
+        return _run_envelope(args)
+    want_obs = args.trace_out is not None or args.metrics_out is not None
+    obs = Observability() if want_obs else None
+    t0 = time.perf_counter()
+    report = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        rate_scale=args.rate_scale,
+        duration=args.duration,
+        max_sessions=args.max_sessions,
+        obs=obs,
+    )
+    wall = time.perf_counter() - t0
+    print(report.render())
+    print(f"checksum {report.checksum()}")
+    steps = int(round(report.duration / report.dt))
+    print(
+        f"wall {wall:.2f}s  "
+        f"sessions/sec {report.offered / wall:.1f}  "
+        f"steps/sec {steps / wall:.1f}"
+    )
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    if obs is not None and args.trace_out is not None:
+        count = obs.trace.export_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out} ({count} events)")
+    if obs is not None and args.metrics_out is not None:
+        obs.metrics.export_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,463 @@
+"""Open-loop churn driver: session arrivals and departures mid-run.
+
+:class:`ChurnDriver` takes a planned session population (from
+:func:`repro.workload.catalog.plan_sessions`) and plays it against a
+live :class:`~repro.middleware.service.IQPathsService` on the sim
+clock: each ``dt`` step first closes sessions whose holding time
+expired, then opens sessions whose arrival time came due, then advances
+the delivery loop one interval.  The load is *open-loop* — arrivals do
+not slow down when the overlay saturates, which is exactly what makes
+the capacity envelope measurable.
+
+Every admission outcome (admit / degrade / reject), every close, and
+every shed observed along the way is recorded per session and rolled up
+per tenant into a :class:`WorkloadReport`.  The report is a pure
+function of ``(plans, service configuration, seed)`` — it contains no
+wall-clock material — so two same-seed runs produce byte-identical
+``to_dict()`` payloads and the whole run can live behind the
+:mod:`repro.runner` content-addressed cache.  ``WORKLOAD``-category
+trace events mirror the same lifecycle onto the observability bus.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.middleware.service import IQPathsService
+from repro.obs.events import Category
+from repro.runner.cache import payload_digest
+from repro.workload.catalog import SessionPlan
+
+
+def _round6(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(float(value), 6)
+
+
+@dataclass
+class SessionRecord:
+    """Final accounting for one planned session."""
+
+    index: int
+    name: str
+    tenant: str
+    template: str
+    arrival_s: float
+    holding_s: float
+    #: "admitted" | "degraded" | "rejected"
+    outcome: str
+    opened_at: Optional[float] = None
+    closed_at: Optional[float] = None
+    #: True if the degradation policy paused the stream at any point.
+    shed: bool = False
+    #: True if the run ended before the session's planned departure.
+    truncated: bool = False
+    mean_mbps: Optional[float] = None
+    attainment: Optional[float] = None
+    #: Guaranteed session that was admitted but missed its probability.
+    violated: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "tenant": self.tenant,
+            "template": self.template,
+            "arrival_s": _round6(self.arrival_s),
+            "holding_s": _round6(self.holding_s),
+            "outcome": self.outcome,
+            "opened_at": _round6(self.opened_at),
+            "closed_at": _round6(self.closed_at),
+            "shed": self.shed,
+            "truncated": self.truncated,
+            "mean_mbps": _round6(self.mean_mbps),
+            "attainment": _round6(self.attainment),
+            "violated": self.violated,
+        }
+
+
+@dataclass
+class TenantAccount:
+    """Per-tenant rollup of session outcomes and delivered goodput."""
+
+    tenant: str
+    priority: int
+    offered: int = 0
+    admitted: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    shed: int = 0
+    violations: int = 0
+    delivered_megabits: float = 0.0
+    _attainments: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def mean_attainment(self) -> Optional[float]:
+        if not self._attainments:
+            return None
+        return sum(self._attainments) / len(self._attainments)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "violations": self.violations,
+            "delivered_megabits": _round6(self.delivered_megabits),
+            "mean_attainment": _round6(self.mean_attainment),
+        }
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one churn run produced, deterministically serializable."""
+
+    scenario: str
+    seed: int
+    dt: float
+    duration: float
+    offered: int
+    admitted: int
+    degraded: int
+    rejected: int
+    closed: int
+    truncated: int
+    shed_sessions: int
+    violations: int
+    peak_concurrent: int
+    delivered_megabits: float
+    tenants: dict[str, TenantAccount]
+    sessions: list[SessionRecord]
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of offered sessions the overlay failed in any way.
+
+        A session counts as a violation if it was rejected, opened
+        degraded, or admitted with a guarantee it then missed — the
+        quantity the capacity envelope holds under its ceiling.
+        """
+        if self.offered == 0:
+            return 0.0
+        return (self.rejected + self.degraded + self.violations) / (
+            self.offered
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical payload: pure, sorted, wall-clock-free."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "dt": self.dt,
+            "duration": self.duration,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "closed": self.closed,
+            "truncated": self.truncated,
+            "shed_sessions": self.shed_sessions,
+            "violations": self.violations,
+            "violation_rate": _round6(self.violation_rate),
+            "peak_concurrent": self.peak_concurrent,
+            "delivered_megabits": _round6(self.delivered_megabits),
+            "tenants": {
+                name: account.to_dict()
+                for name, account in sorted(self.tenants.items())
+            },
+            "sessions": [s.to_dict() for s in self.sessions],
+        }
+
+    def checksum(self) -> str:
+        """Hex digest of the canonical payload (byte-identity probe)."""
+        return payload_digest(self.to_dict())
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"workload {self.scenario!r} seed={self.seed}: "
+            f"{self.offered} sessions over {self.duration:.0f}s",
+            f"  admitted={self.admitted} degraded={self.degraded} "
+            f"rejected={self.rejected} shed={self.shed_sessions} "
+            f"violations={self.violations}",
+            f"  violation_rate={self.violation_rate:.4f} "
+            f"peak_concurrent={self.peak_concurrent} "
+            f"delivered={self.delivered_megabits:.1f} Mb",
+        ]
+        for name, account in sorted(
+            self.tenants.items(),
+            key=lambda kv: (kv[1].priority, kv[0]),
+        ):
+            mean_att = account.mean_attainment
+            att = f"{mean_att:.3f}" if mean_att is not None else "n/a"
+            lines.append(
+                f"  [{name}] offered={account.offered} "
+                f"admitted={account.admitted} "
+                f"degraded={account.degraded} "
+                f"rejected={account.rejected} shed={account.shed} "
+                f"violations={account.violations} attainment={att}"
+            )
+        return "\n".join(lines)
+
+
+class ChurnDriver:
+    """Plays a session plan against a service, one interval at a time.
+
+    Opens and closes go through the service's public API *between*
+    delivery steps (never from inside :meth:`IQPathsService.at`
+    callbacks, so strict-admission rejections stay catchable here).
+    """
+
+    def __init__(
+        self,
+        service: IQPathsService,
+        plans: list[SessionPlan],
+        scenario: str = "adhoc",
+        seed: int = 0,
+    ):
+        names = [p.name for p in plans]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("session plans must have unique names")
+        self.service = service
+        self.plans = sorted(plans, key=lambda p: (p.arrival_s, p.index))
+        self.scenario = scenario
+        self.seed = seed
+        self.obs = service.obs
+
+    def run(self, duration: float) -> WorkloadReport:
+        """Drive the full plan for ``duration`` seconds of session time."""
+        service = self.service
+        dt = service.dt
+        steps = int(round(duration / dt))
+        if steps > service.remaining_intervals:
+            raise ConfigurationError(
+                f"duration {duration}s needs {steps} intervals; "
+                f"realization has {service.remaining_intervals} left"
+            )
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                service.now,
+                Category.WORKLOAD,
+                "workload_start",
+                scenario=self.scenario,
+                planned_sessions=len(self.plans),
+                duration=duration,
+            )
+        records: dict[str, SessionRecord] = {}
+        tenants: dict[str, TenantAccount] = {}
+        # Departure heap: (close_time, plan_index, session_name).  The
+        # index tie-break keeps same-instant closes in arrival order.
+        departures: list[tuple[float, int, str]] = []
+        next_plan = 0
+        open_sessions: set[str] = set()
+        shed_seen: set[str] = set()
+        peak_concurrent = 0
+        for k in range(steps):
+            t = k * dt
+            while departures and departures[0][0] <= t:
+                _, _, name = heapq.heappop(departures)
+                self._close(name, records[name], open_sessions)
+            while (
+                next_plan < len(self.plans)
+                and self.plans[next_plan].arrival_s <= t
+            ):
+                plan = self.plans[next_plan]
+                next_plan += 1
+                record = self._arrive(plan, tenants)
+                records[plan.name] = record
+                if record.outcome != "rejected":
+                    open_sessions.add(plan.name)
+                    heapq.heappush(
+                        departures,
+                        (
+                            record.opened_at + plan.holding_s,
+                            plan.index,
+                            plan.name,
+                        ),
+                    )
+            peak_concurrent = max(peak_concurrent, len(open_sessions))
+            service.advance(dt)
+            if service.health is not None and service.shed_streams:
+                newly_shed = (
+                    (service.shed_streams & open_sessions) - shed_seen
+                )
+                for name in sorted(newly_shed):
+                    shed_seen.add(name)
+                    records[name].shed = True
+        # Run over: close whatever is still open, marked truncated.
+        for name in sorted(
+            open_sessions, key=lambda n: records[n].index
+        ):
+            records[name].truncated = True
+            self._close(name, records[name], open_sessions)
+        report = self._finalize(
+            records, tenants, duration, peak_concurrent
+        )
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                service.now,
+                Category.WORKLOAD,
+                "workload_end",
+                scenario=self.scenario,
+                offered=report.offered,
+                admitted=report.admitted,
+                degraded=report.degraded,
+                rejected=report.rejected,
+                violation_rate=report.violation_rate,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # lifecycle steps
+    # ------------------------------------------------------------------
+    def _account(self, plan: SessionPlan, tenants) -> TenantAccount:
+        account = tenants.get(plan.tenant)
+        if account is None:
+            account = TenantAccount(
+                tenant=plan.tenant, priority=plan.priority
+            )
+            tenants[plan.tenant] = account
+        return account
+
+    def _arrive(
+        self, plan: SessionPlan, tenants: dict[str, TenantAccount]
+    ) -> SessionRecord:
+        service = self.service
+        account = self._account(plan, tenants)
+        account.offered += 1
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                service.now,
+                Category.WORKLOAD,
+                "session_arrival",
+                stream=plan.name,
+                tenant=plan.tenant,
+                template=plan.template,
+            )
+        record = SessionRecord(
+            index=plan.index,
+            name=plan.name,
+            tenant=plan.tenant,
+            template=plan.template,
+            arrival_s=plan.arrival_s,
+            holding_s=plan.holding_s,
+            outcome="rejected",
+        )
+        try:
+            handle = service.open_stream(plan.spec, tenant=plan.tenant)
+        except AdmissionError:
+            account.rejected += 1
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    service.now,
+                    Category.WORKLOAD,
+                    "session_rejected",
+                    stream=plan.name,
+                    tenant=plan.tenant,
+                )
+            return record
+        record.outcome = "admitted" if handle.admitted else "degraded"
+        record.opened_at = service.now
+        if handle.admitted:
+            account.admitted += 1
+        else:
+            account.degraded += 1
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                service.now,
+                Category.WORKLOAD,
+                f"session_{record.outcome}",
+                stream_id=handle.stream_id,
+                stream=plan.name,
+                tenant=plan.tenant,
+            )
+        return record
+
+    def _close(
+        self,
+        name: str,
+        record: SessionRecord,
+        open_sessions: set[str],
+    ) -> None:
+        service = self.service
+        handle = service.close_stream(name)
+        open_sessions.discard(name)
+        record.closed_at = service.now
+        stream_report = service.report(name)
+        record.mean_mbps = stream_report.mean_mbps
+        record.attainment = stream_report.attainment
+        spec = handle.spec
+        if (
+            record.outcome == "admitted"
+            and spec.probability is not None
+            and record.attainment is not None
+            and record.attainment < spec.probability
+        ):
+            record.violated = True
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                service.now,
+                Category.WORKLOAD,
+                "session_close",
+                stream_id=handle.stream_id,
+                stream=name,
+                tenant=record.tenant,
+                outcome=record.outcome,
+                truncated=record.truncated,
+                mean_mbps=record.mean_mbps,
+                attainment=record.attainment,
+            )
+
+    def _finalize(
+        self,
+        records: dict[str, SessionRecord],
+        tenants: dict[str, TenantAccount],
+        duration: float,
+        peak_concurrent: int,
+    ) -> WorkloadReport:
+        dt = self.service.dt
+        sessions = sorted(records.values(), key=lambda r: r.index)
+        delivered_total = 0.0
+        for record in sessions:
+            account = tenants[record.tenant]
+            if record.shed:
+                account.shed += 1
+            if record.violated:
+                account.violations += 1
+            if record.attainment is not None:
+                account._attainments.append(record.attainment)
+            if record.mean_mbps is not None and record.closed_at is not None:
+                lifetime = (record.closed_at or 0.0) - (
+                    record.opened_at or 0.0
+                )
+                megabits = record.mean_mbps * lifetime
+                account.delivered_megabits += megabits
+                delivered_total += megabits
+        return WorkloadReport(
+            scenario=self.scenario,
+            seed=self.seed,
+            dt=dt,
+            duration=duration,
+            offered=len(sessions),
+            admitted=sum(1 for r in sessions if r.outcome == "admitted"),
+            degraded=sum(1 for r in sessions if r.outcome == "degraded"),
+            rejected=sum(1 for r in sessions if r.outcome == "rejected"),
+            closed=sum(
+                1
+                for r in sessions
+                if r.closed_at is not None and not r.truncated
+            ),
+            truncated=sum(1 for r in sessions if r.truncated),
+            shed_sessions=sum(1 for r in sessions if r.shed),
+            violations=sum(1 for r in sessions if r.violated),
+            peak_concurrent=peak_concurrent,
+            delivered_megabits=delivered_total,
+            tenants=tenants,
+            sessions=sessions,
+        )

@@ -1,0 +1,263 @@
+"""Named, reproducible scale scenarios behind one entry point.
+
+A :class:`ScaleScenario` bundles an arrival model, a session catalog, a
+run duration, and the middleware's admission posture; the registry in
+:data:`SCENARIOS` names the four standard ones:
+
+``baseline``
+    Steady Poisson churn sized to offer well over a thousand sessions —
+    the determinism and throughput yardstick.
+``diurnal``
+    MMPP day/night modulation: the overlay sees alternating calm and
+    rush periods.
+``flash-crowd``
+    A trapezoid burst to several times the base arrival rate — the
+    admission controller's stress test.
+``flash-crowd-chaos``
+    The flash crowd landing *during* a random fault campaign, with
+    lenient admission so degradation (not rejection) absorbs the hit —
+    the composition test between the workload engine and the chaos
+    harness.
+
+:func:`run_scenario` is the pure front door: build the Figure-8
+testbed, realize it from a seed-derived sub-seed, play the plan through
+a :class:`~repro.workload.driver.ChurnDriver`, and return the
+:class:`~repro.workload.driver.WorkloadReport`.  Same arguments, same
+report — byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.middleware.service import IQPathsService
+from repro.network.emulab import make_figure8_testbed
+from repro.network.faults import FaultCampaign
+from repro.obs.context import Observability
+from repro.runner.spec import mix_seed
+from repro.workload.arrivals import (
+    ArrivalModel,
+    FlashCrowdArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.workload.catalog import (
+    SessionCatalog,
+    default_catalog,
+    plan_sessions,
+)
+from repro.workload.driver import ChurnDriver, WorkloadReport
+
+#: Probe intervals before session time starts (shorter than the figure
+#: experiments' 200: churn runs need a warm monitor, not a perfect one).
+WARMUP_INTERVALS = 100
+
+#: Slack appended to the realization beyond warmup + scenario duration.
+REALIZATION_SLACK_S = 5.0
+
+_DT = 0.1
+
+
+@dataclass(frozen=True)
+class ScaleScenario:
+    """One named workload scenario: arrivals, mix, and posture."""
+
+    name: str
+    model: ArrivalModel
+    duration: float
+    strict_admission: bool = True
+    with_chaos: bool = False
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+    def scaled(self, factor: float) -> "ScaleScenario":
+        """The same scenario with every arrival rate scaled."""
+        return replace(self, model=self.model.scaled(factor))
+
+    def expected_sessions(self) -> float:
+        """Rough expected offered-session count (sizing aid)."""
+        expected = self.model.mean_rate() * self.duration
+        if isinstance(self.model, FlashCrowdArrivals):
+            expected += self.model.burst_sessions_expected()
+        return expected
+
+
+def _baseline() -> ScaleScenario:
+    return ScaleScenario(
+        name="baseline",
+        model=PoissonArrivals(rate=16.0),
+        duration=75.0,
+    )
+
+
+def _diurnal() -> ScaleScenario:
+    return ScaleScenario(
+        name="diurnal",
+        model=MMPPArrivals.diurnal(6.0, 24.0, period_s=30.0),
+        duration=60.0,
+    )
+
+
+def _flash_crowd() -> ScaleScenario:
+    return ScaleScenario(
+        name="flash-crowd",
+        model=FlashCrowdArrivals(
+            base_rate=6.0,
+            peak_rate=40.0,
+            t_start=20.0,
+            ramp_s=5.0,
+            hold_s=10.0,
+            decay_s=10.0,
+        ),
+        duration=60.0,
+    )
+
+
+def _flash_crowd_chaos() -> ScaleScenario:
+    # Lighter than plain flash-crowd: with lenient admission every
+    # session opens, and the degradation re-planning that chaos triggers
+    # is superlinear in the standing population — this sizing keeps the
+    # composition run fast while still exercising shed + downgrade.
+    return ScaleScenario(
+        name="flash-crowd-chaos",
+        model=FlashCrowdArrivals(
+            base_rate=2.5,
+            peak_rate=12.0,
+            t_start=15.0,
+            ramp_s=5.0,
+            hold_s=8.0,
+            decay_s=8.0,
+        ),
+        duration=50.0,
+        strict_admission=False,
+        with_chaos=True,
+    )
+
+
+#: Scenario registry: name -> zero-argument factory.
+SCENARIOS: dict[str, Callable[[], ScaleScenario]] = {
+    "baseline": _baseline,
+    "diurnal": _diurnal,
+    "flash-crowd": _flash_crowd,
+    "flash-crowd-chaos": _flash_crowd_chaos,
+}
+
+
+def make_scenario(
+    name: str,
+    rate_scale: float = 1.0,
+    duration: Optional[float] = None,
+) -> ScaleScenario:
+    """Look up a named scenario, optionally rescaled or re-timed."""
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        )
+    if rate_scale <= 0:
+        raise ConfigurationError(
+            f"rate_scale must be positive, got {rate_scale}"
+        )
+    scenario = factory()
+    if rate_scale != 1.0:
+        scenario = scenario.scaled(rate_scale)
+    if duration is not None:
+        scenario = replace(scenario, duration=float(duration))
+    return scenario
+
+
+def build_service(
+    scenario: ScaleScenario,
+    seed: int,
+    obs: Optional[Observability] = None,
+) -> IQPathsService:
+    """The Figure-8 middleware stack one scenario run lives on.
+
+    Every stochastic ingredient derives from ``seed`` via
+    :func:`~repro.runner.spec.mix_seed`, namespaced by the scenario
+    name, so scenarios never share draws and runs are reproducible from
+    the single top-level seed.
+    """
+    testbed = make_figure8_testbed()
+    total = (
+        WARMUP_INTERVALS * _DT + scenario.duration + REALIZATION_SLACK_S
+    )
+    realization = testbed.realize(
+        seed=mix_seed(seed, "workload-realization", scenario.name),
+        duration=total,
+        dt=_DT,
+    )
+    campaign = None
+    if scenario.with_chaos:
+        campaign = FaultCampaign.random(
+            list(realization.path_names()),
+            duration=scenario.duration,
+            seed=mix_seed(seed, "workload-chaos", scenario.name),
+        )
+    return IQPathsService(
+        realization,
+        warmup_intervals=WARMUP_INTERVALS,
+        strict_admission=scenario.strict_admission,
+        campaign=campaign,
+        obs=obs,
+    )
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    duration: Optional[float] = None,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+) -> WorkloadReport:
+    """Run one named scenario end to end; the package's front door."""
+    scenario = make_scenario(name, rate_scale=rate_scale, duration=duration)
+    return run_scale_scenario(
+        scenario,
+        seed=seed,
+        max_sessions=max_sessions,
+        catalog=catalog,
+        obs=obs,
+    )
+
+
+def run_scale_scenario(
+    scenario: ScaleScenario,
+    seed: int = 0,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+) -> WorkloadReport:
+    """Run an explicit :class:`ScaleScenario` (no registry lookup)."""
+    catalog = catalog if catalog is not None else default_catalog()
+    plans = plan_sessions(
+        scenario.model,
+        catalog,
+        scenario.duration,
+        seed=mix_seed(seed, "workload-plan", scenario.name),
+        max_sessions=max_sessions,
+    )
+    service = build_service(scenario, seed, obs=obs)
+    driver = ChurnDriver(
+        service, plans, scenario=scenario.name, seed=seed
+    )
+    return driver.run(scenario.duration)
+
+
+def scenario_params(scenario: ScaleScenario) -> dict[str, Any]:
+    """JSON form of a scenario (for :class:`repro.runner.RunSpec`)."""
+    return {
+        "name": scenario.name,
+        "model": scenario.model.to_params(),
+        "duration": scenario.duration,
+        "strict_admission": scenario.strict_admission,
+        "with_chaos": scenario.with_chaos,
+    }

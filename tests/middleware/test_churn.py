@@ -1,0 +1,195 @@
+"""Session churn against the facade: reopen, shedding, ID monotonicity."""
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.core.spec import StreamSpec
+from repro.middleware.service import IQPathsService
+from repro.network.emulab import make_figure8_testbed
+from repro.network.faults import FaultCampaign, PathFault
+from repro.obs.context import Observability
+
+
+def make_service(**kwargs):
+    testbed = make_figure8_testbed(
+        profile_a="abilene-moderate", profile_b="light"
+    )
+    realization = testbed.realize(seed=77, duration=150.0, dt=0.1)
+    return IQPathsService(realization, warmup_intervals=200, **kwargs)
+
+
+def critical(name="viz", mbps=20.0, p=0.95):
+    return StreamSpec(name=name, required_mbps=mbps, probability=p)
+
+
+def elastic(name="bulk", nominal=30.0):
+    return StreamSpec(name=name, elastic=True, nominal_mbps=nominal)
+
+
+class TestReopenChurn:
+    def test_open_close_reopen_under_load(self):
+        service = make_service()
+        service.open_stream(elastic("background", nominal=40.0))
+        first = service.open_stream(critical())
+        service.advance(10.0)
+        service.close_stream("viz")
+        service.advance(5.0)
+        second = service.open_stream(critical())
+        service.advance(10.0)
+        # The reopened stream is a new session: fresh, larger stream id.
+        assert second.stream_id > first.stream_id
+        assert second.open and not first.open
+        report = service.report("viz")
+        assert report.mean_mbps > 0.0
+
+    def test_stream_ids_strictly_monotone_across_churn(self):
+        service = make_service()
+        seen = []
+        for round_no in range(3):
+            handle = service.open_stream(
+                critical(f"viz{round_no}", mbps=5.0)
+            )
+            seen.append(handle.stream_id)
+            service.advance(2.0)
+            service.close_stream(handle.name)
+        batch = service.open_streams(
+            [elastic(f"b{i}", nominal=2.0) for i in range(3)]
+        )
+        seen.extend(h.stream_id for h in batch)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_remap_count_monotone_across_churn(self):
+        service = make_service()
+        counts = []
+        service.open_stream(critical(mbps=10.0))
+        service.advance(5.0)
+        counts.append(service.scheduler.remap_count)
+        service.open_stream(elastic())
+        service.advance(5.0)
+        counts.append(service.scheduler.remap_count)
+        service.close_stream("viz")
+        service.advance(5.0)
+        counts.append(service.scheduler.remap_count)
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+
+class TestLenientAdmission:
+    def test_oversubscribed_open_degrades_not_raises(self):
+        obs = Observability()
+        service = make_service(strict_admission=False, obs=obs)
+        service.open_stream(critical("big", mbps=60.0), tenant="gold")
+        handle = service.open_stream(
+            critical("huge", mbps=500.0), tenant="bronze"
+        )
+        assert not handle.admitted
+        assert handle.open
+        metrics = obs.metrics.to_dict()["current"]
+        assert metrics["admission.degraded"]["value"] == 1
+        assert (
+            metrics["admission.degraded.tenant.bronze"]["value"] == 1
+        )
+        assert metrics["admission.admitted.tenant.gold"]["value"] == 1
+        # The degraded session still participates in delivery.
+        service.advance(10.0)
+        assert service.report("huge").mean_mbps > 0.0
+
+    def test_strict_admission_raises_and_counts(self):
+        obs = Observability()
+        service = make_service(obs=obs)
+        with pytest.raises(AdmissionError):
+            service.open_stream(critical("huge", mbps=500.0))
+        metrics = obs.metrics.to_dict()["current"]
+        assert metrics["admission.rejected"]["value"] == 1
+        assert "huge" not in service.handles
+
+
+class TestShedThenRecover:
+    @pytest.fixture()
+    def faulted_service(self):
+        campaign = FaultCampaign(
+            faults=(
+                PathFault(path="A", start=10.0, end=25.0, severity=1.0),
+            ),
+            name="outage-A-churn",
+        )
+        return make_service(campaign=campaign)
+
+    def test_elastic_shed_during_outage_then_restored(
+        self, faulted_service
+    ):
+        service = faulted_service
+        service.open_stream(critical(mbps=10.0))
+        service.open_stream(elastic())
+        service.advance(5.0)
+        assert service.shed_streams == frozenset()
+        # Ride into the outage: health quarantines A, elastic is shed.
+        service.advance(10.0)
+        assert "bulk" in service.shed_streams
+        assert service.handles["bulk"].open
+        # Ride out the outage plus the recovery probation (the backoff
+        # ladder doubles 2 -> 4 -> 8 -> 16s, so the first successful
+        # re-probe lands around t = 41s).
+        service.advance(35.0)
+        assert service.shed_streams == frozenset()
+        assert service.report("bulk").mbps[-20:].mean() > 0.0
+
+    def test_shed_stream_can_still_be_closed(self, faulted_service):
+        service = faulted_service
+        service.open_stream(critical(mbps=10.0))
+        service.open_stream(elastic())
+        service.advance(15.0)
+        assert "bulk" in service.shed_streams
+        handle = service.close_stream("bulk")
+        assert not handle.open
+        assert "bulk" not in service.shed_streams
+
+
+class TestBatchOpen:
+    def test_empty_batch_is_a_noop(self):
+        service = make_service()
+        assert service.open_streams([]) == []
+
+    def test_strict_batch_is_all_or_nothing(self):
+        service = make_service()
+        specs = [
+            critical("ok", mbps=5.0),
+            critical("huge", mbps=500.0),
+        ]
+        with pytest.raises(AdmissionError) as err:
+            service.open_streams(specs)
+        assert "huge" in str(err.value)
+        # Nothing opened: the batch failed atomically.
+        assert not any(h.open for h in service.handles.values())
+
+    def test_lenient_batch_opens_whole_batch_degraded(self):
+        service = make_service(strict_admission=False)
+        handles = service.open_streams(
+            [critical("ok", mbps=5.0), critical("huge", mbps=500.0)],
+            tenant="silver",
+        )
+        assert all(h.open for h in handles)
+        assert all(not h.admitted for h in handles)
+        assert all(h.tenant == "silver" for h in handles)
+
+    def test_duplicate_in_batch_rejected(self):
+        service = make_service()
+        with pytest.raises(ConfigurationError):
+            service.open_streams([elastic("x"), elastic("x")])
+
+    def test_batch_against_already_open_stream_rejected(self):
+        service = make_service()
+        service.open_stream(elastic("x"))
+        with pytest.raises(ConfigurationError):
+            service.open_streams([elastic("x")])
+
+    def test_feasible_batch_admitted_with_guarantees(self):
+        service = make_service()
+        handles = service.open_streams(
+            [critical("a", mbps=5.0), critical("b", mbps=5.0)]
+        )
+        assert all(h.admitted for h in handles)
+        service.advance(20.0)
+        for name in ("a", "b"):
+            assert service.report(name).attainment >= 0.9

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.middleware",
     "repro.overlay",
     "repro.harness",
+    "repro.workload",
 ]
 
 

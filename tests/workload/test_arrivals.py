@@ -1,0 +1,170 @@
+"""Property tests for the arrival models: determinism, shape, rates.
+
+Determinism is the load-bearing property (same seed => byte-identical
+schedule, checked through :func:`schedule_checksum`), so every test is
+``derandomize=True`` in the :mod:`tests.property` style — these gate the
+scale suite's bit-identity claim and must themselves be deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import (
+    ARRIVAL_MODELS,
+    FlashCrowdArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    arrival_model_from_params,
+    schedule_checksum,
+)
+
+rate_strategy = st.floats(min_value=0.2, max_value=40.0, allow_nan=False)
+seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+duration_strategy = st.floats(min_value=1.0, max_value=30.0)
+
+
+def poisson_strategy():
+    return st.builds(PoissonArrivals, rate=rate_strategy)
+
+
+def mmpp_strategy():
+    return st.lists(rate_strategy, min_size=2, max_size=4).map(
+        lambda rates: MMPPArrivals(
+            rates=tuple(rates),
+            mean_dwell_s=tuple(5.0 for _ in rates),
+        )
+    )
+
+
+def flash_strategy():
+    return st.builds(
+        FlashCrowdArrivals,
+        base_rate=st.floats(min_value=0.5, max_value=10.0),
+        peak_rate=st.floats(min_value=10.0, max_value=50.0),
+        t_start=st.floats(min_value=0.0, max_value=20.0),
+        ramp_s=st.floats(min_value=0.0, max_value=5.0),
+        hold_s=st.floats(min_value=0.0, max_value=10.0),
+        decay_s=st.floats(min_value=0.0, max_value=5.0),
+    )
+
+
+model_strategy = st.one_of(
+    poisson_strategy(), mmpp_strategy(), flash_strategy()
+)
+
+
+@settings(derandomize=True, max_examples=40)
+@given(model_strategy, duration_strategy, seed_strategy)
+def test_same_seed_byte_identical(model, duration, seed):
+    a = model.arrival_times(duration, seed)
+    b = model.arrival_times(duration, seed)
+    assert schedule_checksum(a) == schedule_checksum(b)
+    assert a.dtype == np.float64
+
+
+@settings(derandomize=True, max_examples=40)
+@given(model_strategy, duration_strategy, seed_strategy)
+def test_sorted_nonnegative_in_range(model, duration, seed):
+    times = model.arrival_times(duration, seed)
+    assert np.all(times >= 0.0)
+    assert np.all(times < duration)
+    assert np.all(np.diff(times) >= 0.0)
+
+
+@settings(derandomize=True, max_examples=20)
+@given(model_strategy, duration_strategy, seed_strategy)
+def test_params_round_trip(model, duration, seed):
+    rebuilt = arrival_model_from_params(model.to_params())
+    assert rebuilt == model
+    a = model.arrival_times(duration, seed)
+    b = rebuilt.arrival_times(duration, seed)
+    assert schedule_checksum(a) == schedule_checksum(b)
+
+
+@settings(derandomize=True, max_examples=20)
+@given(model_strategy, st.floats(min_value=0.5, max_value=3.0))
+def test_scaled_scales_mean_rate(model, factor):
+    scaled = model.scaled(factor)
+    assert scaled.mean_rate() == pytest.approx(
+        model.mean_rate() * factor
+    )
+
+
+def test_distinct_seeds_give_distinct_schedules():
+    model = PoissonArrivals(rate=20.0)
+    a = model.arrival_times(50.0, seed=1)
+    b = model.arrival_times(50.0, seed=2)
+    assert schedule_checksum(a) != schedule_checksum(b)
+
+
+def test_poisson_empirical_rate():
+    model = PoissonArrivals(rate=12.0)
+    times = model.arrival_times(500.0, seed=3)
+    # 6000 expected arrivals: the empirical rate concentrates tightly.
+    assert len(times) / 500.0 == pytest.approx(12.0, rel=0.1)
+
+
+def test_mmpp_empirical_rate_matches_dwell_weighted_mean():
+    model = MMPPArrivals.diurnal(4.0, 16.0, period_s=20.0)
+    assert model.mean_rate() == pytest.approx(10.0)
+    times = model.arrival_times(1000.0, seed=5)
+    # Dwell randomness makes this noisier than Poisson; 15% tolerance.
+    assert len(times) / 1000.0 == pytest.approx(10.0, rel=0.15)
+
+
+def test_mmpp_alternates_rate_regimes():
+    model = MMPPArrivals.diurnal(1.0, 30.0, period_s=40.0)
+    times = model.arrival_times(400.0, seed=9)
+    counts, _ = np.histogram(times, bins=40, range=(0.0, 400.0))
+    # Both regimes must be visible: busy 10s bins dwarf quiet ones.
+    assert counts.max() >= 150
+    assert counts.max() > 5 * max(counts.min(), 1)
+
+
+def test_flash_crowd_rate_profile_trapezoid():
+    model = FlashCrowdArrivals(
+        base_rate=5.0, peak_rate=30.0, t_start=10.0,
+        ramp_s=4.0, hold_s=6.0, decay_s=8.0,
+    )
+    assert model.rate_at(0.0) == 5.0
+    assert model.rate_at(12.0) == pytest.approx(17.5)
+    assert model.rate_at(15.0) == 30.0
+    assert model.rate_at(24.0) == pytest.approx(17.5)
+    assert model.rate_at(30.0) == 5.0
+
+
+def test_flash_crowd_burst_density():
+    model = FlashCrowdArrivals(
+        base_rate=4.0, peak_rate=40.0, t_start=30.0,
+        ramp_s=2.0, hold_s=16.0, decay_s=2.0,
+    )
+    times = model.arrival_times(100.0, seed=11)
+    hold = np.sum((times >= 32.0) & (times < 48.0)) / 16.0
+    before = np.sum(times < 30.0) / 30.0
+    assert hold > before * 4
+
+
+def test_registry_covers_all_kinds():
+    assert set(ARRIVAL_MODELS) == {"poisson", "mmpp", "flash-crowd"}
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals(rate=0.0)
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(rates=(5.0,), mean_dwell_s=(1.0,))
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(rates=(5.0, 6.0), mean_dwell_s=(1.0,))
+    with pytest.raises(ConfigurationError):
+        MMPPArrivals(rates=(0.0, 0.0), mean_dwell_s=(1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        FlashCrowdArrivals(base_rate=10.0, peak_rate=5.0)
+    with pytest.raises(ConfigurationError):
+        FlashCrowdArrivals(t_start=-1.0)
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals().arrival_times(0.0, seed=0)
+    with pytest.raises(ConfigurationError):
+        arrival_model_from_params({"kind": "nope"})

@@ -1,0 +1,131 @@
+"""Session catalogs: mix validity, deterministic planning, batches."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.catalog import (
+    CatalogEntry,
+    SessionCatalog,
+    SessionTemplate,
+    TenantClass,
+    default_catalog,
+    plan_concurrent_batch,
+    plan_sessions,
+)
+
+
+class TestDefaultCatalog:
+    def test_three_tenants_priority_ordered(self):
+        catalog = default_catalog()
+        tenants = catalog.tenants
+        assert [t.name for t in tenants] == ["gold", "silver", "bronze"]
+        assert [t.priority for t in tenants] == [0, 1, 2]
+
+    def test_mix_has_guaranteed_and_elastic(self):
+        catalog = default_catalog()
+        guaranteed = [
+            e for e in catalog.entries if e.template.guaranteed
+        ]
+        elastic = [e for e in catalog.entries if e.template.elastic]
+        assert guaranteed and elastic
+        assert catalog.mean_guaranteed_mbps() > 0.0
+        assert catalog.mean_holding_s() > 0.0
+
+    def test_rate_scale_scales_bandwidths(self):
+        base = default_catalog()
+        doubled = default_catalog(rate_scale=2.0)
+        assert doubled.mean_guaranteed_mbps() == pytest.approx(
+            2 * base.mean_guaranteed_mbps()
+        )
+
+    def test_bad_rate_scale(self):
+        with pytest.raises(ConfigurationError):
+            default_catalog(rate_scale=0.0)
+
+
+class TestCatalogValidation:
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionCatalog(entries=())
+
+    def test_duplicate_entry_rejected(self):
+        tenant = TenantClass("t")
+        template = SessionTemplate("x", elastic=True, nominal_mbps=1.0)
+        with pytest.raises(ConfigurationError):
+            SessionCatalog(
+                entries=(
+                    CatalogEntry(tenant, template),
+                    CatalogEntry(tenant, template),
+                )
+            )
+
+    def test_bad_weight_rejected(self):
+        tenant = TenantClass("t")
+        template = SessionTemplate("x", elastic=True, nominal_mbps=1.0)
+        with pytest.raises(ConfigurationError):
+            CatalogEntry(tenant, template, weight=0.0)
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantClass("")
+        with pytest.raises(ConfigurationError):
+            TenantClass("t", priority=-1)
+
+    def test_template_spec_shape_checked_eagerly(self):
+        # StreamSpec itself rejects a guaranteed stream with no rate.
+        with pytest.raises(Exception):
+            SessionTemplate("broken", probability=0.95)
+
+
+class TestPlanSessions:
+    def setup_method(self):
+        self.model = PoissonArrivals(rate=10.0)
+        self.catalog = default_catalog()
+
+    def test_same_seed_identical_plans(self):
+        a = plan_sessions(self.model, self.catalog, 20.0, seed=4)
+        b = plan_sessions(self.model, self.catalog, 20.0, seed=4)
+        assert [p.to_dict() for p in a] == [p.to_dict() for p in b]
+        assert [p.spec for p in a] == [p.spec for p in b]
+
+    def test_plan_shape(self):
+        plans = plan_sessions(self.model, self.catalog, 30.0, seed=4)
+        assert len(plans) > 100
+        names = [p.name for p in plans]
+        assert len(set(names)) == len(names)
+        arrivals = [p.arrival_s for p in plans]
+        assert arrivals == sorted(arrivals)
+        assert all(p.holding_s > 0 for p in plans)
+        assert all(p.spec.name == p.name for p in plans)
+        # Every tenant class appears in a plan this large.
+        assert {p.tenant for p in plans} == {"gold", "silver", "bronze"}
+
+    def test_max_sessions_truncates(self):
+        full = plan_sessions(self.model, self.catalog, 30.0, seed=4)
+        cut = plan_sessions(
+            self.model, self.catalog, 30.0, seed=4, max_sessions=10
+        )
+        assert len(cut) == 10
+        assert [p.to_dict() for p in cut] == [
+            p.to_dict() for p in full[:10]
+        ]
+
+    def test_bad_max_sessions(self):
+        with pytest.raises(ConfigurationError):
+            plan_sessions(
+                self.model, self.catalog, 10.0, seed=0, max_sessions=0
+            )
+
+
+class TestConcurrentBatch:
+    def test_batch_shape_and_determinism(self):
+        catalog = default_catalog()
+        a = plan_concurrent_batch(catalog, 50, seed=1)
+        b = plan_concurrent_batch(catalog, 50, seed=1)
+        assert a == b
+        assert len({s.name for s in a}) == 50
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            plan_concurrent_batch(default_catalog(), 0, seed=1)

@@ -1,0 +1,107 @@
+"""The ``python -m repro.workload`` CLI (shared with tools/run_scale.py)."""
+
+import json
+
+import pytest
+
+from repro.workload.cli import main
+
+FAST_ARGS = [
+    "--scenario",
+    "baseline",
+    "--seed",
+    "0",
+    "--duration",
+    "10",
+    "--max-sessions",
+    "25",
+]
+
+
+def test_scenario_run_prints_report_and_checksum(capsys):
+    assert main(FAST_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "workload 'baseline' seed=0" in out
+    assert "checksum " in out
+    assert "sessions/sec" in out
+    assert "steps/sec" in out
+
+
+def test_json_out_carries_canonical_payload(tmp_path, capsys):
+    json_out = tmp_path / "report.json"
+    assert main(FAST_ARGS + ["--json-out", str(json_out)]) == 0
+    payload = json.loads(json_out.read_text())
+    assert payload["scenario"] == "baseline"
+    assert payload["offered"] == 25
+    # Wall-clock rates never leak into the canonical payload.
+    assert "sessions_per_sec" not in payload
+    out = capsys.readouterr().out
+    assert str(json_out) in out
+
+
+def test_trace_and_metrics_exports(tmp_path, capsys):
+    trace_out = tmp_path / "trace.jsonl"
+    metrics_out = tmp_path / "metrics.json"
+    assert (
+        main(
+            FAST_ARGS
+            + [
+                "--trace-out",
+                str(trace_out),
+                "--metrics-out",
+                str(metrics_out),
+            ]
+        )
+        == 0
+    )
+    lines = trace_out.read_text().strip().splitlines()
+    assert any('"cat": "workload"' in line for line in lines)
+    metrics = json.loads(metrics_out.read_text())
+    assert "admission.admitted" in metrics["current"]
+    capsys.readouterr()
+
+
+def test_envelope_mode(tmp_path, capsys):
+    json_out = tmp_path / "envelope.json"
+    code = main(
+        [
+            "--scenario",
+            "baseline",
+            "--envelope",
+            "--iterations",
+            "1",
+            "--probe-duration",
+            "6",
+            "--max-sessions",
+            "15",
+            "--json-out",
+            str(json_out),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "capacity envelope" in out
+    payload = json.loads(json_out.read_text())
+    assert "max_sustainable_scale" in payload
+
+
+def test_unknown_scenario_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["--scenario", "nope"])
+    capsys.readouterr()
+
+
+def test_same_seed_same_checksum_line(capsys):
+    main(FAST_ARGS)
+    first = capsys.readouterr().out
+    main(FAST_ARGS)
+    second = capsys.readouterr().out
+
+    def checksum_line(text):
+        return next(
+            line
+            for line in text.splitlines()
+            if line.startswith("checksum ")
+        )
+
+    assert checksum_line(first) == checksum_line(second)

@@ -2,8 +2,9 @@
 """Regenerate the entire EXPERIMENTS.md evaluation in one command.
 
 A thin wrapper over ``python -m repro.runner`` with the full-evaluation
-defaults baked in: every figure at canonical seeds plus the chaos
-campaign, results cached under ``.repro-cache``, reports written to
+defaults baked in: every figure at canonical seeds, the chaos campaign,
+and the scale suite (every workload scenario plus the baseline capacity
+envelope), results cached under ``.repro-cache``, reports written to
 ``reports/``.  A warm rerun with unchanged code is pure cache hits.
 
 Run:  PYTHONPATH=src python tools/run_all.py [--workers N] [...]
@@ -22,4 +23,6 @@ if __name__ == "__main__":
     argv = sys.argv[1:]
     if "--with-chaos" not in argv:
         argv = ["--with-chaos", *argv]
+    if "--with-scale" not in argv:
+        argv = ["--with-scale", *argv]
     sys.exit(main(argv))

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Run a multi-tenant workload scenario (or its capacity envelope).
+
+A thin wrapper over ``python -m repro.workload`` runnable straight from
+a checkout::
+
+    PYTHONPATH=src python tools/run_scale.py --scenario baseline --seed 0
+    python tools/run_scale.py --scenario baseline --envelope
+    python tools/run_scale.py --scenario flash-crowd-chaos \\
+        --trace-out trace.jsonl --metrics-out metrics.json
+
+Prints the deterministic workload report (same seed, same bytes — the
+printed ``checksum`` line is the proof) plus wall-clock sessions/sec
+and steps/sec.  All arguments are shared with the module CLI; see
+``--help``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.workload.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,10 @@ optional metrics-snapshot JSON) and correlates scheduler, health, and
 transport events into ordered causal chains: for each per-window
 guarantee shortfall it reports the health transition that quarantined a
 path, the quarantine application, the remap that re-routed the mapping,
-and the shortfall itself, in time order.
+and the shortfall itself, in time order.  When the trace carries
+admission upcalls (e.g. from a workload churn run) it also splits the
+rejections into health-correlated vs. load-driven, naming the health
+transition that preceded each.
 
 Run::
 
@@ -75,6 +78,60 @@ def _campaign_overview(events) -> list[str]:
     ]
 
 
+def _admission_overview(events, lookback: float = 30.0) -> list[str]:
+    """Correlate admission rejections with preceding health transitions.
+
+    An ``admission_upcall`` fired while a path was degraded/failed (or
+    shortly after a transition) means capacity loss — not offered load —
+    drove the rejection.  For each upcall this reports the most recent
+    health transition within ``lookback`` seconds, and splits the total
+    into health-correlated vs. pure-load rejections.
+    """
+    upcalls = [
+        e
+        for e in events
+        if e.category == Category.SERVICE and e.name == "admission_upcall"
+    ]
+    if not upcalls:
+        return []
+    transitions = [
+        e
+        for e in events
+        if e.category == Category.HEALTH and e.name == "transition"
+    ]
+    lines = [f"admission rejections ({len(upcalls)} upcalls):"]
+    correlated = 0
+    details: list[str] = []
+    for upcall in upcalls:
+        cause = None
+        for tr in transitions:
+            if tr.sim_time > upcall.sim_time:
+                break
+            if upcall.sim_time - tr.sim_time <= lookback:
+                cause = tr
+        if cause is not None and cause.fields.get("new") != "healthy":
+            correlated += 1
+            if len(details) < 5:
+                details.append(
+                    f"  t={upcall.sim_time:7.2f}s "
+                    f"{upcall.fields.get('stream')!r} rejected "
+                    f"{upcall.sim_time - cause.sim_time:.1f}s after "
+                    f"path {cause.path} went "
+                    f"{cause.fields.get('old')} -> "
+                    f"{cause.fields.get('new')} "
+                    f"({cause.fields.get('reason')})"
+                )
+    lines.append(
+        f"  health-correlated: {correlated}  "
+        f"load-driven: {len(upcalls) - correlated}  "
+        f"(lookback {lookback:.0f}s)"
+    )
+    lines.extend(details)
+    if correlated > len(details):
+        lines.append(f"  ... and {correlated - len(details)} more")
+    return lines
+
+
 def _metrics_overview(path: Path) -> list[str]:
     data = MetricsRegistry.load_json(path)
     current = data.get("current", {})
@@ -124,6 +181,10 @@ def main(argv=None) -> int:
     events = TraceBus.load_jsonl(args.trace)
     print(summarize(events))
     for line in _campaign_overview(events):
+        print(line)
+    for line in _admission_overview(
+        events, lookback=args.lookback if args.lookback else 30.0
+    ):
         print(line)
     if args.metrics is not None:
         for line in _metrics_overview(args.metrics):
