@@ -1,0 +1,144 @@
+"""Checkpoint benchmark: snapshot overhead and resume identity.
+
+Two measurements, recorded to
+``benchmarks/results/BENCH_checkpoint.json``:
+
+1. **Snapshot overhead** — the ``baseline`` workload scenario run
+   plain, then run again under
+   :func:`~repro.checkpoint.run_scale_scenario_checkpointed` with
+   periodic digest-verified snapshots.  Both report checksums must be
+   **bit-identical** (asserted unconditionally — checkpointing must
+   never perturb the simulation); the wall-clock overhead percentage
+   is recorded, and asserts the <5% ceiling only under
+   ``CHECKPOINT_BENCH_GATE=1`` (shared CI runners measure the
+   neighbours, not the code).
+2. **Snapshot cost** — count, mean latency, and byte size of the
+   snapshots the checkpointed run wrote.
+
+Environment knobs:
+
+* ``CHECKPOINT_BENCH_SESSIONS`` — truncate the churn plan
+  (0 = full run; CI smoke uses a small count).
+* ``CHECKPOINT_BENCH_EVERY``    — virtual seconds between snapshots
+  (default 5.0, the production default).
+* ``CHECKPOINT_BENCH_GATE``     — set to 1 to assert the overhead
+  ceiling.
+* ``CHECKPOINT_BENCH_RECORD``   — set to 1 to (re)record the JSON
+  baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    run_scale_scenario_checkpointed,
+)
+from repro.fsutil import atomic_write_json
+from repro.workload.scenarios import make_scenario, run_scale_scenario
+
+RESULTS_NAME = "BENCH_checkpoint.json"
+
+#: Snapshot overhead ceiling (fraction of plain wall time), asserted
+#: only under ``CHECKPOINT_BENCH_GATE=1``.
+MAX_OVERHEAD_FRAC = 0.05
+
+MAX_SESSIONS = int(os.environ.get("CHECKPOINT_BENCH_SESSIONS", "0"))
+EVERY_S = float(os.environ.get("CHECKPOINT_BENCH_EVERY", "5.0"))
+
+
+def _update_results(results_dir: Path, section: str, measurement: dict):
+    """Merge one section's measurement into the shared results file."""
+    results_path = results_dir / RESULTS_NAME
+    if results_path.exists():
+        data = json.loads(results_path.read_text(encoding="utf-8"))
+    else:
+        data = {"schema": 1}
+    entry = data.get(section)
+    record = os.environ.get("CHECKPOINT_BENCH_RECORD") == "1"
+    if entry is None or record:
+        entry = {"baseline": measurement, "latest": measurement}
+    else:
+        entry["latest"] = measurement
+    data[section] = entry
+    atomic_write_json(results_path, data)
+
+
+class _CountingStore(CheckpointStore):
+    """CheckpointStore that tallies save count, latency, and bytes."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.saves = 0
+        self.save_s = 0.0
+        self.last_bytes = 0
+
+    def save(self, payload, *, fingerprint, meta=None):
+        t0 = time.perf_counter()
+        super().save(payload, fingerprint=fingerprint, meta=meta)
+        self.save_s += time.perf_counter() - t0
+        self.saves += 1
+        self.last_bytes = self.path.stat().st_size
+
+
+def test_checkpoint_overhead(results_dir: Path, tmp_path: Path):
+    max_sessions = MAX_SESSIONS if MAX_SESSIONS > 0 else None
+    scenario = make_scenario("baseline")
+
+    t0 = time.perf_counter()
+    plain = run_scale_scenario(scenario, seed=0, max_sessions=max_sessions)
+    plain_s = time.perf_counter() - t0
+
+    store = _CountingStore(tmp_path / "ckpt")
+    t0 = time.perf_counter()
+    checkpointed = run_scale_scenario_checkpointed(
+        scenario,
+        store,
+        seed=0,
+        max_sessions=max_sessions,
+        config=CheckpointConfig(every_s=EVERY_S),
+        resume=False,
+    )
+    ckpt_s = time.perf_counter() - t0
+
+    # Identity is the contract and always asserts: periodic snapshots
+    # must never perturb the simulation they observe.
+    assert plain.checksum() == checkpointed.checksum(), (
+        "checkpointing changed the report bytes: "
+        f"{plain.checksum()[:12]} vs {checkpointed.checksum()[:12]}"
+    )
+    assert store.saves > 0, "checkpointed run never snapshotted"
+
+    overhead = (ckpt_s - plain_s) / plain_s if plain_s > 0 else 0.0
+    measurement = {
+        "scenario": "baseline",
+        "seed": 0,
+        "max_sessions": MAX_SESSIONS,
+        "every_s": EVERY_S,
+        "offered": plain.offered,
+        "plain_wall_s": round(plain_s, 3),
+        "checkpointed_wall_s": round(ckpt_s, 3),
+        "overhead_frac": round(overhead, 4),
+        "byte_identical": True,
+        "checksum": plain.checksum(),
+    }
+    _update_results(results_dir, "overhead", measurement)
+
+    snapshot = {
+        "saves": store.saves,
+        "mean_save_ms": round(1000.0 * store.save_s / store.saves, 3),
+        "snapshot_bytes": store.last_bytes,
+    }
+    _update_results(results_dir, "snapshot", snapshot)
+
+    if os.environ.get("CHECKPOINT_BENCH_GATE") == "1":
+        assert overhead < MAX_OVERHEAD_FRAC, (
+            f"snapshot overhead {overhead:.1%} exceeds "
+            f"{MAX_OVERHEAD_FRAC:.0%} of the plain run "
+            f"({plain_s:.2f}s -> {ckpt_s:.2f}s)"
+        )

@@ -1,0 +1,128 @@
+"""When to snapshot, and how to stop without losing work.
+
+:class:`CheckpointConfig` fixes the snapshot cadence in *virtual*
+seconds — checkpoints land at deterministic step boundaries, so the
+same run always snapshots at the same points regardless of host speed.
+
+:class:`InterruptFlag` is the cooperative half of graceful shutdown:
+it latches ``SIGINT``/``SIGTERM`` instead of dying mid-step, the run
+loop polls it between steps, flushes a final checkpoint, and the CLI
+exits with :data:`GRACEFUL_EXIT_CODE` (75, ``EX_TEMPFAIL``: "try again
+later" — the conventional code for a transient, resumable stop).
+"""
+
+from __future__ import annotations
+
+import signal
+import types
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, ReproError
+
+#: Exit code for "interrupted but checkpointed; rerun to resume"
+#: (BSD ``EX_TEMPFAIL``).
+GRACEFUL_EXIT_CODE = 75
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Snapshot policy for one checkpointed run.
+
+    ``every_s`` is measured on the simulation clock: a snapshot is
+    taken after each step that completes a multiple of ``every_s``
+    virtual seconds.  Cadence therefore never depends on wall-clock
+    jitter, and two runs of the same spec checkpoint at identical
+    steps.
+    """
+
+    every_s: float = 5.0
+
+    def __post_init__(self):
+        if self.every_s <= 0:
+            raise ConfigurationError(
+                f"every_s must be positive, got {self.every_s}"
+            )
+
+    def every_steps(self, dt: float) -> int:
+        """Snapshot period in delivery steps (at least one)."""
+        return max(1, int(round(self.every_s / dt)))
+
+
+class RunInterrupted(ReproError):
+    """A run stopped cooperatively after flushing a checkpoint.
+
+    Carries where the run stopped so the CLI can report resume
+    instructions; the checkpoint on disk holds the actual state.
+    """
+
+    def __init__(self, message: str, *, steps_done: int, t: float):
+        super().__init__(message)
+        self.steps_done = steps_done
+        self.t = t
+
+
+class InterruptFlag:
+    """Latching SIGINT/SIGTERM handler for cooperative shutdown.
+
+    Usage::
+
+        flag = InterruptFlag()
+        flag.install()
+        try:
+            ...  # long run polling flag.triggered between steps
+        finally:
+            flag.restore()
+
+    The first signal sets the flag; a second signal of the same kind
+    falls through to the previously-installed handler (for SIGINT that
+    is ``KeyboardInterrupt``), so a stuck run can still be killed by
+    pressing Ctrl-C twice.
+    """
+
+    def __init__(self):
+        self._triggered = False
+        self._signum: Optional[int] = None
+        self._previous: dict[int, object] = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def signal_name(self) -> Optional[str]:
+        if self._signum is None:
+            return None
+        return signal.Signals(self._signum).name
+
+    def _handle(
+        self, signum: int, frame: Optional[types.FrameType]
+    ) -> None:
+        if self._triggered:
+            previous = self._previous.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+                return
+            if previous is signal.SIG_DFL:
+                signal.signal(signum, signal.SIG_DFL)
+                signal.raise_signal(signum)
+            return
+        self._triggered = True
+        self._signum = signum
+
+    def install(
+        self,
+        signals: tuple[signal.Signals, ...] = (
+            signal.SIGINT,
+            signal.SIGTERM,
+        ),
+    ) -> "InterruptFlag":
+        for sig in signals:
+            self._previous[int(sig)] = signal.getsignal(sig)
+            signal.signal(sig, self._handle)
+        return self
+
+    def restore(self) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()

@@ -1,0 +1,157 @@
+"""Running a scale scenario under a checkpoint policy.
+
+:func:`run_scale_scenario_checkpointed` is
+:func:`repro.workload.scenarios.run_scale_scenario` wrapped in crash
+safety: periodic snapshots on the virtual clock, automatic resume from
+the last verified snapshot, and a final snapshot on cooperative
+interrupt.  Because every immutable ingredient (plans, realization,
+fault campaign) is a pure function of the seed, a snapshot only carries
+the *mutable* mid-run state — the resuming process rebuilds the
+scaffolding deterministically and loads the rest.
+
+Determinism contract: a run killed at any point and resumed from its
+last checkpoint returns a :class:`~repro.workload.driver.WorkloadReport`
+whose ``to_dict()`` payload is byte-identical to an uninterrupted
+run's.  ``tests/checkpoint`` and the kill-injection harness
+(:mod:`repro.harness.crash`) enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CheckpointError
+from repro.checkpoint.policy import (
+    CheckpointConfig,
+    InterruptFlag,
+    RunInterrupted,
+)
+from repro.checkpoint.snapshot import CheckpointStore
+from repro.obs.context import Observability
+from repro.runner.fingerprint import code_fingerprint
+from repro.workload.catalog import SessionCatalog
+from repro.workload.driver import WorkloadReport
+from repro.workload.scenarios import ScaleScenario, make_scale_run
+
+
+def run_scale_scenario_checkpointed(
+    scenario: ScaleScenario,
+    store: CheckpointStore,
+    seed: int = 0,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+    config: Optional[CheckpointConfig] = None,
+    fingerprint: Optional[str] = None,
+    resume: bool = True,
+    strict_resume: bool = False,
+    interrupt: Optional[InterruptFlag] = None,
+    on_step: Optional[Callable[[int, float], None]] = None,
+) -> WorkloadReport:
+    """Run ``scenario`` with periodic checkpoints, resuming if possible.
+
+    Parameters beyond :func:`run_scale_scenario`'s:
+
+    store:
+        Where the run's single checkpoint slot lives.
+    config:
+        Snapshot cadence (default every 5 virtual seconds).
+    fingerprint:
+        Code fingerprint stamped into (and demanded of) checkpoints;
+        computed from the live tree when omitted.
+    resume:
+        When True (default) and a usable checkpoint exists, continue
+        from it; when False any existing checkpoint is ignored and
+        overwritten.
+    strict_resume:
+        When True, a corrupt or stale checkpoint raises
+        (:class:`~repro.errors.CheckpointError` /
+        :class:`~repro.errors.StaleCheckpointError`) instead of
+        silently starting fresh.  Explicit ``--resume`` flows want
+        this; supervised workers want the lenient default.
+    interrupt:
+        Optional latched-signal flag polled between steps.  When it
+        trips, a final checkpoint is flushed and
+        :class:`RunInterrupted` is raised.
+    on_step:
+        Extra per-step hook ``(k, t)``, called after checkpoint
+        bookkeeping (the kill-injection harness hangs here).
+
+    A completed run clears the checkpoint slot: finished work must not
+    be "resumed".
+    """
+    config = config if config is not None else CheckpointConfig()
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+
+    checkpoint = None
+    if resume:
+        checkpoint = store.load(
+            fingerprint=fingerprint, strict=strict_resume
+        )
+        if checkpoint is not None:
+            meta = checkpoint.meta
+            if (
+                meta.get("scenario") != scenario.name
+                or meta.get("seed") != seed
+            ):
+                message = (
+                    f"checkpoint in {store.root} belongs to scenario "
+                    f"{meta.get('scenario')!r} seed {meta.get('seed')!r}, "
+                    f"not {scenario.name!r} seed {seed!r}"
+                )
+                if strict_resume:
+                    raise CheckpointError(message)
+                checkpoint = None
+
+    hooks: dict = {}
+
+    def step_hook(k: int, t: float) -> None:
+        driver = hooks["driver"]
+        done = k + 1
+        if interrupt is not None and interrupt.triggered:
+            _save(driver, store, fingerprint, scenario, seed, done, t)
+            raise RunInterrupted(
+                f"run interrupted ({interrupt.signal_name}) after "
+                f"{done} steps (t={t:.1f}s); checkpoint flushed to "
+                f"{store.path}",
+                steps_done=done,
+                t=t,
+            )
+        if done % hooks["every_steps"] == 0:
+            _save(driver, store, fingerprint, scenario, seed, done, t)
+        if on_step is not None:
+            on_step(k, t)
+
+    driver = make_scale_run(
+        scenario,
+        seed=seed,
+        max_sessions=max_sessions,
+        catalog=catalog,
+        obs=obs,
+        on_step=step_hook,
+    )
+    hooks["driver"] = driver
+    hooks["every_steps"] = config.every_steps(driver.service.dt)
+    if checkpoint is not None:
+        driver.service.load_state_dict(checkpoint.payload["service"])
+        driver.load_state_dict(checkpoint.payload["driver"])
+    report = driver.run(scenario.duration)
+    store.clear()
+    return report
+
+
+def _save(driver, store, fingerprint, scenario, seed, step, t) -> None:
+    store.save(
+        {
+            "service": driver.service.state_dict(),
+            "driver": driver.state_dict(),
+        },
+        fingerprint=fingerprint,
+        meta={
+            "scenario": scenario.name,
+            "seed": seed,
+            "step": step,
+            "t": t,
+        },
+    )

@@ -338,6 +338,105 @@ class PGOSScheduler(SchedulerBase):
             )
         return mapping
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the scheduler's mutable state.
+
+        Dict insertion order is preserved deliberately: the mapping's
+        per-stream rate dicts are summed in iteration order on the hot
+        path, so a restored mapping must iterate identically for float
+        sums to stay bit-identical.  The compiled :class:`Schedule` is
+        not serialized — it is a pure function of the mapping, the stream
+        precedence, and the usable path order, and is recompiled on load.
+        """
+        mapping = self.mapping
+        mapping_state = None
+        if mapping is not None:
+            mapping_state = {
+                "packets": {
+                    s: {p: int(c) for p, c in d.items()}
+                    for s, d in mapping.packets.items()
+                },
+                "rates_mbps": {
+                    s: {p: float(v) for p, v in d.items()}
+                    for s, d in mapping.rates_mbps.items()
+                },
+                "achieved_probability": {
+                    s: float(v)
+                    for s, v in mapping.achieved_probability.items()
+                },
+                "achieved_violation_rate": {
+                    s: float(v)
+                    for s, v in mapping.achieved_violation_rate.items()
+                },
+                "tw": float(mapping.tw),
+            }
+        return {
+            "streams": [s.to_dict() for s in self.streams],
+            "monitors": {
+                p: self.monitors[p].state_dict() for p in self.path_names
+            },
+            "mapping": mapping_state,
+            "remap_count": self.remap_count,
+            "degraded": self.degraded,
+            "quarantined": sorted(self.quarantined),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        :meth:`setup` must already have been called with the same path
+        set and window configuration (the snapshot holds only mutable
+        state).
+        """
+        self.streams = [StreamSpec.from_dict(d) for d in state["streams"]]
+        for path, monitor_state in state["monitors"].items():
+            monitor = self.monitors.get(path)
+            if monitor is None:
+                raise ConfigurationError(
+                    f"checkpoint references unknown path {path!r}"
+                )
+            monitor.load_state_dict(monitor_state)
+        self.quarantined = frozenset(state["quarantined"])
+        self.remap_count = int(state["remap_count"])
+        self.degraded = bool(state["degraded"])
+        mapping_state = state["mapping"]
+        if mapping_state is None:
+            self.mapping = None
+            self.schedule = None
+        else:
+            self.mapping = ResourceMapping(
+                packets={
+                    s: {p: int(c) for p, c in d.items()}
+                    for s, d in mapping_state["packets"].items()
+                },
+                rates_mbps={
+                    s: {p: float(v) for p, v in d.items()}
+                    for s, d in mapping_state["rates_mbps"].items()
+                },
+                achieved_probability={
+                    s: float(v)
+                    for s, v in mapping_state["achieved_probability"].items()
+                },
+                achieved_violation_rate={
+                    s: float(v)
+                    for s, v in mapping_state[
+                        "achieved_violation_rate"
+                    ].items()
+                },
+                tw=float(mapping_state["tw"]),
+            )
+            # Quarantine and stream set cannot have drifted since the
+            # last remap (any change voids the mapping), so recompiling
+            # against the *current* precedence and usable paths rebuilds
+            # the live schedule exactly.
+            self.schedule = self.mapping.compile(
+                stream_order=self.stream_precedence(),
+                path_order=self.usable_paths,
+            )
+
     def stream_precedence(self) -> list[str]:
         """Streams ordered most-important-first (for deadline tie-breaks)."""
         def key(s: StreamSpec):

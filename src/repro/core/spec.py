@@ -135,6 +135,44 @@ class StreamSpec:
             )
 
     # ------------------------------------------------------------------
+    # serialization (checkpointing / spec transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON form of the spec (exact field round trip)."""
+        wc = self.window_constraint
+        return {
+            "name": self.name,
+            "required_mbps": self.required_mbps,
+            "probability": self.probability,
+            "elastic": self.elastic,
+            "nominal_mbps": self.nominal_mbps,
+            "packet_size": self.packet_size,
+            "window_constraint": None if wc is None else [wc.x, wc.y],
+            "max_violation_rate": self.max_violation_rate,
+            "max_rtt_ms": self.max_rtt_ms,
+            "max_loss_rate": self.max_loss_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSpec":
+        """Inverse of :meth:`to_dict`."""
+        wc = data.get("window_constraint")
+        return cls(
+            name=data["name"],
+            required_mbps=data.get("required_mbps"),
+            probability=data.get("probability"),
+            elastic=bool(data.get("elastic", False)),
+            nominal_mbps=data.get("nominal_mbps"),
+            packet_size=int(data.get("packet_size", DEFAULT_PACKET_SIZE)),
+            window_constraint=(
+                None if wc is None else WindowConstraint(int(wc[0]), int(wc[1]))
+            ),
+            max_violation_rate=data.get("max_violation_rate"),
+            max_rtt_ms=data.get("max_rtt_ms"),
+            max_loss_rate=data.get("max_loss_rate"),
+        )
+
+    # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
     @property

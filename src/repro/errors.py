@@ -41,3 +41,17 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the discrete-event engine is misused."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, corrupt, or unrestorable checkpoints."""
+
+
+class StaleCheckpointError(CheckpointError):
+    """Raised when a checkpoint's code fingerprint no longer matches.
+
+    Resuming across a code change could silently diverge from a clean
+    run, so explicit resume requests fail loudly with this error; callers
+    that prefer to fall back to a fresh start catch it (or use the
+    store's non-strict loader).
+    """

@@ -27,7 +27,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import AdmissionError, CheckpointError, ConfigurationError
 from repro.core.admission import AdmissionController
 from repro.core.pgos import PGOSScheduler
 from repro.core.scheduler import water_fill
@@ -748,6 +748,180 @@ class IQPathsService:
         if self._scheduler_bound:
             self.scheduler.set_quarantine(self.health.quarantined())
         self._refresh_degradation()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the full service state.
+
+        The restoring service must be constructed from the *same*
+        configuration (realization, campaign, warmup, windows): only
+        mutable mid-run state is serialized.  Dict/list orders are
+        preserved deliberately — handle iteration order feeds the
+        delivery loop and the scheduler's float summations.
+
+        Two deliberate scope cuts:
+
+        * Delivery history is kept only for **open** streams (closed
+          streams restore with an empty record).  Workload checksums are
+          unaffected — the churn driver folds a stream's history into
+          its :class:`SessionRecord` at close time — but calling
+          :meth:`report` on a pre-checkpoint closed stream after a
+          restore returns an empty series.
+        * Observability (metrics/trace) is not checkpointed; it is
+          diagnostic output and is excluded from result checksums.
+
+        Raises :class:`CheckpointError` while :meth:`at` actions are
+        pending — callables cannot be serialized, so checkpoints must be
+        taken at quiescent points (the churn driver's step boundaries).
+        """
+        if self._pending:
+            raise CheckpointError(
+                f"cannot checkpoint with {len(self._pending)} pending at() "
+                "action(s); snapshot at a step boundary with no scheduled "
+                "callables"
+            )
+        plan = self._plan
+        plan_state = None
+        if plan is not None:
+            plan_state = {
+                "level": int(plan.level),
+                "serve": [s.to_dict() for s in plan.serve],
+                "shed": list(plan.shed),
+                "downgraded": {
+                    name: value for name, value in plan.downgraded.items()
+                },
+                "notes": list(plan.notes),
+            }
+        return {
+            "k": self._k,
+            "start_k": self._start_k,
+            "next_stream_id": self._next_stream_id,
+            "handles": [
+                {
+                    "spec": h.spec.to_dict(),
+                    "opened_at": h.opened_at,
+                    "stream_id": h.stream_id,
+                    "closed_at": h.closed_at,
+                    "achieved_probability": h.achieved_probability,
+                    "admitted": h.admitted,
+                    "tenant": h.tenant,
+                }
+                for h in self.handles.values()
+            ],
+            "delivered": {
+                h.name: [float(v) for v in self._delivered[h.name]]
+                for h in self.handles.values()
+                if h.open
+            },
+            "opened_interval": dict(self._opened_interval),
+            "backlog_bytes": {
+                name: float(v) for name, v in self._backlog_bytes.items()
+            },
+            "upcalls": list(self.upcalls),
+            "events": list(self.events),
+            "original": [
+                [name, spec.to_dict()]
+                for name, spec in self._original.items()
+            ],
+            "serving": [
+                [name, spec.to_dict()]
+                for name, spec in self._serving.items()
+            ],
+            "plan": plan_state,
+            "degradation_level": int(self.degradation_level),
+            "scheduler_bound": self._scheduler_bound,
+            "scheduler": (
+                self.scheduler.state_dict() if self._scheduler_bound else None
+            ),
+            "health": (
+                self.health.state_dict() if self.health is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh service."""
+        if int(state["start_k"]) != self._start_k:
+            raise CheckpointError(
+                f"warmup mismatch: service has start_k={self._start_k}, "
+                f"checkpoint was taken with start_k={state['start_k']}"
+            )
+        if (state["health"] is None) != (self.health is None):
+            raise CheckpointError(
+                "health-tracker presence differs between the checkpoint "
+                "and the restoring service configuration"
+            )
+        self._k = int(state["k"])
+        self._next_stream_id = int(state["next_stream_id"])
+        self.handles = {}
+        self._delivered = {}
+        self._opened_interval = {
+            name: int(v) for name, v in state["opened_interval"].items()
+        }
+        self._backlog_bytes = {
+            name: float(v) for name, v in state["backlog_bytes"].items()
+        }
+        for entry in state["handles"]:
+            handle = StreamHandle(
+                spec=StreamSpec.from_dict(entry["spec"]),
+                opened_at=float(entry["opened_at"]),
+                stream_id=int(entry["stream_id"]),
+                closed_at=(
+                    None
+                    if entry["closed_at"] is None
+                    else float(entry["closed_at"])
+                ),
+                achieved_probability=entry["achieved_probability"],
+                admitted=bool(entry["admitted"]),
+                tenant=entry["tenant"],
+            )
+            self.handles[handle.name] = handle
+            if handle.open:
+                self._delivered[handle.name] = [
+                    float(v) for v in state["delivered"][handle.name]
+                ]
+            else:
+                # Closed streams restore with an empty record (see
+                # state_dict); reports for them are not reconstructable.
+                self._delivered[handle.name] = []
+        self.upcalls = list(state["upcalls"])
+        self.events = list(state["events"])
+        self._original = {
+            name: StreamSpec.from_dict(spec_dict)
+            for name, spec_dict in state["original"]
+        }
+        self._serving = {
+            name: StreamSpec.from_dict(spec_dict)
+            for name, spec_dict in state["serving"]
+        }
+        plan_state = state["plan"]
+        if plan_state is None:
+            self._plan = None
+        else:
+            self._plan = DegradationPlan(
+                level=DegradationLevel(plan_state["level"]),
+                serve=tuple(
+                    StreamSpec.from_dict(d) for d in plan_state["serve"]
+                ),
+                shed=tuple(plan_state["shed"]),
+                downgraded=dict(plan_state["downgraded"]),
+                notes=tuple(plan_state["notes"]),
+            )
+        self.degradation_level = DegradationLevel(state["degradation_level"])
+        # Health first: binding the scheduler consults the quarantine set.
+        if self.health is not None:
+            self.health.load_state_dict(state["health"])
+        self._pending = []
+        self._scheduler_bound = False
+        if state["scheduler_bound"]:
+            # Rebind through the normal path (setup + history seed +
+            # quarantine), then overwrite every monitor/stream/mapping
+            # with the checkpointed state.
+            self._bind_scheduler(
+                StreamSpec(name="__checkpoint_restore__", required_mbps=1.0)
+            )
+            self.scheduler.load_state_dict(state["scheduler"])
 
     # ------------------------------------------------------------------
     # reporting

@@ -365,6 +365,51 @@ class SlidingWindowCDF:
             return self._inc.mean()
         return self.snapshot().mean()
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def window_values(self) -> list[float]:
+        """The window's samples in arrival order (oldest first)."""
+        if self._inc is not None:
+            return self._inc.window_values()
+        return list(self._buffer)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (backend-independent).
+
+        Arrival order fully determines both backends' state: the batch
+        deque stores it directly, and replaying it into a fresh
+        incremental structure reproduces the sorted buffer bit-for-bit.
+        """
+        return {
+            "window": self.window,
+            "backend": self.backend,
+            "values": self.window_values(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot, replacing the window's contents.
+
+        The snapshot restores across backends (the stored form is
+        arrival order, which both understand); the cached frozen CDF is
+        dropped — rebuilding it is deterministic.
+        """
+        if int(state["window"]) != self.window:
+            raise ConfigurationError(
+                f"window mismatch: have {self.window}, checkpoint has "
+                f"{state['window']}"
+            )
+        if self._inc is not None:
+            from repro.monitoring.incremental import IncrementalWindowCDF
+
+            self._inc = IncrementalWindowCDF(self.window)
+            self._inc.extend(float(v) for v in state["values"])
+        else:
+            self._buffer = deque(
+                (float(v) for v in state["values"]), maxlen=self.window
+            )
+        self._cached = None
+
 
 def ks_distance(
     a: Union[EmpiricalCDF, "SlidingWindowCDF"],

@@ -105,6 +105,32 @@ class IncrementalWindowCDF:
         """The window's samples in arrival order (oldest first)."""
         return list(self._fifo)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: the window in arrival order.
+
+        Arrival order is the complete state — replaying it into a fresh
+        instance performs at most ``window`` inserts and no evictions,
+        reproducing the sorted buffer bit-identically (same values, same
+        insertion ties).
+        """
+        return {"window": self.window, "values": self.window_values()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replacing all samples)."""
+        from repro.errors import CheckpointError
+
+        if int(state["window"]) != self.window:
+            raise CheckpointError(
+                f"window mismatch: have {self.window}, checkpoint has "
+                f"{state['window']}"
+            )
+        self._fifo.clear()
+        self._size = 0
+        self.extend(float(v) for v in state["values"])
+
     def snapshot(self):
         """Freeze the current window as an immutable ``EmpiricalCDF``.
 

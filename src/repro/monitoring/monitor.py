@@ -163,6 +163,49 @@ class PathMonitor:
                 ),
             )
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the monitor's mutable state.
+
+        Covers the bandwidth window (arrival order), the RTT/loss EWMAs,
+        the reference CDF pinned at the last remap (sorted samples), and
+        the forecast the prediction-error metric tracks.  Configuration
+        (name, window, thresholds) is not serialized — the restoring
+        monitor is constructed from the same config.
+        """
+        reference = (
+            None
+            if self._reference_cdf is None
+            else [float(v) for v in self._reference_cdf.samples]
+        )
+        return {
+            "bandwidth": self.bandwidth.state_dict(),
+            "rtt_ms": self.rtt_ms.state_dict(),
+            "loss_rate": self.loss_rate.state_dict(),
+            "reference_cdf": reference,
+            "bw_forecast": self._bw_forecast,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        import numpy as np
+
+        self.bandwidth.load_state_dict(state["bandwidth"])
+        self.rtt_ms.load_state_dict(state["rtt_ms"])
+        self.loss_rate.load_state_dict(state["loss_rate"])
+        reference = state["reference_cdf"]
+        self._reference_cdf = (
+            None
+            if reference is None
+            else EmpiricalCDF.from_sorted(
+                np.asarray(reference, dtype=float), copy=True, validate=False
+            )
+        )
+        forecast = state["bw_forecast"]
+        self._bw_forecast = None if forecast is None else float(forecast)
+
     def cdf_changed_significantly(self) -> bool:
         """Whether the distribution drifted beyond ``ks_threshold``."""
         if self._reference_cdf is None:

@@ -132,6 +132,15 @@ class EWMAPredictor(Predictor):
         self._value = value
         return out
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (the EWMA value is the only state)."""
+        return {"value": self._value}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        value = state["value"]
+        self._value = None if value is None else float(value)
+
 
 class SlidingMedianPredictor(Predictor):
     """SMA-style robust predictor: median of the last ``window`` samples.

@@ -200,6 +200,30 @@ class PathHealthMachine:
         return self._blocked_until
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the machine's mutable state."""
+        return {
+            "state": self.state.value,
+            "backoff": self.backoff.state_dict(),
+            "baseline": self._baseline,
+            "bad": self._bad,
+            "good": self._good,
+            "blocked_until": self._blocked_until,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.state = PathHealth(state["state"])
+        self.backoff.load_state_dict(state["backoff"])
+        baseline = state["baseline"]
+        self._baseline = None if baseline is None else float(baseline)
+        self._bad = int(state["bad"])
+        self._good = int(state["good"])
+        self._blocked_until = float(state["blocked_until"])
+
+    # ------------------------------------------------------------------
     # the machine
     # ------------------------------------------------------------------
     def _classify(
@@ -426,3 +450,45 @@ class HealthTracker:
         """The transition log filtered to the given paths."""
         wanted = set(paths)
         return [t for t in self.transitions if t.path in wanted]
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: every machine plus the log."""
+        return {
+            "machines": {
+                p: m.state_dict() for p, m in self.machines.items()
+            },
+            "transitions": [
+                {
+                    "time": t.time,
+                    "path": t.path,
+                    "old": t.old.value,
+                    "new": t.new.value,
+                    "reason": t.reason,
+                }
+                for t in self.transitions
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        machines = state["machines"]
+        if set(machines) != set(self.machines):
+            raise ConfigurationError(
+                f"path set mismatch: have {sorted(self.machines)}, "
+                f"checkpoint has {sorted(machines)}"
+            )
+        for path, machine_state in machines.items():
+            self.machines[path].load_state_dict(machine_state)
+        self.transitions = [
+            HealthTransition(
+                time=float(t["time"]),
+                path=t["path"],
+                old=PathHealth(t["old"]),
+                new=PathHealth(t["new"]),
+                reason=t["reason"],
+            )
+            for t in state["transitions"]
+        ]

@@ -24,6 +24,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.checkpoint.policy import (
+    GRACEFUL_EXIT_CODE,
+    InterruptFlag,
+)
 from repro.fsutil import atomic_write_json, atomic_write_text
 from repro.harness.figures import FIGURES
 from repro.obs.context import Observability
@@ -119,6 +123,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts after a crash/timeout (default 1)",
     )
     parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "heartbeat watchdog: terminate+retry a worker silent this "
+            "long (default: disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable crash-safe tasks: per-spec checkpoints under DIR, "
+            "resumed across retries and across interrupted runs"
+        ),
+    )
+    parser.add_argument(
         "--manifest",
         type=Path,
         default=None,
@@ -201,18 +225,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         Observability() if args.trace_out is not None else None
     )
 
-    report = run_specs(
-        specs,
-        workers=args.workers,
-        cache=cache,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        refresh=args.refresh,
-        obs=obs,
-        manifest_path=(
-            str(args.manifest) if args.manifest is not None else None
-        ),
-    )
+    flag = InterruptFlag().install()
+    try:
+        report = run_specs(
+            specs,
+            workers=args.workers,
+            cache=cache,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            refresh=args.refresh,
+            obs=obs,
+            manifest_path=(
+                str(args.manifest) if args.manifest is not None else None
+            ),
+            hang_timeout_s=args.hang_timeout,
+            checkpoint_root=(
+                str(args.checkpoint_root)
+                if args.checkpoint_root is not None
+                else None
+            ),
+            interrupt=flag,
+        )
+    finally:
+        flag.restore()
 
     written = 0
     for outcome in report.outcomes:
@@ -240,6 +275,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n = obs.trace.export_jsonl(args.trace_out)
         print(f"wrote {n} trace events to {args.trace_out}")
 
+    if report.interrupted:
+        print(
+            f"interrupted ({flag.signal_name}): "
+            f"{report.interrupted} spec(s) abandoned; "
+            "rerun the same command to finish them",
+            file=sys.stderr,
+        )
+        return GRACEFUL_EXIT_CODE
     return 0 if report.all_ok else 1
 
 

@@ -16,11 +16,10 @@ reports events scheduled/fired/cancelled, compactions, and heap depth.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.obs.context import NULL_OBS, Observability
 from repro.obs.events import Category
 
@@ -45,6 +44,11 @@ class Event:
     cancelled:
         Cancelled events are skipped when popped; the owning simulator
         reclaims their heap slots once they outnumber live entries.
+    key:
+        Optional checkpoint identity: the registered-callback name this
+        event fires (see :meth:`Simulator.schedule`).  Only keyed events
+        can be serialized into a checkpoint — an anonymous closure has
+        no portable representation.
     """
 
     time: float
@@ -55,6 +59,7 @@ class Event:
     owner: Optional["Simulator"] = field(
         default=None, compare=False, repr=False
     )
+    key: Optional[str] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when its time arrives."""
@@ -79,7 +84,7 @@ class Simulator:
 
     def __init__(self, obs: Optional[Observability] = None) -> None:
         self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._seq_next = 0
         self._now = 0.0
         self._running = False
         self._cancelled = 0
@@ -96,22 +101,36 @@ class Simulator:
         return self._cancelled
 
     def schedule(
-        self, delay: float, fn: Callable[[], None], priority: int = 0
+        self,
+        delay: float,
+        fn: Callable[[], None],
+        priority: int = 0,
+        key: Optional[str] = None,
     ) -> Event:
-        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        ``key`` tags the event with a registered-callback name so it can
+        survive a checkpoint (see :meth:`state_dict`).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, priority)
+        return self.schedule_at(self._now + delay, fn, priority, key=key)
 
     def schedule_at(
-        self, time: float, fn: Callable[[], None], priority: int = 0
+        self,
+        time: float,
+        fn: Callable[[], None],
+        priority: int = 0,
+        key: Optional[str] = None,
     ) -> Event:
         """Schedule ``fn`` to run at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, priority, next(self._seq), fn, owner=self)
+        seq = self._seq_next
+        self._seq_next = seq + 1
+        event = Event(time, priority, seq, fn, owner=self, key=key)
         heapq.heappush(self._queue, event)
         if self._obs.enabled:
             metrics = self._obs.metrics
@@ -218,3 +237,85 @@ class Simulator:
 
     def __len__(self) -> int:
         return len(self._queue) - self._cancelled
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the clock and event queue.
+
+        Every *live* event must carry a ``key`` (the name of a callback
+        the restoring side registers) — an anonymous closure cannot be
+        serialized, so scheduling one and then checkpointing raises
+        :class:`CheckpointError`.  Cancelled entries are captured too
+        (keyless is fine — they never fire) so the restored heap has the
+        same slot layout and compaction trigger state as the original.
+        """
+        events = []
+        for event in self._queue:
+            if event.key is None and not event.cancelled:
+                raise CheckpointError(
+                    f"event at t={event.time} (seq={event.seq}) has no "
+                    f"key; only key-registered events survive a checkpoint"
+                )
+            events.append(
+                {
+                    "time": event.time,
+                    "priority": event.priority,
+                    "seq": event.seq,
+                    "key": event.key,
+                    "cancelled": event.cancelled,
+                }
+            )
+        return {
+            "now": self._now,
+            "seq_next": self._seq_next,
+            "cancelled": self._cancelled,
+            # Heap (array) order, not sorted order: the restored list is
+            # already a valid heap with the identical slot layout.
+            "events": events,
+        }
+
+    def load_state_dict(
+        self,
+        state: Mapping[str, Any],
+        callbacks: Optional[Mapping[str, Callable[[], None]]] = None,
+    ) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        ``callbacks`` maps event keys back to callables; every live
+        event's key must resolve.  Cancelled entries are restored with a
+        no-op body (they are skipped when popped anyway).
+        """
+        callbacks = callbacks or {}
+        queue: list[Event] = []
+        for entry in state["events"]:
+            key = entry["key"]
+            if entry["cancelled"]:
+                fn: Callable[[], None] = _noop
+            else:
+                fn = callbacks.get(key)
+                if fn is None:
+                    raise CheckpointError(
+                        f"no callback registered for event key {key!r}"
+                    )
+            queue.append(
+                Event(
+                    float(entry["time"]),
+                    int(entry["priority"]),
+                    int(entry["seq"]),
+                    fn,
+                    cancelled=bool(entry["cancelled"]),
+                    owner=self,
+                    key=key,
+                )
+            )
+        self._queue = queue
+        self._now = float(state["now"])
+        self._seq_next = int(state["seq_next"])
+        self._cancelled = int(state["cancelled"])
+        self._running = False
+
+
+def _noop() -> None:
+    """Body of restored cancelled events (never actually fired)."""

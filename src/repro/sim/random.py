@@ -61,3 +61,70 @@ class RandomStreams:
         seq = np.random.SeedSequence([self.seed, _name_to_key(name)])
         child_seed = int(seq.generate_state(1, np.uint64)[0]) % (2**63)
         return RandomStreams(child_seed)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every instantiated substream.
+
+        Captures the root seed plus each named generator's bit-generator
+        state, so a restored factory continues every stream exactly where
+        it left off — streams not yet instantiated are unaffected (they
+        are a pure function of ``(seed, name)``).
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: _jsonify_bit_state(gen.bit_generator.state)
+                for name, gen in self._cache.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the substreams captured by :meth:`state_dict`."""
+        from repro.errors import CheckpointError
+
+        if int(state["seed"]) != self.seed:
+            raise CheckpointError(
+                f"RandomStreams seed mismatch: have {self.seed}, "
+                f"checkpoint was taken at {state['seed']}"
+            )
+        self._cache.clear()
+        for name, bit_state in state["streams"].items():
+            gen = self.fresh(name)
+            gen.bit_generator.state = _dejsonify_bit_state(bit_state)
+            self._cache[name] = gen
+
+
+def _jsonify_bit_state(state: dict) -> dict:
+    """Make a numpy bit-generator state dict JSON-round-trippable.
+
+    PCG64's state holds >64-bit integers, which JSON carries natively
+    (Python ints are unbounded), but nested numpy scalars must become
+    Python ints.
+    """
+    def convert(value):
+        if isinstance(value, dict):
+            return {k: convert(v) for k, v in value.items()}
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.ndarray):
+            return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+        return value
+
+    return convert(state)
+
+
+def _dejsonify_bit_state(state: dict) -> dict:
+    """Inverse of :func:`_jsonify_bit_state`."""
+    def convert(value):
+        if isinstance(value, dict):
+            if "__ndarray__" in value:
+                return np.asarray(
+                    value["__ndarray__"], dtype=value["dtype"]
+                )
+            return {k: convert(v) for k, v in value.items()}
+        return value
+
+    return convert(state)

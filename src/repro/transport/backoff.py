@@ -53,3 +53,11 @@ class ExponentialBackoff:
     def reset(self) -> None:
         """Clear the failure count after a successful send."""
         self._failures = 0
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (the failure count is the state)."""
+        return {"failures": self._failures}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._failures = int(state["failures"])

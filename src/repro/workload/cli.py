@@ -26,7 +26,11 @@ from typing import Optional
 
 from repro.obs.context import Observability
 from repro.workload.envelope import estimate_envelope
-from repro.workload.scenarios import SCENARIOS, run_scenario
+from repro.workload.scenarios import (
+    SCENARIOS,
+    make_scenario,
+    run_scenario,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +89,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-duration", type=float, default=30.0,
         help="duration of each envelope probe run (default: 30s)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help=(
+            "enable crash-safe execution: snapshot run state here, "
+            "auto-resume from the last verified snapshot, and exit 75 "
+            "after flushing a final snapshot on SIGINT/SIGTERM"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=5.0,
+        help="virtual seconds between snapshots (default: 5.0)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "strict resume: fail loudly if the checkpoint is missing "
+            "context, corrupt, or written by different code (default "
+            "is lenient — unusable checkpoints restart fresh)"
+        ),
+    )
+    parser.add_argument(
+        "--kill-at", type=float, action="append", default=None,
+        metavar="T",
+        help=(
+            "kill-injection: SIGKILL this process at virtual time T "
+            "(repeatable; once per point across restarts; requires "
+            "--checkpoint-dir)"
+        ),
+    )
     return parser
 
 
@@ -110,21 +143,75 @@ def _run_envelope(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_checkpointed(args: argparse.Namespace, obs):
+    """Crash-safe scenario run: snapshots, resume, graceful interrupt."""
+    from repro.checkpoint import (
+        CheckpointConfig,
+        CheckpointStore,
+        GRACEFUL_EXIT_CODE,
+        InterruptFlag,
+        RunInterrupted,
+        run_scale_scenario_checkpointed,
+    )
+
+    scenario = make_scenario(
+        args.scenario, rate_scale=args.rate_scale, duration=args.duration
+    )
+    store = CheckpointStore(args.checkpoint_dir)
+    on_step = None
+    if args.kill_at:
+        from repro.harness.crash import KillSwitch
+
+        switch = KillSwitch(args.checkpoint_dir, args.kill_at)
+        on_step = lambda k, t: switch.maybe_kill(t)  # noqa: E731
+    flag = InterruptFlag().install()
+    try:
+        report = run_scale_scenario_checkpointed(
+            scenario,
+            store,
+            seed=args.seed,
+            max_sessions=args.max_sessions,
+            obs=obs,
+            config=CheckpointConfig(every_s=args.checkpoint_every),
+            strict_resume=args.resume,
+            interrupt=flag,
+            on_step=on_step,
+        )
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(
+            "rerun the same command to resume from the checkpoint",
+            file=sys.stderr,
+        )
+        return None, GRACEFUL_EXIT_CODE
+    finally:
+        flag.restore()
+    return report, 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kill_at and args.checkpoint_dir is None:
+        print("--kill-at requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if args.envelope:
         return _run_envelope(args)
     want_obs = args.trace_out is not None or args.metrics_out is not None
     obs = Observability() if want_obs else None
     t0 = time.perf_counter()
-    report = run_scenario(
-        args.scenario,
-        seed=args.seed,
-        rate_scale=args.rate_scale,
-        duration=args.duration,
-        max_sessions=args.max_sessions,
-        obs=obs,
-    )
+    if args.checkpoint_dir is not None:
+        report, code = _run_checkpointed(args, obs)
+        if report is None:
+            return code
+    else:
+        report = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            rate_scale=args.rate_scale,
+            duration=args.duration,
+            max_sessions=args.max_sessions,
+            obs=obs,
+        )
     wall = time.perf_counter() - t0
     print(report.render())
     print(f"checksum {report.checksum()}")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import AdmissionError, ConfigurationError
 from repro.middleware.service import IQPathsService
@@ -206,12 +206,114 @@ class WorkloadReport:
         return "\n".join(lines)
 
 
+def _record_state(record: SessionRecord) -> dict[str, Any]:
+    """Exact (un-rounded) snapshot of a :class:`SessionRecord`.
+
+    :meth:`SessionRecord.to_dict` rounds floats for the report payload;
+    checkpoints need the raw values so a resumed run's arithmetic stays
+    bit-identical.
+    """
+    return {
+        "index": record.index,
+        "name": record.name,
+        "tenant": record.tenant,
+        "template": record.template,
+        "arrival_s": record.arrival_s,
+        "holding_s": record.holding_s,
+        "outcome": record.outcome,
+        "opened_at": record.opened_at,
+        "closed_at": record.closed_at,
+        "shed": record.shed,
+        "truncated": record.truncated,
+        "mean_mbps": record.mean_mbps,
+        "attainment": record.attainment,
+        "violated": record.violated,
+    }
+
+
+def _record_from_state(state: dict[str, Any]) -> SessionRecord:
+    return SessionRecord(
+        index=int(state["index"]),
+        name=state["name"],
+        tenant=state["tenant"],
+        template=state["template"],
+        arrival_s=float(state["arrival_s"]),
+        holding_s=float(state["holding_s"]),
+        outcome=state["outcome"],
+        opened_at=state["opened_at"],
+        closed_at=state["closed_at"],
+        shed=bool(state["shed"]),
+        truncated=bool(state["truncated"]),
+        mean_mbps=state["mean_mbps"],
+        attainment=state["attainment"],
+        violated=bool(state["violated"]),
+    )
+
+
+def _account_state(account: TenantAccount) -> dict[str, Any]:
+    """Exact snapshot of a :class:`TenantAccount` (all counters raw)."""
+    return {
+        "tenant": account.tenant,
+        "priority": account.priority,
+        "offered": account.offered,
+        "admitted": account.admitted,
+        "degraded": account.degraded,
+        "rejected": account.rejected,
+        "shed": account.shed,
+        "violations": account.violations,
+        "delivered_megabits": account.delivered_megabits,
+        "attainments": list(account._attainments),
+    }
+
+
+def _account_from_state(state: dict[str, Any]) -> TenantAccount:
+    return TenantAccount(
+        tenant=state["tenant"],
+        priority=int(state["priority"]),
+        offered=int(state["offered"]),
+        admitted=int(state["admitted"]),
+        degraded=int(state["degraded"]),
+        rejected=int(state["rejected"]),
+        shed=int(state["shed"]),
+        violations=int(state["violations"]),
+        delivered_megabits=float(state["delivered_megabits"]),
+        _attainments=[float(v) for v in state["attainments"]],
+    )
+
+
+@dataclass
+class _RunState:
+    """Mutable mid-run state of one :meth:`ChurnDriver.run` invocation.
+
+    Everything the step loop touches lives here (not in locals), so a
+    checkpoint taken between steps captures the loop exactly and
+    :meth:`ChurnDriver.run` can resume from step ``k``.
+    """
+
+    #: Next step index to execute (steps ``0..k-1`` are done).
+    k: int = 0
+    records: dict[str, SessionRecord] = field(default_factory=dict)
+    tenants: dict[str, TenantAccount] = field(default_factory=dict)
+    #: Departure heap: (close_time, plan_index, session_name).  The
+    #: index tie-break keeps same-instant closes in arrival order.
+    departures: list[tuple[float, int, str]] = field(default_factory=list)
+    next_plan: int = 0
+    open_sessions: set[str] = field(default_factory=set)
+    shed_seen: set[str] = field(default_factory=set)
+    peak_concurrent: int = 0
+
+
 class ChurnDriver:
     """Plays a session plan against a service, one interval at a time.
 
     Opens and closes go through the service's public API *between*
     delivery steps (never from inside :meth:`IQPathsService.at`
     callbacks, so strict-admission rejections stay catchable here).
+
+    ``on_step`` (if given) fires after every completed delivery step
+    with ``(k, t)`` — the just-finished step index and its session
+    time.  The crash-safety layer hangs checkpoint writes and kill
+    injection off this hook; the driver itself never blocks on it.
     """
 
     def __init__(
@@ -220,6 +322,7 @@ class ChurnDriver:
         plans: list[SessionPlan],
         scenario: str = "adhoc",
         seed: int = 0,
+        on_step: Optional[Callable[[int, float], None]] = None,
     ):
         names = [p.name for p in plans]
         if len(set(names)) != len(names):
@@ -229,18 +332,37 @@ class ChurnDriver:
         self.scenario = scenario
         self.seed = seed
         self.obs = service.obs
+        self.on_step = on_step
+        self._state = _RunState()
+
+    @property
+    def completed_steps(self) -> int:
+        """Delivery steps finished so far (resume position)."""
+        return self._state.k
 
     def run(self, duration: float) -> WorkloadReport:
-        """Drive the full plan for ``duration`` seconds of session time."""
+        """Drive the full plan for ``duration`` seconds of session time.
+
+        Resumable: after :meth:`load_state_dict`, the loop continues
+        from the first step the checkpoint had not completed and the
+        returned report is bit-identical to an uninterrupted run's.
+        """
         service = self.service
+        state = self._state
         dt = service.dt
         steps = int(round(duration / dt))
-        if steps > service.remaining_intervals:
+        if state.k > steps:
             raise ConfigurationError(
-                f"duration {duration}s needs {steps} intervals; "
-                f"realization has {service.remaining_intervals} left"
+                f"cannot run {duration}s ({steps} steps); "
+                f"{state.k} steps already completed"
             )
-        if self.obs.enabled:
+        if steps - state.k > service.remaining_intervals:
+            raise ConfigurationError(
+                f"duration {duration}s needs {steps - state.k} more "
+                f"intervals; realization has "
+                f"{service.remaining_intervals} left"
+            )
+        if self.obs.enabled and state.k == 0:
             self.obs.trace.emit(
                 service.now,
                 Category.WORKLOAD,
@@ -249,55 +371,52 @@ class ChurnDriver:
                 planned_sessions=len(self.plans),
                 duration=duration,
             )
-        records: dict[str, SessionRecord] = {}
-        tenants: dict[str, TenantAccount] = {}
-        # Departure heap: (close_time, plan_index, session_name).  The
-        # index tie-break keeps same-instant closes in arrival order.
-        departures: list[tuple[float, int, str]] = []
-        next_plan = 0
-        open_sessions: set[str] = set()
-        shed_seen: set[str] = set()
-        peak_concurrent = 0
-        for k in range(steps):
+        for k in range(state.k, steps):
             t = k * dt
-            while departures and departures[0][0] <= t:
-                _, _, name = heapq.heappop(departures)
-                self._close(name, records[name], open_sessions)
+            while state.departures and state.departures[0][0] <= t:
+                _, _, name = heapq.heappop(state.departures)
+                self._close(name, state.records[name], state.open_sessions)
             while (
-                next_plan < len(self.plans)
-                and self.plans[next_plan].arrival_s <= t
+                state.next_plan < len(self.plans)
+                and self.plans[state.next_plan].arrival_s <= t
             ):
-                plan = self.plans[next_plan]
-                next_plan += 1
-                record = self._arrive(plan, tenants)
-                records[plan.name] = record
+                plan = self.plans[state.next_plan]
+                state.next_plan += 1
+                record = self._arrive(plan, state.tenants)
+                state.records[plan.name] = record
                 if record.outcome != "rejected":
-                    open_sessions.add(plan.name)
+                    state.open_sessions.add(plan.name)
                     heapq.heappush(
-                        departures,
+                        state.departures,
                         (
                             record.opened_at + plan.holding_s,
                             plan.index,
                             plan.name,
                         ),
                     )
-            peak_concurrent = max(peak_concurrent, len(open_sessions))
+            state.peak_concurrent = max(
+                state.peak_concurrent, len(state.open_sessions)
+            )
             service.advance(dt)
             if service.health is not None and service.shed_streams:
                 newly_shed = (
-                    (service.shed_streams & open_sessions) - shed_seen
+                    (service.shed_streams & state.open_sessions)
+                    - state.shed_seen
                 )
                 for name in sorted(newly_shed):
-                    shed_seen.add(name)
-                    records[name].shed = True
+                    state.shed_seen.add(name)
+                    state.records[name].shed = True
+            state.k = k + 1
+            if self.on_step is not None:
+                self.on_step(k, t)
         # Run over: close whatever is still open, marked truncated.
         for name in sorted(
-            open_sessions, key=lambda n: records[n].index
+            state.open_sessions, key=lambda n: state.records[n].index
         ):
-            records[name].truncated = True
-            self._close(name, records[name], open_sessions)
+            state.records[name].truncated = True
+            self._close(name, state.records[name], state.open_sessions)
         report = self._finalize(
-            records, tenants, duration, peak_concurrent
+            state.records, state.tenants, duration, state.peak_concurrent
         )
         if self.obs.enabled:
             self.obs.trace.emit(
@@ -312,6 +431,66 @@ class ChurnDriver:
                 violation_rate=report.violation_rate,
             )
         return report
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the driver's run state.
+
+        Covers only the step loop (records, tenants, departures heap,
+        plan cursor); the service is snapshotted separately by
+        :meth:`IQPathsService.state_dict`.  The plans themselves are a
+        pure function of the scenario seed and are rebuilt on resume.
+        """
+        state = self._state
+        return {
+            "k": state.k,
+            "records": [
+                _record_state(r) for r in state.records.values()
+            ],
+            "tenants": [
+                _account_state(a) for a in state.tenants.values()
+            ],
+            # Heap serialized in array order: the array of a valid heap
+            # restores as the same valid heap.
+            "departures": [
+                [time, index, name]
+                for time, index, name in state.departures
+            ],
+            "next_plan": state.next_plan,
+            "open_sessions": sorted(state.open_sessions),
+            "shed_seen": sorted(state.shed_seen),
+            "peak_concurrent": state.peak_concurrent,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (before :meth:`run`)."""
+        if self._state.k != 0:
+            raise ConfigurationError(
+                "load_state_dict requires a fresh driver (run not started)"
+            )
+        run_state = _RunState(
+            k=int(state["k"]),
+            records={
+                r["name"]: _record_from_state(r) for r in state["records"]
+            },
+            tenants={
+                a["tenant"]: _account_from_state(a)
+                for a in state["tenants"]
+            },
+            # Tuples, not lists: heapq pushes tuples and mixed
+            # tuple/list comparisons raise TypeError.
+            departures=[
+                (float(time), int(index), name)
+                for time, index, name in state["departures"]
+            ],
+            next_plan=int(state["next_plan"]),
+            open_sessions=set(state["open_sessions"]),
+            shed_seen=set(state["shed_seen"]),
+            peak_concurrent=int(state["peak_concurrent"]),
+        )
+        self._state = run_state
 
     # ------------------------------------------------------------------
     # lifecycle steps

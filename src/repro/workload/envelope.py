@@ -19,7 +19,7 @@ probe sequence and hits the result cache on every one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import payload_digest
@@ -113,6 +113,8 @@ def estimate_envelope(
     probe_duration: float = 30.0,
     max_sessions: Optional[int] = None,
     catalog: Optional[SessionCatalog] = None,
+    resume_probes: Optional[Mapping[float, Mapping[str, Any]]] = None,
+    on_probe: Optional[Callable[[EnvelopeProbe], None]] = None,
 ) -> CapacityEnvelope:
     """Binary-search the max sustainable arrival-rate scale.
 
@@ -121,6 +123,14 @@ def estimate_envelope(
     under or over the ceiling), then ``iterations`` bisections narrow
     it.  ``probe_duration`` truncates each probe run — capacity is a
     rate property, so shorter runs trade confidence for speed.
+
+    Probe-granular resume: the bisection path is a deterministic
+    function of probe verdicts, so a crashed search restarts exactly by
+    replaying finished probes from a journal.  ``on_probe`` fires after
+    each *computed* probe (the checkpoint layer appends it to the
+    journal); ``resume_probes`` maps ``rate_scale`` to a previously
+    journaled probe dict — probes found there are reused without
+    rerunning (and ``on_probe`` does not fire for them).
     """
     if not 0 < ceiling < 1:
         raise ConfigurationError(
@@ -140,6 +150,16 @@ def estimate_envelope(
     probes: list[EnvelopeProbe] = []
 
     def probe(scale: float) -> bool:
+        if resume_probes is not None and scale in resume_probes:
+            journaled = resume_probes[scale]
+            entry = EnvelopeProbe(
+                rate_scale=scale,
+                offered=int(journaled["offered"]),
+                violation_rate=float(journaled["violation_rate"]),
+                sustainable=bool(journaled["sustainable"]),
+            )
+            probes.append(entry)
+            return entry.sustainable
         report = run_scale_scenario(
             scenario.scaled(scale),
             seed=seed,
@@ -147,14 +167,15 @@ def estimate_envelope(
             catalog=catalog,
         )
         ok = report.violation_rate <= ceiling and report.offered > 0
-        probes.append(
-            EnvelopeProbe(
-                rate_scale=scale,
-                offered=report.offered,
-                violation_rate=_round6(report.violation_rate),
-                sustainable=ok,
-            )
+        entry = EnvelopeProbe(
+            rate_scale=scale,
+            offered=report.offered,
+            violation_rate=_round6(report.violation_rate),
+            sustainable=ok,
         )
+        probes.append(entry)
+        if on_probe is not None:
+            on_probe(entry)
         return ok
 
     lo_ok = probe(lo_scale)

@@ -229,14 +229,22 @@ def run_scenario(
     )
 
 
-def run_scale_scenario(
+def make_scale_run(
     scenario: ScaleScenario,
     seed: int = 0,
     max_sessions: Optional[int] = None,
     catalog: Optional[SessionCatalog] = None,
     obs: Optional[Observability] = None,
-) -> WorkloadReport:
-    """Run an explicit :class:`ScaleScenario` (no registry lookup)."""
+    on_step: Optional[Callable[[int, float], None]] = None,
+) -> ChurnDriver:
+    """Build the ready-to-run driver for one scenario (not yet run).
+
+    Every stochastic ingredient (plans, realization, campaign) is a
+    pure function of ``seed``, which is what makes checkpoint/resume
+    cheap: a resuming process calls this again to reconstruct the
+    identical immutable scaffolding, then restores only the mutable
+    state from the snapshot.
+    """
     catalog = catalog if catalog is not None else default_catalog()
     plans = plan_sessions(
         scenario.model,
@@ -246,8 +254,29 @@ def run_scale_scenario(
         max_sessions=max_sessions,
     )
     service = build_service(scenario, seed, obs=obs)
-    driver = ChurnDriver(
-        service, plans, scenario=scenario.name, seed=seed
+    return ChurnDriver(
+        service,
+        plans,
+        scenario=scenario.name,
+        seed=seed,
+        on_step=on_step,
+    )
+
+
+def run_scale_scenario(
+    scenario: ScaleScenario,
+    seed: int = 0,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+) -> WorkloadReport:
+    """Run an explicit :class:`ScaleScenario` (no registry lookup)."""
+    driver = make_scale_run(
+        scenario,
+        seed=seed,
+        max_sessions=max_sessions,
+        catalog=catalog,
+        obs=obs,
     )
     return driver.run(scenario.duration)
 

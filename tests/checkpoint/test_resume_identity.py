@@ -1,0 +1,234 @@
+"""The determinism contract: interrupted + resumed == uninterrupted.
+
+These tests drive :func:`run_scale_scenario_checkpointed` through
+cooperative interruption (the SIGKILL variant lives in
+``test_crash_harness.py``) and assert the resumed report's payload is
+*equal*, not merely close, to the golden uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    RunInterrupted,
+    run_scale_scenario_checkpointed,
+)
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    StaleCheckpointError,
+)
+from repro.workload.scenarios import make_scenario, run_scale_scenario
+
+FP = "a" * 64
+
+DURATION = 8.0
+MAX_SESSIONS = 60
+
+
+class _TripAfter:
+    """InterruptFlag stand-in that trips after N observed steps."""
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        self.seen = 0
+        self.signal_name = "SIGTEST"
+
+    @property
+    def triggered(self) -> bool:
+        return self.seen >= self.steps
+
+    def note(self, k: int, t: float) -> None:
+        self.seen += 1
+
+
+def scenario():
+    return make_scenario("baseline", duration=DURATION)
+
+
+def golden():
+    return run_scale_scenario(
+        scenario(), seed=0, max_sessions=MAX_SESSIONS
+    )
+
+
+@pytest.mark.parametrize("stop_after_steps", [7, 31, 50])
+def test_interrupt_resume_is_byte_identical(tmp_path, stop_after_steps):
+    store = CheckpointStore(tmp_path)
+    flag = _TripAfter(stop_after_steps)
+    with pytest.raises(RunInterrupted) as excinfo:
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            config=CheckpointConfig(every_s=1.0),
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+        )
+    assert excinfo.value.steps_done > 0
+    assert store.exists(), "interrupt must flush a final checkpoint"
+
+    resumed = run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        config=CheckpointConfig(every_s=1.0),
+        fingerprint=FP,
+        strict_resume=True,
+    )
+    assert resumed.to_dict() == golden().to_dict()
+    assert not store.exists(), "completed run must clear its slot"
+
+
+def test_double_interrupt_then_resume(tmp_path):
+    # Kill, resume a little, kill again, then finish: state must
+    # survive chained resumes, not just one.
+    store = CheckpointStore(tmp_path)
+    for stop in (10, 25):
+        flag = _TripAfter(stop)
+        with pytest.raises(RunInterrupted):
+            run_scale_scenario_checkpointed(
+                scenario(),
+                store,
+                seed=0,
+                max_sessions=MAX_SESSIONS,
+                config=CheckpointConfig(every_s=1.0),
+                fingerprint=FP,
+                interrupt=flag,
+                on_step=flag.note,
+            )
+    final = run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        config=CheckpointConfig(every_s=1.0),
+        fingerprint=FP,
+    )
+    assert final.to_dict() == golden().to_dict()
+
+
+def test_periodic_checkpoint_does_not_perturb_run(tmp_path):
+    store = CheckpointStore(tmp_path)
+    report = run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        config=CheckpointConfig(every_s=0.5),  # aggressive cadence
+        fingerprint=FP,
+    )
+    assert report.to_dict() == golden().to_dict()
+
+
+def test_stale_checkpoint_rejected_on_strict_resume(tmp_path):
+    store = CheckpointStore(tmp_path)
+    flag = _TripAfter(20)
+    with pytest.raises(RunInterrupted):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+        )
+    # "The code changed": a different fingerprint demands a loud
+    # failure on the strict path and a fresh (still identical) run on
+    # the lenient one.
+    with pytest.raises(StaleCheckpointError):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            fingerprint="b" * 64,
+            strict_resume=True,
+        )
+    lenient = run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        fingerprint="b" * 64,
+    )
+    assert lenient.to_dict() == golden().to_dict()
+
+
+def test_mismatched_run_context_rejected(tmp_path):
+    store = CheckpointStore(tmp_path)
+    flag = _TripAfter(20)
+    with pytest.raises(RunInterrupted):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+        )
+    # Same store, different seed: strict resume refuses to graft the
+    # checkpoint onto a different run.
+    with pytest.raises(CheckpointError, match="seed"):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=1,
+            max_sessions=MAX_SESSIONS,
+            fingerprint=FP,
+            strict_resume=True,
+        )
+
+
+def test_resume_false_ignores_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path)
+    flag = _TripAfter(20)
+    with pytest.raises(RunInterrupted):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+        )
+    report = run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        fingerprint=FP,
+        resume=False,
+    )
+    assert report.to_dict() == golden().to_dict()
+
+
+def test_driver_refuses_midrun_restore(tmp_path):
+    from repro.workload.scenarios import make_scale_run
+
+    store = CheckpointStore(tmp_path)
+    flag = _TripAfter(20)
+    with pytest.raises(RunInterrupted):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+        )
+    payload = store.load(fingerprint=FP).payload
+    driver = make_scale_run(scenario(), seed=0, max_sessions=MAX_SESSIONS)
+    driver.run(1.0)  # no longer fresh
+    with pytest.raises(ConfigurationError, match="fresh"):
+        driver.load_state_dict(payload["driver"])

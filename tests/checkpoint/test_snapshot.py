@@ -1,0 +1,162 @@
+"""CheckpointStore: atomicity, verification, staleness, policy."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+    GRACEFUL_EXIT_CODE,
+    InterruptFlag,
+)
+from repro.checkpoint.snapshot import payload_checksum
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    StaleCheckpointError,
+)
+
+FP = "f" * 64
+OTHER_FP = "0" * 64
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        payload = {"b": 2, "a": [1.5, None, "x"], "nested": {"z": 1, "a": 2}}
+        path = store.save(payload, fingerprint=FP, meta={"step": 7})
+        assert path.exists() and store.exists()
+
+        loaded = store.load(fingerprint=FP)
+        assert isinstance(loaded, Checkpoint)
+        assert loaded.schema == CHECKPOINT_SCHEMA
+        assert loaded.payload == payload
+        assert loaded.meta == {"step": 7}
+        assert loaded.digest == payload_checksum(payload)
+
+    def test_key_order_survives_roundtrip(self, tmp_path):
+        # Insertion order is simulation state (float sums accumulate in
+        # dict order); the store must never sort it away.
+        store = CheckpointStore(tmp_path)
+        payload = {"z": 1, "m": 2, "a": 3}
+        store.save(payload, fingerprint=FP)
+        loaded = store.load(fingerprint=FP)
+        assert list(loaded.payload.keys()) == ["z", "m", "a"]
+
+    def test_missing_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load(fingerprint=FP) is None
+        assert not store.exists()
+        store.clear()  # idempotent on nothing
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1}, fingerprint=FP)
+        store.clear()
+        assert store.load(fingerprint=FP) is None
+
+    def test_save_overwrites_in_place(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"step": 1}, fingerprint=FP)
+        store.save({"step": 2}, fingerprint=FP)
+        assert store.load(fingerprint=FP).payload == {"step": 2}
+
+    def test_tampered_payload_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"balance": 10}, fingerprint=FP)
+        envelope = json.loads(store.path.read_text())
+        envelope["payload"]["balance"] = 9999
+        store.path.write_text(json.dumps(envelope))
+
+        with pytest.raises(CheckpointError, match="digest"):
+            store.load(fingerprint=FP)
+        # Lenient (supervised worker) degrades to a fresh start.
+        assert store.load(fingerprint=FP, strict=False) is None
+
+    def test_truncated_file_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": list(range(100))}, fingerprint=FP)
+        raw = store.path.read_text()
+        store.path.write_text(raw[: len(raw) // 2])
+
+        with pytest.raises(CheckpointError, match="JSON"):
+            store.load(fingerprint=FP)
+        assert store.load(fingerprint=FP, strict=False) is None
+
+    def test_missing_envelope_keys_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path.write_text(json.dumps({"schema": CHECKPOINT_SCHEMA}))
+        with pytest.raises(CheckpointError, match="missing"):
+            store.load()
+
+    def test_schema_mismatch_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1}, fingerprint=FP)
+        envelope = json.loads(store.path.read_text())
+        envelope["schema"] = CHECKPOINT_SCHEMA + 1
+        store.path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="schema"):
+            store.load(fingerprint=FP)
+
+    def test_stale_fingerprint_strict_raises(self, tmp_path):
+        # The stale-checkpoint hazard: resuming state written by
+        # different code must fail loudly on the strict path.
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1}, fingerprint=OTHER_FP)
+        with pytest.raises(StaleCheckpointError, match="different"):
+            store.load(fingerprint=FP)
+
+    def test_stale_fingerprint_lenient_is_fresh_start(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1}, fingerprint=OTHER_FP)
+        assert store.load(fingerprint=FP, strict=False) is None
+
+    def test_no_fingerprint_check_when_unpinned(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1}, fingerprint=OTHER_FP)
+        assert store.load().payload == {"x": 1}
+
+    def test_nan_state_rejected_at_write(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save({"x": float("nan")}, fingerprint=FP)
+
+
+class TestCheckpointConfig:
+    def test_every_steps(self):
+        assert CheckpointConfig(every_s=5.0).every_steps(0.1) == 50
+        assert CheckpointConfig(every_s=0.05).every_steps(0.1) == 1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            CheckpointConfig(every_s=bad)
+
+
+class TestInterruptFlag:
+    def test_latches_first_signal(self):
+        flag = InterruptFlag().install()
+        try:
+            assert not flag.triggered
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert flag.triggered
+            assert flag.signal_name == "SIGTERM"
+        finally:
+            flag.restore()
+
+    def test_restore_reinstates_previous_handler(self):
+        before = signal.getsignal(signal.SIGTERM)
+        flag = InterruptFlag().install()
+        assert signal.getsignal(signal.SIGTERM) != before
+        flag.restore()
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_graceful_exit_code_is_tempfail(self):
+        assert GRACEFUL_EXIT_CODE == 75
