@@ -42,6 +42,8 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.errors import CheckpointError, StaleCheckpointError
 from repro.fsutil import atomic_write_text
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.events import Category
 
 #: Envelope layout version; bumped whenever the payload tree changes shape.
 CHECKPOINT_SCHEMA = 1
@@ -87,9 +89,25 @@ class CheckpointStore:
 
     FILENAME = "checkpoint.json"
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        obs: Optional[Observability] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._obs = obs if obs is not None else NULL_OBS
+
+    def bind_observability(self, obs: Optional[Observability]) -> None:
+        """Attach a run's obs context so snapshot events land on its bus.
+
+        The store is often constructed (by a CLI) before the run's
+        observability exists; rebinding here keeps construction order
+        flexible.  Snapshot events carry the *virtual* time the snapshot
+        captured (``meta["t"]``), so resume points line up with the
+        simulation timeline in causal chains.
+        """
+        self._obs = obs if obs is not None else NULL_OBS
 
     @property
     def path(self) -> Path:
@@ -109,16 +127,25 @@ class CheckpointStore:
         meta: Optional[Mapping[str, Any]] = None,
     ) -> Path:
         """Atomically persist ``payload`` as the latest checkpoint."""
+        digest = payload_checksum(payload)
         envelope = {
             "schema": CHECKPOINT_SCHEMA,
             "fingerprint": fingerprint,
             "meta": dict(meta) if meta else {},
-            "digest": payload_checksum(payload),
+            "digest": digest,
             "payload": payload,
         }
-        atomic_write_text(
-            self.path, json.dumps(envelope, sort_keys=False, indent=None)
-        )
+        serialized = json.dumps(envelope, sort_keys=False, indent=None)
+        with self._obs.prof.span("checkpoint.save"):
+            atomic_write_text(self.path, serialized)
+        if self._obs.enabled:
+            self._obs.trace.emit(
+                float(envelope["meta"].get("t", 0.0)),
+                Category.CHECKPOINT,
+                "snapshot_write",
+                size=len(serialized),
+                digest=digest,
+            )
         return self.path
 
     def clear(self) -> None:
@@ -153,7 +180,8 @@ class CheckpointStore:
         except FileNotFoundError:
             return None
         try:
-            checkpoint = self._verify(raw)
+            with self._obs.prof.span("checkpoint.load"):
+                checkpoint = self._verify(raw)
             if (
                 fingerprint is not None
                 and checkpoint.fingerprint != fingerprint
@@ -165,10 +193,26 @@ class CheckpointStore:
                     "code change is unsafe — delete the checkpoint or "
                     "rerun from scratch"
                 )
-        except CheckpointError:
+        except CheckpointError as exc:
+            if self._obs.enabled:
+                self._obs.trace.emit(
+                    0.0,
+                    Category.CHECKPOINT,
+                    "snapshot_reject",
+                    size=len(raw),
+                    reason=type(exc).__name__,
+                )
             if strict:
                 raise
             return None
+        if self._obs.enabled:
+            self._obs.trace.emit(
+                float(checkpoint.meta.get("t", 0.0)),
+                Category.CHECKPOINT,
+                "snapshot_restore",
+                size=len(raw),
+                digest=checkpoint.digest,
+            )
         return checkpoint
 
     def _verify(self, raw: str) -> Checkpoint:

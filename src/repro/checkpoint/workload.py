@@ -83,6 +83,10 @@ def run_scale_scenario_checkpointed(
     config = config if config is not None else CheckpointConfig()
     if fingerprint is None:
         fingerprint = code_fingerprint()
+    if obs is not None:
+        # Snapshot writes/restores/rejects join the run's trace, tagged
+        # with the virtual time each snapshot captured.
+        store.bind_observability(obs)
 
     checkpoint = None
     if resume:

@@ -247,6 +247,13 @@ class PGOSScheduler(SchedulerBase):
         )
 
     def _needs_remap(self) -> bool:
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("pgos.remap_check"):
+                return self._needs_remap_inner()
+        return self._needs_remap_inner()
+
+    def _needs_remap_inner(self) -> bool:
         if self._obs.enabled:
             self._obs.metrics.counter("scheduler.remap_checks").inc()
         if self.mapping is None:
@@ -273,6 +280,13 @@ class PGOSScheduler(SchedulerBase):
         Raises :class:`AdmissionError` if no feasible mapping exists *and*
         no previous mapping can be kept.
         """
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("pgos.remap"):
+                return self._remap_inner()
+        return self._remap_inner()
+
+    def _remap_inner(self) -> ResourceMapping:
         usable = self.usable_paths
         cdfs = {p: self.monitors[p].cdf() for p in usable}
         qos = {}
@@ -449,6 +463,15 @@ class PGOSScheduler(SchedulerBase):
     # interval-mode allocation (fluid rendering of the fast path)
     # ------------------------------------------------------------------
     def allocate(
+        self, interval: int, backlog_mbps: Mapping[str, Optional[float]]
+    ) -> dict[str, list[PathShareRequest]]:
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("pgos.allocate"):
+                return self._allocate_inner(interval, backlog_mbps)
+        return self._allocate_inner(interval, backlog_mbps)
+
+    def _allocate_inner(
         self, interval: int, backlog_mbps: Mapping[str, Optional[float]]
     ) -> dict[str, list[PathShareRequest]]:
         if not self.has_history:

@@ -166,6 +166,11 @@ class IQPathsService:
             health = HealthTracker(self.path_names)
         self.health = health
         self.obs = obs if obs is not None else NULL_OBS
+        if self.obs.prof.enabled:
+            # Session time is the profiler's virtual clock for
+            # service-driven runs; a Simulator rebinds while it owns
+            # the loop (workload runs never mix the two).
+            self.obs.prof.bind_clock(lambda: self.now)
         self.scheduler.bind_observability(self.obs, clock=lambda: self.now)
         if self.health is not None:
             self.health.bind_observability(self.obs)
@@ -389,7 +394,12 @@ class IQPathsService:
         cdfs = {
             p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
         }
-        decision = self._admission.try_admit(open_specs, cdfs)
+        prof = self.obs.prof
+        if prof.enabled:
+            with prof.span("service.admission"):
+                decision = self._admission.try_admit(open_specs, cdfs)
+        else:
+            decision = self._admission.try_admit(open_specs, cdfs)
         self._next_stream_id += 1
         stream_id = self._next_stream_id
         self.obs.bind_stream(spec.name, stream_id)
@@ -453,7 +463,12 @@ class IQPathsService:
         cdfs = {
             p: self.scheduler.monitors[p].cdf() for p in self._usable_paths()
         }
-        decision = self._admission.try_admit(open_specs, cdfs)
+        prof = self.obs.prof
+        if prof.enabled:
+            with prof.span("service.admission"):
+                decision = self._admission.try_admit(open_specs, cdfs)
+        else:
+            decision = self._admission.try_admit(open_specs, cdfs)
         if not decision.admitted and self.strict_admission:
             rejected = next(
                 (
@@ -643,48 +658,26 @@ class IQPathsService:
             self._step()
 
     def _step(self) -> None:
+        prof = self.obs.prof
+        if prof.enabled:
+            with prof.span("service.step"):
+                self._step_inner()
+        else:
+            self._step_inner()
+
+    def _step_inner(self) -> None:
         k = self._k
         while self._pending and self._pending[0][0] <= k:
             _, action = self._pending.pop(0)
             action()
         open_handles = [h for h in self.handles.values() if h.open]
         if open_handles and self._scheduler_bound:
-            backlog_mbps: dict[str, Optional[float]] = {}
-            for h in open_handles:
-                spec = h.spec
-                if spec.demand_mbps is None:
-                    backlog_mbps[spec.name] = None
-                    continue
-                self._backlog_bytes[spec.name] += bytes_in_interval(
-                    spec.demand_mbps, self.dt
-                )
-                limit = bytes_in_interval(
-                    spec.demand_mbps, self.buffer_seconds
-                )
-                self._backlog_bytes[spec.name] = min(
-                    self._backlog_bytes[spec.name], limit
-                )
-                backlog_mbps[spec.name] = mbps_from_bytes(
-                    self._backlog_bytes[spec.name], self.dt
-                )
-            requests = self.scheduler.allocate(k, backlog_mbps)
-            delivered = {h.name: 0.0 for h in open_handles}
-            for p in self.path_names:
-                granted = water_fill(
-                    requests.get(p, []), self._effective_avail(p, k)
-                )
-                for name, mbps in granted.items():
-                    if mbps <= 0 or name not in delivered:
-                        continue
-                    nbytes = bytes_in_interval(mbps, self.dt)
-                    if self.handles[name].spec.demand_mbps is not None:
-                        nbytes = min(nbytes, self._backlog_bytes[name])
-                        self._backlog_bytes[name] -= nbytes
-                    delivered[name] += mbps_from_bytes(nbytes, self.dt)
-            for name, mbps in delivered.items():
-                self._delivered[name].append(mbps)
-            if self.obs.enabled:
-                self._emit_shortfalls(k, delivered)
+            prof = self.obs.prof
+            if prof.enabled:
+                with prof.span("service.delivery"):
+                    self._deliver(k, open_handles)
+            else:
+                self._deliver(k, open_handles)
         else:
             for h in open_handles:
                 self._delivered[h.name].append(0.0)
@@ -695,6 +688,46 @@ class IQPathsService:
             self._snapshot_every
         ) == 0:
             self.obs.metrics.snapshot(self.now)
+
+    def _deliver(self, k: int, open_handles: list[StreamHandle]) -> None:
+        """One interval of backlog accrual, PGOS allocation, water-fill
+        delivery, and shortfall accounting."""
+        backlog_mbps: dict[str, Optional[float]] = {}
+        for h in open_handles:
+            spec = h.spec
+            if spec.demand_mbps is None:
+                backlog_mbps[spec.name] = None
+                continue
+            self._backlog_bytes[spec.name] += bytes_in_interval(
+                spec.demand_mbps, self.dt
+            )
+            limit = bytes_in_interval(
+                spec.demand_mbps, self.buffer_seconds
+            )
+            self._backlog_bytes[spec.name] = min(
+                self._backlog_bytes[spec.name], limit
+            )
+            backlog_mbps[spec.name] = mbps_from_bytes(
+                self._backlog_bytes[spec.name], self.dt
+            )
+        requests = self.scheduler.allocate(k, backlog_mbps)
+        delivered = {h.name: 0.0 for h in open_handles}
+        for p in self.path_names:
+            granted = water_fill(
+                requests.get(p, []), self._effective_avail(p, k)
+            )
+            for name, mbps in granted.items():
+                if mbps <= 0 or name not in delivered:
+                    continue
+                nbytes = bytes_in_interval(mbps, self.dt)
+                if self.handles[name].spec.demand_mbps is not None:
+                    nbytes = min(nbytes, self._backlog_bytes[name])
+                    self._backlog_bytes[name] -= nbytes
+                delivered[name] += mbps_from_bytes(nbytes, self.dt)
+        for name, mbps in delivered.items():
+            self._delivered[name].append(mbps)
+        if self.obs.enabled:
+            self._emit_shortfalls(k, delivered)
 
     def _emit_shortfalls(self, k: int, delivered: dict[str, float]) -> None:
         """Per-window guarantee shortfall events (the trace's ground truth

@@ -284,6 +284,14 @@ class SlidingWindowCDF:
 
     def update(self, sample: float) -> None:
         """Append one bandwidth measurement (Mbps)."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.update"):
+                self._update_inner(sample)
+        else:
+            self._update_inner(sample)
+
+    def _update_inner(self, sample: float) -> None:
         if self._inc is not None:
             self._inc.update(sample)
         else:
@@ -298,6 +306,14 @@ class SlidingWindowCDF:
 
     def extend(self, samples: Iterable[float]) -> None:
         """Append many measurements."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.extend"):
+                self._extend_inner(samples)
+        else:
+            self._extend_inner(samples)
+
+    def _extend_inner(self, samples: Iterable[float]) -> None:
         if self._inc is not None:
             count = 0
             for s in samples:
@@ -308,7 +324,7 @@ class SlidingWindowCDF:
                 self._obs.metrics.counter("cdf.updates").inc(count)
         else:
             for s in samples:
-                self.update(s)
+                self._update_inner(s)
 
     def snapshot(self) -> EmpiricalCDF:
         """Freeze the current window as an immutable CDF.
@@ -321,18 +337,33 @@ class SlidingWindowCDF:
         if len(self) == 0:
             raise ConfigurationError("no samples observed yet")
         if self._cached is None:
-            if self._inc is not None:
-                self._cached = self._inc.snapshot()
+            prof = self._obs.prof
+            if prof.enabled:
+                with prof.span("cdf.snapshot"):
+                    self._rebuild_snapshot()
             else:
-                self._cached = EmpiricalCDF(self._buffer)
+                self._rebuild_snapshot()
             if self._obs.enabled:
                 self._obs.metrics.counter("cdf.snapshot_rebuilds").inc()
         elif self._obs.enabled:
             self._obs.metrics.counter("cdf.snapshot_reuses").inc()
         return self._cached
 
+    def _rebuild_snapshot(self) -> None:
+        if self._inc is not None:
+            self._cached = self._inc.snapshot()
+        else:
+            self._cached = EmpiricalCDF(self._buffer)
+
     def percentile(self, q: float) -> float:
         """Percentile of the current window."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.query"):
+                return self._percentile_inner(q)
+        return self._percentile_inner(q)
+
+    def _percentile_inner(self, q: float) -> float:
         if self._inc is not None and self._cached is None:
             # Interpolate on the maintained sorted buffer (bit-identical
             # to np.percentile, no snapshot copy, no partition pass).
@@ -341,6 +372,13 @@ class SlidingWindowCDF:
 
     def evaluate(self, b: float) -> float:
         """``F(b)`` over the current window."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.query"):
+                return self._evaluate_inner(b)
+        return self._evaluate_inner(b)
+
+    def _evaluate_inner(self, b: float) -> float:
         if self._inc is not None and self._cached is None:
             # O(log W) direct read; building/caching a snapshot is left
             # to callers that will query repeatedly.
@@ -349,12 +387,26 @@ class SlidingWindowCDF:
 
     def evaluate_strict(self, b: float) -> float:
         """``F(b-)`` over the current window."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.query"):
+                return self._evaluate_strict_inner(b)
+        return self._evaluate_strict_inner(b)
+
+    def _evaluate_strict_inner(self, b: float) -> float:
         if self._inc is not None and self._cached is None:
             return self._inc.evaluate_strict(b)
         return self.snapshot().evaluate_strict(b)
 
     def partial_mean_below(self, b0: float) -> float:
         """``M[b0]`` over the current window."""
+        prof = self._obs.prof
+        if prof.enabled:
+            with prof.span("cdf.query"):
+                return self._partial_mean_below_inner(b0)
+        return self._partial_mean_below_inner(b0)
+
+    def _partial_mean_below_inner(self, b0: float) -> float:
         if self._inc is not None and self._cached is None:
             return self._inc.partial_mean_below(b0)
         return self.snapshot().partial_mean_below(b0)

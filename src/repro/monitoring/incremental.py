@@ -46,7 +46,7 @@ class IncrementalWindowCDF:
     :class:`repro.monitoring.cdf.EmpiricalCDF` exactly.
     """
 
-    __slots__ = ("window", "_fifo", "_arr", "_size")
+    __slots__ = ("window", "_fifo", "_arr", "_size", "updates", "evictions")
 
     def __init__(self, window: int = 500):
         if window < 2:
@@ -55,6 +55,11 @@ class IncrementalWindowCDF:
         self._fifo: deque[float] = deque()
         self._arr = np.empty(window, dtype=float)
         self._size = 0
+        #: Lifetime operation counts.  Diagnostic only — excluded from
+        #: checkpoints so a resumed run's results stay byte-identical
+        #: while its op counters restart from the resume point.
+        self.updates = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # window maintenance
@@ -81,11 +86,13 @@ class IncrementalWindowCDF:
             idx = int(np.searchsorted(arr[:size], old, side="left"))
             arr[idx : size - 1] = arr[idx + 1 : size]
             size -= 1
+            self.evictions += 1
         idx = int(np.searchsorted(arr[:size], v, side="right"))
         arr[idx + 1 : size + 1] = arr[idx:size]
         arr[idx] = v
         self._size = size + 1
         self._fifo.append(v)
+        self.updates += 1
 
     def extend(self, samples: Iterable[float]) -> None:
         """Insert many samples in order."""

@@ -36,6 +36,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.ledger import PerfLedger
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    ProfileReport,
+    SpanProfiler,
+)
+from repro.obs.prom import export_prometheus, render_prometheus
 from repro.obs.trace import NullTraceBus, TraceBus
 from repro.obs.context import NULL_OBS, Observability
 
@@ -48,9 +56,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_PROFILER",
     "NullMetricsRegistry",
+    "NullSpanProfiler",
     "NullTraceBus",
     "Observability",
+    "PerfLedger",
+    "ProfileReport",
+    "SpanProfiler",
     "TraceBus",
     "TraceEvent",
+    "export_prometheus",
+    "render_prometheus",
 ]

@@ -23,15 +23,21 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.prof import NULL_PROFILER, SpanProfiler
 from repro.obs.trace import NullTraceBus, TraceBus
 
 
 class Observability:
     """Trace bus + metrics registry + stream-ID join table for one run."""
 
-    __slots__ = ("enabled", "trace", "metrics", "_stream_ids")
+    __slots__ = ("enabled", "trace", "metrics", "prof", "_stream_ids")
 
-    def __init__(self, enabled: bool = True, trace_capacity: int = 65536):
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_capacity: int = 65536,
+        profile: bool = False,
+    ):
         self.enabled = enabled
         if enabled:
             self.trace = TraceBus(capacity=trace_capacity)
@@ -39,6 +45,10 @@ class Observability:
         else:
             self.trace = NullTraceBus()
             self.metrics = NullMetricsRegistry()
+        # Wall-clock profiling is a separate opt-in on top of tracing:
+        # hot paths guard spans with ``if obs.prof.enabled:`` so trace-
+        # only runs skip the span machinery entirely.
+        self.prof = SpanProfiler() if (enabled and profile) else NULL_PROFILER
         self._stream_ids: dict[str, int] = {}
 
     @classmethod

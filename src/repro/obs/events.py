@@ -30,6 +30,7 @@ class Category:
     HARNESS = "harness"
     RUNNER = "runner"
     WORKLOAD = "workload"
+    CHECKPOINT = "checkpoint"
 
 
 #: Every known category (validation + exhaustive round-trip tests).
@@ -43,6 +44,7 @@ CATEGORIES = (
     Category.HARNESS,
     Category.RUNNER,
     Category.WORKLOAD,
+    Category.CHECKPOINT,
 )
 
 #: Known event names per category.  The bus accepts unknown names (new
@@ -85,6 +87,14 @@ EVENT_NAMES: dict[str, tuple[str, ...]] = {
         "session_rejected",
         "session_close",
         "workload_end",
+    ),
+    # Crash-safe execution (repro.checkpoint): snapshot lifecycle, so
+    # resume points appear in causal chains next to the virtual time
+    # they captured.
+    Category.CHECKPOINT: (
+        "snapshot_write",
+        "snapshot_restore",
+        "snapshot_reject",
     ),
 }
 

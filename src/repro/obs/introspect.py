@@ -189,8 +189,21 @@ def render_chain(chain: Sequence[TraceEvent]) -> str:
     return "\n".join(lines)
 
 
-def summarize(events: Sequence[TraceEvent]) -> str:
-    """A compact overview of one trace: counts per category and name."""
+def dropped_from_trace(events: Sequence[TraceEvent]) -> int:
+    """Events the ring buffer dropped before this trace was exported.
+
+    Sequence numbers are bus-assigned and monotone from zero, so a
+    retained trace whose highest ``seq`` exceeds its length is missing
+    exactly ``max(seq) + 1 - len(events)`` older events.
+    """
+    if not events:
+        return 0
+    emitted = max(e.seq for e in events) + 1
+    return max(0, emitted - len(events))
+
+
+def summarize_dict(events: Sequence[TraceEvent]) -> dict:
+    """Structured form of :func:`summarize` (machine-readable reports)."""
     counts: dict[str, int] = {}
     t_min = t_max = None
     for e in events:
@@ -198,14 +211,32 @@ def summarize(events: Sequence[TraceEvent]) -> str:
         counts[key] = counts.get(key, 0) + 1
         t_min = e.sim_time if t_min is None else min(t_min, e.sim_time)
         t_max = e.sim_time if t_max is None else max(t_max, e.sim_time)
-    lines = [
-        f"{len(events)} events"
-        + (
-            f" spanning t=[{t_min:.2f}, {t_max:.2f}]s"
-            if t_min is not None
-            else ""
+    dropped = dropped_from_trace(events)
+    return {
+        "events": len(events),
+        "emitted": len(events) + dropped,
+        "dropped": dropped,
+        "t_min": t_min,
+        "t_max": t_max,
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def summarize(events: Sequence[TraceEvent]) -> str:
+    """A compact overview of one trace: counts per category and name."""
+    summary = summarize_dict(events)
+    header = f"{summary['events']} events"
+    if summary["t_min"] is not None:
+        header += (
+            f" spanning t=[{summary['t_min']:.2f}, "
+            f"{summary['t_max']:.2f}]s"
         )
-    ]
-    for key in sorted(counts):
-        lines.append(f"  {key:<28s} {counts[key]}")
+    if summary["dropped"]:
+        header += (
+            f" ({summary['dropped']} older events dropped by the ring "
+            f"buffer; {summary['emitted']} emitted)"
+        )
+    lines = [header]
+    for key, count in summary["counts"].items():
+        lines.append(f"  {key:<28s} {count}")
     return "\n".join(lines)

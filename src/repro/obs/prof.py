@@ -1,0 +1,429 @@
+"""Hierarchical wall-clock span profiler fused with virtual time.
+
+The trace bus answers *what happened* in virtual time; this module
+answers *where the wall clock went*.  A :class:`SpanProfiler` keeps a
+stack of named spans (``obs.prof.span("engine.step")`` as a context
+manager or decorator) and aggregates, per unique (parent, name) tree
+node: call count, cumulative wall-nanoseconds, self time (cumulative
+minus time attributed to child spans), and the virtual seconds that
+advanced while the span was open.  The virtual/wall ratio per subsystem
+is the "simulation speed" signal: how many simulated seconds each layer
+buys per wall second spent in it.
+
+Span names are dotted, ``subsystem.operation`` (``service.step``,
+``cdf.update``); the component before the first dot is the subsystem
+rows are grouped under in :class:`ProfileReport`.
+
+Determinism contract: the span *tree* — node names, nesting, creation
+order, and call counts — is a pure function of the code path, hence of
+``(scenario, seed)`` for a seeded run.  Only the recorded timings vary
+between runs.  :meth:`SpanProfiler.structure` exposes exactly that
+timing-free shape, and :meth:`structure_digest` hashes it, so two runs
+of the same seed can assert byte-identical profiles modulo clocks.
+Profiling never feeds back into simulation state, so profile-enabled
+runs keep the checkpoint/resume identity guarantees.
+
+The disabled path follows the ``NULL_OBS`` discipline: hot loops guard
+with ``if prof.enabled:`` (one attribute lookup), and even an unguarded
+``with prof.span(...)`` on :data:`NULL_PROFILER` costs only a shared
+inert context manager.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import time
+from typing import Any, Callable, Optional
+
+from repro.fsutil import atomic_write_text
+
+#: Schema version stamped into exported profile JSON.
+PROFILE_SCHEMA = 1
+
+
+class _SpanNode:
+    """One aggregation node: a unique (parent chain, name) pair."""
+
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "count",
+        "cum_ns",
+        "child_ns",
+        "virtual_s",
+        "child_virtual_s",
+    )
+
+    def __init__(self, name: str, parent: Optional["_SpanNode"]):
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, _SpanNode] = {}
+        self.count = 0
+        self.cum_ns = 0
+        self.child_ns = 0
+        self.virtual_s = 0.0
+        self.child_virtual_s = 0.0
+
+
+class _Span:
+    """Reusable, re-entrant span handle bound to (profiler, name).
+
+    Holds no per-entry state — ``__enter__`` pushes onto the profiler's
+    stack — so the same handle can be cached, nested inside itself
+    (recursion), and used as a decorator.
+    """
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "SpanProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._profiler._enter(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler._exit()
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            self._profiler._enter(self._name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._profiler._exit()
+
+        return wrapper
+
+
+class _NullSpan:
+    """Inert span: no-op enter/exit, identity decorator."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __call__(self, fn: Callable) -> Callable:
+        return fn
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanProfiler:
+    """Aggregating hierarchical profiler for one run.
+
+    ``clock`` supplies the *virtual* time (session seconds or simulator
+    clock); layers that own a clock rebind it via :meth:`bind_clock`.
+    The default clock is frozen at zero, so wall-only profiling works
+    out of the box.
+    """
+
+    enabled = True
+
+    __slots__ = ("_root", "_current", "_stack", "_clock", "_t0_ns", "_spans")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._root = _SpanNode("<root>", None)
+        self._current = self._root
+        # Stack of (node, parent, start_wall_ns, start_virtual).
+        self._stack: list[tuple[_SpanNode, _SpanNode, int, float]] = []
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._t0_ns = time.perf_counter_ns()
+        self._spans: dict[str, _Span] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Rebind the virtual-time source (layer that owns the clock)."""
+        self._clock = clock
+
+    def span(self, name: str) -> _Span:
+        """A context manager / decorator timing one named span."""
+        handle = self._spans.get(name)
+        if handle is None:
+            handle = _Span(self, name)
+            self._spans[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # span stack (called by _Span only)
+    # ------------------------------------------------------------------
+    def _enter(self, name: str) -> None:
+        parent = self._current
+        node = parent.children.get(name)
+        if node is None:
+            node = _SpanNode(name, parent)
+            parent.children[name] = node
+        self._stack.append(
+            (node, parent, time.perf_counter_ns(), self._clock())
+        )
+        self._current = node
+
+    def _exit(self) -> None:
+        node, parent, start_ns, start_virtual = self._stack.pop()
+        elapsed = time.perf_counter_ns() - start_ns
+        advanced = self._clock() - start_virtual
+        node.count += 1
+        node.cum_ns += elapsed
+        node.virtual_s += advanced
+        parent.child_ns += elapsed
+        parent.child_virtual_s += advanced
+        self._current = parent
+
+    # ------------------------------------------------------------------
+    # structure (timing-free, deterministic per seed)
+    # ------------------------------------------------------------------
+    def structure(self) -> dict[str, Any]:
+        """The span tree with counts only — byte-stable per seed."""
+        return _structure_of(self._root)
+
+    def structure_digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`structure`."""
+        return _digest_structure(self.structure())
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> "ProfileReport":
+        """Snapshot the aggregates into a :class:`ProfileReport`.
+
+        The coverage denominator is the wall time observed since this
+        profiler was created, so a report taken right after a run states
+        how much of the elapsed wall clock the named spans explain.
+        """
+        total_ns = time.perf_counter_ns() - self._t0_ns
+        rows: list[dict[str, Any]] = []
+
+        def walk(node: _SpanNode, prefix: str, depth: int) -> None:
+            for child in node.children.values():
+                path = f"{prefix}/{child.name}" if prefix else child.name
+                rows.append(
+                    {
+                        "path": path,
+                        "name": child.name,
+                        "depth": depth,
+                        "count": child.count,
+                        "cum_ns": child.cum_ns,
+                        "self_ns": child.cum_ns - child.child_ns,
+                        "virtual_s": child.virtual_s,
+                        "self_virtual_s": (
+                            child.virtual_s - child.child_virtual_s
+                        ),
+                    }
+                )
+                walk(child, path, depth + 1)
+
+        walk(self._root, "", 0)
+        return ProfileReport(
+            total_wall_ns=max(total_ns, 1),
+            attributed_ns=self._root.child_ns,
+            rows=rows,
+            structure_digest=self.structure_digest(),
+        )
+
+
+class NullSpanProfiler:
+    """Inert profiler behind the shared disabled observability context."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        return None
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def structure(self) -> dict[str, Any]:
+        return _structure_of(_SpanNode("<root>", None))
+
+    def structure_digest(self) -> str:
+        return _digest_structure(self.structure())
+
+    def report(self) -> "ProfileReport":
+        return ProfileReport(
+            total_wall_ns=1,
+            attributed_ns=0,
+            rows=[],
+            structure_digest=self.structure_digest(),
+        )
+
+
+#: The shared inert profiler (``NULL_OBS.prof`` and the profiling-off
+#: default of enabled observability contexts).
+NULL_PROFILER = NullSpanProfiler()
+
+
+def _structure_of(root: _SpanNode) -> dict[str, Any]:
+    def shape(node: _SpanNode) -> dict[str, Any]:
+        return {
+            "name": node.name,
+            "count": node.count,
+            "children": [shape(c) for c in node.children.values()],
+        }
+
+    return shape(root)
+
+
+def _digest_structure(structure: dict[str, Any]) -> str:
+    canonical = json.dumps(
+        structure, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ProfileReport:
+    """Immutable rendering of one profiler snapshot.
+
+    ``rows`` are preorder over the span tree (deterministic creation
+    order); tables re-sort by self time.  ``subsystems`` groups rows by
+    the component before the first dot of the span name and derives the
+    virtual/wall "simulation speed" ratio from *self* figures, so
+    nesting never double-counts a subsystem.
+    """
+
+    __slots__ = ("total_wall_ns", "attributed_ns", "rows", "structure_digest")
+
+    def __init__(
+        self,
+        total_wall_ns: int,
+        attributed_ns: int,
+        rows: list[dict[str, Any]],
+        structure_digest: str,
+    ):
+        self.total_wall_ns = total_wall_ns
+        self.attributed_ns = attributed_ns
+        self.rows = rows
+        self.structure_digest = structure_digest
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of observed wall time inside any named span."""
+        return self.attributed_ns / self.total_wall_ns
+
+    def subsystems(self) -> dict[str, dict[str, Any]]:
+        """Per-subsystem self-time rollup with the sim-speed ratio."""
+        groups: dict[str, dict[str, Any]] = {}
+        for row in self.rows:
+            key = row["name"].split(".", 1)[0]
+            group = groups.setdefault(
+                key, {"self_ns": 0, "self_virtual_s": 0.0, "calls": 0}
+            )
+            group["self_ns"] += row["self_ns"]
+            group["self_virtual_s"] += row["self_virtual_s"]
+            group["calls"] += row["count"]
+        for group in groups.values():
+            wall_s = group["self_ns"] / 1e9
+            group["wall_s"] = round(wall_s, 6)
+            group["sim_speed"] = (
+                round(group["self_virtual_s"] / wall_s, 3) if wall_s > 0
+                else 0.0
+            )
+            group["self_virtual_s"] = round(group["self_virtual_s"], 6)
+        return dict(sorted(
+            groups.items(), key=lambda kv: -kv[1]["self_ns"]
+        ))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "total_wall_ns": self.total_wall_ns,
+            "attributed_ns": self.attributed_ns,
+            "coverage": round(self.coverage, 4),
+            "structure_digest": self.structure_digest,
+            "spans": list(self.rows),
+            "subsystems": self.subsystems(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProfileReport":
+        return cls(
+            total_wall_ns=int(data["total_wall_ns"]),
+            attributed_ns=int(data["attributed_ns"]),
+            rows=list(data.get("spans", [])),
+            structure_digest=data.get("structure_digest", ""),
+        )
+
+    def export_json(self, path) -> None:
+        atomic_write_text(
+            path,
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def _sorted_rows(self) -> list[dict[str, Any]]:
+        return sorted(self.rows, key=lambda r: -r["self_ns"])
+
+    def render(self) -> str:
+        """Plain-text self-time table plus the subsystem rollup."""
+        lines = [
+            f"profile: {self.total_wall_ns / 1e9:.3f}s wall observed, "
+            f"{self.coverage:.1%} attributed to spans",
+            f"structure {self.structure_digest[:16]}",
+            "",
+            f"{'span':<42} {'calls':>9} {'self_s':>9} "
+            f"{'cum_s':>9} {'virt_s':>9}",
+        ]
+        for row in self._sorted_rows():
+            indent = "  " * row["depth"]
+            lines.append(
+                f"{indent + row['name']:<42} {row['count']:>9} "
+                f"{row['self_ns'] / 1e9:>9.3f} "
+                f"{row['cum_ns'] / 1e9:>9.3f} "
+                f"{row['virtual_s']:>9.2f}"
+            )
+        lines.append("")
+        lines.append(
+            f"{'subsystem':<14} {'calls':>9} {'self_s':>9} {'virt_s':>9} "
+            f"{'sim_speed':>10}"
+        )
+        for name, group in self.subsystems().items():
+            lines.append(
+                f"{name:<14} {group['calls']:>9} {group['wall_s']:>9.3f} "
+                f"{group['self_virtual_s']:>9.2f} "
+                f"{group['sim_speed']:>10.2f}"
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavored markdown tables (for PR/ledger artifacts)."""
+        lines = [
+            "## Profile",
+            "",
+            f"- wall observed: {self.total_wall_ns / 1e9:.3f}s",
+            f"- span coverage: {self.coverage:.1%}",
+            f"- structure: `{self.structure_digest[:16]}`",
+            "",
+            "| span | calls | self (s) | cum (s) | virtual (s) |",
+            "| --- | ---: | ---: | ---: | ---: |",
+        ]
+        for row in self._sorted_rows():
+            lines.append(
+                f"| `{row['path']}` | {row['count']} "
+                f"| {row['self_ns'] / 1e9:.3f} "
+                f"| {row['cum_ns'] / 1e9:.3f} "
+                f"| {row['virtual_s']:.2f} |"
+            )
+        lines += [
+            "",
+            "| subsystem | calls | self (s) | virtual (s) | sim speed |",
+            "| --- | ---: | ---: | ---: | ---: |",
+        ]
+        for name, group in self.subsystems().items():
+            lines.append(
+                f"| {name} | {group['calls']} | {group['wall_s']:.3f} "
+                f"| {group['self_virtual_s']:.2f} "
+                f"| {group['sim_speed']:.2f} |"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Prometheus text-format exporter for the metrics registry.
+
+The registry's instruments map directly onto the Prometheus exposition
+format (version 0.0.4): counters and gauges are single samples, and our
+:class:`~repro.obs.metrics.Histogram` already keeps cumulative-``<=``
+bucket semantics (``bisect_left`` puts a value equal to an edge *in*
+that edge's bucket), so its per-bucket counts convert to the standard
+cumulative ``_bucket{le="..."}`` series with an exact ``+Inf`` overflow
+row.  Metric names are sanitized (dots become underscores) and counters
+get the conventional ``_total`` suffix.
+
+This is an export path, not a live scrape endpoint: the workload and
+harness CLIs write the rendered text next to their JSON artifacts
+(``--metrics-out metrics.prom`` or ``--metrics-format prometheus``), so
+any Prometheus-compatible toolchain can ingest a run's final state.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from repro.fsutil import atomic_write_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+AnyRegistry = Union[MetricsRegistry, NullMetricsRegistry]
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """A valid Prometheus metric name for one of ours.
+
+    Dots (our namespacing) and any other invalid characters become
+    underscores; the namespace prefix keeps exported names collision-
+    free against other exporters on the same scrape target.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if namespace:
+        cleaned = f"{namespace}_{cleaned}"
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    # Integral floats print as integers (Prometheus accepts either; the
+    # shorter form keeps the text diff-friendly).
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _le_label(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(
+    registry: AnyRegistry, namespace: str = "repro"
+) -> str:
+    """The full registry in Prometheus exposition text format."""
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        metric = sanitize_metric_name(name, namespace)
+        if isinstance(instrument, Counter):
+            lines.append(f"# HELP {metric}_total {name}")
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(
+                f"{metric}_total {_format_value(instrument.value)}"
+            )
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# HELP {metric} {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# HELP {metric} {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(
+                instrument.bounds, instrument.counts
+            ):
+                cumulative += bucket_count
+                lines.append(
+                    f'{metric}_bucket{{le="{_le_label(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {instrument.count}'
+            )
+            lines.append(
+                f"{metric}_sum {_format_value(instrument.total)}"
+            )
+            lines.append(f"{metric}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(
+    registry: AnyRegistry, path, namespace: str = "repro"
+) -> str:
+    """Atomically write the rendered exposition text; returns it."""
+    text = render_prometheus(registry, namespace=namespace)
+    atomic_write_text(path, text)
+    return text
+
+
+def export_metrics(
+    registry: AnyRegistry,
+    path,
+    fmt: str = "auto",
+    namespace: str = "repro",
+) -> str:
+    """Export ``registry`` to ``path`` as JSON or Prometheus text.
+
+    ``fmt="auto"`` picks by extension: ``.prom`` exports Prometheus
+    exposition text, everything else the registry's native JSON.
+    Returns the format actually written.
+    """
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+
+    if fmt == "auto":
+        fmt = "prometheus" if Path(path).suffix == ".prom" else "json"
+    if fmt == "prometheus":
+        export_prometheus(registry, path, namespace=namespace)
+    elif fmt == "json":
+        registry.export_json(path)
+    else:
+        raise ConfigurationError(
+            f"unknown metrics format {fmt!r}; "
+            "expected auto, json, or prometheus"
+        )
+    return fmt

@@ -650,7 +650,11 @@ def _run_inline(orch: _Orchestrator, jobs: Sequence[_Job]) -> None:
             checkpoint_dir=orch.checkpoint_dir_for(job.spec)
         )
         try:
-            payload = execute_spec(job.spec, runtime)
+            # Inline workers share the caller's process, so per-spec
+            # spans land on the caller's profiler (pool workers are
+            # separate processes and cannot).
+            with orch.obs.prof.span("runner.spec"):
+                payload = execute_spec(job.spec, runtime)
         except Exception as exc:
             orch.finish(
                 job,
@@ -823,10 +827,9 @@ def run_specs(
                 to_execute.append(_Job(index, spec, attempt=1))
 
         if to_execute:
-            if workers == 0:
-                _run_inline(orch, to_execute)
-            else:
-                _run_pool(orch, to_execute)
+            drive = _run_inline if workers == 0 else _run_pool
+            with obs.prof.span("runner.run"):
+                drive(orch, to_execute)
 
         report = RunReport(
             fingerprint=fingerprint,

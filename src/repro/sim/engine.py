@@ -198,7 +198,12 @@ class Simulator:
             # count of cancelled entries still occupying heap slots.
             event.owner = None
             self._now = event.time
-            event.fn()
+            prof = self._obs.prof
+            if prof.enabled:
+                with prof.span("engine.step"):
+                    event.fn()
+            else:
+                event.fn()
             if self._obs.enabled:
                 metrics = self._obs.metrics
                 metrics.counter("engine.events_fired").inc()
@@ -215,18 +220,30 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        prof = self._obs.prof
+        if prof.enabled:
+            # The engine owns the virtual clock while it runs, so spans
+            # opened inside the loop accrue simulated seconds.
+            prof.bind_clock(lambda: self._now)
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-            if until is not None and until > self._now:
-                self._now = until
+            if prof.enabled:
+                with prof.span("engine.run"):
+                    self._run_loop(until)
+            else:
+                self._run_loop(until)
         finally:
             self._running = False
+
+    def _run_loop(self, until: Optional[float]) -> None:
+        while True:
+            next_time = self.peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
 
     def clear(self) -> None:
         """Drop all pending events (the clock keeps its value)."""

@@ -71,7 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--metrics-out", type=Path, default=None,
-        help="export the run's metrics registry (JSON) here",
+        help="export the run's metrics registry here",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=("auto", "json", "prometheus"),
+        default="auto",
+        help=(
+            "metrics export format; auto picks prometheus exposition "
+            "text for a .prom extension, JSON otherwise (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None,
+        help=(
+            "enable the span profiler: print the self-time table and "
+            "span-structure digest, write the profile report (JSON) here"
+        ),
     )
     parser.add_argument(
         "--envelope", action="store_true",
@@ -196,8 +211,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
     if args.envelope:
         return _run_envelope(args)
-    want_obs = args.trace_out is not None or args.metrics_out is not None
-    obs = Observability() if want_obs else None
+    want_obs = (
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or args.profile_out is not None
+    )
+    obs = (
+        Observability(profile=args.profile_out is not None)
+        if want_obs
+        else None
+    )
     t0 = time.perf_counter()
     if args.checkpoint_dir is not None:
         report, code = _run_checkpointed(args, obs)
@@ -230,8 +253,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         count = obs.trace.export_jsonl(args.trace_out)
         print(f"wrote {args.trace_out} ({count} events)")
     if obs is not None and args.metrics_out is not None:
-        obs.metrics.export_json(args.metrics_out)
-        print(f"wrote {args.metrics_out}")
+        from repro.obs.prom import export_metrics
+
+        fmt = export_metrics(
+            obs.metrics, args.metrics_out, fmt=args.metrics_format
+        )
+        print(f"wrote {args.metrics_out} ({fmt})")
+    if obs is not None and args.profile_out is not None:
+        profile = obs.prof.report()
+        print()
+        print(profile.render())
+        profile.export_json(args.profile_out)
+        print(f"wrote {args.profile_out}")
     return 0
 
 

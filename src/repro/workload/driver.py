@@ -347,6 +347,13 @@ class ChurnDriver:
         from the first step the checkpoint had not completed and the
         returned report is bit-identical to an uninterrupted run's.
         """
+        prof = self.obs.prof
+        if prof.enabled:
+            with prof.span("workload.run"):
+                return self._run_impl(duration)
+        return self._run_impl(duration)
+
+    def _run_impl(self, duration: float) -> WorkloadReport:
         service = self.service
         state = self._state
         dt = service.dt
@@ -371,44 +378,15 @@ class ChurnDriver:
                 planned_sessions=len(self.plans),
                 duration=duration,
             )
-        for k in range(state.k, steps):
-            t = k * dt
-            while state.departures and state.departures[0][0] <= t:
-                _, _, name = heapq.heappop(state.departures)
-                self._close(name, state.records[name], state.open_sessions)
-            while (
-                state.next_plan < len(self.plans)
-                and self.plans[state.next_plan].arrival_s <= t
-            ):
-                plan = self.plans[state.next_plan]
-                state.next_plan += 1
-                record = self._arrive(plan, state.tenants)
-                state.records[plan.name] = record
-                if record.outcome != "rejected":
-                    state.open_sessions.add(plan.name)
-                    heapq.heappush(
-                        state.departures,
-                        (
-                            record.opened_at + plan.holding_s,
-                            plan.index,
-                            plan.name,
-                        ),
-                    )
-            state.peak_concurrent = max(
-                state.peak_concurrent, len(state.open_sessions)
-            )
-            service.advance(dt)
-            if service.health is not None and service.shed_streams:
-                newly_shed = (
-                    (service.shed_streams & state.open_sessions)
-                    - state.shed_seen
-                )
-                for name in sorted(newly_shed):
-                    state.shed_seen.add(name)
-                    state.records[name].shed = True
-            state.k = k + 1
-            if self.on_step is not None:
-                self.on_step(k, t)
+        prof = self.obs.prof
+        if prof.enabled:
+            step_span = prof.span("workload.step")
+            for k in range(state.k, steps):
+                with step_span:
+                    self._step_once(k, k * dt)
+        else:
+            for k in range(state.k, steps):
+                self._step_once(k, k * dt)
         # Run over: close whatever is still open, marked truncated.
         for name in sorted(
             state.open_sessions, key=lambda n: state.records[n].index
@@ -431,6 +409,47 @@ class ChurnDriver:
                 violation_rate=report.violation_rate,
             )
         return report
+
+    def _step_once(self, k: int, t: float) -> None:
+        """One churn step: expire departures, admit arrivals, deliver."""
+        service = self.service
+        state = self._state
+        while state.departures and state.departures[0][0] <= t:
+            _, _, name = heapq.heappop(state.departures)
+            self._close(name, state.records[name], state.open_sessions)
+        while (
+            state.next_plan < len(self.plans)
+            and self.plans[state.next_plan].arrival_s <= t
+        ):
+            plan = self.plans[state.next_plan]
+            state.next_plan += 1
+            record = self._arrive(plan, state.tenants)
+            state.records[plan.name] = record
+            if record.outcome != "rejected":
+                state.open_sessions.add(plan.name)
+                heapq.heappush(
+                    state.departures,
+                    (
+                        record.opened_at + plan.holding_s,
+                        plan.index,
+                        plan.name,
+                    ),
+                )
+        state.peak_concurrent = max(
+            state.peak_concurrent, len(state.open_sessions)
+        )
+        service.advance(service.dt)
+        if service.health is not None and service.shed_streams:
+            newly_shed = (
+                (service.shed_streams & state.open_sessions)
+                - state.shed_seen
+            )
+            for name in sorted(newly_shed):
+                state.shed_seen.add(name)
+                state.records[name].shed = True
+        state.k = k + 1
+        if self.on_step is not None:
+            self.on_step(k, t)
 
     # ------------------------------------------------------------------
     # checkpointing

@@ -35,7 +35,7 @@ from repro.errors import ConfigurationError
 from repro.middleware.service import IQPathsService
 from repro.network.emulab import make_figure8_testbed
 from repro.network.faults import FaultCampaign
-from repro.obs.context import Observability
+from repro.obs.context import NULL_OBS, Observability
 from repro.runner.spec import mix_seed
 from repro.workload.arrivals import (
     ArrivalModel,
@@ -245,6 +245,27 @@ def make_scale_run(
     identical immutable scaffolding, then restores only the mutable
     state from the snapshot.
     """
+    prof = (obs if obs is not None else NULL_OBS).prof
+    if prof.enabled:
+        # Scenario planning + testbed realization + warmup is a real
+        # slice of short runs' wall time; attribute it, don't lose it.
+        with prof.span("workload.setup"):
+            return _make_scale_run(
+                scenario, seed, max_sessions, catalog, obs, on_step
+            )
+    return _make_scale_run(
+        scenario, seed, max_sessions, catalog, obs, on_step
+    )
+
+
+def _make_scale_run(
+    scenario: ScaleScenario,
+    seed: int,
+    max_sessions: Optional[int],
+    catalog: Optional[SessionCatalog],
+    obs: Optional[Observability],
+    on_step: Optional[Callable[[int, float], None]],
+) -> ChurnDriver:
     catalog = catalog if catalog is not None else default_catalog()
     plans = plan_sessions(
         scenario.model,

@@ -160,3 +160,55 @@ class TestInterruptFlag:
 
     def test_graceful_exit_code_is_tempfail(self):
         assert GRACEFUL_EXIT_CODE == 75
+
+
+class TestCheckpointTraceEvents:
+    def _obs(self):
+        from repro.obs.context import Observability
+
+        return Observability()
+
+    def test_save_and_restore_emit_checkpoint_events(self, tmp_path):
+        from repro.obs.events import Category
+
+        obs = self._obs()
+        store = CheckpointStore(tmp_path, obs=obs)
+        store.save({"a": 1}, fingerprint=FP, meta={"t": 12.5, "step": 3})
+        store.load(fingerprint=FP)
+        events = list(obs.trace)
+        names = [(e.category, e.name) for e in events]
+        assert (Category.CHECKPOINT, "snapshot_write") in names
+        assert (Category.CHECKPOINT, "snapshot_restore") in names
+        write = next(e for e in events if e.name == "snapshot_write")
+        restore = next(e for e in events if e.name == "snapshot_restore")
+        # Events carry the snapshot's *virtual* time and its identity.
+        assert write.sim_time == 12.5
+        assert restore.sim_time == 12.5
+        assert write.fields["size"] > 0
+        assert len(write.fields["digest"]) == 64
+        assert restore.fields["digest"] == write.fields["digest"]
+
+    def test_corrupt_checkpoint_emits_reject_with_reason(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1}, fingerprint=FP)
+        store.path.write_text("this is not json")
+        obs = self._obs()
+        store.bind_observability(obs)
+        assert store.load(fingerprint=FP, strict=False) is None
+        reject = next(e for e in list(obs.trace) if e.name == "snapshot_reject")
+        assert reject.fields["reason"] == "CheckpointError"
+        assert reject.fields["size"] > 0
+
+    def test_stale_checkpoint_emits_reject(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1}, fingerprint=FP)
+        obs = self._obs()
+        store.bind_observability(obs)
+        assert store.load(fingerprint=OTHER_FP, strict=False) is None
+        reject = next(e for e in list(obs.trace) if e.name == "snapshot_reject")
+        assert reject.fields["reason"] == "StaleCheckpointError"
+
+    def test_unbound_store_stays_silent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"a": 1}, fingerprint=FP)
+        assert store.load(fingerprint=FP) is not None  # no obs, no crash

@@ -139,3 +139,42 @@ class TestRendering:
         events = list(reversed(list(_outage_trace())))
         ts = [e.sim_time for e in health_transitions(events)]
         assert ts == sorted(ts)
+
+
+class TestDropAccounting:
+    def test_full_trace_reports_zero_dropped(self):
+        from repro.obs.introspect import dropped_from_trace, summarize_dict
+
+        events = list(_outage_trace())
+        assert dropped_from_trace(events) == 0
+        summary = summarize_dict(events)
+        assert summary["dropped"] == 0
+        assert summary["emitted"] == summary["events"]
+        assert "dropped" not in summarize(events)
+
+    def test_wrapped_trace_reports_drop_count(self):
+        from repro.obs.introspect import dropped_from_trace, summarize_dict
+
+        bus = TraceBus(capacity=3)
+        for i in range(7):
+            bus.emit(float(i), Category.ENGINE, "heap_compacted")
+        events = list(bus)
+        assert dropped_from_trace(events) == 4
+        summary = summarize_dict(events)
+        assert summary == {
+            "events": 3,
+            "emitted": 7,
+            "dropped": 4,
+            "t_min": 4.0,
+            "t_max": 6.0,
+            "counts": {"engine.heap_compacted": 3},
+        }
+        text = summarize(events)
+        assert "4 older events dropped by the ring buffer" in text
+        assert "7 emitted" in text
+
+    def test_empty_trace(self):
+        from repro.obs.introspect import dropped_from_trace, summarize_dict
+
+        assert dropped_from_trace([]) == 0
+        assert summarize_dict([])["emitted"] == 0

@@ -1,0 +1,164 @@
+"""Perf ledger: harvesting, regression gating, noise widening."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    HEADLINE_METRICS,
+    PerfLedger,
+    collect_headline_metrics,
+    machine_fingerprint,
+    make_entry,
+)
+
+MACHINE = {"id": "aaaabbbbcccc"}
+OTHER_MACHINE = {"id": "ddddeeeeffff"}
+
+
+def _entry(metrics, machine=MACHINE):
+    return {"schema": 1, "machine": machine, "metrics": metrics}
+
+
+def _ledger(tmp_path, entries):
+    ledger = PerfLedger(tmp_path / "LEDGER.jsonl")
+    for entry in entries:
+        ledger.append(entry)
+    return ledger
+
+
+def _finding(findings, metric):
+    return next(f for f in findings if f.metric == metric)
+
+
+class TestHarvest:
+    def test_collects_from_real_results_dir(self, tmp_path):
+        (tmp_path / "BENCH_cdf.json").write_text(json.dumps(
+            {"latest": {"incremental_us_per_cycle": 9.5, "speedup": 8.0}}
+        ))
+        metrics = collect_headline_metrics(tmp_path)
+        assert metrics == {
+            "cdf.incremental_us_per_cycle": 9.5,
+            "cdf.speedup": 8.0,
+        }
+
+    def test_missing_files_and_keys_are_skipped(self, tmp_path):
+        (tmp_path / "BENCH_runner.json").write_text(
+            json.dumps({"latest": {}})
+        )
+        assert collect_headline_metrics(tmp_path) == {}
+
+    def test_make_entry_is_stamped_and_appendable(self, tmp_path):
+        (tmp_path / "BENCH_runner.json").write_text(
+            json.dumps({"latest": {"speedup": 1.4}})
+        )
+        entry = make_entry(tmp_path, note="unit test")
+        assert entry["metrics"] == {"runner.speedup": 1.4}
+        assert entry["machine"]["id"] == machine_fingerprint()["id"]
+        assert entry["note"] == "unit test"
+        ledger = _ledger(tmp_path, [entry])
+        assert ledger.entries() == [entry]
+
+
+class TestCheck:
+    def test_empty_ledger_is_vacuously_green(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "LEDGER.jsonl")
+        assert ledger.check() == []
+        assert "vacuously" in PerfLedger.render([])
+
+    def test_single_entry_has_no_baseline(self, tmp_path):
+        ledger = _ledger(
+            tmp_path, [_entry({"scale.sessions_per_sec": 90.0})]
+        )
+        findings = ledger.check()
+        assert len(findings) == 1
+        assert findings[0].baseline is None
+        assert not findings[0].regressed
+
+    def test_higher_is_better_regression_detected(self, tmp_path):
+        # Throughput drops 20% against a stable trajectory: regression.
+        history = [100.0, 101.0, 99.0]
+        ledger = _ledger(tmp_path, [
+            *[_entry({"scale.sessions_per_sec": v}) for v in history],
+            _entry({"scale.sessions_per_sec": 80.0}),
+        ])
+        finding = _finding(ledger.check(), "scale.sessions_per_sec")
+        assert finding.regressed
+        assert finding.change == pytest.approx(100.0 / 80.0 - 1.0)
+
+    def test_lower_is_better_regression_detected(self, tmp_path):
+        history = [10.0, 10.1, 9.9]
+        ledger = _ledger(tmp_path, [
+            *[_entry({"cdf.incremental_us_per_cycle": v}) for v in history],
+            _entry({"cdf.incremental_us_per_cycle": 13.0}),
+        ])
+        assert _finding(
+            ledger.check(), "cdf.incremental_us_per_cycle"
+        ).regressed
+
+    def test_improvement_passes(self, tmp_path):
+        ledger = _ledger(tmp_path, [
+            _entry({"scale.sessions_per_sec": 100.0}),
+            _entry({"scale.sessions_per_sec": 130.0}),
+        ])
+        finding = _finding(ledger.check(), "scale.sessions_per_sec")
+        assert not finding.regressed
+        assert finding.change < 0
+
+    def test_noisy_history_widens_the_budget(self, tmp_path):
+        # 40% spread in history: a 50% drop still fits 2x spread; the
+        # same drop against a quiet history regresses.
+        noisy = [100.0, 140.0, 120.0]
+        ledger = _ledger(tmp_path, [
+            *[_entry({"scale.sessions_per_sec": v}) for v in noisy],
+            _entry({"scale.sessions_per_sec": 80.0}),
+        ])
+        finding = _finding(ledger.check(), "scale.sessions_per_sec")
+        assert finding.budget == pytest.approx(0.8)
+        assert not finding.regressed
+
+    def test_other_machines_are_excluded_from_history(self, tmp_path):
+        ledger = _ledger(tmp_path, [
+            _entry({"scale.sessions_per_sec": 500.0}, OTHER_MACHINE),
+            _entry({"scale.sessions_per_sec": 100.0}),
+        ])
+        finding = _finding(ledger.check(), "scale.sessions_per_sec")
+        # Only the fast machine's entry exists as history, and it is
+        # another machine's: no baseline, no false regression.
+        assert finding.baseline is None
+        assert not finding.regressed
+
+    def test_window_limits_the_history(self, tmp_path):
+        values = [200.0, 100.0, 100.0, 100.0]
+        ledger = _ledger(tmp_path, [
+            *[_entry({"scale.sessions_per_sec": v}) for v in values],
+            _entry({"scale.sessions_per_sec": 99.0}),
+        ])
+        finding = _finding(ledger.check(window=3), "scale.sessions_per_sec")
+        assert finding.baseline == pytest.approx(100.0)
+        assert not finding.regressed
+
+    def test_unregistered_metrics_never_gate(self, tmp_path):
+        ledger = _ledger(tmp_path, [
+            _entry({"made.up_metric": 1.0}),
+            _entry({"made.up_metric": 99.0}),
+        ])
+        assert ledger.check() == []
+
+    def test_render_names_the_regression(self, tmp_path):
+        ledger = _ledger(tmp_path, [
+            _entry({"obs.guard_ns": 10.0}),
+            _entry({"obs.guard_ns": 50.0}),
+        ])
+        findings = ledger.check()
+        text = PerfLedger.render(findings)
+        assert "REGRESSED" in text
+        assert "obs.guard_ns" in text
+
+
+class TestRegistry:
+    def test_every_metric_declares_a_direction(self):
+        for metric, (filename, path, direction) in HEADLINE_METRICS.items():
+            assert direction in ("lower", "higher"), metric
+            assert filename.startswith("BENCH_"), metric
+            assert len(path) >= 2, metric

@@ -1,0 +1,219 @@
+"""Span profiler: nesting, self time, determinism, and the null path."""
+
+import json
+
+import pytest
+
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    ProfileReport,
+    SpanProfiler,
+)
+
+
+def _rows_by_path(report):
+    return {row["path"]: row for row in report.rows}
+
+
+class TestSpanTree:
+    def test_nested_spans_build_parent_child_rows(self):
+        prof = SpanProfiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+            with prof.span("inner"):
+                pass
+        rows = _rows_by_path(prof.report())
+        assert set(rows) == {"outer", "outer/inner"}
+        assert rows["outer"]["count"] == 1
+        assert rows["outer/inner"]["count"] == 2
+        assert rows["outer/inner"]["depth"] == 1
+
+    def test_same_name_under_different_parents_is_two_nodes(self):
+        prof = SpanProfiler()
+        with prof.span("a"):
+            with prof.span("shared"):
+                pass
+        with prof.span("b"):
+            with prof.span("shared"):
+                pass
+        rows = _rows_by_path(prof.report())
+        assert "a/shared" in rows and "b/shared" in rows
+
+    def test_self_time_excludes_children(self):
+        prof = SpanProfiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        rows = _rows_by_path(prof.report())
+        outer = rows["outer"]
+        inner = rows["outer/inner"]
+        assert outer["self_ns"] == outer["cum_ns"] - inner["cum_ns"]
+        assert outer["cum_ns"] >= inner["cum_ns"]
+
+    def test_recursion_reuses_one_handle(self):
+        prof = SpanProfiler()
+        span = prof.span("recurse")
+
+        def go(depth):
+            with span:
+                if depth:
+                    go(depth - 1)
+
+        go(3)
+        rows = _rows_by_path(prof.report())
+        # Each recursion level is a distinct tree node, one call each.
+        assert rows["recurse"]["count"] == 1
+        assert rows["recurse/recurse/recurse/recurse"]["count"] == 1
+
+    def test_decorator_counts_calls_and_propagates_exceptions(self):
+        prof = SpanProfiler()
+
+        @prof.span("job")
+        def job(fail=False):
+            if fail:
+                raise ValueError("boom")
+            return 42
+
+        assert job() == 42
+        with pytest.raises(ValueError):
+            job(fail=True)
+        rows = _rows_by_path(prof.report())
+        assert rows["job"]["count"] == 2
+        # The stack unwound cleanly despite the exception.
+        assert prof._current is prof._root
+
+    def test_virtual_clock_accrues_simulated_seconds(self):
+        clock = {"t": 0.0}
+        prof = SpanProfiler(clock=lambda: clock["t"])
+        with prof.span("step"):
+            clock["t"] = 2.5
+        rows = _rows_by_path(prof.report())
+        assert rows["step"]["virtual_s"] == pytest.approx(2.5)
+
+    def test_coverage_attributes_span_time(self):
+        prof = SpanProfiler()
+        with prof.span("work"):
+            sum(range(10000))
+        report = prof.report()
+        assert 0.0 < report.coverage <= 1.0
+
+
+class TestStructureDeterminism:
+    def _run(self, order):
+        prof = SpanProfiler()
+        for name in order:
+            with prof.span("run"):
+                with prof.span(name):
+                    pass
+        return prof
+
+    def test_same_call_sequence_same_digest(self):
+        a = self._run(["x", "y", "x"])
+        b = self._run(["x", "y", "x"])
+        assert a.structure_digest() == b.structure_digest()
+        assert a.structure() == b.structure()
+
+    def test_different_counts_different_digest(self):
+        a = self._run(["x", "y"])
+        b = self._run(["x", "y", "y"])
+        assert a.structure_digest() != b.structure_digest()
+
+    def test_structure_is_json_canonicalizable(self):
+        prof = self._run(["x"])
+        text = json.dumps(prof.structure(), sort_keys=True)
+        assert "cum_ns" not in text  # timing-free by construction
+
+    def test_seeded_workload_runs_have_identical_structure(self):
+        from repro.workload.scenarios import make_scenario, run_scale_scenario
+
+        scenario = make_scenario("baseline", duration=5.0)
+
+        def profiled_run():
+            obs = Observability(profile=True)
+            report = run_scale_scenario(
+                scenario, seed=3, max_sessions=10, obs=obs
+            )
+            return report.checksum(), obs.prof.structure_digest()
+
+        checksum_a, digest_a = profiled_run()
+        checksum_b, digest_b = profiled_run()
+        assert digest_a == digest_b
+        assert checksum_a == checksum_b
+
+    def test_profiling_does_not_change_report_checksum(self):
+        from repro.workload.scenarios import make_scenario, run_scale_scenario
+
+        scenario = make_scenario("baseline", duration=5.0)
+        plain = run_scale_scenario(scenario, seed=3, max_sessions=10)
+        profiled = run_scale_scenario(
+            scenario,
+            seed=3,
+            max_sessions=10,
+            obs=Observability(profile=True),
+        )
+        assert plain.checksum() == profiled.checksum()
+
+
+class TestNullPath:
+    def test_null_obs_profiler_is_disabled(self):
+        assert NULL_OBS.prof.enabled is False
+        assert NULL_OBS.prof is NULL_PROFILER
+
+    def test_enabled_obs_defaults_to_null_profiler(self):
+        obs = Observability()
+        assert obs.prof is NULL_PROFILER
+        obs = Observability(profile=True)
+        assert isinstance(obs.prof, SpanProfiler)
+
+    def test_null_span_is_inert_and_shared(self):
+        prof = NullSpanProfiler()
+        span = prof.span("anything")
+        assert span is prof.span("other")
+        with span:
+            pass
+        assert prof.report().rows == []
+
+    def test_null_decorator_returns_function_unchanged(self):
+        def fn():
+            return 1
+
+        assert NULL_PROFILER.span("x")(fn) is fn
+
+
+class TestProfileReport:
+    def _report(self):
+        prof = SpanProfiler()
+        with prof.span("svc.step"):
+            with prof.span("cdf.update"):
+                pass
+        return prof.report()
+
+    def test_subsystems_group_by_dotted_prefix(self):
+        groups = self._report().subsystems()
+        assert set(groups) == {"svc", "cdf"}
+        assert groups["svc"]["calls"] == 1
+
+    def test_roundtrips_through_dict(self):
+        report = self._report()
+        clone = ProfileReport.from_dict(report.to_dict())
+        assert clone.rows == report.rows
+        assert clone.structure_digest == report.structure_digest
+        assert clone.total_wall_ns == report.total_wall_ns
+
+    def test_export_json(self, tmp_path):
+        path = tmp_path / "profile.json"
+        self._report().export_json(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert {r["path"] for r in data["spans"]} == {
+            "svc.step",
+            "svc.step/cdf.update",
+        }
+
+    def test_render_variants(self):
+        report = self._report()
+        assert "svc.step" in report.render()
+        assert "| `svc.step` |" in report.render_markdown()

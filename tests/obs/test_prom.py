@@ -1,0 +1,100 @@
+"""Prometheus exposition exporter: names, types, cumulative buckets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    export_metrics,
+    export_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("engine.events_fired")
+    counter.inc()
+    counter.inc(2)
+    registry.gauge("engine.heap_depth").set(17)
+    histogram = registry.histogram("service.latency", bounds=[1.0, 5.0])
+    for value in (0.5, 0.5, 3.0, 100.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (
+            sanitize_metric_name("engine.events_fired")
+            == "repro_engine_events_fired"
+        )
+
+    def test_invalid_characters_replaced(self):
+        assert (
+            sanitize_metric_name("admission.ok.tenant.gold-1", namespace="")
+            == "admission_ok_tenant_gold_1"
+        )
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_metric_name("9lives", namespace="") == "_9lives"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_engine_events_fired_total counter" in text
+        assert "repro_engine_events_fired_total 3" in text
+
+    def test_gauge_sample(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_engine_heap_depth gauge" in text
+        assert "repro_engine_heap_depth 17" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = render_prometheus(_registry()).splitlines()
+        buckets = [
+            line for line in lines if "repro_service_latency_bucket" in line
+        ]
+        assert buckets == [
+            'repro_service_latency_bucket{le="1"} 2',
+            'repro_service_latency_bucket{le="5"} 3',
+            'repro_service_latency_bucket{le="+Inf"} 4',
+        ]
+        assert "repro_service_latency_sum 104" in lines
+        assert "repro_service_latency_count 4" in lines
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_every_line_is_sample_or_comment(self):
+        for line in render_prometheus(_registry()).splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2
+
+
+class TestExport:
+    def test_export_prometheus_writes_rendered_text(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = export_prometheus(_registry(), path)
+        assert path.read_text() == text
+
+    def test_export_metrics_auto_picks_by_extension(self, tmp_path):
+        registry = _registry()
+        prom = tmp_path / "metrics.prom"
+        assert export_metrics(registry, prom) == "prometheus"
+        assert "# TYPE" in prom.read_text()
+        js = tmp_path / "metrics.json"
+        assert export_metrics(registry, js) == "json"
+        assert js.read_text().lstrip().startswith("{")
+
+    def test_export_metrics_explicit_format_wins(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert export_metrics(_registry(), path, fmt="prometheus") == (
+            "prometheus"
+        )
+        assert "# TYPE" in path.read_text()
+
+    def test_export_metrics_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_metrics(_registry(), tmp_path / "m.out", fmt="xml")

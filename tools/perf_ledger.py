@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Append benchmark headline metrics to the perf ledger and gate on them.
+
+Subcommands::
+
+    python tools/perf_ledger.py append [--results-dir DIR] [--note TEXT]
+    python tools/perf_ledger.py check  [--window N] [--threshold F]
+    python tools/perf_ledger.py show   [--metric NAME]
+
+``append`` harvests the headline metric of every
+``benchmarks/results/BENCH_*.json`` present (run the benchmarks first)
+into one JSONL entry on ``benchmarks/results/LEDGER.jsonl``, stamped
+with the machine fingerprint, git revision, and code fingerprint.
+
+``check`` compares the newest entry against the trailing window of
+entries from the same machine and exits 1 on any direction-aware
+regression beyond the noise-widened budget; a ledger with no history
+passes vacuously, so a freshly started ledger self-checks green.
+
+``show`` prints the trajectory of one metric (or the entry summaries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.ledger import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    PerfLedger,
+    make_entry,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_RESULTS = _REPO_ROOT / "benchmarks" / "results"
+_DEFAULT_LEDGER = _DEFAULT_RESULTS / "LEDGER.jsonl"
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    entry = make_entry(
+        args.results_dir, note=args.note, repo_root=_REPO_ROOT
+    )
+    if not entry["metrics"]:
+        print(
+            f"no BENCH_*.json headline metrics found under "
+            f"{args.results_dir}; run the benchmarks first",
+            file=sys.stderr,
+        )
+        return 1
+    PerfLedger(args.ledger).append(entry)
+    print(
+        f"appended {len(entry['metrics'])} metric(s) to {args.ledger} "
+        f"(machine {entry['machine']['id']}, "
+        f"rev {(entry['git_rev'] or 'unknown')[:12]})"
+    )
+    for name in sorted(entry["metrics"]):
+        print(f"  {name:<32} {entry['metrics'][name]}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    ledger = PerfLedger(args.ledger)
+    if not ledger.entries():
+        print(f"ledger {args.ledger} is empty; nothing to check")
+        return 0
+    findings = ledger.check(
+        window=args.window, threshold=args.threshold
+    )
+    print(PerfLedger.render(findings))
+    return 1 if any(f.regressed for f in findings) else 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    entries = PerfLedger(args.ledger).entries()
+    if not entries:
+        print(f"ledger {args.ledger} is empty")
+        return 0
+    if args.metric:
+        for entry in entries:
+            value = (entry.get("metrics") or {}).get(args.metric)
+            if value is None:
+                continue
+            print(
+                f"{entry.get('recorded_at', '?'):<26} "
+                f"{(entry.get('git_rev') or 'unknown')[:12]:<12} "
+                f"{value}"
+            )
+        return 0
+    for entry in entries:
+        metrics = entry.get("metrics") or {}
+        print(
+            f"{entry.get('recorded_at', '?'):<26} "
+            f"{(entry.get('git_rev') or 'unknown')[:12]:<12} "
+            f"machine {(entry.get('machine') or {}).get('id', '?')} "
+            f"{len(metrics)} metric(s)"
+            + (f"  # {entry['note']}" if entry.get("note") else "")
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark perf ledger: append, check, show."
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=_DEFAULT_LEDGER,
+        help=f"ledger JSONL path (default: {_DEFAULT_LEDGER})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser(
+        "append", help="harvest BENCH_*.json headlines into one entry"
+    )
+    p_append.add_argument(
+        "--results-dir", type=Path, default=_DEFAULT_RESULTS,
+        help=f"benchmark results directory (default: {_DEFAULT_RESULTS})",
+    )
+    p_append.add_argument(
+        "--note", default="", help="free-form annotation for the entry"
+    )
+    p_append.set_defaults(fn=_cmd_append)
+
+    p_check = sub.add_parser(
+        "check", help="gate the newest entry against its trailing window"
+    )
+    p_check.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=f"trailing entries to compare against (default: "
+        f"{DEFAULT_WINDOW})",
+    )
+    p_check.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"relative regression budget before noise widening "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_show = sub.add_parser("show", help="print the ledger trajectory")
+    p_show.add_argument(
+        "--metric", default=None,
+        help="print one metric's trajectory instead of entry summaries",
+    )
+    p_show.set_defaults(fn=_cmd_show)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--metrics-out", type=Path, default=None,
-        help="export the run's metrics snapshots as JSON",
+        help="export the run's metrics snapshots here",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=("auto", "json", "prometheus"),
+        default="auto",
+        help=(
+            "metrics export format; auto picks prometheus exposition "
+            "text for a .prom extension, JSON otherwise (default: auto)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -50,8 +58,12 @@ def main(argv=None) -> int:
         n = report.obs.trace.export_jsonl(args.trace_out)
         print(f"wrote {n} trace events to {args.trace_out}")
     if args.metrics_out is not None:
-        report.obs.metrics.export_json(args.metrics_out)
-        print(f"wrote metrics snapshots to {args.metrics_out}")
+        from repro.obs.prom import export_metrics
+
+        fmt = export_metrics(
+            report.obs.metrics, args.metrics_out, fmt=args.metrics_format
+        )
+        print(f"wrote metrics snapshots to {args.metrics_out} ({fmt})")
     print(report.summary())
     print("health transitions:")
     for transition in report.transitions:

@@ -25,8 +25,10 @@ found, so scripted runs fail loudly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Optional
 
 # Allow running straight from a checkout without PYTHONPATH.
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -41,12 +43,13 @@ from repro.obs.introspect import (  # noqa: E402
     recovery_latency_from_trace,
     render_chain,
     summarize,
+    summarize_dict,
 )
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.obs.trace import TraceBus  # noqa: E402
 
 
-def _campaign_overview(events) -> list[str]:
+def _campaign_stats(events) -> Optional[dict]:
     """Trace-derived robustness figures, when the trace has a campaign."""
     starts = [
         e
@@ -54,36 +57,47 @@ def _campaign_overview(events) -> list[str]:
         if e.category == Category.HARNESS and e.name == "campaign_start"
     ]
     if not starts:
-        return []
+        return None
     start = starts[0]
     paths = sorted(
         {e.path for e in events if e.path is not None}
     )
-    detect = detection_latency_from_trace(
-        events, paths, start.fields["first_onset"]
-    )
-    recover = recovery_latency_from_trace(
-        events, paths, start.fields["last_end"]
-    )
+    return {
+        "campaign": start.fields.get("campaign"),
+        "first_onset": start.fields["first_onset"],
+        "last_end": start.fields["last_end"],
+        "time_to_detect": detection_latency_from_trace(
+            events, paths, start.fields["first_onset"]
+        ),
+        "time_to_recover": recovery_latency_from_trace(
+            events, paths, start.fields["last_end"]
+        ),
+    }
+
+
+def _campaign_overview(events) -> list[str]:
+    stats = _campaign_stats(events)
+    if stats is None:
+        return []
 
     def fmt(v):
         return f"{v:.2f}s" if v is not None else "never"
 
     return [
-        f"campaign {start.fields.get('campaign')!r}: "
-        f"onset {start.fields['first_onset']:.1f}s, "
-        f"end {start.fields['last_end']:.1f}s",
-        f"  time to detect (from trace) : {fmt(detect)}",
-        f"  time to recover (from trace): {fmt(recover)}",
+        f"campaign {stats['campaign']!r}: "
+        f"onset {stats['first_onset']:.1f}s, "
+        f"end {stats['last_end']:.1f}s",
+        f"  time to detect (from trace) : {fmt(stats['time_to_detect'])}",
+        f"  time to recover (from trace): {fmt(stats['time_to_recover'])}",
     ]
 
 
-def _admission_overview(events, lookback: float = 30.0) -> list[str]:
+def _admission_stats(events, lookback: float = 30.0) -> Optional[dict]:
     """Correlate admission rejections with preceding health transitions.
 
     An ``admission_upcall`` fired while a path was degraded/failed (or
     shortly after a transition) means capacity loss — not offered load —
-    drove the rejection.  For each upcall this reports the most recent
+    drove the rejection.  For each upcall this finds the most recent
     health transition within ``lookback`` seconds, and splits the total
     into health-correlated vs. pure-load rejections.
     """
@@ -93,15 +107,13 @@ def _admission_overview(events, lookback: float = 30.0) -> list[str]:
         if e.category == Category.SERVICE and e.name == "admission_upcall"
     ]
     if not upcalls:
-        return []
+        return None
     transitions = [
         e
         for e in events
         if e.category == Category.HEALTH and e.name == "transition"
     ]
-    lines = [f"admission rejections ({len(upcalls)} upcalls):"]
-    correlated = 0
-    details: list[str] = []
+    correlated: list[dict] = []
     for upcall in upcalls:
         cause = None
         for tr in transitions:
@@ -110,25 +122,47 @@ def _admission_overview(events, lookback: float = 30.0) -> list[str]:
             if upcall.sim_time - tr.sim_time <= lookback:
                 cause = tr
         if cause is not None and cause.fields.get("new") != "healthy":
-            correlated += 1
-            if len(details) < 5:
-                details.append(
-                    f"  t={upcall.sim_time:7.2f}s "
-                    f"{upcall.fields.get('stream')!r} rejected "
-                    f"{upcall.sim_time - cause.sim_time:.1f}s after "
-                    f"path {cause.path} went "
-                    f"{cause.fields.get('old')} -> "
-                    f"{cause.fields.get('new')} "
-                    f"({cause.fields.get('reason')})"
-                )
+            correlated.append(
+                {
+                    "t": upcall.sim_time,
+                    "stream": upcall.fields.get("stream"),
+                    "after_s": upcall.sim_time - cause.sim_time,
+                    "path": cause.path,
+                    "old": cause.fields.get("old"),
+                    "new": cause.fields.get("new"),
+                    "reason": cause.fields.get("reason"),
+                }
+            )
+    return {
+        "upcalls": len(upcalls),
+        "health_correlated": len(correlated),
+        "load_driven": len(upcalls) - len(correlated),
+        "lookback": lookback,
+        "correlated": correlated,
+    }
+
+
+def _admission_overview(events, lookback: float = 30.0) -> list[str]:
+    stats = _admission_stats(events, lookback=lookback)
+    if stats is None:
+        return []
+    lines = [f"admission rejections ({stats['upcalls']} upcalls):"]
     lines.append(
-        f"  health-correlated: {correlated}  "
-        f"load-driven: {len(upcalls) - correlated}  "
+        f"  health-correlated: {stats['health_correlated']}  "
+        f"load-driven: {stats['load_driven']}  "
         f"(lookback {lookback:.0f}s)"
     )
+    details = [
+        f"  t={c['t']:7.2f}s {c['stream']!r} rejected "
+        f"{c['after_s']:.1f}s after path {c['path']} went "
+        f"{c['old']} -> {c['new']} ({c['reason']})"
+        for c in stats["correlated"][:5]
+    ]
     lines.extend(details)
-    if correlated > len(details):
-        lines.append(f"  ... and {correlated - len(details)} more")
+    if stats["health_correlated"] > len(details):
+        lines.append(
+            f"  ... and {stats['health_correlated'] - len(details)} more"
+        )
     return lines
 
 
@@ -176,19 +210,18 @@ def main(argv=None) -> int:
         "--lookback", type=float, default=None,
         help="only consider causes within this many seconds of a shortfall",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: human text (default) or one JSON document",
+    )
+    parser.add_argument(
+        "--profile", type=Path, default=None,
+        help="profile JSON exported by the run (--profile-out); "
+        "included in the report",
+    )
     args = parser.parse_args(argv)
 
     events = TraceBus.load_jsonl(args.trace)
-    print(summarize(events))
-    for line in _campaign_overview(events):
-        print(line)
-    for line in _admission_overview(
-        events, lookback=args.lookback if args.lookback else 30.0
-    ):
-        print(line)
-    if args.metrics is not None:
-        for line in _metrics_overview(args.metrics):
-            print(line)
 
     violations = guarantee_violations(events, stream=args.stream)
     if args.window is not None:
@@ -204,17 +237,68 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
-    if not violations:
-        target = f" for stream {args.stream!r}" if args.stream else ""
-        print(f"no guarantee shortfalls in this trace{target}")
-        return 0
-
-    if not args.all and args.window is None:
+    if violations and not args.all and args.window is None:
         # First shortfall per stream: the onset of each violation episode.
         first: dict[object, object] = {}
         for e in violations:
             first.setdefault(e.stream_id or e.fields.get("stream"), e)
         violations = list(first.values())
+
+    lookback = args.lookback if args.lookback else 30.0
+    profile = (
+        json.loads(args.profile.read_text(encoding="utf-8"))
+        if args.profile is not None
+        else None
+    )
+
+    if args.format == "json":
+        report = {
+            "summary": summarize_dict(events),
+            "campaign": _campaign_stats(events),
+            "admission": _admission_stats(events, lookback=lookback),
+            "metrics": (
+                MetricsRegistry.load_json(args.metrics).get("current")
+                if args.metrics is not None
+                else None
+            ),
+            "shortfalls": [
+                {
+                    "stream": shortfall.fields.get("stream"),
+                    "stream_id": shortfall.stream_id,
+                    "window": shortfall.fields.get("window"),
+                    "t": shortfall.sim_time,
+                    "chain": [
+                        json.loads(e.to_json())
+                        for e in explain_shortfall(
+                            events, shortfall, lookback=args.lookback
+                        )
+                    ],
+                }
+                for shortfall in violations
+            ],
+            "profile": profile,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    print(summarize(events))
+    for line in _campaign_overview(events):
+        print(line)
+    for line in _admission_overview(events, lookback=lookback):
+        print(line)
+    if args.metrics is not None:
+        for line in _metrics_overview(args.metrics):
+            print(line)
+    if profile is not None:
+        from repro.obs.prof import ProfileReport
+
+        print()
+        print(ProfileReport.from_dict(profile).render())
+
+    if not violations:
+        target = f" for stream {args.stream!r}" if args.stream else ""
+        print(f"no guarantee shortfalls in this trace{target}")
+        return 0
 
     print(f"\nexplaining {len(violations)} shortfall(s):")
     for shortfall in violations:
