@@ -1,0 +1,215 @@
+"""Command-line front door for the sharded control plane.
+
+Runs one scenario across worker shards (or the shard-fanned capacity
+envelope) and prints the merged deterministic report plus wall-clock
+throughput::
+
+    python -m repro.cluster --scenario baseline --shards 4
+    python -m repro.cluster --scenario baseline --shards 2 \\
+        --check-identity
+    python -m repro.cluster --scenario baseline --envelope --shards 4
+
+``--check-identity`` reruns the same job in-process (no subprocesses)
+and asserts the merged payloads are byte-identical — the determinism
+contract as a one-flag smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.envelope import estimate_cluster_envelope
+from repro.cluster.local import run_partitioned
+from repro.cluster.master import run_cluster_scenario
+from repro.workload.scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description=(
+            "Run a workload scenario sharded across worker processes, "
+            "with a merged report byte-identical to the in-process run."
+        ),
+    )
+    parser.add_argument(
+        "--scenario", default="baseline", choices=sorted(SCENARIOS),
+        help="named scenario to run (default: baseline)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="top-level seed; the merged report is a pure function of it",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="hash-space size for tenant placement (default: 2)",
+    )
+    parser.add_argument(
+        "--rate-scale", type=float, default=1.0,
+        help="multiply the scenario's arrival rates (default: 1.0)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the scenario's run duration (seconds)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="truncate the session plan after this many arrivals",
+    )
+    parser.add_argument(
+        "--epoch-s", type=float, default=2.0,
+        help="virtual seconds per barrier epoch (default: 2.0)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help=(
+            "per-partition snapshot root; makes runs resumable across "
+            "master restarts (default: private temp dir, respawn only)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume partitions from --checkpoint-dir snapshots",
+    )
+    parser.add_argument(
+        "--hang-timeout", type=float, default=60.0,
+        help="wall seconds of shard silence before respawn (default: 60)",
+    )
+    parser.add_argument(
+        "--kill-shard-at", type=str, default=None, metavar="SHARD:EPOCH",
+        help=(
+            "kill-injection: SIGKILL shard SHARD after epoch EPOCH "
+            "(supervision smoke tests)"
+        ),
+    )
+    parser.add_argument(
+        "--check-identity", action="store_true",
+        help=(
+            "also run the in-process partitioned baseline and fail "
+            "unless the merged payloads are byte-identical"
+        ),
+    )
+    parser.add_argument(
+        "--json-out", type=Path, default=None,
+        help="write the full cluster report (JSON) here",
+    )
+    parser.add_argument(
+        "--envelope", action="store_true",
+        help="shard-fanned capacity-envelope search instead of one run",
+    )
+    parser.add_argument(
+        "--ceiling", type=float, default=0.05,
+        help="envelope violation-rate ceiling (default: 0.05)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=6,
+        help="envelope bisection iterations (default: 6)",
+    )
+    parser.add_argument(
+        "--probe-duration", type=float, default=30.0,
+        help="duration of each envelope probe run (default: 30s)",
+    )
+    return parser
+
+
+def _parse_kill(arg: Optional[str], parser) -> Optional[dict[int, int]]:
+    if arg is None:
+        return None
+    try:
+        shard, epoch = arg.split(":", 1)
+        return {int(shard): int(epoch)}
+    except ValueError:
+        parser.error(
+            f"--kill-shard-at wants SHARD:EPOCH (two ints), got {arg!r}"
+        )
+
+
+def _run_envelope(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    envelope = estimate_cluster_envelope(
+        args.scenario,
+        seed=args.seed,
+        shards=args.shards,
+        ceiling=args.ceiling,
+        iterations=args.iterations,
+        probe_duration=args.probe_duration,
+        max_sessions=args.max_sessions,
+        epoch_s=args.epoch_s,
+        checkpoint_root=args.checkpoint_dir,
+        hang_timeout=args.hang_timeout,
+    )
+    wall = time.perf_counter() - t0
+    print(envelope.render())
+    print(f"checksum {envelope.checksum()}")
+    print(
+        f"wall {wall:.2f}s over {len(envelope.probes)} probes "
+        f"on {args.shards} shards"
+    )
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(envelope.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    kill_at_epoch = _parse_kill(args.kill_shard_at, parser)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.envelope:
+        return _run_envelope(args)
+    t0 = time.perf_counter()
+    report = run_cluster_scenario(
+        args.scenario,
+        seed=args.seed,
+        shards=args.shards,
+        rate_scale=args.rate_scale,
+        duration=args.duration,
+        max_sessions=args.max_sessions,
+        epoch_s=args.epoch_s,
+        checkpoint_root=args.checkpoint_dir,
+        resume=args.resume,
+        hang_timeout=args.hang_timeout,
+        kill_at_epoch=kill_at_epoch,
+    )
+    wall = time.perf_counter() - t0
+    print(report.render())
+    print(f"checksum {report.checksum()}")
+    print(
+        f"wall {wall:.2f}s  sessions/sec {report.offered / wall:.1f}"
+    )
+    if args.check_identity:
+        baseline = run_partitioned(
+            args.scenario,
+            seed=args.seed,
+            rate_scale=args.rate_scale,
+            duration=args.duration,
+            max_sessions=args.max_sessions,
+        )
+        if baseline.merged != report.merged:
+            print(
+                "IDENTITY FAILED: cluster merge differs from the "
+                "in-process baseline "
+                f"({report.checksum()} != {baseline.checksum()})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"identity ok ({baseline.checksum()})")
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

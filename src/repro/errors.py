@@ -55,3 +55,20 @@ class StaleCheckpointError(CheckpointError):
     that prefer to fall back to a fresh start catch it (or use the
     store's non-strict loader).
     """
+
+
+class ClusterError(ReproError):
+    """Raised when the sharded control plane cannot complete a run.
+
+    Covers worker-spawn failures, exhausted respawn budgets, and
+    shard reports that fail the canonical-merge invariants.
+    """
+
+
+class ClusterProtocolError(ClusterError):
+    """Raised on malformed frames or out-of-contract messages.
+
+    The framed master/worker protocol is deterministic and versioned;
+    anything unparseable, oversized, or sent out of sequence is a bug
+    (or a code-fingerprint mismatch), never something to paper over.
+    """

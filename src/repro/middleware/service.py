@@ -138,6 +138,7 @@ class IQPathsService:
         health: Optional[HealthTracker] = None,
         obs: Optional[Observability] = None,
         metrics_snapshot_seconds: float = 5.0,
+        partition: Optional[str] = None,
     ):
         if warmup_intervals < 1 or warmup_intervals >= realization.n_intervals:
             raise ConfigurationError(
@@ -153,6 +154,9 @@ class IQPathsService:
         self.tw = tw
         self.buffer_seconds = buffer_seconds
         self.strict_admission = strict_admission
+        #: Cluster partition this service instance simulates, if any.
+        #: Purely an accounting label — it never influences decisions.
+        self.partition = partition
         self.path_names = realization.path_names()
         self._avail = {
             p: realization.available[p].available_mbps for p in self.path_names
@@ -286,7 +290,8 @@ class IQPathsService:
         ``admission.admitted`` / ``admission.rejected`` /
         ``admission.degraded`` are the first-class counters
         ``tools/trace_report.py`` correlates with health transitions;
-        the per-tenant twins carry the multi-tenant breakdown.
+        the per-tenant twins carry the multi-tenant breakdown and the
+        per-partition twins the cluster's per-shard breakdown.
         """
         if not self.obs.enabled:
             return
@@ -294,6 +299,10 @@ class IQPathsService:
         if tenant is not None:
             self.obs.metrics.counter(
                 f"admission.{outcome}.tenant.{tenant}"
+            ).inc()
+        if self.partition is not None:
+            self.obs.metrics.counter(
+                f"admission.{outcome}.partition.{self.partition}"
             ).inc()
 
     def _reject_upcall(

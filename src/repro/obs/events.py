@@ -31,6 +31,7 @@ class Category:
     RUNNER = "runner"
     WORKLOAD = "workload"
     CHECKPOINT = "checkpoint"
+    CLUSTER = "cluster"
 
 
 #: Every known category (validation + exhaustive round-trip tests).
@@ -45,6 +46,7 @@ CATEGORIES = (
     Category.RUNNER,
     Category.WORKLOAD,
     Category.CHECKPOINT,
+    Category.CLUSTER,
 )
 
 #: Known event names per category.  The bus accepts unknown names (new
@@ -95,6 +97,15 @@ EVENT_NAMES: dict[str, tuple[str, ...]] = {
         "snapshot_write",
         "snapshot_restore",
         "snapshot_reject",
+    ),
+    # The sharded control plane (repro.cluster): worker lifecycle and
+    # the barrier-synchronized virtual-time epochs the master drives.
+    Category.CLUSTER: (
+        "shard_spawn",
+        "shard_respawn",
+        "epoch_barrier",
+        "shard_exit",
+        "merge",
     ),
 }
 

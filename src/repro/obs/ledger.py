@@ -90,6 +90,14 @@ HEADLINE_METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "BENCH_scale.json", ("concurrent", "latest", "steps_per_sec"),
         "higher",
     ),
+    "cluster.speedup_4": (
+        "BENCH_cluster.json", ("scaleout", "latest", "speedup_4"),
+        "higher",
+    ),
+    "cluster.sessions_per_sec_4": (
+        "BENCH_cluster.json",
+        ("scaleout", "latest", "sessions_per_sec_4"), "higher",
+    ),
 }
 
 

@@ -18,7 +18,7 @@ any Prometheus-compatible toolchain can ingest a run's final state.
 from __future__ import annotations
 
 import re
-from typing import Union
+from typing import Optional, Union
 
 from repro.fsutil import atomic_write_text
 from repro.obs.metrics import (
@@ -49,6 +49,56 @@ def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
     return cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Inside ``{label="..."}`` a backslash, double quote, or newline
+    would corrupt the sample line (or the whole scrape); the format
+    defines ``\\\\``, ``\\"``, and ``\\n`` escapes for exactly these.
+    Order matters: backslashes first, or the escapes themselves get
+    re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    # HELP text runs to end of line; the format escapes backslash and
+    # newline (quotes are fine there).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Counter-name segments that become labels on export: a counter named
+#: ``admission.admitted.tenant.gold`` renders as one sample of the
+#: ``repro_admission_admitted_total`` family with ``tenant="gold"``.
+_LABEL_DIMENSIONS = ("tenant", "partition")
+
+
+def split_labeled_counter(
+    name: str,
+) -> tuple[str, Optional[str], Optional[str]]:
+    """Split a dimensioned counter name into (base, label, value).
+
+    Returns ``(name, None, None)`` for plain counters.  The value part
+    is everything after the marker — tenant names are free-form, so it
+    may itself contain dots (or worse; see
+    :func:`escape_label_value`).
+    """
+    for dimension in _LABEL_DIMENSIONS:
+        marker = f".{dimension}."
+        split_at = name.find(marker)
+        if split_at > 0:
+            return (
+                name[:split_at],
+                dimension,
+                name[split_at + len(marker):],
+            )
+    return name, None, None
+
+
 def _format_value(value: float) -> str:
     # Integral floats print as integers (Prometheus accepts either; the
     # shorter form keeps the text diff-friendly).
@@ -66,15 +116,27 @@ def render_prometheus(
 ) -> str:
     """The full registry in Prometheus exposition text format."""
     lines: list[str] = []
+    families_opened: set[str] = set()
     for name in registry.names():
         instrument = registry.get(name)
         metric = sanitize_metric_name(name, namespace)
         if isinstance(instrument, Counter):
-            lines.append(f"# HELP {metric}_total {name}")
-            lines.append(f"# TYPE {metric}_total counter")
-            lines.append(
-                f"{metric}_total {_format_value(instrument.value)}"
-            )
+            base, label, label_value = split_labeled_counter(name)
+            family = f"{sanitize_metric_name(base, namespace)}_total"
+            if family not in families_opened:
+                families_opened.add(family)
+                lines.append(f"# HELP {family} {_escape_help(base)}")
+                lines.append(f"# TYPE {family} counter")
+            if label is None:
+                lines.append(
+                    f"{family} {_format_value(instrument.value)}"
+                )
+            else:
+                lines.append(
+                    f'{family}{{{label}="'
+                    f'{escape_label_value(label_value)}"}} '
+                    f"{_format_value(instrument.value)}"
+                )
         elif isinstance(instrument, Gauge):
             lines.append(f"# HELP {metric} {name}")
             lines.append(f"# TYPE {metric} gauge")

@@ -115,6 +115,40 @@ def envelope_spec(
     )
 
 
+def cluster_spec(
+    scenario: str,
+    *,
+    seed: int = 0,
+    shards: int = 2,
+    rate_scale: float = 1.0,
+    duration: Optional[float] = None,
+    max_sessions: Optional[int] = None,
+    epoch_s: float = 2.0,
+) -> RunSpec:
+    """One sharded cluster run (see :mod:`repro.cluster`) as a spec.
+
+    ``shards`` is part of the spec (it changes wall-time telemetry and
+    worker topology) but by the cluster's determinism contract it never
+    changes the payload's ``checksum`` — the suite's byte-identity
+    tests rely on exactly that.
+    """
+    params: dict = {"scenario": scenario, "shards": shards}
+    if rate_scale != 1.0:
+        params["rate_scale"] = rate_scale
+    if duration is not None:
+        params["duration"] = duration
+    if max_sessions is not None:
+        params["max_sessions"] = max_sessions
+    if epoch_s != 2.0:
+        params["epoch_s"] = epoch_s
+    return RunSpec(
+        kind="cluster",
+        name=f"cluster-{scenario}-x{shards}-s{seed}",
+        params=params,
+        seed=seed,
+    )
+
+
 def scale_suite(*, seed: int = 0, fast: bool = False) -> list[RunSpec]:
     """The scale & capacity evaluation: every scenario + one envelope.
 

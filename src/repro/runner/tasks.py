@@ -327,6 +327,51 @@ def run_envelope(
     }
 
 
+def run_cluster(
+    spec: RunSpec, runtime: Optional[TaskRuntime] = None
+) -> dict[str, Any]:
+    """One sharded cluster run: params ``{"scenario": ..., "shards": ...}``.
+
+    Spawns a worker fleet via :class:`repro.cluster.ClusterMaster`, so
+    this task parallelizes *within* one spec — unlike every other kind,
+    whose parallelism is across specs.  The payload embeds the merged
+    report's checksum, which by the cluster's determinism contract is
+    independent of ``shards``; the executor's result cache therefore
+    keys only on the simulated work, never on the worker topology
+    (``shards`` rides in ``params`` and does change the spec hash —
+    intentionally, since wall-time telemetry differs).
+
+    With ``runtime.checkpoint_dir`` set, per-partition snapshots land
+    under ``<dir>/cluster`` and a retried attempt resumes them.
+    """
+    from repro.cluster import run_cluster_scenario
+
+    checkpoint_root = None
+    resume = False
+    if runtime is not None and runtime.checkpoint_dir is not None:
+        checkpoint_root = os.path.join(runtime.checkpoint_dir, "cluster")
+        resume = True
+    report = run_cluster_scenario(
+        str(spec.params["scenario"]),
+        seed=spec.effective_seed(),
+        shards=int(spec.params.get("shards", 2)),
+        rate_scale=float(spec.params.get("rate_scale", 1.0)),
+        duration=spec.params.get("duration"),
+        max_sessions=spec.params.get("max_sessions"),
+        epoch_s=float(spec.params.get("epoch_s", 2.0)),
+        checkpoint_root=checkpoint_root,
+        resume=resume,
+        hang_timeout=float(spec.params.get("hang_timeout", 60.0)),
+    )
+    if runtime is not None:
+        runtime.beat()
+    return {
+        "report": report.render() + "\n",
+        "cluster": jsonify(report.to_dict()),
+        "checksum": report.checksum(),
+    }
+
+
 # ----------------------------------------------------------------------
 # selftest (executor plumbing probes)
 # ----------------------------------------------------------------------
@@ -402,6 +447,7 @@ TASKS: dict[
     "chaos": run_chaos,
     "workload": run_workload,
     "envelope": run_envelope,
+    "cluster": run_cluster,
     "selftest": run_selftest,
 }
 

@@ -48,12 +48,15 @@ from repro.workload.catalog import (
     default_catalog,
     plan_concurrent_batch,
     plan_sessions,
+    slice_plans_by_tenant,
 )
 from repro.workload.driver import (
     ChurnDriver,
     SessionRecord,
     TenantAccount,
     WorkloadReport,
+    merge_report_payloads,
+    merged_checksum,
 )
 from repro.workload.envelope import (
     CapacityEnvelope,
@@ -64,7 +67,10 @@ from repro.workload.scenarios import (
     SCENARIOS,
     ScaleScenario,
     build_service,
+    make_partition_run,
     make_scenario,
+    partition_ids,
+    run_partition_slice,
     run_scale_scenario,
     run_scenario,
     scenario_params,
@@ -86,16 +92,22 @@ __all__ = [
     "default_catalog",
     "plan_concurrent_batch",
     "plan_sessions",
+    "slice_plans_by_tenant",
     "ChurnDriver",
     "SessionRecord",
     "TenantAccount",
     "WorkloadReport",
+    "merge_report_payloads",
+    "merged_checksum",
     "ScaleScenario",
     "SCENARIOS",
     "build_service",
+    "make_partition_run",
     "make_scenario",
-    "run_scenario",
+    "partition_ids",
+    "run_partition_slice",
     "run_scale_scenario",
+    "run_scenario",
     "scenario_params",
     "EnvelopeProbe",
     "CapacityEnvelope",

@@ -314,6 +314,22 @@ def plan_sessions(
     return plans
 
 
+def slice_plans_by_tenant(
+    plans: Sequence[SessionPlan], tenant: str
+) -> list[SessionPlan]:
+    """Extract one tenant's slice of a planned session population.
+
+    The cluster partitions load by tenant: every worker expands the
+    *same* full plan (a pure function of the seed) and keeps only its
+    partition's sessions, so the union of all slices is exactly the
+    single-process population — names, indices, arrival times and all —
+    no matter how many shards computed it.
+    """
+    if not tenant:
+        raise ConfigurationError("tenant must be non-empty")
+    return [p for p in plans if p.tenant == tenant]
+
+
 def plan_concurrent_batch(
     catalog: SessionCatalog, count: int, seed: int
 ) -> list[StreamSpec]:

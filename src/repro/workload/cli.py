@@ -33,6 +33,11 @@ from repro.workload.scenarios import (
 )
 
 
+#: Snapshot cadence when --checkpoint-dir is given without an explicit
+#: --checkpoint-every.
+DEFAULT_CHECKPOINT_EVERY_S = 5.0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.workload",
@@ -113,8 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--checkpoint-every", type=float, default=5.0,
-        help="virtual seconds between snapshots (default: 5.0)",
+        "--checkpoint-every", type=float, default=None,
+        help=(
+            "virtual seconds between snapshots (default: "
+            f"{DEFAULT_CHECKPOINT_EVERY_S}; requires --checkpoint-dir)"
+        ),
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -134,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject flag combinations that would otherwise silently no-op.
+
+    Checkpoint-related flags only mean something relative to a
+    checkpoint directory; accepting them without one used to leave the
+    user believing resume (or kill-injection) was armed when nothing
+    was.  Fail fast, through ``parser.error`` so the message carries
+    the usual usage text and exit code 2.
+    """
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.kill_at and args.checkpoint_dir is None:
+        parser.error("--kill-at requires --checkpoint-dir")
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        parser.error("--checkpoint-every requires --checkpoint-dir")
+    if args.kill_at and args.checkpoint_every is None:
+        parser.error(
+            "--kill-at requires an explicit --checkpoint-every "
+            "(a kill schedule is only meaningful against a known "
+            "snapshot cadence)"
+        )
 
 
 def _run_envelope(args: argparse.Namespace) -> int:
@@ -187,7 +220,13 @@ def _run_checkpointed(args: argparse.Namespace, obs):
             seed=args.seed,
             max_sessions=args.max_sessions,
             obs=obs,
-            config=CheckpointConfig(every_s=args.checkpoint_every),
+            config=CheckpointConfig(
+                every_s=(
+                    args.checkpoint_every
+                    if args.checkpoint_every is not None
+                    else DEFAULT_CHECKPOINT_EVERY_S
+                )
+            ),
             strict_resume=args.resume,
             interrupt=flag,
             on_step=on_step,
@@ -205,10 +244,9 @@ def _run_checkpointed(args: argparse.Namespace, obs):
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.kill_at and args.checkpoint_dir is None:
-        print("--kill-at requires --checkpoint-dir", file=sys.stderr)
-        return 2
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate_args(parser, args)
     if args.envelope:
         return _run_envelope(args)
     want_obs = (

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import AdmissionError, ConfigurationError
 from repro.middleware.service import IQPathsService
@@ -354,10 +354,25 @@ class ChurnDriver:
         return self._run_impl(duration)
 
     def _run_impl(self, duration: float) -> WorkloadReport:
+        steps = self.begin(duration)
+        self.advance_to(steps)
+        return self.finalize(duration)
+
+    def steps_for(self, duration: float) -> int:
+        """How many delivery steps ``duration`` session seconds cover."""
+        return int(round(duration / self.service.dt))
+
+    def begin(self, duration: float) -> int:
+        """Validate the run window and emit the start event; idempotent.
+
+        Returns the total step count for ``duration``.  Callers that
+        step the run in epochs (:mod:`repro.cluster`) call this once,
+        then :meth:`advance_to` repeatedly, then :meth:`finalize`;
+        :meth:`run` is exactly that sequence in one call.
+        """
         service = self.service
         state = self._state
-        dt = service.dt
-        steps = int(round(duration / dt))
+        steps = self.steps_for(duration)
         if state.k > steps:
             raise ConfigurationError(
                 f"cannot run {duration}s ({steps} steps); "
@@ -378,15 +393,41 @@ class ChurnDriver:
                 planned_sessions=len(self.plans),
                 duration=duration,
             )
+        return steps
+
+    def advance_to(self, step: int) -> None:
+        """Run churn steps until ``step`` of them have completed.
+
+        A no-op when ``step`` steps are already done (the resume /
+        epoch-catch-up case); never rolls back.
+        """
+        state = self._state
+        if step < state.k:
+            raise ConfigurationError(
+                f"cannot rewind to step {step}; "
+                f"{state.k} steps already completed"
+            )
+        if step - state.k > self.service.remaining_intervals:
+            raise ConfigurationError(
+                f"advancing to step {step} needs {step - state.k} more "
+                f"intervals; realization has "
+                f"{self.service.remaining_intervals} left"
+            )
+        dt = self.service.dt
         prof = self.obs.prof
         if prof.enabled:
             step_span = prof.span("workload.step")
-            for k in range(state.k, steps):
+            for k in range(state.k, step):
                 with step_span:
                     self._step_once(k, k * dt)
         else:
-            for k in range(state.k, steps):
+            for k in range(state.k, step):
                 self._step_once(k, k * dt)
+
+    def finalize(self, duration: float) -> WorkloadReport:
+        """Close out the run and build the deterministic report."""
+        service = self.service
+        state = self._state
         # Run over: close whatever is still open, marked truncated.
         for name in sorted(
             state.open_sessions, key=lambda n: state.records[n].index
@@ -659,3 +700,98 @@ class ChurnDriver:
             tenants=tenants,
             sessions=sessions,
         )
+
+
+# ----------------------------------------------------------------------
+# canonical merge (the cluster's determinism contract)
+# ----------------------------------------------------------------------
+#: Fields of a report payload that must agree across every partition
+#: being merged (they describe the *run*, not one slice of it).
+_MERGE_INVARIANTS = ("scenario", "seed", "dt", "duration")
+
+#: Counter fields summed across partitions.
+_MERGE_SUMS = (
+    "offered",
+    "admitted",
+    "degraded",
+    "rejected",
+    "closed",
+    "truncated",
+    "shed_sessions",
+    "violations",
+    "peak_concurrent",
+)
+
+
+def merge_report_payloads(
+    payloads: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Canonically merge per-partition report payloads into one.
+
+    ``payloads`` maps partition id (the tenant the slice simulated) to
+    that slice's :meth:`WorkloadReport.to_dict` payload.  The merge is
+    a pure function of the payload *bytes* — partitions are folded in
+    sorted partition order, tenants re-sorted, sessions re-sorted by
+    ``(tenant, index)`` — so any process that holds the same slice
+    payloads produces the identical merged document regardless of how
+    many shards computed them.  That is the cluster's determinism
+    contract: shard count must never change output bytes.
+
+    Notes on semantics: slices are *isolated* simulations, so summed
+    fields are exact, while ``peak_concurrent`` is the sum of the
+    per-slice peaks (an upper bound on any global instant — slices
+    have no common instant to measure).  ``violation_rate`` is
+    recomputed from the summed integer counters.
+    """
+    if not payloads:
+        raise ConfigurationError("cannot merge zero report payloads")
+    order = sorted(payloads)
+    first = payloads[order[0]]
+    for key in _MERGE_INVARIANTS:
+        values = {
+            partition: payloads[partition].get(key) for partition in order
+        }
+        if len(set(values.values())) != 1:
+            raise ConfigurationError(
+                f"cannot merge: partitions disagree on {key!r}: {values}"
+            )
+    merged: dict[str, Any] = {
+        key: first[key] for key in _MERGE_INVARIANTS
+    }
+    merged["partitions"] = order
+    for key in _MERGE_SUMS:
+        merged[key] = sum(int(payloads[p][key]) for p in order)
+    violated = (
+        merged["rejected"] + merged["degraded"] + merged["violations"]
+    )
+    merged["violation_rate"] = _round6(
+        violated / merged["offered"] if merged["offered"] else 0.0
+    )
+    # Folding already-rounded slice totals in sorted-partition order
+    # keeps the float sum order-free in practice *and* bit-stable by
+    # construction (same inputs, same order, same arithmetic).
+    merged["delivered_megabits"] = _round6(
+        sum(float(payloads[p]["delivered_megabits"] or 0.0) for p in order)
+    )
+    tenants: dict[str, Any] = {}
+    sessions: list[dict[str, Any]] = []
+    for partition in order:
+        payload = payloads[partition]
+        for tenant, account in payload.get("tenants", {}).items():
+            if tenant in tenants:
+                raise ConfigurationError(
+                    f"cannot merge: tenant {tenant!r} appears in more "
+                    f"than one partition"
+                )
+            tenants[tenant] = dict(account)
+        sessions.extend(dict(s) for s in payload.get("sessions", ()))
+    merged["tenants"] = {name: tenants[name] for name in sorted(tenants)}
+    merged["sessions"] = sorted(
+        sessions, key=lambda s: (s["tenant"], s["index"])
+    )
+    return merged
+
+
+def merged_checksum(merged: Mapping[str, Any]) -> str:
+    """Hex digest of a merged payload (same primitive as reports)."""
+    return payload_digest(merged)

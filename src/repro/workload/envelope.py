@@ -115,6 +115,7 @@ def estimate_envelope(
     catalog: Optional[SessionCatalog] = None,
     resume_probes: Optional[Mapping[float, Mapping[str, Any]]] = None,
     on_probe: Optional[Callable[[EnvelopeProbe], None]] = None,
+    probe_fn: Optional[Callable[[float], tuple[int, float]]] = None,
 ) -> CapacityEnvelope:
     """Binary-search the max sustainable arrival-rate scale.
 
@@ -131,6 +132,12 @@ def estimate_envelope(
     journal); ``resume_probes`` maps ``rate_scale`` to a previously
     journaled probe dict — probes found there are reused without
     rerunning (and ``on_probe`` does not fire for them).
+
+    ``probe_fn`` swaps out *how* one probe runs: given a rate scale it
+    returns ``(offered, violation_rate)``.  The sharded control plane
+    (:func:`repro.cluster.estimate_cluster_envelope`) injects a probe
+    that fans the run across worker shards; the search logic — and so
+    the probe sequence for identical probe results — is unchanged.
     """
     if not 0 < ceiling < 1:
         raise ConfigurationError(
@@ -160,17 +167,21 @@ def estimate_envelope(
             )
             probes.append(entry)
             return entry.sustainable
-        report = run_scale_scenario(
-            scenario.scaled(scale),
-            seed=seed,
-            max_sessions=max_sessions,
-            catalog=catalog,
-        )
-        ok = report.violation_rate <= ceiling and report.offered > 0
+        if probe_fn is not None:
+            offered, violation_rate = probe_fn(scale)
+        else:
+            report = run_scale_scenario(
+                scenario.scaled(scale),
+                seed=seed,
+                max_sessions=max_sessions,
+                catalog=catalog,
+            )
+            offered, violation_rate = report.offered, report.violation_rate
+        ok = violation_rate <= ceiling and offered > 0
         entry = EnvelopeProbe(
             rate_scale=scale,
-            offered=report.offered,
-            violation_rate=_round6(report.violation_rate),
+            offered=int(offered),
+            violation_rate=_round6(violation_rate),
             sustainable=ok,
         )
         probes.append(entry)

@@ -47,6 +47,7 @@ from repro.workload.catalog import (
     SessionCatalog,
     default_catalog,
     plan_sessions,
+    slice_plans_by_tenant,
 )
 from repro.workload.driver import ChurnDriver, WorkloadReport
 
@@ -58,6 +59,10 @@ WARMUP_INTERVALS = 100
 REALIZATION_SLACK_S = 5.0
 
 _DT = 0.1
+
+#: Public alias of the delivery-step interval: the cluster layer sizes
+#: its virtual-time epochs in steps without building a driver first.
+STEP_DT = _DT
 
 
 @dataclass(frozen=True)
@@ -176,6 +181,7 @@ def build_service(
     scenario: ScaleScenario,
     seed: int,
     obs: Optional[Observability] = None,
+    partition: Optional[str] = None,
 ) -> IQPathsService:
     """The Figure-8 middleware stack one scenario run lives on.
 
@@ -183,13 +189,31 @@ def build_service(
     :func:`~repro.runner.spec.mix_seed`, namespaced by the scenario
     name, so scenarios never share draws and runs are reproducible from
     the single top-level seed.
+
+    With ``partition`` set the seeds are additionally namespaced by the
+    partition id (``cluster-realization`` / ``cluster-chaos``): each
+    partition simulates its *own* independent testbed realization and
+    fault campaign, a pure function of ``(seed, scenario, partition)``
+    — never of which shard happens to run it.
     """
     testbed = make_figure8_testbed()
     total = (
         WARMUP_INTERVALS * _DT + scenario.duration + REALIZATION_SLACK_S
     )
+    if partition is None:
+        realization_seed = mix_seed(
+            seed, "workload-realization", scenario.name
+        )
+        chaos_seed = mix_seed(seed, "workload-chaos", scenario.name)
+    else:
+        realization_seed = mix_seed(
+            seed, "cluster-realization", scenario.name, partition
+        )
+        chaos_seed = mix_seed(
+            seed, "cluster-chaos", scenario.name, partition
+        )
     realization = testbed.realize(
-        seed=mix_seed(seed, "workload-realization", scenario.name),
+        seed=realization_seed,
         duration=total,
         dt=_DT,
     )
@@ -198,7 +222,7 @@ def build_service(
         campaign = FaultCampaign.random(
             list(realization.path_names()),
             duration=scenario.duration,
-            seed=mix_seed(seed, "workload-chaos", scenario.name),
+            seed=chaos_seed,
         )
     return IQPathsService(
         realization,
@@ -206,6 +230,7 @@ def build_service(
         strict_admission=scenario.strict_admission,
         campaign=campaign,
         obs=obs,
+        partition=partition,
     )
 
 
@@ -294,6 +319,81 @@ def run_scale_scenario(
     """Run an explicit :class:`ScaleScenario` (no registry lookup)."""
     driver = make_scale_run(
         scenario,
+        seed=seed,
+        max_sessions=max_sessions,
+        catalog=catalog,
+        obs=obs,
+    )
+    return driver.run(scenario.duration)
+
+
+def partition_ids(
+    catalog: Optional[SessionCatalog] = None,
+) -> tuple[str, ...]:
+    """The partition universe for a catalog: tenant names, sorted.
+
+    The tenant is the cluster's atomic simulation unit — sessions of
+    one tenant never split across shards — so this list is what the
+    master hashes onto shards and what the in-process baseline iterates.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    return tuple(sorted(t.name for t in catalog.tenants))
+
+
+def make_partition_run(
+    scenario: ScaleScenario,
+    partition: str,
+    seed: int = 0,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+    on_step: Optional[Callable[[int, float], None]] = None,
+) -> ChurnDriver:
+    """Build the driver for one partition's slice of a scenario.
+
+    The *full* session plan is expanded with the same plan seed the
+    single-process run uses — ``max_sessions`` truncates the full plan
+    *before* the tenant filter — then sliced down to ``partition``'s
+    sessions.  The union of all partition slices is therefore exactly
+    the single-process population, and each slice is independent of how
+    many other partitions exist or where they run.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    known = partition_ids(catalog)
+    if partition not in known:
+        raise ConfigurationError(
+            f"unknown partition {partition!r}; known: {list(known)}"
+        )
+    plans = plan_sessions(
+        scenario.model,
+        catalog,
+        scenario.duration,
+        seed=mix_seed(seed, "workload-plan", scenario.name),
+        max_sessions=max_sessions,
+    )
+    plans = slice_plans_by_tenant(plans, partition)
+    service = build_service(scenario, seed, obs=obs, partition=partition)
+    return ChurnDriver(
+        service,
+        plans,
+        scenario=scenario.name,
+        seed=seed,
+        on_step=on_step,
+    )
+
+
+def run_partition_slice(
+    scenario: ScaleScenario,
+    partition: str,
+    seed: int = 0,
+    max_sessions: Optional[int] = None,
+    catalog: Optional[SessionCatalog] = None,
+    obs: Optional[Observability] = None,
+) -> WorkloadReport:
+    """Run one partition's slice end to end (no registry lookup)."""
+    driver = make_partition_run(
+        scenario,
+        partition,
         seed=seed,
         max_sessions=max_sessions,
         catalog=catalog,

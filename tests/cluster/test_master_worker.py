@@ -1,0 +1,134 @@
+"""Master/worker integration: protocol, supervision, runner task."""
+
+import pytest
+
+from repro.cluster import run_cluster_scenario, run_partitioned
+from repro.cluster.master import ClusterMaster
+from repro.errors import ClusterError
+from repro.obs.context import Observability
+from repro.runner.spec import RunSpec
+from repro.runner.tasks import execute_spec
+
+DURATION = 6.0
+MAX_SESSIONS = 24
+EPOCH_S = 2.0
+
+
+def _baseline():
+    return run_partitioned(
+        "baseline", seed=0, duration=DURATION, max_sessions=MAX_SESSIONS
+    )
+
+
+def test_two_shard_run_matches_in_process_baseline():
+    report = run_cluster_scenario(
+        "baseline",
+        seed=0,
+        shards=2,
+        duration=DURATION,
+        max_sessions=MAX_SESSIONS,
+        epoch_s=EPOCH_S,
+    )
+    baseline = _baseline()
+    assert report.merged == baseline.merged
+    assert report.checksum() == baseline.checksum()
+    assert report.shards == 2
+
+
+def test_sigkilled_shard_is_respawned_and_resumes(tmp_path):
+    obs = Observability()
+    report = run_cluster_scenario(
+        "baseline",
+        seed=0,
+        shards=2,
+        duration=DURATION,
+        max_sessions=MAX_SESSIONS,
+        epoch_s=EPOCH_S,
+        checkpoint_root=tmp_path / "cluster",
+        kill_at_epoch={0: 1},
+        obs=obs,
+    )
+    assert report.telemetry["respawns"] == 1
+    assert report.merged == _baseline().merged
+    names = [
+        e.name for e in obs.trace.events() if e.category == "cluster"
+    ]
+    assert "shard_exit" in names
+    assert "shard_respawn" in names
+    assert "merge" in names
+
+
+def test_respawn_budget_exhaustion_raises(tmp_path):
+    # Epoch 0 re-arms on every incarnation only if the master passed
+    # the kill back — it never does, so exhaustion needs a shard that
+    # dies during the *handshake*.  Simulate by killing more often than
+    # the budget allows: budget 0 means the first death is fatal.
+    with pytest.raises(ClusterError, match="respawn budget"):
+        run_cluster_scenario(
+            "baseline",
+            seed=0,
+            shards=2,
+            duration=DURATION,
+            max_sessions=MAX_SESSIONS,
+            epoch_s=EPOCH_S,
+            checkpoint_root=tmp_path / "cluster",
+            kill_at_epoch={0: 0},
+            max_respawns=0,
+        )
+
+
+def test_master_reuses_fleet_across_jobs():
+    with ClusterMaster(
+        scenario="baseline",
+        seed=0,
+        shards=2,
+        epoch_s=EPOCH_S,
+        max_sessions=MAX_SESSIONS,
+    ) as master:
+        first = master.run(duration=DURATION)
+        pids = {
+            s.proc.pid for s in master._fleet.values()
+        }
+        second = master.run(duration=DURATION)
+        assert {
+            s.proc.pid for s in master._fleet.values()
+        } == pids
+    assert first.merged == second.merged
+
+
+def test_cluster_trace_events_emitted():
+    obs = Observability()
+    run_cluster_scenario(
+        "baseline",
+        seed=0,
+        shards=2,
+        duration=DURATION,
+        max_sessions=MAX_SESSIONS,
+        epoch_s=EPOCH_S,
+        obs=obs,
+    )
+    cluster_events = [
+        e for e in obs.trace.events() if e.category == "cluster"
+    ]
+    names = {e.name for e in cluster_events}
+    assert {"shard_spawn", "epoch_barrier", "merge"} <= names
+    spawns = [e for e in cluster_events if e.name == "shard_spawn"]
+    assert len(spawns) == 2
+
+
+def test_runner_cluster_task_payload_checksum_is_shard_free():
+    spec = RunSpec(
+        kind="cluster",
+        name="cluster-test",
+        params={
+            "scenario": "baseline",
+            "shards": 2,
+            "duration": DURATION,
+            "max_sessions": MAX_SESSIONS,
+        },
+        seed=0,
+    )
+    payload = execute_spec(spec)
+    assert payload["checksum"] == _baseline().checksum()
+    assert payload["cluster"]["shards"] == 2
+    assert "report" in payload

@@ -5,10 +5,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import (
+    escape_label_value,
     export_metrics,
     export_prometheus,
     render_prometheus,
     sanitize_metric_name,
+    split_labeled_counter,
 )
 
 
@@ -71,6 +73,75 @@ class TestRender:
     def test_every_line_is_sample_or_comment(self):
         for line in render_prometheus(_registry()).splitlines():
             assert line.startswith("#") or len(line.split(" ")) == 2
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escaped(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_backslash_escaped_before_its_own_escapes(self):
+        # A literal backslash-n must not collapse into a newline escape.
+        assert escape_label_value("\\n") == "\\\\n"
+
+    def test_plain_values_pass_through(self):
+        assert escape_label_value("gold") == "gold"
+
+
+class TestLabeledCounters:
+    def test_split_recognizes_tenant_and_partition(self):
+        assert split_labeled_counter("admission.ok.tenant.gold") == (
+            "admission.ok",
+            "tenant",
+            "gold",
+        )
+        assert split_labeled_counter("admission.ok.partition.p0") == (
+            "admission.ok",
+            "partition",
+            "p0",
+        )
+        assert split_labeled_counter("admission.ok") == (
+            "admission.ok",
+            None,
+            None,
+        )
+
+    def test_tenant_counters_render_as_one_labeled_family(self):
+        registry = MetricsRegistry()
+        registry.counter("admission.admitted").inc(3)
+        registry.counter("admission.admitted.tenant.gold").inc(2)
+        registry.counter("admission.admitted.tenant.silver").inc()
+        lines = render_prometheus(registry).splitlines()
+        family = [
+            line for line in lines if "admission_admitted" in line
+        ]
+        assert family == [
+            "# HELP repro_admission_admitted_total admission.admitted",
+            "# TYPE repro_admission_admitted_total counter",
+            "repro_admission_admitted_total 3",
+            'repro_admission_admitted_total{tenant="gold"} 2',
+            'repro_admission_admitted_total{tenant="silver"} 1',
+        ]
+
+    def test_hostile_tenant_name_is_escaped_in_place(self):
+        registry = MetricsRegistry()
+        registry.counter('admission.ok.tenant.ev\\il"t\nen').inc()
+        text = render_prometheus(registry)
+        assert (
+            'repro_admission_ok_total{tenant="ev\\\\il\\"t\\nen"} 1'
+            in text
+        )
+        # The raw newline must never reach the exposition text.
+        assert all("\t" not in line for line in text.splitlines())
+        assert text.count("\n") == len(text.splitlines())
+
+    def test_labeled_family_without_base_counter_still_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("shed.count.partition.bronze").inc()
+        lines = render_prometheus(registry).splitlines()
+        assert "# TYPE repro_shed_count_total counter" in lines
+        assert (
+            'repro_shed_count_total{partition="bronze"} 1' in lines
+        )
 
 
 class TestExport:

@@ -91,6 +91,52 @@ def test_unknown_scenario_rejected(capsys):
     capsys.readouterr()
 
 
+class TestFlagValidation:
+    """Checkpoint flags without a checkpoint dir must fail fast."""
+
+    def _error_text(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(FAST_ARGS + argv)
+        assert excinfo.value.code == 2
+        return capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        err = self._error_text(["--resume"], capsys)
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_kill_at_requires_checkpoint_dir(self, capsys):
+        err = self._error_text(["--kill-at", "5.0"], capsys)
+        assert "--checkpoint-dir" in err
+
+    def test_checkpoint_every_requires_checkpoint_dir(self, capsys):
+        err = self._error_text(["--checkpoint-every", "2.0"], capsys)
+        assert "--checkpoint-every requires --checkpoint-dir" in err
+
+    def test_kill_at_requires_explicit_checkpoint_every(
+        self, tmp_path, capsys
+    ):
+        err = self._error_text(
+            [
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--kill-at",
+                "5.0",
+            ],
+            capsys,
+        )
+        assert "--checkpoint-every" in err
+
+    def test_checkpoint_dir_alone_still_runs(self, tmp_path, capsys):
+        assert (
+            main(
+                FAST_ARGS
+                + ["--checkpoint-dir", str(tmp_path / "ckpt")]
+            )
+            == 0
+        )
+        assert "checksum " in capsys.readouterr().out
+
+
 def test_same_seed_same_checksum_line(capsys):
     main(FAST_ARGS)
     first = capsys.readouterr().out

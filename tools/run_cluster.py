@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Run a sharded master/worker cluster job (or its capacity envelope).
+
+A thin wrapper over ``python -m repro.cluster`` runnable straight from
+a checkout::
+
+    PYTHONPATH=src python tools/run_cluster.py --scenario baseline --shards 2
+    python tools/run_cluster.py --scenario baseline --shards 4 --check-identity
+    python tools/run_cluster.py --scenario baseline --shards 2 \\
+        --checkpoint-dir /tmp/ckpt --kill-shard-at 0:1
+
+Prints the merged cluster report (byte-identical to the in-process
+partitioned baseline for any shard count — ``--check-identity`` proves
+it inline) plus per-run telemetry.  All arguments are shared with the
+module CLI; see ``--help``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
