@@ -4,10 +4,12 @@ Two measurements, recorded to ``benchmarks/results/BENCH_scale.json``:
 
 1. **Churn throughput** — the full ``baseline`` workload scenario
    (>= 1000 sessions arriving, living, and departing against the
-   middleware) run twice with the same seed.  The wall-clock
-   sessions/sec and steps/sec are recorded; the two runs' report
-   checksums must be **bit-identical**, and that asserts
-   unconditionally — determinism is the contract, timing is telemetry.
+   middleware) run twice with the same seed: once under the vectorized
+   delivery backend, once under the scalar loop, in one process.  The
+   wall-clock sessions/sec and steps/sec are recorded; the two runs'
+   report checksums must be **bit-identical**, and that asserts
+   unconditionally — determinism (and the vectorized core's equality
+   contract) is the contract, timing is telemetry.
 2. **Concurrent population** — :meth:`IQPathsService.open_streams`
    stands up ``SCALE_BENCH_STREAMS`` (default 1000) streams in one
    batch admission decision, then the delivery loop advances 10 s of
@@ -80,17 +82,21 @@ def test_churn_throughput(results_dir: Path):
 
     t0 = time.perf_counter()
     report = run_scenario(
-        "baseline", seed=0, max_sessions=max_sessions
+        "baseline", seed=0, max_sessions=max_sessions,
+        sim_backend="vectorized",
     )
     wall_s = time.perf_counter() - t0
     rerun = run_scenario(
-        "baseline", seed=0, max_sessions=max_sessions
+        "baseline", seed=0, max_sessions=max_sessions,
+        sim_backend="scalar",
     )
 
-    # The scale contract: same seed, same bytes — always asserted.
+    # The scale contract: same seed, same bytes — asserted across the
+    # two delivery backends *in one process*, so the checksum pins both
+    # the seed-determinism and the vectorized core's bit-identity.
     checksum = report.checksum()
     assert checksum == rerun.checksum(), (
-        "same-seed baseline runs diverged: "
+        "vectorized and scalar baseline runs diverged: "
         f"{checksum[:12]} vs {rerun.checksum()[:12]}"
     )
     if max_sessions is None:

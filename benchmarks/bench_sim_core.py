@@ -1,0 +1,141 @@
+"""Delivery-core benchmark: vectorized SoA stepping vs the scalar loop.
+
+One measurement, recorded to ``benchmarks/results/BENCH_sim_core.json``:
+both backends advance the *same* standing population of
+``SIM_BENCH_STREAMS`` (default 2000, always 1000+) concurrent streams
+through ``ADVANCE_S`` seconds of session time in one process.  Two
+assertions with very different standing:
+
+* **Identity** — the per-stream delivered-throughput reports of the two
+  backends must digest identically.  Asserted **unconditionally**:
+  bit-identity is the vectorized core's contract, timing is telemetry.
+* **Speedup** — the vectorized backend must step at ≥ ``MIN_SPEEDUP``×
+  the scalar backend's rate.  Asserted only under ``SIM_BENCH_GATE=1``
+  (repo convention: shared CI runners measure the neighbours, not the
+  code), but the measured ratio is always recorded.
+
+Environment knobs:
+
+* ``SIM_BENCH_STREAMS`` — standing population (default 2000).
+* ``SIM_BENCH_GATE``    — set to 1 to assert the speedup floor.
+* ``SIM_BENCH_RECORD``  — set to 1 to (re)record the JSON baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fsutil import atomic_write_json
+from repro.middleware.service import IQPathsService
+from repro.network.emulab import make_figure8_testbed
+from repro.runner.cache import payload_digest
+from repro.runner.spec import mix_seed
+from repro.workload import default_catalog, plan_concurrent_batch
+
+RESULTS_NAME = "BENCH_sim_core.json"
+
+#: Vectorized/scalar steps-per-second ratio floor, asserted only under
+#: ``SIM_BENCH_GATE=1``.  Measured ~11x at the default population; 10 is
+#: the issue's floor, not a slack bound — population size buys margin.
+MIN_SPEEDUP = 10.0
+
+N_STREAMS = int(os.environ.get("SIM_BENCH_STREAMS", "2000"))
+
+#: Session seconds each backend advances the standing population.
+ADVANCE_S = 10.0
+
+
+def _update_results(results_dir: Path, section: str, measurement: dict):
+    """Merge one section's measurement into the shared results file."""
+    results_path = results_dir / RESULTS_NAME
+    if results_path.exists():
+        data = json.loads(results_path.read_text(encoding="utf-8"))
+    else:
+        data = {"schema": 1}
+    entry = data.get(section)
+    record = os.environ.get("SIM_BENCH_RECORD") == "1"
+    if entry is None or record:
+        entry = {"baseline": measurement, "latest": measurement}
+    else:
+        entry["latest"] = measurement
+    data[section] = entry
+    atomic_write_json(results_path, data)
+
+
+def _advance_population(backend: str, specs) -> tuple[float, int, str]:
+    """Stand up the population under one backend; returns timing + digest."""
+    realization = make_figure8_testbed().realize(
+        seed=mix_seed(0, "bench-sim-core"),
+        duration=10.0 + ADVANCE_S + 5.0,
+        dt=0.1,
+    )
+    service = IQPathsService(
+        realization,
+        warmup_intervals=100,
+        strict_admission=False,
+        sim_backend=backend,
+    )
+    handles = service.open_streams(specs)
+    assert len(handles) == N_STREAMS
+    assert service.sim_backend == backend
+
+    t0 = time.perf_counter()
+    service.advance(ADVANCE_S)
+    wall_s = time.perf_counter() - t0
+
+    steps = int(round(ADVANCE_S / service.dt))
+    digest = payload_digest(
+        {name: r.mbps.tolist() for name, r in service.reports().items()}
+    )
+    return wall_s, steps, digest
+
+
+def _best_of(backend: str, specs, repeats: int = 2):
+    """Min wall over repeats (standard noise floor); digests must agree."""
+    walls, steps, digests = [], None, set()
+    for _ in range(repeats):
+        wall, steps, digest = _advance_population(backend, specs)
+        walls.append(wall)
+        digests.add(digest)
+    assert len(digests) == 1, f"{backend} runs disagreed with themselves"
+    return min(walls), steps, digests.pop()
+
+
+def test_vectorized_core(results_dir: Path):
+    assert N_STREAMS >= 1000, "the contract is 1000+ concurrent streams"
+    specs = plan_concurrent_batch(default_catalog(), N_STREAMS, seed=0)
+
+    scalar_wall, steps, scalar_digest = _best_of("scalar", specs)
+    vec_wall, vec_steps, vec_digest = _best_of("vectorized", specs)
+    assert steps == vec_steps
+
+    # The core contract: same streams, same realization, same bytes —
+    # always asserted, in one process, before any timing claim.
+    assert scalar_digest == vec_digest, (
+        "vectorized backend diverged from scalar at "
+        f"{N_STREAMS} streams: {scalar_digest[:12]} vs {vec_digest[:12]}"
+    )
+
+    speedup = scalar_wall / vec_wall
+    measurement = {
+        "streams": N_STREAMS,
+        "advance_s": ADVANCE_S,
+        "steps": steps,
+        "scalar_wall_s": round(scalar_wall, 3),
+        "scalar_steps_per_sec": round(steps / scalar_wall, 2),
+        "wall_s": round(vec_wall, 3),
+        "steps_per_sec": round(steps / vec_wall, 2),
+        "speedup": round(speedup, 2),
+        "byte_identical": True,
+        "checksum": scalar_digest,
+    }
+    _update_results(results_dir, "delivery_core", measurement)
+
+    if os.environ.get("SIM_BENCH_GATE") == "1":
+        assert speedup >= MIN_SPEEDUP, (
+            f"vectorized core regressed: {speedup:.1f}x < "
+            f"{MIN_SPEEDUP}x at {N_STREAMS} streams"
+        )

@@ -31,6 +31,7 @@ def run_partitioned(
     max_sessions: Optional[int] = None,
     catalog: Optional[SessionCatalog] = None,
     obs: Optional[Observability] = None,
+    sim_backend: Optional[str] = None,
 ) -> ClusterReport:
     """Run all partition slices in-process and merge them (the baseline)."""
     scenario = make_scenario(
@@ -46,6 +47,7 @@ def run_partitioned(
             max_sessions=max_sessions,
             catalog=catalog,
             obs=obs,
+            sim_backend=sim_backend,
         )
         payloads[partition] = driver.run(scenario.duration).to_dict()
     return cluster_report_from_payloads(

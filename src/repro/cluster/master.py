@@ -117,6 +117,7 @@ class ClusterMaster:
         hang_timeout: float = 60.0,
         max_respawns: int = 2,
         obs: Optional[Observability] = None,
+        sim_backend: Optional[str] = None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -125,6 +126,10 @@ class ClusterMaster:
         self.shards = shards
         self.epoch_s = epoch_s
         self.max_sessions = max_sessions
+        # Pinned into every assignment so all shards simulate with the
+        # same delivery backend (None = each worker's process default;
+        # harmless either way, the backends are bit-identical).
+        self.sim_backend = sim_backend
         self.hang_timeout = hang_timeout
         self.max_respawns = max_respawns
         self.obs = obs if obs is not None else NULL_OBS
@@ -354,6 +359,7 @@ class ClusterMaster:
                 checkpoint_root=str(self.checkpoint_root),
                 resume=resume,
                 kill_at_epoch=kill_at_epoch,
+                sim_backend=self.sim_backend,
             ),
         )
 
@@ -541,6 +547,7 @@ def run_cluster_scenario(
     max_respawns: int = 2,
     obs: Optional[Observability] = None,
     kill_at_epoch: Optional[dict[int, int]] = None,
+    sim_backend: Optional[str] = None,
 ) -> ClusterReport:
     """One-shot convenience: spawn a fleet, run one job, tear it down."""
     with ClusterMaster(
@@ -553,6 +560,7 @@ def run_cluster_scenario(
         hang_timeout=hang_timeout,
         max_respawns=max_respawns,
         obs=obs,
+        sim_backend=sim_backend,
     ) as master:
         return master.run(
             rate_scale=rate_scale,

@@ -159,6 +159,7 @@ def assign(
     checkpoint_root: Optional[str] = None,
     resume: bool = False,
     kill_at_epoch: Optional[int] = None,
+    sim_backend: Optional[str] = None,
 ) -> dict[str, Any]:
     return {
         "type": "assign",
@@ -173,6 +174,10 @@ def assign(
         "checkpoint_root": checkpoint_root,
         "resume": resume,
         "kill_at_epoch": kill_at_epoch,
+        # Delivery backend the worker must simulate with (None = the
+        # worker process's own REPRO_SIM_BACKEND default).  Shard output
+        # is bit-identical either way; this pins the choice cluster-wide.
+        "sim_backend": sim_backend,
     }
 
 

@@ -90,13 +90,20 @@ def _run_job(
     max_sessions = assign["max_sessions"]
     checkpoint_root = assign["checkpoint_root"]
     kill_at_epoch = assign["kill_at_epoch"]
+    # .get(): masters predating the field omit it, meaning "worker's own
+    # process default" — the backends are bit-identical anyway.
+    sim_backend = assign.get("sim_backend")
 
     drivers: dict[str, ChurnDriver] = {}
     stores: dict[str, CheckpointStore] = {}
     metas: dict[str, dict[str, Any]] = {}
     for partition in partitions:
         drivers[partition] = make_partition_run(
-            scenario, partition, seed=seed, max_sessions=max_sessions
+            scenario,
+            partition,
+            seed=seed,
+            max_sessions=max_sessions,
+            sim_backend=sim_backend,
         )
         if checkpoint_root is not None:
             stores[partition] = CheckpointStore.for_partition(

@@ -1,0 +1,293 @@
+"""Struct-of-arrays state for the vectorized delivery backend.
+
+:class:`BatchState` holds every active stream's hot-loop state as
+columnar numpy arrays — backlog bytes, precomputed arrival/limit
+constants, guarantee thresholds, delivered-byte and shortfall counters,
+and the full per-interval delivered-throughput history — so one
+delivery step touches a handful of array operations instead of O(N)
+Python objects.
+
+Design constraints (they are what make the backend provable):
+
+* **Stable indirection.**  A stream name maps to one *row*; rows are
+  recycled through a LIFO free list when streams close, and growing
+  capacity never moves live rows.  Monotone ``stream_id`` allocation,
+  trace join keys, and checkpoint round trips therefore survive
+  unchanged: the row number is an internal detail no output depends on.
+* **Scalar-faithful ordering.**  ``names()`` iterates streams in the
+  exact insertion order the scalar backend's ``_backlog_bytes`` dict
+  would have (insert on open, delete on close, reopened streams move to
+  the end).  Checkpoint payloads serialize dicts *without* sorting —
+  iteration order is part of the simulation's state — so this ordering
+  is load-bearing, not cosmetic.
+* **Precomputed constants.**  Per-stream constants that the scalar loop
+  recomputes every interval (``bytes_in_interval(demand, dt)``, the
+  buffer cap, ``required * 0.999``) are evaluated once at open time
+  with the *same expression order*, so every per-step comparison sees
+  bit-identical floats.
+
+The history matrix is allocated once at full column width (one column
+per post-warmup interval of the realization): a delivery step writes
+one column for the open rows, a close slices the stream's lifetime out
+of its row, and unwritten columns are the zeros an idle interval would
+have recorded anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.spec import StreamSpec
+from repro.errors import ConfigurationError
+from repro.units import bytes_in_interval
+
+__all__ = ["BatchState"]
+
+#: Initial row capacity; grows by doubling.
+_INITIAL_CAPACITY = 64
+
+
+class BatchState:
+    """Columnar per-stream state with free-list row recycling.
+
+    Parameters
+    ----------
+    n_columns:
+        Width of the delivered-history matrix: one column per delivery
+        interval the realization can still run (``n_intervals -
+        start_k`` for a service).
+    dt:
+        Delivery interval length in seconds (fixes the arrival-bytes
+        column).
+    buffer_seconds:
+        Sender-buffer bound (fixes the backlog-limit column).
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        dt: float,
+        buffer_seconds: float,
+        capacity: int = _INITIAL_CAPACITY,
+    ):
+        if n_columns < 0:
+            raise ConfigurationError(
+                f"n_columns must be >= 0, got {n_columns}"
+            )
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.n_columns = n_columns
+        self.dt = dt
+        self.buffer_seconds = buffer_seconds
+        self._capacity = capacity
+        self._alloc(capacity)
+        #: name -> row, in scalar ``_backlog_bytes`` insertion order.
+        self._rows: dict[str, int] = {}
+        #: Recycled rows, popped LIFO (deterministic reuse).
+        self._free: list[int] = []
+        #: Next never-used row when the free list is empty.
+        self._high = 0
+        #: Lifetime history of *closed* streams (frozen at close).
+        self._frozen: dict[str, np.ndarray] = {}
+        #: Memoized ``rows_in_order()`` result (membership-keyed).
+        self._order_cache: Optional[np.ndarray] = None
+
+    def _alloc(self, capacity: int) -> None:
+        self.demand_mbps = np.full(capacity, np.nan)
+        self.arrival_bytes = np.zeros(capacity)
+        self.limit_bytes = np.zeros(capacity)
+        self.required_mbps = np.full(capacity, np.nan)
+        #: ``required_mbps * 0.999`` (NaN when no requirement): the
+        #: per-window shortfall threshold, precomputed once.
+        self.threshold_mbps = np.full(capacity, np.nan)
+        self.backlog_bytes = np.zeros(capacity)
+        #: Cumulative bytes delivered to each stream (telemetry).
+        self.delivered_bytes = np.zeros(capacity)
+        #: Windows in which the stream missed its guarantee (telemetry).
+        self.shortfall_windows = np.zeros(capacity, dtype=np.int64)
+        self.stream_id = np.zeros(capacity, dtype=np.int64)
+        #: History column at which the stream opened.
+        self.opened_col = np.zeros(capacity, dtype=np.int64)
+        self.history = np.zeros((capacity, self.n_columns))
+
+    def _grow(self) -> None:
+        old = self._capacity
+        new = old * 2
+        for field in (
+            "demand_mbps",
+            "arrival_bytes",
+            "limit_bytes",
+            "required_mbps",
+            "threshold_mbps",
+            "backlog_bytes",
+            "delivered_bytes",
+            "shortfall_windows",
+            "stream_id",
+            "opened_col",
+        ):
+            column = getattr(self, field)
+            grown = np.empty(new, dtype=column.dtype)
+            if column.dtype == np.float64 and field in (
+                "demand_mbps",
+                "required_mbps",
+                "threshold_mbps",
+            ):
+                grown[old:] = np.nan
+            else:
+                grown[old:] = 0
+            grown[:old] = column
+            setattr(self, field, grown)
+        history = np.zeros((new, self.n_columns))
+        history[:old] = self.history
+        self.history = history
+        self._capacity = new
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def n_open(self) -> int:
+        return len(self._rows)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def row(self, name: str) -> int:
+        """Row index of one open stream."""
+        return self._rows[name]
+
+    def names(self) -> Iterator[str]:
+        """Open stream names in scalar backlog-dict insertion order."""
+        return iter(self._rows)
+
+    def rows_in_order(self) -> np.ndarray:
+        """Row indices of all open streams, insertion-ordered."""
+        if self._order_cache is None:
+            self._order_cache = np.fromiter(
+                self._rows.values(), dtype=np.int64, count=len(self._rows)
+            )
+        return self._order_cache
+
+    def open(self, spec: StreamSpec, stream_id: int, opened_col: int) -> int:
+        """Allocate (or recycle) a row for a newly opened stream."""
+        if spec.name in self._rows:
+            raise ConfigurationError(
+                f"stream {spec.name!r} already has a row"
+            )
+        if self._free:
+            row = self._free.pop()
+        else:
+            if self._high >= self._capacity:
+                self._grow()
+            row = self._high
+            self._high += 1
+        demand = spec.demand_mbps
+        if demand is None:
+            self.demand_mbps[row] = np.nan
+            self.arrival_bytes[row] = 0.0
+            self.limit_bytes[row] = 0.0
+        else:
+            self.demand_mbps[row] = demand
+            # Same call order as the scalar loop's per-step recompute.
+            self.arrival_bytes[row] = bytes_in_interval(demand, self.dt)
+            self.limit_bytes[row] = bytes_in_interval(
+                demand, self.buffer_seconds
+            )
+        required = spec.required_mbps
+        if required is None:
+            self.required_mbps[row] = np.nan
+            self.threshold_mbps[row] = np.nan
+        else:
+            self.required_mbps[row] = required
+            self.threshold_mbps[row] = required * 0.999
+        self.backlog_bytes[row] = 0.0
+        self.delivered_bytes[row] = 0.0
+        self.shortfall_windows[row] = 0
+        self.stream_id[row] = stream_id
+        self.opened_col[row] = opened_col
+        self._rows[spec.name] = row
+        self._order_cache = None
+        # A reopened name starts a fresh history, as the scalar backend
+        # resets its ``_delivered`` list.
+        self._frozen.pop(spec.name, None)
+        return row
+
+    def close(self, name: str, cur_col: int) -> int:
+        """Free a stream's row; its lifetime history is frozen for reports."""
+        row = self._rows.pop(name, None)
+        if row is None:
+            raise ConfigurationError(f"stream {name!r} has no row")
+        start = int(self.opened_col[row])
+        self._frozen[name] = self.history[row, start:cur_col].copy()
+        self.backlog_bytes[row] = 0.0
+        self._free.append(row)
+        self._order_cache = None
+        return row
+
+    # ------------------------------------------------------------------
+    # scalar-faithful views (reports / checkpoints)
+    # ------------------------------------------------------------------
+    def history_array(self, name: str, cur_col: int) -> np.ndarray:
+        """Delivered-mbps series for one open or closed stream."""
+        row = self._rows.get(name)
+        if row is not None:
+            start = int(self.opened_col[row])
+            return self.history[row, start:cur_col].copy()
+        frozen = self._frozen.get(name)
+        if frozen is not None:
+            return frozen
+        # Stream closed before a checkpoint restore: the scalar backend
+        # restores those with an empty record too.
+        return np.zeros(0)
+
+    def backlog_items(self) -> Iterator[tuple[str, float]]:
+        """(name, backlog_bytes) pairs in scalar dict order."""
+        for name, row in self._rows.items():
+            yield name, float(self.backlog_bytes[row])
+
+    def set_backlog(self, name: str, value: float) -> None:
+        self.backlog_bytes[self._rows[name]] = value
+
+    def load_history(self, name: str, series: np.ndarray) -> None:
+        """Restore one open stream's delivered history (checkpoint load)."""
+        row = self._rows[name]
+        start = int(self.opened_col[row])
+        stop = start + len(series)
+        if stop > self.n_columns:
+            raise ConfigurationError(
+                f"history for {name!r} overruns the realization: "
+                f"{len(series)} samples from column {start} "
+                f"(width {self.n_columns})"
+            )
+        self.history[row, start:stop] = series
+
+    def freeze_empty(self, name: str) -> None:
+        """Record an empty lifetime for a closed stream (restore path)."""
+        self._frozen[name] = np.zeros(0)
+
+    def delivered_bytes_of(self, name: str) -> float:
+        """Cumulative delivered bytes of one open stream (telemetry)."""
+        return float(self.delivered_bytes[self._rows[name]])
+
+    def shortfall_windows_of(self, name: str) -> int:
+        """Guarantee-miss window count of one open stream (telemetry)."""
+        return int(self.shortfall_windows[self._rows[name]])
+
+    def reset(self, n_columns: Optional[int] = None) -> None:
+        """Drop every row and history (checkpoint restore onto fresh state)."""
+        if n_columns is not None:
+            self.n_columns = n_columns
+        self._capacity = max(_INITIAL_CAPACITY, self._capacity)
+        self._alloc(self._capacity)
+        self._rows = {}
+        self._free = []
+        self._high = 0
+        self._frozen = {}
+        self._order_cache = None

@@ -28,7 +28,7 @@ Mbps are already allocated, the residual distribution is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -207,22 +207,66 @@ class ResourceMapping:
         )
 
 
+class _ResidualMemo:
+    """Per-mapping-run cache of residual CDFs and Lemma-1 evaluations.
+
+    Within one mapping run, ``allocated[p]`` changes only when a stream
+    is placed on ``p``: every stream mapped in between re-derives the
+    *identical* residual CDF and frequently re-evaluates the very same
+    required rate (catalog workloads draw from a handful of stream
+    templates).  Caching keyed on the exact allocation float returns the
+    same arrays and floats the uncached path would compute — pure
+    memoization, so placements cannot drift by a bit.
+    """
+
+    __slots__ = ("_cdfs", "_entries")
+
+    def __init__(self, cdfs: Mapping[str, EmpiricalCDF]):
+        self._cdfs = cdfs
+        #: path -> [allocated, residual CDF, {required: achieved P}]
+        self._entries: dict[str, list] = {}
+
+    def _entry(self, path: str, allocated: float) -> list:
+        entry = self._entries.get(path)
+        if entry is None or entry[0] != allocated:
+            entry = [
+                allocated,
+                shifted_cdf(self._cdfs[path], allocated),
+                {},
+            ]
+            self._entries[path] = entry
+        return entry
+
+    def residual(self, path: str, allocated: float) -> EmpiricalCDF:
+        return self._entry(path, allocated)[1]
+
+    def guarantee(
+        self, path: str, allocated: float, required: float
+    ) -> float:
+        entry = self._entry(path, allocated)
+        achieved = entry[2].get(required)
+        if achieved is None:
+            achieved = probabilistic_guarantee(entry[1], required)
+            entry[2][required] = achieved
+        return achieved
+
+
 def _map_probabilistic(
     spec: StreamSpec,
     cdfs: Mapping[str, EmpiricalCDF],
     allocated: dict[str, float],
     path_order: Sequence[str],
+    memo: Optional[_ResidualMemo] = None,
 ) -> tuple[dict[str, float], float]:
     """Map one guaranteed stream; returns (rate per path, achieved P)."""
     required = spec.required_mbps
     target_p = spec.probability
-    residuals = {
-        p: shifted_cdf(cdfs[p], allocated[p]) for p in path_order
-    }
+    if memo is None:
+        memo = _ResidualMemo(cdfs)
     # --- single-path attempt -------------------------------------------
     feasible: list[tuple[float, str]] = []
     for p in path_order:
-        achieved = probabilistic_guarantee(residuals[p], required)
+        achieved = memo.guarantee(p, allocated[p], required)
         if achieved >= target_p:
             feasible.append((achieved, p))
     if feasible:
@@ -232,6 +276,9 @@ def _map_probabilistic(
         )
         return {best_path: required}, best_achieved
     # --- split across k paths (union bound) ----------------------------
+    residuals = {
+        p: memo.residual(p, allocated[p]) for p in path_order
+    }
     k = len(path_order)
     if k > 1:
         p_part = 1.0 - (1.0 - target_p) / k
@@ -273,11 +320,16 @@ def _map_violation_bound(
     path_order: Sequence[str],
     tw: float,
     chunks: int = 10,
+    memo: Optional[_ResidualMemo] = None,
 ) -> tuple[dict[str, float], float]:
     """Map one violation-bound stream; returns (rate per path, achieved bound)."""
     x_total = spec.packets_in_window(tw)
     bound = spec.max_violation_rate
-    residuals = {p: shifted_cdf(cdfs[p], allocated[p]) for p in path_order}
+    if memo is None:
+        memo = _ResidualMemo(cdfs)
+    residuals = {
+        p: memo.residual(p, allocated[p]) for p in path_order
+    }
 
     def rate_of(pkts: int) -> float:
         return spec.rate_from_packets(pkts, tw)
@@ -431,12 +483,14 @@ def best_effort_mapping(
         (s for s in specs if s.guaranteed or s.max_violation_rate is not None),
         key=lambda s: (-(s.probability or 1.0), -(s.required_mbps or 0.0)),
     )
+    memo = _ResidualMemo(cdfs)
     for spec in ordered:
         candidates = eligible_paths(spec, path_order, qos) or list(path_order)
         best_path, best_achieved = None, -1.0
         for p in candidates:
-            residual = shifted_cdf(cdfs[p], allocated[p])
-            achieved = probabilistic_guarantee(residual, spec.required_mbps)
+            achieved = memo.guarantee(
+                p, allocated[p], spec.required_mbps
+            )
             if achieved > best_achieved:
                 best_path, best_achieved = p, achieved
         rates[spec.name] = {best_path: spec.required_mbps}
@@ -522,15 +576,24 @@ def compute_mapping(
 
     # Precedence: probabilistic guarantees by P descending, then
     # violation-bound streams by tightest bound first; required rate breaks
-    # ties (bigger first, it is harder to place).
-    prob_streams = sorted(
-        (s for s in specs if s.guaranteed and s.max_violation_rate is None),
-        key=lambda s: (-s.probability, -(s.required_mbps or 0.0)),
-    )
-    viol_streams = sorted(
-        (s for s in specs if s.max_violation_rate is not None),
-        key=lambda s: (s.max_violation_rate, -(s.required_mbps or 0.0)),
-    )
+    # ties (bigger first, it is harder to place).  One pre-keyed pass over
+    # the spec list replaces two filtered sorts with per-element lambda
+    # keys — the sort order (and tie stability) is unchanged.
+    prob_keyed: list[tuple[tuple, int, StreamSpec]] = []
+    viol_keyed: list[tuple[tuple, int, StreamSpec]] = []
+    for i, s in enumerate(specs):
+        if s.max_violation_rate is not None:
+            viol_keyed.append(
+                ((s.max_violation_rate, -(s.required_mbps or 0.0)), i, s)
+            )
+        elif s.probability is not None:
+            prob_keyed.append(
+                ((-s.probability, -(s.required_mbps or 0.0)), i, s)
+            )
+    prob_keyed.sort()
+    viol_keyed.sort()
+    prob_streams = [s for _, _, s in prob_keyed]
+    viol_streams = [s for _, _, s in viol_keyed]
     def _candidates(spec: StreamSpec) -> list[str]:
         candidates = eligible_paths(spec, path_order, qos)
         if not candidates:
@@ -539,9 +602,10 @@ def compute_mapping(
             )
         return candidates
 
+    memo = _ResidualMemo(cdfs)
     for spec in prob_streams:
         shares, achieved = _map_probabilistic(
-            spec, cdfs, allocated, _candidates(spec)
+            spec, cdfs, allocated, _candidates(spec), memo=memo
         )
         rates[spec.name] = shares
         achieved_p[spec.name] = achieved
@@ -549,7 +613,7 @@ def compute_mapping(
             allocated[p] += r
     for spec in viol_streams:
         shares, achieved = _map_violation_bound(
-            spec, cdfs, allocated, _candidates(spec), tw
+            spec, cdfs, allocated, _candidates(spec), tw, memo=memo
         )
         rates[spec.name] = shares
         achieved_v[spec.name] = achieved

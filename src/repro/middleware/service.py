@@ -43,6 +43,7 @@ from repro.robustness.degradation import (
     plan_degradation,
 )
 from repro.robustness.health import HealthTracker
+from repro.sim.vectorized import VectorizedDelivery, resolve_sim_backend
 from repro.units import bytes_in_interval, mbps_from_bytes
 
 
@@ -139,6 +140,7 @@ class IQPathsService:
         obs: Optional[Observability] = None,
         metrics_snapshot_seconds: float = 5.0,
         partition: Optional[str] = None,
+        sim_backend: Optional[str] = None,
     ):
         if warmup_intervals < 1 or warmup_intervals >= realization.n_intervals:
             raise ConfigurationError(
@@ -204,6 +206,21 @@ class IQPathsService:
             self._observe(self._k)
             self._k += 1
         self._start_k = self._k
+
+        # Delivery backend: the struct-of-arrays engine owns the hot
+        # loop when selected (and the scheduler is PGOS — the compiled
+        # request templates encode PGOS's allocation rules); everything
+        # else runs the scalar reference path.  ``sim_backend`` records
+        # the *effective* backend.
+        requested = resolve_sim_backend(sim_backend)
+        self._vec: Optional[VectorizedDelivery] = None
+        if requested == "vectorized" and isinstance(
+            self.scheduler, PGOSScheduler
+        ):
+            self._vec = VectorizedDelivery(self)
+            self.sim_backend = "vectorized"
+        else:
+            self.sim_backend = "scalar"
 
     # ------------------------------------------------------------------
     # clock
@@ -369,9 +386,12 @@ class IQPathsService:
                 achieved_probability=achieved,
                 tenant=tenant,
             )
-        self._delivered[spec.name] = []
+        if self._vec is not None:
+            self._vec.on_open(handle)
+        else:
+            self._delivered[spec.name] = []
+            self._backlog_bytes[spec.name] = 0.0
         self._opened_interval[spec.name] = self._k
-        self._backlog_bytes[spec.name] = 0.0
         return handle
 
     def _maybe_refresh_after_open(self) -> None:
@@ -527,7 +547,10 @@ class IQPathsService:
             del self._serving[name]
         handle.closed_at = self.now
         self._original.pop(name, None)
-        self._backlog_bytes.pop(name, None)
+        if self._vec is not None:
+            self._vec.on_close(name)
+        else:
+            self._backlog_bytes.pop(name, None)
         if self.obs.enabled:
             self.obs.metrics.counter("service.streams_closed").inc()
             self.obs.trace.emit(
@@ -679,6 +702,20 @@ class IQPathsService:
         while self._pending and self._pending[0][0] <= k:
             _, action = self._pending.pop(0)
             action()
+        if (
+            self._vec is not None
+            and not self.obs.enabled
+            and not self.obs.prof.enabled
+        ):
+            # Uninstrumented vectorized fast path: the batch state knows
+            # the open set, so skip the O(all handles) scan (the
+            # delivery core only needs handles for trace emission).
+            if self._vec.batch.n_open and self._scheduler_bound:
+                self._deliver(k, ())
+            self._observe(k)
+            self._update_health(k)
+            self._k += 1
+            return
         open_handles = [h for h in self.handles.values() if h.open]
         if open_handles and self._scheduler_bound:
             prof = self.obs.prof
@@ -687,9 +724,11 @@ class IQPathsService:
                     self._deliver(k, open_handles)
             else:
                 self._deliver(k, open_handles)
-        else:
+        elif self._vec is None:
             for h in open_handles:
                 self._delivered[h.name].append(0.0)
+        # (vectorized: an idle interval is the history column's default
+        # zero — no write needed.)
         self._observe(k)
         self._update_health(k)
         self._k += 1
@@ -700,7 +739,15 @@ class IQPathsService:
 
     def _deliver(self, k: int, open_handles: list[StreamHandle]) -> None:
         """One interval of backlog accrual, PGOS allocation, water-fill
-        delivery, and shortfall accounting."""
+        delivery, and shortfall accounting.
+
+        With the vectorized backend the whole step runs as columnar
+        numpy ops over the batch state — proven bit-identical to the
+        scalar body below by ``tests/property/test_sim_vectorized.py``.
+        """
+        if self._vec is not None:
+            self._vec.deliver(k, open_handles)
+            return
         backlog_mbps: dict[str, Optional[float]] = {}
         for h in open_handles:
             spec = h.spec
@@ -852,15 +899,9 @@ class IQPathsService:
                 }
                 for h in self.handles.values()
             ],
-            "delivered": {
-                h.name: [float(v) for v in self._delivered[h.name]]
-                for h in self.handles.values()
-                if h.open
-            },
+            "delivered": self._delivered_state(),
             "opened_interval": dict(self._opened_interval),
-            "backlog_bytes": {
-                name: float(v) for name, v in self._backlog_bytes.items()
-            },
+            "backlog_bytes": self._backlog_state(),
             "upcalls": list(self.upcalls),
             "events": list(self.events),
             "original": [
@@ -880,6 +921,37 @@ class IQPathsService:
             "health": (
                 self.health.state_dict() if self.health is not None else None
             ),
+        }
+
+    def _delivered_state(self) -> dict[str, list[float]]:
+        """Open streams' delivered histories, in handle order.
+
+        Identical bytes from either backend: the batch history column
+        holds the very floats the scalar lists would, and ``float()``
+        converts ``np.float64`` losslessly.
+        """
+        if self._vec is not None:
+            col = self._k - self._start_k
+            batch = self._vec.batch
+            return {
+                h.name: [
+                    float(v) for v in batch.history_array(h.name, col)
+                ]
+                for h in self.handles.values()
+                if h.open
+            }
+        return {
+            h.name: [float(v) for v in self._delivered[h.name]]
+            for h in self.handles.values()
+            if h.open
+        }
+
+    def _backlog_state(self) -> dict[str, float]:
+        """Backlog bytes per open stream, in scalar dict insertion order."""
+        if self._vec is not None:
+            return dict(self._vec.batch.backlog_items())
+        return {
+            name: float(v) for name, v in self._backlog_bytes.items()
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -964,6 +1036,13 @@ class IQPathsService:
                 StreamSpec(name="__checkpoint_restore__", required_mbps=1.0)
             )
             self.scheduler.load_state_dict(state["scheduler"])
+        if self._vec is not None:
+            # Materialize the columnar state from the (backend-agnostic)
+            # snapshot; the scalar-side dicts populated above are not
+            # used while the vectorized engine is active.
+            self._vec.rebuild_from_state(state)
+            self._delivered = {}
+            self._backlog_bytes = {}
 
     # ------------------------------------------------------------------
     # reporting
@@ -973,9 +1052,15 @@ class IQPathsService:
         if name not in self.handles:
             raise ConfigurationError(f"unknown stream {name!r}")
         handle = self.handles[name]
+        if self._vec is not None:
+            mbps = self._vec.batch.history_array(
+                name, self._k - self._start_k
+            )
+        else:
+            mbps = np.asarray(self._delivered[name])
         return StreamReport(
             name=name,
-            mbps=np.asarray(self._delivered[name]),
+            mbps=mbps,
             dt=self.dt,
             target_mbps=handle.spec.required_mbps,
         )

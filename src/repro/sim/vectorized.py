@@ -1,0 +1,542 @@
+"""Vectorized (struct-of-arrays) delivery backend for the service loop.
+
+The scalar reference (`IQPathsService._deliver`) advances every open
+stream per interval as individual Python objects: per-stream backlog
+accrual, a PGOS allocation pass that rebuilds ``PathShareRequest``
+objects, a per-path :func:`repro.core.scheduler.water_fill`, and
+per-grant delivery accounting.  At 1000+ concurrent streams that is
+~O(streams × paths) of Python-object work per 100 ms interval — the
+bottleneck named by ROADMAP's "vectorized simulation core" item.
+
+:class:`VectorizedDelivery` replaces exactly that delivery step with
+columnar numpy operations over :class:`repro.core.batchstate.BatchState`
+rows, keeping the event engine and the rest of the middleware
+(admission, remap, health, degradation, checkpoint control plane) as the
+scalar control plane.  The contract is **bit-identity**, not
+approximation: every float operation replicates the scalar code's
+expression shape and evaluation order, so reports, trace checksums, and
+snapshot digests come out byte-equal.  The load-bearing equivalences:
+
+* ``sum()`` in Python is a sequential left fold; ``ndarray.sum`` is
+  pairwise and NOT bit-compatible.  Order-sensitive reductions use
+  ``np.add.accumulate`` / ``np.subtract.accumulate``, which are
+  sequential and reproduce the scalar fold exactly (``0 + w0 == w0``
+  for the first term).
+* Elementwise float64 ``+ - * / minimum maximum`` and comparisons are
+  IEEE-identical to the scalar operators applied per element.
+* Unit conversions inline the exact expressions from
+  :mod:`repro.units` — ``((mbps * 1_000_000) / 8.0) * dt`` and
+  ``((nbytes / dt) * 8.0) / 1_000_000`` — with the same associativity.
+* The water-fill's ``remaining = max(remaining, 0.0)`` is replicated as
+  ``if remaining < 0.0``: CPython's ``max(-0.0, 0.0)`` returns ``-0.0``
+  (it keeps the first argument on ties), and the subtraction loop can
+  produce exact zeros whose sign must not be "fixed".
+
+Requests are not rebuilt per interval.  The PGOS request structure is a
+pure function of the serving stream set, the resource mapping, and the
+usable paths — all of which are invalidated through
+``scheduler.mapping`` (membership changes and quarantine flips void it;
+every remap installs a fresh object).  The engine therefore compiles the
+request lists once per mapping into per-path slot arrays (row, rule
+kind, rule parameter, weight, level) and re-derives only the per-step
+demands from the backlog column.
+
+Backend selection follows the ``REPRO_CDF_BACKEND`` idiom:
+``REPRO_SIM_BACKEND=vectorized|scalar`` (default ``vectorized``),
+overridable per call via the ``sim_backend`` parameter threaded through
+the service, workload, transport, checkpoint, and cluster layers.
+Schedulers other than PGOS fall back to scalar silently — the compiled
+templates encode PGOS's allocation rules.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.batchstate import BatchState
+from repro.core.pgos import (
+    LEVEL_UNSCHEDULED,
+    PGOSScheduler,
+)
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.middleware.service import IQPathsService, StreamHandle
+
+__all__ = [
+    "SIM_BACKENDS",
+    "default_sim_backend",
+    "resolve_sim_backend",
+    "VectorizedDelivery",
+]
+
+#: Recognized simulation backends: the numpy struct-of-arrays hot loop
+#: and the per-object Python reference it is proven against.
+SIM_BACKENDS = ("vectorized", "scalar")
+
+_ENV_VAR = "REPRO_SIM_BACKEND"
+
+# Rule kinds a compiled request slot can carry (template-internal).
+_KIND_RULE1 = 0  # scheduled on this path: demand = min(backlog, mapped_here)
+_KIND_RULE2 = 1  # scheduled elsewhere: demand = max(backlog - mapped_total, 0)
+_KIND_RULE3 = 2  # unscheduled/elastic: demand = backlog
+_KIND_FALLBACK = 3  # no history yet: demand = backlog / n_usable
+
+
+def default_sim_backend() -> str:
+    """Process-wide simulation backend (``REPRO_SIM_BACKEND``)."""
+    value = os.environ.get(_ENV_VAR, "vectorized")
+    if value not in SIM_BACKENDS:
+        raise ConfigurationError(
+            f"{_ENV_VAR} must be one of {SIM_BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+def resolve_sim_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend choice, or read the process default."""
+    if backend is None:
+        return default_sim_backend()
+    if backend not in SIM_BACKENDS:
+        raise ConfigurationError(
+            f"sim backend must be one of {SIM_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+class _PathTemplate:
+    """One path's compiled request slots (static until the mapping changes)."""
+
+    __slots__ = (
+        "rows",
+        "weight",
+        "kind",
+        "param",
+        "has_demand",
+        "level_groups",
+        "idx_rule1",
+        "idx_rule2",
+        "idx_rule3",
+        "idx_fallback",
+        "idx_nodemand",
+        "idx_hd",
+        "rows_hd",
+    )
+
+    def __init__(self, slots: list[tuple[int, float, int, int, float, bool]]):
+        rows = np.array([s[0] for s in slots], dtype=np.int64)
+        weight = np.array([s[1] for s in slots])
+        level = np.array([s[2] for s in slots], dtype=np.int64)
+        kind = np.array([s[3] for s in slots], dtype=np.int64)
+        param = np.array([s[4] for s in slots])
+        has_demand = np.array([s[5] for s in slots], dtype=bool)
+        self.rows = rows
+        self.weight = weight
+        self.kind = kind
+        self.param = param
+        self.has_demand = has_demand
+        # Strict-priority groups in ascending level, slot order preserved
+        # (matches water_fill's sorted({r.level}) iteration; a group that
+        # is fully inactive this step degenerates to a no-op, exactly as
+        # an absent level would).
+        self.level_groups = [
+            np.flatnonzero(level == lv) for lv in sorted(set(level.tolist()))
+        ]
+        self.idx_rule1 = np.flatnonzero((kind == _KIND_RULE1) & has_demand)
+        self.idx_rule2 = np.flatnonzero((kind == _KIND_RULE2) & has_demand)
+        self.idx_rule3 = np.flatnonzero((kind == _KIND_RULE3) & has_demand)
+        self.idx_fallback = np.flatnonzero(
+            (kind == _KIND_FALLBACK) & has_demand
+        )
+        self.idx_nodemand = np.flatnonzero(~has_demand)
+        self.idx_hd = np.flatnonzero(has_demand)
+        self.rows_hd = rows[self.idx_hd]
+
+
+class VectorizedDelivery:
+    """Struct-of-arrays delivery engine bound to one service instance.
+
+    The service forwards its stream lifecycle (open/close), the per-step
+    delivery call, and checkpoint materialization here; everything else
+    stays on the scalar control plane.
+    """
+
+    def __init__(self, service: "IQPathsService"):
+        if not isinstance(service.scheduler, PGOSScheduler):
+            raise ConfigurationError(
+                "the vectorized backend requires a PGOSScheduler"
+            )
+        self.service = service
+        self.batch = BatchState(
+            n_columns=service.realization.n_intervals - service._start_k,
+            dt=service.dt,
+            buffer_seconds=service.buffer_seconds,
+        )
+        # Per-path compiled request slots, keyed by mapping identity:
+        # every event that voids requests (membership change, quarantine
+        # flip, CDF-shift remap) installs a fresh mapping object.
+        self._templates: Optional[dict[str, _PathTemplate]] = None
+        self._template_mapping: Optional[object] = None
+        self._demand_rows: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # stream lifecycle (called from the service control plane)
+    # ------------------------------------------------------------------
+    def on_open(self, handle: "StreamHandle") -> None:
+        svc = self.service
+        self.batch.open(
+            handle.spec, handle.stream_id, svc._k - svc._start_k
+        )
+        self._demand_rows = None
+
+    def on_close(self, name: str) -> None:
+        svc = self.service
+        self.batch.close(name, svc._k - svc._start_k)
+        self._demand_rows = None
+
+    def _demand_row_indices(self) -> np.ndarray:
+        """Rows of open streams that have a bounded (CBR) demand."""
+        rows = self._demand_rows
+        if rows is None:
+            batch = self.batch
+            all_rows = batch.rows_in_order()
+            rows = all_rows[~np.isnan(batch.demand_mbps[all_rows])]
+            self._demand_rows = rows
+        return rows
+
+    # ------------------------------------------------------------------
+    # request-template compilation
+    # ------------------------------------------------------------------
+    def _compile(self, fallback: bool) -> dict[str, _PathTemplate]:
+        """Compile PGOS's request lists into per-path slot arrays.
+
+        Mirrors ``PGOSScheduler._allocate_inner`` (or
+        ``_fallback_requests`` when ``fallback``) entry by entry: per
+        serving spec, the rule-1/rule-2 entry for each usable path, then
+        the rule-3 entries for elastic specs — so each path's slot order
+        equals the scalar request-list order that drives water-fill's
+        pending iteration and its sequential float folds.
+        """
+        svc = self.service
+        sched = svc.scheduler
+        batch = self.batch
+        usable = sched.usable_paths
+        per_path: dict[str, list] = {p: [] for p in usable}
+        seen: dict[str, set] = {p: set() for p in usable}
+
+        def add(path, row, weight, level, kind, param, has_demand, stream):
+            if stream in seen[path]:
+                # Same error (and message) water_fill raises when one
+                # stream files two requests on one path.
+                raise ConfigurationError(
+                    f"duplicate request for stream {stream!r} on one path"
+                )
+            seen[path].add(stream)
+            per_path[path].append(
+                (row, weight, level, kind, param, has_demand)
+            )
+
+        if fallback:
+            n = len(usable)
+            for spec in sched.streams:
+                row = batch.row(spec.name)
+                has_demand = not np.isnan(batch.demand_mbps[row])
+                for path in usable:
+                    add(
+                        path,
+                        row,
+                        spec.weight,
+                        LEVEL_UNSCHEDULED if spec.elastic else 0,
+                        _KIND_FALLBACK,
+                        float(n),
+                        has_demand,
+                        spec.name,
+                    )
+            return {p: _PathTemplate(s) for p, s in per_path.items() if s}
+
+        mapping = sched.mapping
+        for spec in sched.streams:
+            row = batch.row(spec.name)
+            # Demand presence comes from the *original* handle spec (the
+            # service keys backlog_mbps off h.spec), which is what the
+            # batch columns were filled from at open time.
+            has_demand = not np.isnan(batch.demand_mbps[row])
+            rates = mapping.rates_mbps.get(spec.name, {})
+            # Compile-time Python sum in dict insertion order — the same
+            # sequential fold the scalar allocator runs per interval.
+            mapped_total = sum(rates.values())
+            guaranteed = spec.guaranteed or spec.max_violation_rate is not None
+            for path in usable:
+                mapped_here = rates.get(path, 0.0)
+                if guaranteed and mapped_here > 0:
+                    add(
+                        path,
+                        row,
+                        mapped_here,
+                        0,
+                        _KIND_RULE1,
+                        mapped_here,
+                        has_demand,
+                        spec.name,
+                    )
+                elif guaranteed and mapped_total > 0:
+                    # Rule-2 slots with a bounded demand are *dynamic*:
+                    # present only when the step's excess exceeds 1e-9.
+                    # The slot is compiled unconditionally and gated per
+                    # step by the active mask.
+                    add(
+                        path,
+                        row,
+                        max(mapped_total, 1e-6),
+                        1,
+                        _KIND_RULE2,
+                        mapped_total,
+                        has_demand,
+                        spec.name,
+                    )
+            if spec.elastic:
+                for path in usable:
+                    weight = max(rates.get(path, 0.0), 0.0)
+                    if weight <= 0:
+                        weight = spec.weight / len(usable)
+                    add(
+                        path,
+                        row,
+                        weight,
+                        LEVEL_UNSCHEDULED,
+                        _KIND_RULE3,
+                        0.0,
+                        has_demand,
+                        spec.name,
+                    )
+        return {p: _PathTemplate(s) for p, s in per_path.items() if s}
+
+    def _current_templates(self) -> dict[str, _PathTemplate]:
+        """The step's request templates, honoring PGOS's remap protocol.
+
+        Replicates ``_allocate_inner``'s prelude exactly: no remap check
+        at all before history exists (fallback recompiled per step — a
+        cold path that only runs when warmup < min_history), otherwise
+        one ``_needs_remap()`` per step (it owns the ``pgos.remap_check``
+        span and the ``scheduler.remap_checks`` counter) and a
+        ``remap()`` when it fires.
+        """
+        sched = self.service.scheduler
+        if not sched.has_history:
+            templates = self._compile(fallback=True)
+            self._template_mapping = None
+            self._templates = None
+            return templates
+        if sched._needs_remap():
+            sched.remap()
+        if (
+            self._templates is None
+            or sched.mapping is not self._template_mapping
+        ):
+            self._templates = self._compile(fallback=False)
+            self._template_mapping = sched.mapping
+        return self._templates
+
+    # ------------------------------------------------------------------
+    # the hot loop
+    # ------------------------------------------------------------------
+    def deliver(self, k: int, open_handles: list) -> None:
+        """One interval: accrual, allocation, water-fill, delivery.
+
+        Bit-identical to ``IQPathsService._deliver`` — see the module
+        docstring for the equivalences this leans on.
+        """
+        svc = self.service
+        batch = self.batch
+        dt = batch.dt
+        capacity = batch.capacity
+
+        # --- backlog accrual (scalar: += arrival; min with limit) -----
+        dr = self._demand_row_indices()
+        bm_col = np.zeros(capacity)
+        if dr.size:
+            b = batch.backlog_bytes[dr] + batch.arrival_bytes[dr]
+            np.minimum(b, batch.limit_bytes[dr], out=b)
+            batch.backlog_bytes[dr] = b
+            bm_col[dr] = ((b / dt) * 8.0) / 1_000_000
+
+        # --- allocation prelude (owns the pgos.allocate span) ---------
+        prof = svc.obs.prof
+        if prof.enabled:
+            with prof.span("pgos.allocate"):
+                templates = self._current_templates()
+        else:
+            templates = self._current_templates()
+
+        # --- per-path water-fill + delivery ---------------------------
+        delivered_col = np.zeros(capacity)
+        for p in svc.path_names:
+            cap = svc._effective_avail(p, k)
+            template = templates.get(p)
+            if template is None:
+                # Scalar still calls water_fill([], cap) here, whose only
+                # observable act is the capacity validation.
+                if cap < 0:
+                    raise ConfigurationError(
+                        f"capacity must be >= 0, got {cap}"
+                    )
+                continue
+            granted = self._water_fill(template, bm_col, cap)
+            self._apply_grants(template, granted, delivered_col, dt)
+
+        # --- history column + telemetry counters ----------------------
+        col = k - svc._start_k
+        rows = batch.rows_in_order()
+        if rows.size:
+            vals = delivered_col[rows]
+            batch.history[rows, col] = vals
+            thr = batch.threshold_mbps[rows]
+            batch.shortfall_windows[rows] += vals < thr
+
+        if svc.obs.enabled:
+            # The shortfall emitter iterates in open-handle order (which
+            # diverges from row order after a close+reopen), so build the
+            # delivered dict the way the scalar path does.  float() also
+            # keeps np.float64 out of json-serialized trace events.
+            delivered = {
+                h.name: float(delivered_col[batch.row(h.name)])
+                for h in open_handles
+            }
+            svc._emit_shortfalls(k, delivered)
+
+    def _water_fill(
+        self,
+        template: _PathTemplate,
+        bm_col: np.ndarray,
+        capacity_mbps: float,
+    ) -> np.ndarray:
+        """Vectorized :func:`repro.core.scheduler.water_fill` over slots."""
+        if capacity_mbps < 0:
+            raise ConfigurationError(
+                f"capacity must be >= 0, got {capacity_mbps}"
+            )
+        nslots = len(template.rows)
+        # Per-step demands: inf encodes the scalar's None (unbounded).
+        d = np.full(nslots, np.inf)
+        active = np.ones(nslots, dtype=bool)
+        idx = template.idx_rule1
+        if idx.size:
+            d[idx] = np.minimum(
+                bm_col[template.rows[idx]], template.param[idx]
+            )
+        idx = template.idx_rule2
+        if idx.size:
+            excess = np.maximum(
+                bm_col[template.rows[idx]] - template.param[idx], 0.0
+            )
+            d[idx] = excess
+            # Scalar drops the rule-2 request entirely when the excess is
+            # negligible (excess > 1e-9 gate).
+            active[idx] = excess > 1e-9
+        idx = template.idx_rule3
+        if idx.size:
+            d[idx] = bm_col[template.rows[idx]]
+        idx = template.idx_fallback
+        if idx.size:
+            d[idx] = bm_col[template.rows[idx]] / template.param[idx]
+
+        granted = np.zeros(nslots)
+        weight = template.weight
+        remaining = capacity_mbps
+        for group in template.level_groups:
+            if remaining <= 1e-12:
+                break
+            pend = group[active[group]]
+            while pend.size and remaining > 1e-12:
+                w = weight[pend]
+                # Sequential left fold == Python sum() bit for bit.
+                total_weight = float(np.add.accumulate(w)[-1])
+                fair = remaining * w / total_weight
+                dmd = d[pend]
+                capped = dmd <= fair + 1e-12
+                if not capped.any():
+                    granted[pend] += fair
+                    remaining = 0.0
+                    break
+                cidx = pend[capped]
+                dc = d[cidx]
+                granted[cidx] += dc
+                # Scalar subtracts each capped demand one by one in
+                # pending order; subtract.accumulate is that exact fold.
+                remaining = float(
+                    np.subtract.accumulate(
+                        np.concatenate(((remaining,), dc))
+                    )[-1]
+                )
+                pend = pend[~capped]
+                # Replicates max(remaining, 0.0) — which returns -0.0 on
+                # a -0.0 input in CPython, so only true negatives clamp.
+                if remaining < 0.0:
+                    remaining = 0.0
+        return granted
+
+    def _apply_grants(
+        self,
+        template: _PathTemplate,
+        granted: np.ndarray,
+        delivered_col: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Grants → bytes → backlog drain → delivered Mbps, per slot.
+
+        Zero-grant slots ride along: ``x - 0.0`` and ``x + 0.0`` are
+        bit-exact no-ops for the non-negative values involved, matching
+        the scalar's explicit ``mbps <= 0`` skip.
+        """
+        batch = self.batch
+        nbytes = ((granted * 1_000_000) / 8.0) * dt
+        idx_hd = template.idx_hd
+        if idx_hd.size:
+            rows_hd = template.rows_hd
+            backlog = batch.backlog_bytes[rows_hd]
+            nb = np.minimum(nbytes[idx_hd], backlog)
+            batch.backlog_bytes[rows_hd] = backlog - nb
+            nbytes[idx_hd] = nb
+        rows = template.rows
+        batch.delivered_bytes[rows] += nbytes
+        delivered_col[rows] += ((nbytes / dt) * 8.0) / 1_000_000
+
+    # ------------------------------------------------------------------
+    # checkpoint materialization
+    # ------------------------------------------------------------------
+    def rebuild_from_state(self, state: dict) -> None:
+        """Repopulate the batch from a service ``state_dict`` snapshot.
+
+        Row assignment follows the snapshot's ``backlog_bytes`` key order
+        — the scalar backlog dict's insertion order — so a later
+        ``state_dict()`` round-trips byte-identically regardless of which
+        backend wrote the snapshot.  The telemetry counters
+        (``delivered_bytes`` / ``shortfall_windows``) restart at zero:
+        they are diagnostic, deliberately excluded from snapshots so
+        payload bytes stay backend-independent.
+        """
+        svc = self.service
+        self.batch.reset()
+        self._templates = None
+        self._template_mapping = None
+        self._demand_rows = None
+        delivered = state["delivered"]
+        for name, backlog in state["backlog_bytes"].items():
+            handle = svc.handles[name]
+            self.batch.open(
+                handle.spec,
+                handle.stream_id,
+                svc._opened_interval[name] - svc._start_k,
+            )
+            self.batch.set_backlog(name, float(backlog))
+            series = np.asarray(
+                [float(v) for v in delivered[name]]
+            )
+            if series.size:
+                self.batch.load_history(name, series)
+        for handle in svc.handles.values():
+            if not handle.open:
+                self.batch.freeze_empty(handle.name)

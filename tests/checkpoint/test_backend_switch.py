@@ -1,0 +1,114 @@
+"""Checkpoint restore across the sim-backend boundary.
+
+Snapshots are backend-agnostic bytes: a run interrupted under the
+scalar backend and resumed under the vectorized one (or the reverse)
+must finish with a report *equal* to the uninterrupted run's — the
+checkpoint payload records simulation state, not backend
+representation.  If that ever stops holding, the resume must fail
+loudly (``StaleCheckpointError``), never drift silently; these tests
+pin the byte-match arm of that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    RunInterrupted,
+    run_scale_scenario_checkpointed,
+)
+from repro.runner.cache import payload_digest
+from repro.workload.scenarios import make_scenario, run_scale_scenario
+
+FP = "b" * 64
+
+DURATION = 8.0
+MAX_SESSIONS = 60
+
+
+class _TripAfter:
+    """InterruptFlag stand-in that trips after N observed steps."""
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        self.seen = 0
+        self.signal_name = "SIGTEST"
+
+    @property
+    def triggered(self) -> bool:
+        return self.seen >= self.steps
+
+    def note(self, k: int, t: float) -> None:
+        self.seen += 1
+
+
+def scenario():
+    return make_scenario("baseline", duration=DURATION)
+
+
+def golden(backend: str):
+    return run_scale_scenario(
+        scenario(), seed=0, max_sessions=MAX_SESSIONS, sim_backend=backend
+    )
+
+
+def interrupt_under(store: CheckpointStore, backend: str, steps: int):
+    flag = _TripAfter(steps)
+    with pytest.raises(RunInterrupted):
+        run_scale_scenario_checkpointed(
+            scenario(),
+            store,
+            seed=0,
+            max_sessions=MAX_SESSIONS,
+            config=CheckpointConfig(every_s=1.0),
+            fingerprint=FP,
+            interrupt=flag,
+            on_step=flag.note,
+            sim_backend=backend,
+        )
+    assert store.exists(), "interrupt must flush a final checkpoint"
+
+
+def resume_under(store: CheckpointStore, backend: str):
+    return run_scale_scenario_checkpointed(
+        scenario(),
+        store,
+        seed=0,
+        max_sessions=MAX_SESSIONS,
+        config=CheckpointConfig(every_s=1.0),
+        fingerprint=FP,
+        strict_resume=True,
+        sim_backend=backend,
+    )
+
+
+def test_goldens_agree_across_backends():
+    """Precondition for the switch tests: one golden, not one each."""
+    assert golden("scalar").to_dict() == golden("vectorized").to_dict()
+
+
+@pytest.mark.parametrize(
+    "first,second", [("scalar", "vectorized"), ("vectorized", "scalar")]
+)
+@pytest.mark.parametrize("stop_after_steps", [9, 41])
+def test_resume_across_backend_switch(
+    tmp_path, first, second, stop_after_steps
+):
+    store = CheckpointStore(tmp_path)
+    interrupt_under(store, first, stop_after_steps)
+    resumed = resume_under(store, second)
+    assert resumed.to_dict() == golden(second).to_dict()
+    assert not store.exists(), "completed run must clear its slot"
+
+
+def test_snapshot_bytes_are_backend_independent(tmp_path):
+    """The flushed checkpoint payloads digest identically per backend."""
+    digests = {}
+    for backend in ("scalar", "vectorized"):
+        store = CheckpointStore(tmp_path / backend)
+        interrupt_under(store, backend, 25)
+        checkpoint = store.load(fingerprint=FP)
+        digests[backend] = payload_digest(checkpoint.payload)
+    assert digests["scalar"] == digests["vectorized"]

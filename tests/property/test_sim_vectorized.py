@@ -1,0 +1,230 @@
+"""Differential battery: vectorized SoA delivery core vs the scalar loop.
+
+The vectorized backend's contract is **bit-identity**, not approximate
+agreement: for any seeded scenario, every observable artifact — workload
+report checksums, trace digests, metrics digests, checkpoint snapshot
+digests, merged cluster payloads — must be ``==`` to what the original
+scalar per-stream loop produces.  Hypothesis drives both backends
+through identical seeded scenarios (churn, flash-crowd chaos, mid-run
+faults, checkpoint cuts with cross-backend resume, sharded cluster
+equivalents) and compares bytes, never tolerances.
+
+``derandomize=True`` keeps the battery reproducible run-to-run: it
+*gates* the repo's byte-identity claims (golden suite, crash-resume,
+cluster determinism all run under the vectorized default), so it must
+itself be deterministic.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.smartpointer import smartpointer_streams
+from repro.cluster.local import run_partitioned
+from repro.network.emulab import make_figure8_testbed
+from repro.network.faults import FaultCampaign, correlated_outage
+from repro.obs.context import Observability
+from repro.runner.cache import payload_digest
+from repro.transport.session import run_packet_session
+from repro.workload.scenarios import (
+    make_scale_run,
+    make_scenario,
+    run_scenario,
+)
+
+CHURN_SCENARIOS = ["baseline", "diurnal", "flash-crowd"]
+
+
+def _trace_digest(obs: Observability) -> str:
+    payload = "".join(e.to_json() + "\n" for e in obs.trace)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _observed_run(name: str, seed: int, backend: str, max_sessions: int):
+    """One scenario run with full observability; returns its artifacts."""
+    obs = Observability()
+    report = run_scenario(
+        name,
+        seed=seed,
+        max_sessions=max_sessions,
+        obs=obs,
+        sim_backend=backend,
+    )
+    return (
+        report.checksum(),
+        _trace_digest(obs),
+        payload_digest(obs.metrics.to_dict()),
+    )
+
+
+class TestChurnIdentity:
+    """Same seed, either backend: the workload report bytes agree."""
+
+    @settings(derandomize=True, max_examples=12, deadline=None)
+    @given(
+        st.sampled_from(CHURN_SCENARIOS),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_report_checksums_equal(self, name, seed):
+        scalar = run_scenario(
+            name, seed=seed, max_sessions=30, sim_backend="scalar"
+        )
+        vectorized = run_scenario(
+            name, seed=seed, max_sessions=30, sim_backend="vectorized"
+        )
+        assert scalar.checksum() == vectorized.checksum()
+
+    @settings(derandomize=True, max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=9))
+    def test_flash_crowd_chaos_full_artifacts(self, seed):
+        """Chaos (shed + downgrade + faults): reports, traces, metrics."""
+        scalar = _observed_run("flash-crowd-chaos", seed, "scalar", 40)
+        vectorized = _observed_run(
+            "flash-crowd-chaos", seed, "vectorized", 40
+        )
+        assert scalar == vectorized
+
+
+class TestCheckpointCuts:
+    """Snapshots and resumes cross the backend boundary byte-for-byte."""
+
+    @settings(derandomize=True, max_examples=5, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=0.25, max_value=0.75),
+    )
+    def test_cut_and_cross_backend_resume(self, seed, cut_frac):
+        scenario = make_scenario("flash-crowd-chaos")
+        total_steps = int(round(scenario.duration / 0.5))
+
+        def fresh(backend):
+            driver = make_scale_run(
+                scenario, seed=seed, max_sessions=40, sim_backend=backend
+            )
+            driver.begin(scenario.duration)
+            return driver
+
+        cut = max(1, int(total_steps * cut_frac))
+        scalar, vectorized = fresh("scalar"), fresh("vectorized")
+        scalar.advance_to(cut)
+        vectorized.advance_to(cut)
+        snap_scalar = {
+            "service": scalar.service.state_dict(),
+            "driver": scalar.state_dict(),
+        }
+        snap_vectorized = {
+            "service": vectorized.service.state_dict(),
+            "driver": vectorized.state_dict(),
+        }
+        # Mid-run snapshots are backend-agnostic bytes.
+        assert payload_digest(snap_scalar) == payload_digest(
+            snap_vectorized
+        )
+
+        reference = fresh("vectorized")
+        reference_report = reference.run(scenario.duration).to_dict()
+
+        # Scalar snapshot resumed under the vectorized backend (and the
+        # reverse) must finish exactly where the uninterrupted run does.
+        for snapshot, backend in (
+            (snap_scalar, "vectorized"),
+            (snap_vectorized, "scalar"),
+        ):
+            resumed = fresh(backend)
+            resumed.service.load_state_dict(snapshot["service"])
+            resumed.load_state_dict(snapshot["driver"])
+            steps = int(
+                round(scenario.duration / resumed.service.dt)
+            )
+            resumed.advance_to(steps)
+            report = resumed.finalize(scenario.duration).to_dict()
+            assert payload_digest(report) == payload_digest(
+                reference_report
+            ), f"resume under {backend} diverged from uninterrupted run"
+
+
+class TestClusterShards:
+    """The shard-sliced runs agree across backends, partition by partition."""
+
+    @settings(derandomize=True, max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=9))
+    def test_partitioned_baseline_identical(self, seed):
+        scalar = run_partitioned(
+            "baseline", seed=seed, max_sessions=24, sim_backend="scalar"
+        )
+        vectorized = run_partitioned(
+            "baseline",
+            seed=seed,
+            max_sessions=24,
+            sim_backend="vectorized",
+        )
+        assert scalar.checksum() == vectorized.checksum()
+        assert payload_digest(scalar.to_dict()) == payload_digest(
+            vectorized.to_dict()
+        )
+
+
+class TestPacketSessionFaults:
+    """Mid-run faults at packet granularity: SessionResult equality."""
+
+    @settings(derandomize=True, max_examples=4, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=25.0, max_value=45.0),
+    )
+    def test_session_with_outage_equal(self, seed, outage_start):
+        realization = make_figure8_testbed().realize(
+            seed=seed, duration=90.0, dt=0.1
+        )
+        campaign = FaultCampaign(
+            faults=tuple(
+                correlated_outage(
+                    ["A"], start=outage_start, duration=15.0
+                )
+            ),
+            name="outage-A",
+        )
+
+        def run(backend):
+            return run_packet_session(
+                realization,
+                smartpointer_streams(),
+                tw=1.0,
+                warmup_windows=30,
+                campaign=campaign,
+                sim_backend=backend,
+            )
+
+        scalar, vectorized = run("scalar"), run("vectorized")
+        for field in dataclasses.fields(scalar):
+            a = getattr(scalar, field.name)
+            b = getattr(vectorized, field.name)
+            if field.name == "health_transitions":
+                a = [dataclasses.astuple(t) for t in a]
+                b = [dataclasses.astuple(t) for t in b]
+            assert a == b, f"SessionResult.{field.name} diverged"
+
+
+class TestBackendPlumbing:
+    def test_driver_reports_effective_backend(self):
+        scenario = make_scenario("baseline")
+        for backend in ("scalar", "vectorized"):
+            driver = make_scale_run(
+                scenario, seed=0, max_sessions=5, sim_backend=backend
+            )
+            assert driver.sim_backend == backend
+
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        scenario = make_scenario("baseline")
+        driver = make_scale_run(scenario, seed=0, max_sessions=5)
+        assert driver.sim_backend == "vectorized"
+
+    def test_env_override_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "scalar")
+        scenario = make_scenario("baseline")
+        driver = make_scale_run(scenario, seed=0, max_sessions=5)
+        assert driver.sim_backend == "scalar"

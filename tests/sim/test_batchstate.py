@@ -1,0 +1,218 @@
+"""BatchState: row recycling, stable indirection, and scalar-order views."""
+
+import numpy as np
+import pytest
+
+from repro.core.batchstate import BatchState
+from repro.core.spec import StreamSpec
+from repro.errors import ConfigurationError
+from repro.sim.vectorized import (
+    SIM_BACKENDS,
+    default_sim_backend,
+    resolve_sim_backend,
+)
+from repro.units import bytes_in_interval
+
+
+def spec(name: str, required: float = 10.0) -> StreamSpec:
+    return StreamSpec(name=name, required_mbps=required, probability=0.95)
+
+
+def elastic_spec(name: str) -> StreamSpec:
+    return StreamSpec(name=name, elastic=True, nominal_mbps=40.0)
+
+
+def make_batch(n_columns: int = 20, capacity: int = 4) -> BatchState:
+    return BatchState(
+        n_columns=n_columns, dt=0.1, buffer_seconds=2.0, capacity=capacity
+    )
+
+
+class TestRowLifecycle:
+    def test_open_precomputes_scalar_constants(self):
+        batch = make_batch()
+        row = batch.open(spec("s", required=12.5), stream_id=7, opened_col=3)
+        assert batch.demand_mbps[row] == 12.5
+        assert batch.arrival_bytes[row] == bytes_in_interval(12.5, 0.1)
+        assert batch.limit_bytes[row] == bytes_in_interval(12.5, 2.0)
+        assert batch.threshold_mbps[row] == 12.5 * 0.999
+        assert batch.stream_id[row] == 7
+        assert batch.opened_col[row] == 3
+
+    def test_elastic_stream_has_nan_demand(self):
+        batch = make_batch()
+        row = batch.open(elastic_spec("e"), stream_id=1, opened_col=0)
+        assert np.isnan(batch.demand_mbps[row])
+        assert np.isnan(batch.required_mbps[row])
+        assert batch.arrival_bytes[row] == 0.0
+
+    def test_duplicate_open_rejected(self):
+        batch = make_batch()
+        batch.open(spec("s"), stream_id=1, opened_col=0)
+        with pytest.raises(ConfigurationError):
+            batch.open(spec("s"), stream_id=2, opened_col=0)
+
+    def test_close_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_batch().close("ghost", cur_col=0)
+
+    def test_free_list_reuse_is_lifo(self):
+        batch = make_batch()
+        rows = {
+            name: batch.open(spec(name), stream_id=i, opened_col=0)
+            for i, name in enumerate(["a", "b", "c"])
+        }
+        batch.close("a", cur_col=1)
+        batch.close("c", cur_col=1)
+        # LIFO: the most recently freed row ("c"'s) is recycled first.
+        assert batch.open(spec("d"), 4, opened_col=1) == rows["c"]
+        assert batch.open(spec("e"), 5, opened_col=1) == rows["a"]
+
+    def test_reopen_moves_to_end_of_iteration_order(self):
+        batch = make_batch()
+        for i, name in enumerate(["a", "b", "c"]):
+            batch.open(spec(name), stream_id=i, opened_col=0)
+        batch.close("a", cur_col=2)
+        batch.open(spec("a"), stream_id=9, opened_col=2)
+        assert list(batch.names()) == ["b", "c", "a"]
+        ordered = batch.rows_in_order()
+        assert [batch.row(n) for n in ["b", "c", "a"]] == list(ordered)
+
+
+class TestGrowth:
+    def test_growth_preserves_live_rows(self):
+        batch = make_batch(capacity=2)
+        specs = [spec(f"s{i}", required=5.0 + i) for i in range(5)]
+        for i, s in enumerate(specs):
+            batch.open(s, stream_id=i, opened_col=0)
+            batch.backlog_bytes[batch.row(s.name)] = 100.0 * i
+            batch.history[batch.row(s.name), 0] = float(i)
+        assert batch.capacity >= 5
+        for i, s in enumerate(specs):
+            row = batch.row(s.name)
+            assert batch.demand_mbps[row] == 5.0 + i
+            assert batch.backlog_bytes[row] == 100.0 * i
+            assert batch.history[row, 0] == float(i)
+            assert batch.stream_id[row] == i
+
+    def test_growth_nan_fills_spec_columns(self):
+        batch = make_batch(capacity=1)
+        batch.open(spec("a"), stream_id=0, opened_col=0)
+        batch.open(spec("b"), stream_id=1, opened_col=0)
+        # Unused tail rows read as "no stream": NaN demand, zero counters.
+        tail = np.arange(batch.n_open, batch.capacity)
+        assert np.all(np.isnan(batch.demand_mbps[tail]))
+        assert np.all(batch.shortfall_windows[tail] == 0)
+
+
+class TestHistoryViews:
+    def test_close_freezes_lifetime_slice(self):
+        batch = make_batch()
+        row = batch.open(spec("s"), stream_id=1, opened_col=2)
+        batch.history[row, 2:5] = [1.0, 2.0, 3.0]
+        batch.close("s", cur_col=5)
+        np.testing.assert_array_equal(
+            batch.history_array("s", cur_col=9), [1.0, 2.0, 3.0]
+        )
+
+    def test_open_stream_slices_to_current_column(self):
+        batch = make_batch()
+        row = batch.open(spec("s"), stream_id=1, opened_col=1)
+        batch.history[row, 1:3] = [4.0, 5.0]
+        np.testing.assert_array_equal(
+            batch.history_array("s", cur_col=3), [4.0, 5.0]
+        )
+
+    def test_unknown_stream_reads_empty(self):
+        assert len(make_batch().history_array("ghost", cur_col=3)) == 0
+
+    def test_reopen_discards_frozen_history(self):
+        batch = make_batch()
+        row = batch.open(spec("s"), stream_id=1, opened_col=0)
+        batch.history[row, 0] = 7.0
+        batch.close("s", cur_col=1)
+        batch.open(spec("s"), stream_id=2, opened_col=4)
+        np.testing.assert_array_equal(
+            batch.history_array("s", cur_col=4), np.zeros(0)
+        )
+
+    def test_load_history_roundtrip_and_overrun(self):
+        batch = make_batch(n_columns=6)
+        batch.open(spec("s"), stream_id=1, opened_col=2)
+        batch.load_history("s", np.asarray([1.5, 2.5]))
+        np.testing.assert_array_equal(
+            batch.history_array("s", cur_col=4), [1.5, 2.5]
+        )
+        with pytest.raises(ConfigurationError):
+            batch.load_history("s", np.zeros(5))
+
+    def test_freeze_empty_marks_closed_stream(self):
+        batch = make_batch()
+        batch.freeze_empty("gone")
+        assert len(batch.history_array("gone", cur_col=3)) == 0
+
+
+class TestCountersAndBacklog:
+    def test_backlog_items_follow_insertion_order(self):
+        batch = make_batch()
+        for i, name in enumerate(["x", "y"]):
+            batch.open(spec(name), stream_id=i, opened_col=0)
+        batch.set_backlog("x", 10.0)
+        batch.set_backlog("y", 20.0)
+        assert list(batch.backlog_items()) == [("x", 10.0), ("y", 20.0)]
+
+    def test_telemetry_counters(self):
+        batch = make_batch()
+        row = batch.open(spec("s"), stream_id=1, opened_col=0)
+        batch.delivered_bytes[row] += 1234.5
+        batch.shortfall_windows[row] += 3
+        assert batch.delivered_bytes_of("s") == 1234.5
+        assert batch.shortfall_windows_of("s") == 3
+
+    def test_close_zeroes_backlog(self):
+        batch = make_batch()
+        row = batch.open(spec("s"), stream_id=1, opened_col=0)
+        batch.set_backlog("s", 99.0)
+        batch.close("s", cur_col=1)
+        assert batch.backlog_bytes[row] == 0.0
+
+    def test_reset_drops_everything(self):
+        batch = make_batch(n_columns=4)
+        batch.open(spec("s"), stream_id=1, opened_col=0)
+        batch.close("s", cur_col=1)
+        batch.reset(n_columns=8)
+        assert batch.n_open == 0
+        assert batch.n_columns == 8
+        assert len(batch.history_array("s", cur_col=2)) == 0
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            BatchState(n_columns=-1, dt=0.1, buffer_seconds=2.0)
+        with pytest.raises(ConfigurationError):
+            BatchState(n_columns=4, dt=0.0, buffer_seconds=2.0)
+        with pytest.raises(ConfigurationError):
+            BatchState(n_columns=4, dt=0.1, buffer_seconds=2.0, capacity=0)
+
+
+class TestBackendResolver:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert default_sim_backend() == "vectorized"
+        assert resolve_sim_backend(None) == "vectorized"
+
+    def test_env_selects_backend(self, monkeypatch):
+        for backend in SIM_BACKENDS:
+            monkeypatch.setenv("REPRO_SIM_BACKEND", backend)
+            assert default_sim_backend() == backend
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "quantum")
+        with pytest.raises(ConfigurationError):
+            default_sim_backend()
+
+    def test_explicit_choice_validated(self):
+        assert resolve_sim_backend("scalar") == "scalar"
+        with pytest.raises(ConfigurationError):
+            resolve_sim_backend("quantum")
