@@ -1,0 +1,177 @@
+"""Topology benchmark: per-fabric capacity envelopes and traffic shift.
+
+Three measurements, recorded to ``benchmarks/results/BENCH_topo.json``:
+
+1. **Per-preset envelope** — the full capacity-envelope search on each
+   headline fabric (``fat_tree_k4``, ``leaf_spine_4x8``) under the
+   default NLANR traffic rotation.  ``envelope_sessions_per_sec`` (the
+   max sustainable arrival rate) is the ledger headline; wall-clock
+   seconds per search ride along as telemetry.
+2. **Backend identity** — each preset's churn run executed under the
+   vectorized and scalar delivery backends in one process; the report
+   checksums must be **bit-identical** and that asserts
+   unconditionally, exactly like ``bench_scale``.
+3. **Traffic shift** — the same reduced envelope on ``fat_tree_k4``
+   under ``nlanr`` vs ``dc-incast`` vs ``dc-hotrack``: the calibrated
+   datacenter scenarios must *move* the envelope (incast collapses it,
+   hot-rack skew caps it below the WAN baseline).  The shift asserts
+   unconditionally — it is a modeling property, not a timing.
+
+Performance gating follows the repo convention: numbers are always
+recorded, but the envelope floor asserts only when ``TOPO_BENCH_GATE=1``
+— shared CI runners measure the neighbours, not the code.
+
+Environment knobs:
+
+* ``TOPO_BENCH_ITERATIONS`` — bisection steps per search (default 4).
+* ``TOPO_BENCH_PROBE_S``    — seconds of churn per probe (default 20).
+* ``TOPO_BENCH_SESSIONS``   — per-probe session cap (default 400).
+* ``TOPO_BENCH_GATE``       — set to 1 to assert the envelope floors.
+* ``TOPO_BENCH_RECORD``     — set to 1 to (re)record the JSON baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fsutil import atomic_write_json
+from repro.workload.envelope import estimate_envelope
+from repro.workload.scenarios import run_scenario
+
+RESULTS_NAME = "BENCH_topo.json"
+
+#: The ledger-headline fabrics; one envelope search each.
+HEADLINE_PRESETS = ("fat_tree_k4", "leaf_spine_4x8")
+
+#: Envelope floors (sessions/sec), asserted only under
+#: ``TOPO_BENCH_GATE=1``.  The recorded baselines are ~17.9 (fat-tree,
+#: two disjoint paths) and 256 (leaf-spine, four paths, bracket-capped);
+#: the floors are deliberately slack so only a real regression trips.
+MIN_ENVELOPE_RATE = {"fat_tree_k4": 8.0, "leaf_spine_4x8": 64.0}
+
+ITERATIONS = int(os.environ.get("TOPO_BENCH_ITERATIONS", "4"))
+PROBE_S = float(os.environ.get("TOPO_BENCH_PROBE_S", "20"))
+MAX_SESSIONS = int(os.environ.get("TOPO_BENCH_SESSIONS", "400"))
+
+_SEARCH = dict(
+    seed=0,
+    iterations=ITERATIONS,
+    probe_duration=PROBE_S,
+    max_sessions=MAX_SESSIONS,
+    hi_scale=16.0,
+)
+
+
+def _update_results(results_dir: Path, section: str, measurement: dict):
+    """Merge one section's measurement into the shared results file."""
+    results_path = results_dir / RESULTS_NAME
+    if results_path.exists():
+        data = json.loads(results_path.read_text(encoding="utf-8"))
+    else:
+        data = {"schema": 1}
+    entry = data.get(section)
+    record = os.environ.get("TOPO_BENCH_RECORD") == "1"
+    if entry is None or record:
+        entry = {"baseline": measurement, "latest": measurement}
+    else:
+        entry["latest"] = measurement
+    data[section] = entry
+    atomic_write_json(results_path, data)
+
+
+def _search(topology: str):
+    t0 = time.perf_counter()
+    envelope = estimate_envelope("baseline", topology=topology, **_SEARCH)
+    return envelope, time.perf_counter() - t0
+
+
+def test_preset_envelopes(results_dir: Path):
+    for preset in HEADLINE_PRESETS:
+        envelope, wall_s = _search(preset)
+        measurement = {
+            "topology": preset,
+            "iterations": ITERATIONS,
+            "probe_duration_s": PROBE_S,
+            "max_sessions": MAX_SESSIONS,
+            "envelope_sessions_per_sec": round(
+                envelope.max_sustainable_rate, 4
+            ),
+            "max_sustainable_scale": round(
+                envelope.max_sustainable_scale, 4
+            ),
+            "probes": len(envelope.probes),
+            "search_wall_s": round(wall_s, 3),
+            "checksum": envelope.checksum(),
+        }
+        _update_results(results_dir, preset, measurement)
+        if os.environ.get("TOPO_BENCH_GATE") == "1":
+            assert (
+                envelope.max_sustainable_rate >= MIN_ENVELOPE_RATE[preset]
+            ), (
+                f"{preset} envelope regressed: "
+                f"{envelope.max_sustainable_rate} sessions/s"
+            )
+
+
+def test_backend_identity(results_dir: Path):
+    # Determinism is the contract, not a timing: the vectorized and
+    # scalar backends must produce bit-identical reports on every
+    # generated fabric, asserted unconditionally.
+    checksums = {}
+    for preset in HEADLINE_PRESETS + ("repetita_wan_s0",):
+        run = dict(
+            seed=0, duration=10.0, max_sessions=60, topology=preset
+        )
+        vectorized = run_scenario(
+            "baseline", sim_backend="vectorized", **run
+        )
+        scalar = run_scenario("baseline", sim_backend="scalar", **run)
+        assert vectorized.checksum() == scalar.checksum(), (
+            f"{preset}: backends diverged"
+        )
+        checksums[preset] = vectorized.checksum()
+    _update_results(
+        results_dir,
+        "identity",
+        {"byte_identical": True, "checksums": checksums},
+    )
+
+
+def test_traffic_shift(results_dir: Path):
+    rates = {}
+    walls = {}
+    bracket_cap = None
+    for traffic in ("nlanr", "dc-incast", "dc-hotrack"):
+        envelope, wall_s = _search(f"fat_tree_k4:{traffic}")
+        rates[traffic] = envelope.max_sustainable_rate
+        walls[traffic] = round(wall_s, 3)
+        bracket_cap = envelope.base_rate * _SEARCH["hi_scale"]
+
+    measurement = {
+        "topology": "fat_tree_k4",
+        "envelope_sessions_per_sec": {
+            traffic: round(rate, 4) for traffic, rate in rates.items()
+        },
+        "search_wall_s": walls,
+    }
+    _update_results(results_dir, "traffic_shift", measurement)
+
+    # The calibrated datacenter scenarios must measurably shift the
+    # envelope relative to the WAN baseline (acceptance criterion).
+    assert rates["dc-incast"] < rates["nlanr"], (
+        f"incast did not shrink the envelope: {rates}"
+    )
+    # Hot-rack skew caps the envelope below the WAN baseline — but when
+    # a reduced smoke run right-censors *both* searches at the bracket
+    # ceiling, the comparison carries no information; only assert
+    # strictly when the baseline landed inside the bracket.
+    assert rates["dc-hotrack"] <= rates["nlanr"], (
+        f"hot-rack skew raised the envelope: {rates}"
+    )
+    if rates["nlanr"] < bracket_cap:
+        assert rates["dc-hotrack"] < rates["nlanr"], (
+            f"hot-rack skew left the envelope unchanged: {rates}"
+        )

@@ -50,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hash-space size for tenant placement (default: 2)",
     )
     parser.add_argument(
+        "--topology", default=None,
+        help=(
+            "run on a generated topology preset (repro.topo), e.g. "
+            "fat_tree_k4 or leaf_spine_4x8:dc-incast; default: the "
+            "Figure-8 Emulab testbed"
+        ),
+    )
+    parser.add_argument(
         "--rate-scale", type=float, default=1.0,
         help="multiply the scenario's arrival rates (default: 1.0)",
     )
@@ -142,6 +150,7 @@ def _run_envelope(args: argparse.Namespace) -> int:
         epoch_s=args.epoch_s,
         checkpoint_root=args.checkpoint_dir,
         hang_timeout=args.hang_timeout,
+        topology=args.topology,
     )
     wall = time.perf_counter() - t0
     print(envelope.render())
@@ -179,6 +188,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         resume=args.resume,
         hang_timeout=args.hang_timeout,
         kill_at_epoch=kill_at_epoch,
+        topology=args.topology,
     )
     wall = time.perf_counter() - t0
     print(report.render())
@@ -193,6 +203,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             rate_scale=args.rate_scale,
             duration=args.duration,
             max_sessions=args.max_sessions,
+            topology=args.topology,
         )
         if baseline.merged != report.merged:
             print(

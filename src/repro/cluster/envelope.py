@@ -35,6 +35,7 @@ def estimate_cluster_envelope(
     hang_timeout: float = 60.0,
     max_respawns: int = 2,
     obs: Optional[Observability] = None,
+    topology: Optional[str] = None,
 ) -> CapacityEnvelope:
     """:func:`repro.workload.envelope.estimate_envelope`, shard-fanned."""
     with ClusterMaster(
@@ -47,6 +48,7 @@ def estimate_cluster_envelope(
         hang_timeout=hang_timeout,
         max_respawns=max_respawns,
         obs=obs,
+        topology=topology,
     ) as master:
 
         def probe(scale: float) -> tuple[int, float]:
@@ -65,4 +67,5 @@ def estimate_cluster_envelope(
             probe_duration=probe_duration,
             max_sessions=max_sessions,
             probe_fn=probe,
+            topology=topology,
         )

@@ -32,10 +32,14 @@ def run_partitioned(
     catalog: Optional[SessionCatalog] = None,
     obs: Optional[Observability] = None,
     sim_backend: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> ClusterReport:
     """Run all partition slices in-process and merge them (the baseline)."""
     scenario = make_scenario(
-        scenario_name, rate_scale=rate_scale, duration=duration
+        scenario_name,
+        rate_scale=rate_scale,
+        duration=duration,
+        topology=topology,
     )
     partitions = partition_ids(catalog)
     payloads = {}

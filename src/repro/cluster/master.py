@@ -118,6 +118,7 @@ class ClusterMaster:
         max_respawns: int = 2,
         obs: Optional[Observability] = None,
         sim_backend: Optional[str] = None,
+        topology: Optional[str] = None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -126,6 +127,10 @@ class ClusterMaster:
         self.shards = shards
         self.epoch_s = epoch_s
         self.max_sessions = max_sessions
+        # Generated-topology reference every job of this master runs on
+        # (None = Figure-8); forwarded verbatim in each assignment so
+        # all shards realize the same topology.
+        self.topology = topology
         # Pinned into every assignment so all shards simulate with the
         # same delivery backend (None = each worker's process default;
         # harmless either way, the backends are bit-identical).
@@ -281,7 +286,10 @@ class ClusterMaster:
         job = self._job
         self._job += 1
         scenario = make_scenario(
-            self.scenario, rate_scale=rate_scale, duration=duration
+            self.scenario,
+            rate_scale=rate_scale,
+            duration=duration,
+            topology=self.topology,
         )
         boundaries = epoch_boundaries(scenario.duration, self.epoch_s)
         n_epochs = len(boundaries)
@@ -360,6 +368,7 @@ class ClusterMaster:
                 resume=resume,
                 kill_at_epoch=kill_at_epoch,
                 sim_backend=self.sim_backend,
+                topology=self.topology,
             ),
         )
 
@@ -548,6 +557,7 @@ def run_cluster_scenario(
     obs: Optional[Observability] = None,
     kill_at_epoch: Optional[dict[int, int]] = None,
     sim_backend: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> ClusterReport:
     """One-shot convenience: spawn a fleet, run one job, tear it down."""
     with ClusterMaster(
@@ -561,6 +571,7 @@ def run_cluster_scenario(
         max_respawns=max_respawns,
         obs=obs,
         sim_backend=sim_backend,
+        topology=topology,
     ) as master:
         return master.run(
             rate_scale=rate_scale,

@@ -160,6 +160,7 @@ def assign(
     resume: bool = False,
     kill_at_epoch: Optional[int] = None,
     sim_backend: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> dict[str, Any]:
     return {
         "type": "assign",
@@ -178,6 +179,12 @@ def assign(
         # worker process's own REPRO_SIM_BACKEND default).  Shard output
         # is bit-identical either way; this pins the choice cluster-wide.
         "sim_backend": sim_backend,
+        # Generated-topology reference (repro.topo preset string);
+        # None = the Figure-8 testbed.  Workers read it with .get(),
+        # so old workers ignore it rather than crash — but the master
+        # and workers already share a code fingerprint via the
+        # handshake, which rules out genuine version skew.
+        "topology": topology,
     }
 
 

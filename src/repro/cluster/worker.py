@@ -82,6 +82,8 @@ def _run_job(
         assign["scenario"],
         rate_scale=float(assign["rate_scale"]),
         duration=assign["duration"],
+        # .get(): masters predating the field omit it (= Figure-8).
+        topology=assign.get("topology"),
     )
     duration = scenario.duration
     epoch_s = float(assign["epoch_s"])
@@ -115,6 +117,10 @@ def _run_job(
                 "partition": partition,
                 "rate_scale": float(assign["rate_scale"]),
                 "duration": duration,
+                # Guards against resuming a snapshot from a different
+                # topology; None (Figure-8) matches legacy snapshots,
+                # whose meta simply lacks the key.
+                "topology": scenario.topology,
             }
 
     boundaries = epoch_boundaries(duration, epoch_s)

@@ -127,6 +127,48 @@ class Topology:
             )
         return [self.path(names) for names in all_paths[:k]]
 
+    def edge_disjoint_paths(
+        self, src: str, dst: str, k: int = 2
+    ) -> list[OverlayPath]:
+        """Up to ``k`` edge-disjoint paths from ``src`` to ``dst``.
+
+        Edge-disjoint is the weaker guarantee (paths may share routers
+        but never a link — i.e. never a bottleneck), which some
+        generated fabrics can satisfy at higher ``k`` than full node
+        disjointness.  Extraction is the deterministic greedy peeling
+        of :mod:`repro.topo.paths` — a pure function of the graph's
+        structure, independent of construction order — with an exact
+        max-flow fallback when greedy under-counts.  Raises if fewer
+        than ``k`` such paths exist.
+        """
+        from repro.topo.paths import greedy_disjoint_routes
+
+        if src not in self._nodes or dst not in self._nodes:
+            raise TopologyError(f"unknown endpoint in {src!r}->{dst!r}")
+        adjacency = {
+            node: set(self._graph.successors(node))
+            for node in self._graph
+        }
+        found = greedy_disjoint_routes(
+            adjacency, src, dst, k, disjoint="edge"
+        )
+        if len(found) < k:
+            try:
+                exact = sorted(
+                    nx.edge_disjoint_paths(self._graph, src, dst), key=len
+                )
+            except nx.NetworkXNoPath:
+                exact = []
+            if len(exact) >= k:
+                found = [list(route) for route in exact[:k]]
+            else:
+                count = max(len(found), len(exact))
+                raise TopologyError(
+                    f"only {count} edge-disjoint paths from {src} to "
+                    f"{dst}; {k} requested"
+                )
+        return [self.path(names) for names in found[:k]]
+
     def shared_links(self, paths: Iterable[OverlayPath]) -> set[str]:
         """Names of links used by more than one of the given paths.
 

@@ -106,6 +106,15 @@ HEADLINE_METRICS: dict[str, tuple[str, tuple[str, ...], str]] = {
         "BENCH_cluster.json",
         ("scaleout", "latest", "sessions_per_sec_4"), "higher",
     ),
+    "topo.envelope_sessions_per_sec.fat_tree": (
+        "BENCH_topo.json",
+        ("fat_tree_k4", "latest", "envelope_sessions_per_sec"), "higher",
+    ),
+    "topo.envelope_sessions_per_sec.leaf_spine": (
+        "BENCH_topo.json",
+        ("leaf_spine_4x8", "latest", "envelope_sessions_per_sec"),
+        "higher",
+    ),
 }
 
 

@@ -100,20 +100,41 @@ class OverlayMesh:
             raise TopologyError(f"no logical link {src}->{dst}") from None
 
     def routes(self, src: str, dst: str, k: int = 1) -> list[list[str]]:
-        """Up to ``k`` node-disjoint routes (as node-name lists)."""
+        """Up to ``k`` node-disjoint routes (as node-name lists).
+
+        Extraction is deterministic greedy shortest-route peeling with
+        lexicographic tie-breaking (:mod:`repro.topo.paths`): a pure
+        function of the mesh's *structure*, never of link insertion
+        order.  ``networkx``'s max-flow decomposition — whose result
+        does depend on construction order — remains only as an exact
+        fallback for adversarial meshes where greedy under-counts.
+        """
+        from repro.topo.paths import greedy_disjoint_routes
+
         if src not in self._graph or dst not in self._graph:
             raise TopologyError(f"unknown endpoint in {src!r}->{dst!r}")
-        try:
-            found = sorted(
-                nx.node_disjoint_paths(self._graph, src, dst), key=len
-            )
-        except nx.NetworkXNoPath:
-            found = []
+        adjacency = {
+            node: set(self._graph.successors(node))
+            for node in self._graph
+        }
+        found = greedy_disjoint_routes(
+            adjacency, src, dst, k, disjoint="node"
+        )
         if len(found) < k:
-            raise TopologyError(
-                f"only {len(found)} node-disjoint routes from {src} to {dst}; "
-                f"{k} requested"
-            )
+            try:
+                exact = sorted(
+                    nx.node_disjoint_paths(self._graph, src, dst), key=len
+                )
+            except nx.NetworkXNoPath:
+                exact = []
+            if len(exact) >= k:
+                found = [list(route) for route in exact[:k]]
+            else:
+                count = max(len(found), len(exact))
+                raise TopologyError(
+                    f"only {count} node-disjoint routes from {src} to "
+                    f"{dst}; {k} requested"
+                )
         return [list(route) for route in found[:k]]
 
     def realize(

@@ -33,7 +33,12 @@ from repro.harness.figures import FIGURES
 from repro.obs.context import Observability
 from repro.runner.cache import ResultCache
 from repro.runner.executor import RunReport, run_specs
-from repro.runner.suite import chaos_spec, figure_suite, scale_suite
+from repro.runner.suite import (
+    chaos_spec,
+    figure_suite,
+    scale_suite,
+    topo_suite,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also run the scale suite: every workload scenario plus "
             "the baseline capacity envelope (shrunk under --fast)"
+        ),
+    )
+    parser.add_argument(
+        "--with-topo",
+        action="store_true",
+        help=(
+            "also run the generated-topology suite: churn + capacity "
+            "envelope on one preset per topology family (shrunk under "
+            "--fast)"
         ),
     )
     parser.add_argument(
@@ -215,6 +229,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         specs.append(chaos_spec())
     if args.with_scale:
         specs.extend(scale_suite(fast=args.fast))
+    if args.with_topo:
+        specs.extend(topo_suite(fast=args.fast))
 
     output_dir = args.output_dir
     if output_dir is None:

@@ -65,6 +65,11 @@ def chaos_spec(
     )
 
 
+def _topo_slug(topology: str) -> str:
+    """Filesystem/name-safe form of a topology reference."""
+    return topology.replace(":", "+")
+
+
 def workload_spec(
     scenario: str,
     *,
@@ -72,8 +77,14 @@ def workload_spec(
     rate_scale: float = 1.0,
     duration: Optional[float] = None,
     max_sessions: Optional[int] = None,
+    topology: Optional[str] = None,
 ) -> RunSpec:
-    """One churn scenario (see :mod:`repro.workload`) as a spec."""
+    """One churn scenario (see :mod:`repro.workload`) as a spec.
+
+    ``topology`` (a :mod:`repro.topo` preset reference) joins the params
+    — and so the spec's content hash — only when set, keeping every
+    pre-existing Figure-8 spec hash (and its cached results) stable.
+    """
     params: dict = {"scenario": scenario}
     if rate_scale != 1.0:
         params["rate_scale"] = rate_scale
@@ -81,9 +92,14 @@ def workload_spec(
         params["duration"] = duration
     if max_sessions is not None:
         params["max_sessions"] = max_sessions
+    if topology is not None:
+        params["topology"] = topology
+    name = f"workload-{scenario}-s{seed}"
+    if topology is not None:
+        name = f"workload-{scenario}-{_topo_slug(topology)}-s{seed}"
     return RunSpec(
         kind="workload",
-        name=f"workload-{scenario}-s{seed}",
+        name=name,
         params=params,
         seed=seed,
     )
@@ -97,6 +113,7 @@ def envelope_spec(
     iterations: int = 6,
     probe_duration: float = 30.0,
     max_sessions: Optional[int] = None,
+    topology: Optional[str] = None,
 ) -> RunSpec:
     """One capacity-envelope search as a spec."""
     params: dict = {
@@ -107,9 +124,14 @@ def envelope_spec(
     }
     if max_sessions is not None:
         params["max_sessions"] = max_sessions
+    if topology is not None:
+        params["topology"] = topology
+    name = f"envelope-{scenario}-s{seed}"
+    if topology is not None:
+        name = f"envelope-{scenario}-{_topo_slug(topology)}-s{seed}"
     return RunSpec(
         kind="envelope",
-        name=f"envelope-{scenario}-s{seed}",
+        name=name,
         params=params,
         seed=seed,
     )
@@ -124,6 +146,7 @@ def cluster_spec(
     duration: Optional[float] = None,
     max_sessions: Optional[int] = None,
     epoch_s: float = 2.0,
+    topology: Optional[str] = None,
 ) -> RunSpec:
     """One sharded cluster run (see :mod:`repro.cluster`) as a spec.
 
@@ -141,9 +164,14 @@ def cluster_spec(
         params["max_sessions"] = max_sessions
     if epoch_s != 2.0:
         params["epoch_s"] = epoch_s
+    if topology is not None:
+        params["topology"] = topology
+    name = f"cluster-{scenario}-x{shards}-s{seed}"
+    if topology is not None:
+        name = f"cluster-{scenario}-{_topo_slug(topology)}-x{shards}-s{seed}"
     return RunSpec(
         kind="cluster",
-        name=f"cluster-{scenario}-x{shards}-s{seed}",
+        name=name,
         params=params,
         seed=seed,
     )
@@ -171,6 +199,55 @@ def scale_suite(*, seed: int = 0, fast: bool = False) -> list[RunSpec]:
             max_sessions=max_sessions,
         )
     )
+    return specs
+
+
+#: The topology presets (one per generator family) the topo suite and
+#: CI's topo-smoke job exercise.
+TOPO_SUITE_PRESETS = ("fat_tree_k4", "leaf_spine_4x8", "repetita_wan_s0")
+
+
+def topo_suite(
+    *,
+    seed: int = 0,
+    fast: bool = False,
+    topologies: Optional[Sequence[str]] = None,
+    traffic: Optional[Sequence[str]] = None,
+) -> list[RunSpec]:
+    """The generated-topology evaluation: churn + envelope per preset.
+
+    One baseline churn run and one capacity-envelope search per
+    topology reference; ``traffic`` appends ``preset:traffic`` variants
+    of the *first* preset (the datacenter traffic-shift comparison).
+    ``fast`` truncates plans and shortens the envelope search exactly
+    like :func:`scale_suite` does.
+    """
+    refs = list(
+        TOPO_SUITE_PRESETS if topologies is None else topologies
+    )
+    if traffic:
+        refs += [f"{refs[0].partition(':')[0]}:{t}" for t in traffic]
+    max_sessions = 120 if fast else None
+    specs: list[RunSpec] = []
+    for ref in refs:
+        specs.append(
+            workload_spec(
+                "baseline",
+                seed=seed,
+                max_sessions=max_sessions,
+                topology=ref,
+            )
+        )
+        specs.append(
+            envelope_spec(
+                "baseline",
+                seed=seed,
+                iterations=2 if fast else 6,
+                probe_duration=15.0 if fast else 30.0,
+                max_sessions=max_sessions,
+                topology=ref,
+            )
+        )
     return specs
 
 

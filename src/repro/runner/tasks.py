@@ -221,6 +221,7 @@ def run_workload(
     rate_scale = float(spec.params.get("rate_scale", 1.0))
     duration = spec.params.get("duration")
     max_sessions = spec.params.get("max_sessions")
+    topology = spec.params.get("topology")
     if runtime is None or runtime.checkpoint_dir is None:
         report = run_scenario(
             name,
@@ -228,6 +229,7 @@ def run_workload(
             rate_scale=rate_scale,
             duration=duration,
             max_sessions=max_sessions,
+            topology=topology,
         )
     else:
         from repro.checkpoint import (
@@ -253,7 +255,12 @@ def run_workload(
                 switch.maybe_kill(t)
 
         report = run_scale_scenario_checkpointed(
-            make_scenario(name, rate_scale=rate_scale, duration=duration),
+            make_scenario(
+                name,
+                rate_scale=rate_scale,
+                duration=duration,
+                topology=topology,
+            ),
             CheckpointStore(runtime.checkpoint_dir),
             seed=seed,
             max_sessions=max_sessions,
@@ -319,6 +326,7 @@ def run_envelope(
         max_sessions=spec.params.get("max_sessions"),
         resume_probes=resume_probes,
         on_probe=on_probe,
+        topology=spec.params.get("topology"),
     )
     return {
         "report": envelope.render() + "\n",
@@ -362,6 +370,7 @@ def run_cluster(
         checkpoint_root=checkpoint_root,
         resume=resume,
         hang_timeout=float(spec.params.get("hang_timeout", 60.0)),
+        topology=spec.params.get("topology"),
     )
     if runtime is not None:
         runtime.beat()

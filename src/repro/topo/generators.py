@@ -1,0 +1,390 @@
+"""Parametric, seeded topology generators.
+
+Three families, all emitting the *existing* substrate objects —
+:class:`repro.network.topology.Topology`,
+:class:`repro.network.path.OverlayPath`, and (through the inherited
+``realize``) :class:`repro.network.emulab.TestbedRealization` — so the
+entire middleware/workload/cluster stack runs on a generated topology
+without knowing it is not the Figure-8 testbed:
+
+``fat_tree``
+    The classic k-ary fat-tree: ``(k/2)^2`` cores, ``k`` pods of
+    ``k/2`` aggregation + ``k/2`` edge switches, ``hosts_per_edge``
+    hosts per edge switch.  The overlay server/client are multi-homed
+    to ``n_paths`` edge switches of the first/last pod (the same
+    multi-access pattern as the paper's N-1), yielding ``n_paths``
+    node-disjoint overlay paths by construction.
+``leaf_spine``
+    A two-tier Clos: every leaf connects to every spine.  Server and
+    client are multi-homed to disjoint leaf sets; path ``i`` runs
+    ``server -> leaf_i -> spine_i -> leaf_{n-1-i} -> client``.
+``repetita_wan``
+    A REPETITA-style repeatable random WAN: a biconnected ring with
+    seeded chord links and seeded per-link delays.  Same
+    ``(params, seed)``, same instance — byte for byte.
+
+Per-path cross traffic lands on each overlay path's designated
+*bottleneck* link (the first inter-switch hop, like Figure 8's
+``N-2 -> N-4``) according to the spec's traffic scenario; see
+:mod:`repro.topo.traffic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.network.emulab import EmulabTestbed
+from repro.network.link import Link
+from repro.network.node import Node, NodeKind
+from repro.network.topology import Topology
+from repro.runner.cache import payload_digest
+from repro.sim.random import RandomStreams
+from repro.topo.spec import TopoSpec
+from repro.topo.traffic import bottleneck_sources
+
+#: Generated links default to the testbed's fast-ethernet capacity so
+#: per-path envelope numbers are comparable across families.
+LINK_CAPACITY_MBPS = 100.0
+
+#: One-way delay of a datacenter hop (switch-to-switch), milliseconds.
+DC_LINK_DELAY_MS = 0.1
+
+#: One-way delay of a server/client access link, milliseconds.
+ACCESS_DELAY_MS = 0.5
+
+#: WAN delays are drawn per link from this range (milliseconds).
+WAN_DELAY_RANGE_MS = (3.0, 12.0)
+
+
+@dataclass(frozen=True)
+class GeneratedTestbed(EmulabTestbed):
+    """A generated testbed: the Figure-8 contract plus its recipe.
+
+    Inherits ``realize`` — per-link cross-traffic sampling, bottleneck
+    composition, and :func:`repro.network.qos.realize_qos` under the
+    same ``RandomStreams`` substream discipline — so a
+    :class:`~repro.network.emulab.TestbedRealization` built here is
+    indistinguishable to the middleware from a Figure-8 one.
+    """
+
+    spec: TopoSpec = None  # type: ignore[assignment]
+    #: Names of the per-path bottleneck links carrying cross traffic,
+    #: ordered by path index.
+    bottlenecks: tuple[str, ...] = ()
+
+    def structure_dict(self) -> dict[str, Any]:
+        """Canonical description of the built instance."""
+        links = []
+        for link in sorted(self.topology.links, key=lambda l: l.name):
+            links.append(
+                {
+                    "a": link.a.name,
+                    "b": link.b.name,
+                    "capacity_mbps": link.capacity_mbps,
+                    "delay_ms": round(link.delay_ms, 9),
+                    "loss_rate": link.loss_rate,
+                    "sources": sorted(s.name for s in link.cross_traffic),
+                }
+            )
+        return {
+            "spec": self.spec.to_dict(),
+            "nodes": sorted(
+                (node.name, node.kind.value) for node in self.topology.nodes
+            ),
+            "links": links,
+            "paths": {
+                name: [n.name for n in path.nodes]
+                for name, path in sorted(self.paths.items())
+            },
+            "bottlenecks": list(self.bottlenecks),
+        }
+
+    def checksum(self) -> str:
+        """Digest of the built structure — the reproducibility proof."""
+        return payload_digest(self.structure_dict())
+
+
+def topo_checksum(testbed: GeneratedTestbed) -> str:
+    """Canonical checksum of a generated instance (module-level form)."""
+    return testbed.checksum()
+
+
+# ----------------------------------------------------------------------
+# shared scaffolding
+# ----------------------------------------------------------------------
+def _add_link(
+    topo: Topology,
+    a: Node,
+    b: Node,
+    delay_ms: float,
+    capacity_mbps: float = LINK_CAPACITY_MBPS,
+) -> Link:
+    link = Link(
+        a=a, b=b, capacity_mbps=capacity_mbps, delay_ms=delay_ms
+    )
+    topo.add_link(link)
+    return link
+
+
+def _finalize(
+    topo: Topology,
+    spec: TopoSpec,
+    server: Node,
+    client: Node,
+    routes: list[list[str]],
+) -> GeneratedTestbed:
+    """Name paths, attach per-path cross traffic, verify disjointness."""
+    paths = {}
+    bottlenecks = []
+    for i, route in enumerate(routes):
+        path = topo.path(route)
+        name = f"P{i}"
+        paths[name] = path
+        if path.hop_count < 2:
+            raise ConfigurationError(
+                f"path {name} too short to designate a bottleneck"
+            )
+        # The hop after the access link — where Figure 8 puts its
+        # bottlenecks — carries the traffic scenario's sources.
+        bottleneck = path.links[1]
+        for source in bottleneck_sources(spec.traffic, i, bottleneck):
+            bottleneck.add_cross_traffic(source)
+        bottlenecks.append(bottleneck.name)
+    shared = topo.shared_links(paths.values())
+    if shared:
+        raise ConfigurationError(
+            f"overlay paths of {spec.label()} share links: {sorted(shared)}"
+        )
+    interiors: set[str] = set()
+    for path in paths.values():
+        inner = {n.name for n in path.nodes[1:-1]}
+        if inner & interiors:
+            raise ConfigurationError(
+                f"overlay paths of {spec.label()} share interior nodes"
+            )
+        interiors |= inner
+    return GeneratedTestbed(
+        topology=topo,
+        server=server,
+        client=client,
+        paths=paths,
+        spec=spec,
+        bottlenecks=tuple(bottlenecks),
+    )
+
+
+# ----------------------------------------------------------------------
+# fat-tree
+# ----------------------------------------------------------------------
+def build_fat_tree(spec: TopoSpec) -> GeneratedTestbed:
+    """The k-ary fat-tree family (``k`` even, ``>= 4``)."""
+    params = spec.param_dict()
+    k = int(params.get("k", 4))
+    if k < 4 or k % 2:
+        raise ConfigurationError(f"fat_tree needs even k >= 4, got {k}")
+    half = k // 2
+    hosts_per_edge = int(params.get("hosts_per_edge", half))
+    if spec.n_paths > half:
+        raise ConfigurationError(
+            f"fat_tree k={k} supports at most {half} disjoint paths, "
+            f"{spec.n_paths} requested"
+        )
+    topo = Topology()
+    cores = [
+        topo.add_node(Node(f"C{c}", NodeKind.ROUTER))
+        for c in range(half * half)
+    ]
+    aggs: dict[tuple[int, int], Node] = {}
+    edges: dict[tuple[int, int], Node] = {}
+    for p in range(k):
+        for i in range(half):
+            aggs[p, i] = topo.add_node(Node(f"A{p}-{i}", NodeKind.ROUTER))
+            edges[p, i] = topo.add_node(Node(f"E{p}-{i}", NodeKind.ROUTER))
+        for e in range(half):
+            for a in range(half):
+                _add_link(topo, edges[p, e], aggs[p, a], DC_LINK_DELAY_MS)
+            for h in range(hosts_per_edge):
+                host = topo.add_node(
+                    Node(f"H{p}-{e}-{h}", NodeKind.HOST)
+                )
+                _add_link(topo, host, edges[p, e], DC_LINK_DELAY_MS)
+        for a in range(half):
+            for c in range(half):
+                _add_link(
+                    topo, aggs[p, a], cores[a * half + c], DC_LINK_DELAY_MS
+                )
+    server = topo.add_node(Node("SRV", NodeKind.SERVER))
+    client = topo.add_node(Node("CLT", NodeKind.CLIENT))
+    src_pod, dst_pod = 0, k - 1
+    routes = []
+    for i in range(spec.n_paths):
+        _add_link(topo, server, edges[src_pod, i], ACCESS_DELAY_MS)
+        _add_link(topo, edges[dst_pod, i], client, ACCESS_DELAY_MS)
+        routes.append(
+            [
+                server.name,
+                f"E{src_pod}-{i}",
+                f"A{src_pod}-{i}",
+                f"C{i * half}",
+                f"A{dst_pod}-{i}",
+                f"E{dst_pod}-{i}",
+                client.name,
+            ]
+        )
+    return _finalize(topo, spec, server, client, routes)
+
+
+# ----------------------------------------------------------------------
+# leaf-spine
+# ----------------------------------------------------------------------
+def build_leaf_spine(spec: TopoSpec) -> GeneratedTestbed:
+    """The two-tier leaf-spine family."""
+    params = spec.param_dict()
+    n_spine = int(params.get("n_spine", 2))
+    n_leaf = int(params.get("n_leaf", 4))
+    hosts_per_leaf = int(params.get("hosts_per_leaf", 2))
+    if n_spine < 1 or n_leaf < 2:
+        raise ConfigurationError(
+            f"leaf_spine needs n_spine >= 1 and n_leaf >= 2, "
+            f"got {n_spine}, {n_leaf}"
+        )
+    if spec.n_paths > min(n_spine, n_leaf // 2):
+        raise ConfigurationError(
+            f"leaf_spine {n_spine}x{n_leaf} supports at most "
+            f"{min(n_spine, n_leaf // 2)} disjoint paths, "
+            f"{spec.n_paths} requested"
+        )
+    topo = Topology()
+    spines = [
+        topo.add_node(Node(f"S{s}", NodeKind.ROUTER))
+        for s in range(n_spine)
+    ]
+    leaves = [
+        topo.add_node(Node(f"L{l}", NodeKind.ROUTER))
+        for l in range(n_leaf)
+    ]
+    for leaf in leaves:
+        for spine in spines:
+            _add_link(topo, leaf, spine, DC_LINK_DELAY_MS)
+    for l in range(n_leaf):
+        for h in range(hosts_per_leaf):
+            host = topo.add_node(Node(f"H{l}-{h}", NodeKind.HOST))
+            _add_link(topo, host, leaves[l], DC_LINK_DELAY_MS)
+    server = topo.add_node(Node("SRV", NodeKind.SERVER))
+    client = topo.add_node(Node("CLT", NodeKind.CLIENT))
+    routes = []
+    for i in range(spec.n_paths):
+        src_leaf, dst_leaf = leaves[i], leaves[n_leaf - 1 - i]
+        _add_link(topo, server, src_leaf, ACCESS_DELAY_MS)
+        _add_link(topo, dst_leaf, client, ACCESS_DELAY_MS)
+        routes.append(
+            [
+                server.name,
+                src_leaf.name,
+                spines[i].name,
+                dst_leaf.name,
+                client.name,
+            ]
+        )
+    return _finalize(topo, spec, server, client, routes)
+
+
+# ----------------------------------------------------------------------
+# REPETITA-style repeatable random WAN
+# ----------------------------------------------------------------------
+def build_repetita_wan(spec: TopoSpec) -> GeneratedTestbed:
+    """A seeded random WAN: biconnected ring + chords, seeded delays.
+
+    Chords are drawn *within* each half of the ring (the clockwise arc
+    ``W1..W{n/2}`` and the counter-clockwise arc ``W{n/2+1}..W{n-1}``)
+    so the two arc-side overlay paths stay node-disjoint no matter
+    which chords the seed produces.
+    """
+    params = spec.param_dict()
+    n_nodes = int(params.get("n_nodes", 12))
+    chords = int(params.get("chords", 4))
+    if n_nodes < 6:
+        raise ConfigurationError(
+            f"repetita_wan needs n_nodes >= 6, got {n_nodes}"
+        )
+    if spec.n_paths != 2:
+        raise ConfigurationError(
+            "repetita_wan extracts exactly 2 arc-disjoint paths; "
+            f"n_paths={spec.n_paths} unsupported"
+        )
+    streams = RandomStreams(spec.seed)
+    delay_rng = streams.fresh("topo/repetita/delays")
+    chord_rng = streams.fresh("topo/repetita/chords")
+    lo, hi = WAN_DELAY_RANGE_MS
+
+    topo = Topology()
+    ring = [
+        topo.add_node(Node(f"W{i}", NodeKind.ROUTER))
+        for i in range(n_nodes)
+    ]
+    for i in range(n_nodes):
+        _add_link(
+            topo,
+            ring[i],
+            ring[(i + 1) % n_nodes],
+            delay_ms=float(delay_rng.uniform(lo, hi)),
+        )
+    half = n_nodes // 2
+    cw_arc = list(range(1, half))            # clockwise interior
+    ccw_arc = list(range(half + 1, n_nodes))  # counter-clockwise interior
+    added: set[tuple[int, int]] = set()
+    for c in range(chords):
+        arc = cw_arc if c % 2 == 0 else ccw_arc
+        # Rejection-sample a fresh non-adjacent in-arc pair; bounded
+        # tries keep generation total even for tiny arcs.
+        for _ in range(32):
+            a, b = sorted(
+                int(x) for x in chord_rng.choice(arc, size=2, replace=False)
+            )
+            if b - a > 1 and (a, b) not in added:
+                added.add((a, b))
+                _add_link(
+                    topo,
+                    ring[a],
+                    ring[b],
+                    delay_ms=float(delay_rng.uniform(lo, hi)),
+                )
+                break
+    server = topo.add_node(Node("SRV", NodeKind.SERVER))
+    client = topo.add_node(Node("CLT", NodeKind.CLIENT))
+    # Multi-homed endpoints: the two arcs between the attachment points
+    # are node-disjoint by the ring's construction.
+    _add_link(topo, server, ring[1], ACCESS_DELAY_MS)
+    _add_link(topo, server, ring[n_nodes - 1], ACCESS_DELAY_MS)
+    _add_link(topo, ring[half - 1], client, ACCESS_DELAY_MS)
+    _add_link(topo, ring[half + 1], client, ACCESS_DELAY_MS)
+    routes = [
+        [server.name]
+        + [f"W{i}" for i in range(1, half)]
+        + [client.name],
+        [server.name]
+        + [f"W{i}" for i in range(n_nodes - 1, half, -1)]
+        + [client.name],
+    ]
+    return _finalize(topo, spec, server, client, routes)
+
+
+#: Family registry: family name -> builder.
+FAMILIES: dict[str, Callable[[TopoSpec], GeneratedTestbed]] = {
+    "fat_tree": build_fat_tree,
+    "leaf_spine": build_leaf_spine,
+    "repetita_wan": build_repetita_wan,
+}
+
+
+def build_testbed(spec: TopoSpec) -> GeneratedTestbed:
+    """Build the testbed one spec describes (the family dispatch)."""
+    builder = FAMILIES.get(spec.family)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown topology family {spec.family!r}; "
+            f"known: {sorted(FAMILIES)}"
+        )
+    return builder(spec)

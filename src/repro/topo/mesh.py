@@ -1,0 +1,47 @@
+"""Overlay meshes built from generated topologies.
+
+The S3-style route tests (and any mesh-level experiment) need an
+:class:`repro.overlay.mesh.OverlayMesh` whose logical links mirror a
+generated underlay: one directed logical link per switch-level underlay
+link.  Hosts and cross-traffic nodes are excluded — the overlay routes
+between server, client, and switch-resident router daemons, exactly as
+on the Figure-8 testbed.
+"""
+
+from __future__ import annotations
+
+from repro.network.node import NodeKind
+from repro.overlay.mesh import OverlayMesh
+from repro.topo.generators import GeneratedTestbed
+
+#: Node kinds the overlay can route through.
+MESH_KINDS = (NodeKind.SERVER, NodeKind.CLIENT, NodeKind.ROUTER)
+
+#: Profile rotation for mesh logical links: calibrated NLANR profiles
+#: assigned round-robin over the *sorted* link names, so the assignment
+#: is a pure function of structure (insertion-order independent).
+MESH_PROFILE_ROTATION = ("calm", "light", "steady")
+
+
+def overlay_mesh_from_testbed(testbed: GeneratedTestbed) -> OverlayMesh:
+    """Mirror a generated testbed's switch fabric as an overlay mesh.
+
+    Links are added in sorted-name order and profiles are assigned by
+    that same order, so two testbeds with the same *structure* produce
+    byte-identical meshes no matter how their nodes were inserted.
+    """
+    kinds = {node.name: node.kind for node in testbed.topology.nodes}
+    mesh = OverlayMesh()
+    links = sorted(testbed.topology.links, key=lambda l: l.name)
+    for i, link in enumerate(links):
+        if kinds[link.a.name] not in MESH_KINDS:
+            continue
+        if kinds[link.b.name] not in MESH_KINDS:
+            continue
+        mesh.add_link(
+            link.a.name,
+            link.b.name,
+            profile=MESH_PROFILE_ROTATION[i % len(MESH_PROFILE_ROTATION)],
+            capacity_mbps=link.capacity_mbps,
+        )
+    return mesh

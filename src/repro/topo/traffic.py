@@ -1,0 +1,291 @@
+"""Datacenter cross-traffic calibrated to benchmarking reality.
+
+The NLANR-style profiles in :mod:`repro.traces.nlanr` model WAN
+backbone links.  Datacenter links look different — per "Traffic
+Generation for Benchmarking Data Centre Networks" (Parsonson et al.,
+PAPERS.md) the load is dominated by three effects this module models
+explicitly:
+
+* **heavy-tailed flow sizes** — most flows are mice, most *bytes*
+  travel in elephants; the flow-size distribution has a log-normal body
+  and a Pareto tail (:class:`DCFlowTraffic`);
+* **incast** — synchronized fan-in (e.g. a partition/aggregate step)
+  lands many simultaneous flows on one victim leaf, producing short
+  near-line-rate spikes (:class:`IncastTraffic`);
+* **hot-rack skew** — rack-to-rack demand is far from uniform; a few
+  hot racks carry a disproportionate share (modeled by per-path mean
+  scaling in :func:`bottleneck_sources`).
+
+Every generator is ``CrossTrafficSource``-compatible: it exposes
+``sample(n, rng)`` like :class:`repro.traces.nlanr.CrossTrafficProfile`
+and is attached to links through the *same*
+:class:`~repro.network.crosstraffic.CrossTrafficSource` wrapper, so the
+``RandomStreams`` substream discipline (one named ``fresh`` stream per
+source) — and therefore byte-determinism per seed — carries over
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.crosstraffic import CrossTrafficSource
+from repro.network.link import Link
+
+#: Pareto shape of the elephant tail.  1 < alpha < 2: finite mean,
+#: infinite variance — the canonical datacenter flow-size regime.
+ELEPHANT_ALPHA = 1.6
+
+#: NLANR profile rotation for the default (WAN-like) traffic scenario:
+#: path 0 gets the stabler profile, path 1 the noisier one — mirroring
+#: the Figure-8 testbed's path-A/path-B asymmetry — and further paths
+#: cycle through the remaining calibrated profiles.
+NLANR_ROTATION = ("abilene-moderate", "abilene-noisy", "auckland", "light")
+
+
+@dataclass(frozen=True)
+class DCFlowTraffic:
+    """Aggregate rate of a heavy-tailed datacenter flow arrival process.
+
+    Flows arrive Poisson at a rate chosen so the long-run mean load is
+    ``mean_mbps``; each flow's size is log-normal (the mice body) with
+    probability ``1 - elephant_prob``, else Pareto (the elephant tail),
+    and transmits at a constant ``flow_rate_mbps`` until drained.  The
+    per-interval aggregate is the sum of concurrently active flows'
+    rates — bursty at short timescales, calibrated in the mean.
+
+    Attributes
+    ----------
+    name:
+        Label (also part of the RNG substream key via the wrapping
+        :class:`~repro.network.crosstraffic.CrossTrafficSource`).
+    mean_mbps:
+        Long-run mean aggregate rate the process is calibrated to.
+    mice_mb, mice_sigma:
+        Median (megabits) and log-std of the log-normal body.
+    elephant_prob:
+        Probability a flow is an elephant (Pareto-tailed).
+    elephant_min_mb:
+        Pareto scale: the smallest elephant, in megabits.
+    flow_rate_mbps:
+        Per-flow transmission rate (the sender's pacing/NIC share).
+    """
+
+    name: str
+    mean_mbps: float
+    mice_mb: float = 0.4
+    mice_sigma: float = 1.0
+    elephant_prob: float = 0.07
+    elephant_min_mb: float = 8.0
+    flow_rate_mbps: float = 8.0
+
+    def __post_init__(self):
+        if self.mean_mbps < 0:
+            raise ConfigurationError(
+                f"mean_mbps must be >= 0, got {self.mean_mbps}"
+            )
+        if not 0.0 <= self.elephant_prob < 1.0:
+            raise ConfigurationError(
+                f"elephant_prob must be in [0, 1), got {self.elephant_prob}"
+            )
+        if min(self.mice_mb, self.elephant_min_mb, self.flow_rate_mbps) <= 0:
+            raise ConfigurationError(
+                f"sizes and flow rate must be positive in {self.name!r}"
+            )
+
+    def mean_flow_mb(self) -> float:
+        """Expected flow size (megabits) under the mixture."""
+        mice = self.mice_mb * math.exp(self.mice_sigma**2 / 2)
+        elephant = (
+            ELEPHANT_ALPHA * self.elephant_min_mb / (ELEPHANT_ALPHA - 1.0)
+        )
+        return (
+            (1.0 - self.elephant_prob) * mice
+            + self.elephant_prob * elephant
+        )
+
+    def arrivals_per_s(self) -> float:
+        """Flow arrival rate that yields the calibrated mean load."""
+        return self.mean_mbps / self.mean_flow_mb()
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Aggregate rate (Mbps) over ``n`` measurement intervals.
+
+        The calibration constants assume the testbed's measurement
+        interval (0.1 s), which is what every realization in the stack
+        uses; :class:`CrossTrafficSource` hands ``sample`` only the
+        interval count, exactly as for the NLANR profiles.
+        """
+        dt = 0.1
+        arrivals = rng.poisson(self.arrivals_per_s() * dt, size=n)
+        total = int(arrivals.sum())
+        if total == 0:
+            return np.zeros(n)
+        is_elephant = rng.random(total) < self.elephant_prob
+        mice = self.mice_mb * rng.lognormal(0.0, self.mice_sigma, total)
+        elephants = self.elephant_min_mb * (1.0 + rng.pareto(
+            ELEPHANT_ALPHA, total
+        ))
+        sizes_mb = np.where(is_elephant, elephants, mice)
+        # Each flow holds flow_rate_mbps for floor(size / rate / dt)
+        # whole intervals plus one partial interval carrying the
+        # residual, so delivered megabits equal the sampled size
+        # exactly — otherwise rounding up would inflate the long-run
+        # mean well above the calibration (mice are smaller than one
+        # full-rate interval).  Accumulate via delta arrays + cumsum.
+        per_interval_mb = self.flow_rate_mbps * dt
+        full = np.floor(sizes_mb / per_interval_mb).astype(int)
+        resid_rate = (sizes_mb - full * per_interval_mb) / dt
+        starts = np.repeat(np.arange(n), arrivals)
+        delta = np.zeros(n + 1)
+        np.add.at(delta, starts, self.flow_rate_mbps)
+        np.add.at(
+            delta, np.minimum(starts + full, n), -self.flow_rate_mbps
+        )
+        np.add.at(delta, np.minimum(starts + full, n), resid_rate)
+        np.add.at(delta, np.minimum(starts + full + 1, n), -resid_rate)
+        # cumsum of cancelling float deltas can leave ~1e-13 residue.
+        return np.maximum(np.cumsum(delta[:n]), 0.0)
+
+
+@dataclass(frozen=True)
+class IncastTraffic:
+    """Synchronized fan-in bursts onto a victim link.
+
+    Every ``period_s`` (with seeded phase jitter) ``fan_in`` senders
+    simultaneously push ``request_mb`` each at ``flow_rate_mbps`` —
+    a partition/aggregate barrier hitting one leaf.  The aggregate
+    spike is ``fan_in * flow_rate_mbps`` for however many intervals the
+    requests take to drain, typically enough to swamp the link outright
+    for a few hundred milliseconds.
+    """
+
+    name: str
+    fan_in: int = 24
+    request_mb: float = 1.0
+    flow_rate_mbps: float = 6.0
+    period_s: float = 2.5
+    jitter_s: float = 0.4
+
+    def __post_init__(self):
+        if self.fan_in < 1:
+            raise ConfigurationError(
+                f"fan_in must be >= 1, got {self.fan_in}"
+            )
+        if min(self.request_mb, self.flow_rate_mbps, self.period_s) <= 0:
+            raise ConfigurationError(
+                f"request, rate, and period must be positive in {self.name!r}"
+            )
+        if self.jitter_s < 0:
+            raise ConfigurationError(
+                f"jitter_s must be >= 0, got {self.jitter_s}"
+            )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        dt = 0.1
+        burst_rate = self.fan_in * self.flow_rate_mbps
+        burst_intervals = max(
+            1,
+            int(math.ceil(self.request_mb / (self.flow_rate_mbps * dt))),
+        )
+        rates = np.zeros(n + 1)
+        t = float(rng.uniform(0.0, self.period_s))
+        while t < n * dt:
+            start = int(t / dt)
+            stop = min(start + burst_intervals, n)
+            rates[start] += burst_rate
+            rates[stop] -= burst_rate
+            t += self.period_s + float(
+                rng.uniform(-self.jitter_s, self.jitter_s)
+            )
+        return np.cumsum(rates[:n])
+
+
+# ----------------------------------------------------------------------
+# traffic scenarios: how sources land on a generated topology
+# ----------------------------------------------------------------------
+#: Baseline mean load per datacenter bottleneck (Mbps on 100 Mbps links)
+#: — sized so residual bandwidth sits in the same regime as the NLANR
+#: profiles, isolating the *distributional* differences.
+DC_BASE_MEAN_MBPS = 46.0
+
+#: Hot-rack skew: the hot path's bottleneck carries this multiple of
+#: the base mean (popular-content rack), the rest slightly less.
+HOT_RACK_FACTOR = 1.45
+COOL_RACK_FACTOR = 0.95
+
+#: The victim-path index for incast (and the hot path for hot-rack).
+VICTIM_PATH = 0
+
+#: Known traffic scenario names, in documentation order.
+TRAFFIC_SCENARIOS = ("nlanr", "dc-baseline", "dc-incast", "dc-hotrack")
+
+
+def bottleneck_sources(
+    traffic: str, path_index: int, link: Link
+) -> list[CrossTrafficSource]:
+    """The cross-traffic sources one path's bottleneck link carries.
+
+    ``traffic`` names the scenario; ``path_index`` is the overlay
+    path's position (0-based) and selects profile rotation, the incast
+    victim, and the hot rack.  Source names embed the link name, so
+    every link draws from its own ``RandomStreams`` substream.
+    """
+    if traffic == "nlanr":
+        profile = NLANR_ROTATION[path_index % len(NLANR_ROTATION)]
+        return [
+            CrossTrafficSource.from_profile_name(
+                f"nlanr/{link.name}", profile
+            )
+        ]
+    if traffic == "dc-baseline":
+        return [_dc_flow_source(link, DC_BASE_MEAN_MBPS)]
+    if traffic == "dc-incast":
+        sources = [_dc_flow_source(link, DC_BASE_MEAN_MBPS)]
+        if path_index == VICTIM_PATH:
+            sources.append(
+                CrossTrafficSource(
+                    name=f"incast/{link.name}",
+                    profile=IncastTraffic(name=f"incast/{link.name}"),
+                )
+            )
+        return sources
+    if traffic == "dc-hotrack":
+        factor = (
+            HOT_RACK_FACTOR
+            if path_index == VICTIM_PATH
+            else COOL_RACK_FACTOR
+        )
+        return [_dc_flow_source(link, DC_BASE_MEAN_MBPS * factor)]
+    raise ConfigurationError(
+        f"unknown traffic scenario {traffic!r}; "
+        f"known: {list(TRAFFIC_SCENARIOS)}"
+    )
+
+
+def _dc_flow_source(link: Link, mean_mbps: float) -> CrossTrafficSource:
+    return CrossTrafficSource(
+        name=f"dc/{link.name}",
+        profile=DCFlowTraffic(name=f"dc/{link.name}", mean_mbps=mean_mbps),
+    )
+
+
+def traffic_params(traffic: str) -> dict[str, float | str]:
+    """Calibration knobs of a scenario, for checksums and docs."""
+    if traffic not in TRAFFIC_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown traffic scenario {traffic!r}; "
+            f"known: {list(TRAFFIC_SCENARIOS)}"
+        )
+    params: dict[str, float | str] = {"traffic": traffic}
+    if traffic.startswith("dc-"):
+        params["mean_mbps"] = DC_BASE_MEAN_MBPS
+        params["elephant_alpha"] = ELEPHANT_ALPHA
+    if traffic == "dc-hotrack":
+        params["hot_factor"] = HOT_RACK_FACTOR
+        params["cool_factor"] = COOL_RACK_FACTOR
+    return params

@@ -55,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="top-level seed; every stochastic ingredient derives from it",
     )
     parser.add_argument(
+        "--topology", default=None,
+        help=(
+            "run on a generated topology: a preset name such as "
+            "fat_tree_k4 / leaf_spine_4x8 / repetita_wan_s0, optionally "
+            "with a ':<traffic>' suffix (nlanr, dc-baseline, dc-incast, "
+            "dc-hotrack); default: the Figure-8 Emulab testbed"
+        ),
+    )
+    parser.add_argument(
         "--rate-scale", type=float, default=1.0,
         help="multiply the scenario's arrival rates (default: 1.0)",
     )
@@ -178,6 +187,7 @@ def _run_envelope(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         probe_duration=args.probe_duration,
         max_sessions=args.max_sessions,
+        topology=args.topology,
     )
     wall = time.perf_counter() - t0
     print(envelope.render())
@@ -203,7 +213,10 @@ def _run_checkpointed(args: argparse.Namespace, obs):
     )
 
     scenario = make_scenario(
-        args.scenario, rate_scale=args.rate_scale, duration=args.duration
+        args.scenario,
+        rate_scale=args.rate_scale,
+        duration=args.duration,
+        topology=args.topology,
     )
     store = CheckpointStore(args.checkpoint_dir)
     on_step = None
@@ -272,6 +285,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             duration=args.duration,
             max_sessions=args.max_sessions,
             obs=obs,
+            topology=args.topology,
         )
     wall = time.perf_counter() - t0
     print(report.render())

@@ -64,6 +64,9 @@ class CapacityEnvelope:
     base_rate: float
     probes: tuple[EnvelopeProbe, ...]
     max_sustainable_scale: float
+    #: Generated-topology reference the probes ran on (``None`` =
+    #: Figure-8; omitted from the payload then, preserving old bytes).
+    topology: Optional[str] = None
 
     @property
     def max_sustainable_rate(self) -> float:
@@ -71,7 +74,7 @@ class CapacityEnvelope:
         return self.base_rate * self.max_sustainable_scale
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "scenario": self.scenario,
             "seed": self.seed,
             "ceiling": _round6(self.ceiling),
@@ -80,14 +83,20 @@ class CapacityEnvelope:
             "max_sustainable_rate": _round6(self.max_sustainable_rate),
             "probes": [p.to_dict() for p in self.probes],
         }
+        if self.topology is not None:
+            payload["topology"] = self.topology
+        return payload
 
     def checksum(self) -> str:
         """Hex digest of the canonical payload (byte-identity probe)."""
         return payload_digest(self.to_dict())
 
     def render(self) -> str:
+        where = (
+            "" if self.topology is None else f" on {self.topology}"
+        )
         lines = [
-            f"capacity envelope for {self.scenario!r} "
+            f"capacity envelope for {self.scenario!r}{where} "
             f"(seed={self.seed}, ceiling={self.ceiling:.3f}):",
             f"  max sustainable scale = "
             f"{self.max_sustainable_scale:.4f} "
@@ -116,6 +125,7 @@ def estimate_envelope(
     resume_probes: Optional[Mapping[float, Mapping[str, Any]]] = None,
     on_probe: Optional[Callable[[EnvelopeProbe], None]] = None,
     probe_fn: Optional[Callable[[float], tuple[int, float]]] = None,
+    topology: Optional[str] = None,
 ) -> CapacityEnvelope:
     """Binary-search the max sustainable arrival-rate scale.
 
@@ -151,7 +161,9 @@ def estimate_envelope(
         raise ConfigurationError(
             f"iterations must be >= 1, got {iterations}"
         )
-    scenario = make_scenario(scenario_name, duration=probe_duration)
+    scenario = make_scenario(
+        scenario_name, duration=probe_duration, topology=topology
+    )
     base_rate = scenario.model.mean_rate()
 
     probes: list[EnvelopeProbe] = []
@@ -213,4 +225,5 @@ def estimate_envelope(
         base_rate=base_rate,
         probes=tuple(probes),
         max_sustainable_scale=best,
+        topology=scenario.topology,
     )

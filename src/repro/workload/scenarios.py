@@ -37,6 +37,8 @@ from repro.network.emulab import make_figure8_testbed
 from repro.network.faults import FaultCampaign
 from repro.obs.context import NULL_OBS, Observability
 from repro.runner.spec import mix_seed
+from repro.topo.generators import build_testbed
+from repro.topo.spec import parse_topology
 from repro.workload.arrivals import (
     ArrivalModel,
     FlashCrowdArrivals,
@@ -74,12 +76,18 @@ class ScaleScenario:
     duration: float
     strict_admission: bool = True
     with_chaos: bool = False
+    #: Generated-topology reference (``preset`` or ``preset:traffic``,
+    #: see :func:`repro.topo.spec.parse_topology`).  ``None`` runs on
+    #: the Figure-8 testbed exactly as before — byte for byte.
+    topology: Optional[str] = None
 
     def __post_init__(self):
         if self.duration <= 0:
             raise ConfigurationError(
                 f"duration must be positive, got {self.duration}"
             )
+        if self.topology is not None:
+            parse_topology(self.topology)  # fail fast on bad references
 
     def scaled(self, factor: float) -> "ScaleScenario":
         """The same scenario with every arrival rate scaled."""
@@ -158,8 +166,14 @@ def make_scenario(
     name: str,
     rate_scale: float = 1.0,
     duration: Optional[float] = None,
+    topology: Optional[str] = None,
 ) -> ScaleScenario:
-    """Look up a named scenario, optionally rescaled or re-timed."""
+    """Look up a named scenario, optionally rescaled or re-timed.
+
+    ``topology`` moves the scenario onto a generated topology
+    (``preset`` or ``preset:traffic``); ``None`` keeps the Figure-8
+    testbed and its exact historical bytes.
+    """
     factory = SCENARIOS.get(name)
     if factory is None:
         raise ConfigurationError(
@@ -174,6 +188,8 @@ def make_scenario(
         scenario = scenario.scaled(rate_scale)
     if duration is not None:
         scenario = replace(scenario, duration=float(duration))
+    if topology is not None:
+        scenario = replace(scenario, topology=str(topology))
     return scenario
 
 
@@ -202,21 +218,31 @@ def build_service(
     The two are bit-identical, so it never changes report bytes — only
     how fast they are produced.
     """
-    testbed = make_figure8_testbed()
+    if scenario.topology is None:
+        testbed = make_figure8_testbed()
+    else:
+        testbed = build_testbed(parse_topology(scenario.topology))
     total = (
         WARMUP_INTERVALS * _DT + scenario.duration + REALIZATION_SLACK_S
     )
+    # The topology reference joins the seed namespace only when set, so
+    # Figure-8 runs keep their exact historical bytes.
+    topo_tag = (
+        () if scenario.topology is None else (scenario.topology,)
+    )
     if partition is None:
         realization_seed = mix_seed(
-            seed, "workload-realization", scenario.name
-        )
-        chaos_seed = mix_seed(seed, "workload-chaos", scenario.name)
-    else:
-        realization_seed = mix_seed(
-            seed, "cluster-realization", scenario.name, partition
+            seed, "workload-realization", scenario.name, *topo_tag
         )
         chaos_seed = mix_seed(
-            seed, "cluster-chaos", scenario.name, partition
+            seed, "workload-chaos", scenario.name, *topo_tag
+        )
+    else:
+        realization_seed = mix_seed(
+            seed, "cluster-realization", scenario.name, partition, *topo_tag
+        )
+        chaos_seed = mix_seed(
+            seed, "cluster-chaos", scenario.name, partition, *topo_tag
         )
     realization = testbed.realize(
         seed=realization_seed,
@@ -250,9 +276,12 @@ def run_scenario(
     catalog: Optional[SessionCatalog] = None,
     obs: Optional[Observability] = None,
     sim_backend: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> WorkloadReport:
     """Run one named scenario end to end; the package's front door."""
-    scenario = make_scenario(name, rate_scale=rate_scale, duration=duration)
+    scenario = make_scenario(
+        name, rate_scale=rate_scale, duration=duration, topology=topology
+    )
     return run_scale_scenario(
         scenario,
         seed=seed,
@@ -424,10 +453,15 @@ def run_partition_slice(
 
 def scenario_params(scenario: ScaleScenario) -> dict[str, Any]:
     """JSON form of a scenario (for :class:`repro.runner.RunSpec`)."""
-    return {
+    params = {
         "name": scenario.name,
         "model": scenario.model.to_params(),
         "duration": scenario.duration,
         "strict_admission": scenario.strict_admission,
         "with_chaos": scenario.with_chaos,
     }
+    # Only topology-bearing scenarios carry the key: legacy RunSpec
+    # content hashes (and their cached results) stay valid.
+    if scenario.topology is not None:
+        params["topology"] = scenario.topology
+    return params

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.overlay",
     "repro.harness",
     "repro.workload",
+    "repro.topo",
 ]
 
 

@@ -1,0 +1,142 @@
+"""Generated testbeds: structure, disjointness, checksums, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.emulab import EmulabTestbed
+from repro.topo import (
+    PRESETS,
+    TopoSpec,
+    build_testbed,
+    topo_checksum,
+)
+from repro.topo.generators import LINK_CAPACITY_MBPS
+
+
+def _assert_series_equal(r1, r2):
+    assert sorted(r1.available) == sorted(r2.available)
+    for name in r1.available:
+        np.testing.assert_array_equal(
+            r1.available[name].available_mbps,
+            r2.available[name].available_mbps,
+        )
+        np.testing.assert_array_equal(
+            r1.qos[name].rtt_ms, r2.qos[name].rtt_ms
+        )
+        np.testing.assert_array_equal(
+            r1.qos[name].loss_rate, r2.qos[name].loss_rate
+        )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_paths_share_nothing(self, preset):
+        testbed = build_testbed(PRESETS[preset])
+        paths = list(testbed.paths.values())
+        assert not testbed.topology.shared_links(paths)
+        interiors = [
+            {n.name for n in p.nodes[1:-1]} for p in paths
+        ]
+        for i, a in enumerate(interiors):
+            for b in interiors[i + 1 :]:
+                assert not (a & b), f"{preset}: paths share routers"
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_drop_in_testbed_contract(self, preset):
+        testbed = build_testbed(PRESETS[preset])
+        assert isinstance(testbed, EmulabTestbed)
+        assert testbed.server.name == "SRV"
+        assert testbed.client.name == "CLT"
+        for path in testbed.paths.values():
+            assert path.source is testbed.server
+            assert path.sink is testbed.client
+            assert path.capacity_mbps == LINK_CAPACITY_MBPS
+
+    def test_fat_tree_size_scales_with_k(self):
+        n4 = len(build_testbed(TopoSpec.make("fat_tree", k=4)).topology.nodes)
+        n8 = len(
+            build_testbed(
+                TopoSpec.make("fat_tree", k=8, n_paths=4)
+            ).topology.nodes
+        )
+        assert n8 > 4 * n4  # 5k^2/4 + k*h + 2 grows ~quadratically
+
+    def test_bottlenecks_carry_cross_traffic(self):
+        testbed = build_testbed(PRESETS["leaf_spine_4x8"])
+        assert len(testbed.bottlenecks) == len(testbed.paths)
+        by_name = {link.name: link for link in testbed.topology.links}
+        for name in testbed.bottlenecks:
+            assert by_name[name].cross_traffic, name
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="even k"):
+            build_testbed(TopoSpec.make("fat_tree", k=5))
+        with pytest.raises(ConfigurationError, match="disjoint paths"):
+            build_testbed(TopoSpec.make("fat_tree", k=4, n_paths=3))
+        with pytest.raises(ConfigurationError, match="disjoint paths"):
+            build_testbed(
+                TopoSpec.make("leaf_spine", n_spine=2, n_leaf=4, n_paths=3)
+            )
+        with pytest.raises(ConfigurationError, match="n_nodes"):
+            build_testbed(TopoSpec.make("repetita_wan", n_nodes=4))
+        with pytest.raises(ConfigurationError, match="unknown topology family"):
+            build_testbed(TopoSpec.make("torus", k=3))
+
+
+class TestChecksum:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_rebuild_reproduces_checksum(self, preset):
+        spec = PRESETS[preset]
+        assert topo_checksum(build_testbed(spec)) == topo_checksum(
+            build_testbed(spec)
+        )
+
+    def test_structure_seed_changes_wan_checksum(self):
+        s0 = topo_checksum(build_testbed(PRESETS["repetita_wan_s0"]))
+        s1 = topo_checksum(build_testbed(PRESETS["repetita_wan_s1"]))
+        assert s0 != s1
+
+    def test_traffic_scenario_changes_checksum(self):
+        spec = PRESETS["fat_tree_k4"]
+        assert topo_checksum(build_testbed(spec)) != topo_checksum(
+            build_testbed(spec.with_traffic("dc-hotrack"))
+        )
+
+    def test_checksums_distinct_across_presets(self):
+        sums = {
+            topo_checksum(build_testbed(spec))
+            for spec in PRESETS.values()
+        }
+        assert len(sums) == len(PRESETS)
+
+
+class TestRealization:
+    @pytest.mark.parametrize(
+        "preset", ["fat_tree_k4", "leaf_spine_4x8", "repetita_wan_s0"]
+    )
+    def test_same_seed_byte_identical(self, preset):
+        spec = PRESETS[preset]
+        r1 = build_testbed(spec).realize(seed=11, duration=6.0, dt=0.1)
+        r2 = build_testbed(spec).realize(seed=11, duration=6.0, dt=0.1)
+        _assert_series_equal(r1, r2)
+
+    def test_different_seeds_differ(self):
+        testbed = build_testbed(PRESETS["fat_tree_k4"])
+        r1 = testbed.realize(seed=1, duration=6.0, dt=0.1)
+        r2 = testbed.realize(seed=2, duration=6.0, dt=0.1)
+        assert any(
+            not np.array_equal(
+                r1.available[p].available_mbps,
+                r2.available[p].available_mbps,
+            )
+            for p in r1.available
+        )
+
+    def test_residual_bandwidth_in_range(self):
+        realization = build_testbed(
+            PRESETS["leaf_spine_4x8"].with_traffic("dc-incast")
+        ).realize(seed=0, duration=10.0, dt=0.1)
+        for bw in realization.available.values():
+            assert (bw.available_mbps >= 0.0).all()
+            assert (bw.available_mbps <= LINK_CAPACITY_MBPS).all()

@@ -1,0 +1,91 @@
+"""TopoSpec identity, presets, and reference parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topo import (
+    PRESETS,
+    TopoSpec,
+    build_testbed,
+    parse_topology,
+    resolve_topology,
+)
+
+
+class TestTopoSpec:
+    def test_params_are_sorted_canonically(self):
+        a = TopoSpec.make("leaf_spine", n_spine=2, n_leaf=4)
+        b = TopoSpec.make("leaf_spine", n_leaf=4, n_spine=2)
+        assert a == b
+        assert a.checksum() == b.checksum()
+
+    def test_checksum_covers_every_identity_field(self):
+        base = TopoSpec.make("fat_tree", k=4)
+        assert base.checksum() != TopoSpec.make("fat_tree", k=8).checksum()
+        assert base.checksum() != base.with_traffic("dc-incast").checksum()
+        assert (
+            base.checksum()
+            != TopoSpec.make("fat_tree", k=4, seed=1).checksum()
+        )
+        assert (
+            base.checksum()
+            != TopoSpec.make("fat_tree", k=4, n_paths=1).checksum()
+        )
+
+    def test_unknown_traffic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopoSpec.make("fat_tree", traffic="nope", k=4)
+
+    def test_label_is_readable(self):
+        label = TopoSpec.make("fat_tree", k=4).label()
+        assert "fat_tree" in label and "k=4" in label
+
+
+class TestPresets:
+    def test_every_preset_builds(self):
+        for name, spec in PRESETS.items():
+            testbed = build_testbed(spec)
+            assert len(testbed.paths) == spec.n_paths, name
+
+    def test_acceptance_presets_exist(self):
+        for name in ("fat_tree_k4", "leaf_spine_4x8", "repetita_wan_s0"):
+            assert name in PRESETS
+
+
+class TestParseTopology:
+    def test_plain_preset(self):
+        assert parse_topology("fat_tree_k4") == PRESETS["fat_tree_k4"]
+
+    def test_traffic_suffix(self):
+        spec = parse_topology("fat_tree_k4:dc-incast")
+        assert spec.traffic == "dc-incast"
+        assert spec.param_dict() == PRESETS["fat_tree_k4"].param_dict()
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            parse_topology("mystery_fabric")
+
+    def test_bad_traffic_suffix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_topology("fat_tree_k4:warp-speed")
+
+
+class TestResolveTopology:
+    def test_none_and_spec_pass_through(self):
+        assert resolve_topology(None) is None
+        spec = PRESETS["fat_tree_k4"]
+        assert resolve_topology(spec) is spec
+
+    def test_string_and_mapping(self):
+        from_str = resolve_topology("leaf_spine_2x4")
+        from_map = resolve_topology(
+            {
+                "family": "leaf_spine",
+                "params": {"n_spine": 2, "n_leaf": 4, "hosts_per_leaf": 2},
+            }
+        )
+        assert from_str == from_map
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_topology(42)

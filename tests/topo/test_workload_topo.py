@@ -1,0 +1,104 @@
+"""The topology parameter through the full stack: workload + cluster.
+
+These are the acceptance-criteria properties in test form: generated
+topologies run churn end to end, byte-deterministic per seed, identical
+across simulation backends and cluster shard counts, and the traffic
+scenarios move the operating point measurably.
+"""
+
+import pytest
+
+from repro.cluster.local import run_partitioned
+from repro.errors import ConfigurationError
+from repro.runner.suite import topo_suite, workload_spec
+from repro.workload.scenarios import make_scenario, run_scenario
+
+_FAST = dict(seed=0, duration=8.0, max_sessions=30)
+
+
+class TestScenarioTopology:
+    def test_make_scenario_carries_topology(self):
+        scenario = make_scenario("baseline", topology="fat_tree_k4")
+        assert scenario.topology == "fat_tree_k4"
+
+    def test_bad_topology_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            make_scenario("baseline", topology="moebius_strip")
+
+    @pytest.mark.parametrize(
+        "preset", ["fat_tree_k4", "leaf_spine_4x8", "repetita_wan_s0"]
+    )
+    def test_churn_runs_deterministically(self, preset):
+        a = run_scenario("baseline", topology=preset, **_FAST)
+        b = run_scenario("baseline", topology=preset, **_FAST)
+        assert a.checksum() == b.checksum()
+        assert a.offered > 0
+
+    def test_topologies_produce_distinct_reports(self):
+        checksums = {
+            run_scenario("baseline", topology=preset, **_FAST).checksum()
+            for preset in (
+                None, "fat_tree_k4", "leaf_spine_4x8", "repetita_wan_s0"
+            )
+        }
+        assert len(checksums) == 4
+
+    def test_backends_byte_identical_on_generated_topology(self):
+        scalar = run_scenario(
+            "baseline", topology="leaf_spine_2x4",
+            sim_backend="scalar", **_FAST,
+        )
+        vectorized = run_scenario(
+            "baseline", topology="leaf_spine_2x4",
+            sim_backend="vectorized", **_FAST,
+        )
+        assert scalar.checksum() == vectorized.checksum()
+
+    def test_traffic_scenarios_shift_the_report(self):
+        nlanr = run_scenario(
+            "baseline", topology="fat_tree_k4:nlanr", **_FAST
+        )
+        incast = run_scenario(
+            "baseline", topology="fat_tree_k4:dc-incast", **_FAST
+        )
+        assert nlanr.checksum() != incast.checksum()
+
+
+class TestClusterTopology:
+    def test_partitioned_baseline_matches_single_process_totals(self):
+        single = run_scenario(
+            "baseline", topology="leaf_spine_2x4", **_FAST
+        )
+        merged = run_partitioned(
+            "baseline", topology="leaf_spine_2x4", **_FAST
+        )
+        assert merged.offered == single.offered
+
+    def test_partitioned_deterministic(self):
+        a = run_partitioned("baseline", topology="fat_tree_k4", **_FAST)
+        b = run_partitioned("baseline", topology="fat_tree_k4", **_FAST)
+        assert a.checksum() == b.checksum()
+
+
+class TestTopoSuite:
+    def test_one_churn_one_envelope_per_preset(self):
+        specs = topo_suite(fast=True)
+        kinds = [spec.kind for spec in specs]
+        assert kinds.count("workload") == 3
+        assert kinds.count("envelope") == 3
+        for spec in specs:
+            assert "topology" in spec.params
+
+    def test_traffic_variants_append_specs(self):
+        specs = topo_suite(fast=True, traffic=("dc-incast",))
+        assert any(
+            spec.params["topology"].endswith(":dc-incast")
+            for spec in specs
+        )
+
+    def test_topology_joins_spec_hash_only_when_set(self):
+        plain = workload_spec("baseline", seed=0)
+        assert "topology" not in plain.params
+        topo = workload_spec("baseline", seed=0, topology="fat_tree_k4")
+        assert topo.params["topology"] == "fat_tree_k4"
+        assert plain.name != topo.name
